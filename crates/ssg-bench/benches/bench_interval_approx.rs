@@ -1,0 +1,37 @@
+//! E2 — Theorem 2: `Interval-L(δ1,1,...,1)-coloring` runtime is
+//! O(n(t + δ1)); sweeps δ1 at fixed (n, t).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ssg_bench::interval_workload;
+use ssg_labeling::interval::approx_delta1_coloring;
+
+fn bench_delta1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2/interval_approx_vs_delta1");
+    group.sample_size(10);
+    let n = 16_000usize;
+    let t = 3u32;
+    let rep = interval_workload(n, 0xE2);
+    for d1 in [1u32, 2, 4, 8, 16] {
+        group.throughput(Throughput::Elements(n as u64 * (t + d1) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(d1), &d1, |b, &d1| {
+            b.iter(|| approx_delta1_coloring(&rep, t, d1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2/interval_approx_vs_n");
+    group.sample_size(10);
+    for n in [4_000usize, 16_000, 64_000] {
+        let rep = interval_workload(n, 0xE2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rep, |b, rep| {
+            b.iter(|| approx_delta1_coloring(rep, 3, 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta1, bench_vs_n);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E1 — Theorem 1: `Interval-L(1,...,1)-coloring` runtime scales as O(nt).
+//!
+//! Sweeps n with t fixed and t with n fixed; Criterion's throughput output
+//! (elements = n * t) should stay flat if the bound holds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ssg_bench::interval_workload;
+use ssg_labeling::interval::l1_coloring;
+
+fn bench_scaling_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1/interval_l1_vs_n");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000, 16_000, 64_000] {
+        let rep = interval_workload(n, 0xE1);
+        let t = 4u32;
+        group.throughput(Throughput::Elements((n as u64) * t as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rep, |b, rep| {
+            b.iter(|| l1_coloring(rep, t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_t(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1/interval_l1_vs_t");
+    group.sample_size(10);
+    let n = 16_000usize;
+    let rep = interval_workload(n, 0xE1);
+    for t in [1u32, 2, 4, 8, 16] {
+        group.throughput(Throughput::Elements((n as u64) * t as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| l1_coloring(&rep, t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_n, bench_scaling_t);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E7 — end-to-end wireless scenarios: paper algorithms vs the greedy
+//! baseline on corridor (interval), platoon (unit interval) and backbone
+//! (tree) networks, including the full interference audit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssg_labeling::SeparationVector;
+use ssg_netsim::{BackboneNetwork, CorridorNetwork, VehicularNetwork};
+
+fn bench_corridor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7/corridor_8k");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(0xE7);
+    let net = CorridorNetwork::generate(8_000, 1.0, 1.0, 5.0, &mut rng);
+    group.bench_function("interval-l1 t=2", |b| b.iter(|| net.assign_l1(2)));
+    group.bench_function("interval-approx d1=4 t=2", |b| {
+        b.iter(|| net.assign_delta1(2, 4))
+    });
+    let sep = SeparationVector::delta1_then_ones(4, 2).unwrap();
+    group.bench_function("greedy-bfs d1=4 t=2", |b| {
+        b.iter(|| net.assign_greedy(&sep))
+    });
+    group.finish();
+}
+
+fn bench_platoon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7/platoon_8k");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(0xE7);
+    let net = VehicularNetwork::platoon(8_000, 6, &mut rng);
+    group.bench_function("unit-l(5,2)", |b| b.iter(|| net.assign_l_delta(5, 2)));
+    group.bench_function("greedy-bfs (5,2)", |b| b.iter(|| net.assign_greedy(5, 2)));
+    group.finish();
+}
+
+fn bench_backbone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7/backbone_8k");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(0xE7);
+    let net = BackboneNetwork::generate(8_000, 4, &mut rng);
+    group.bench_function("tree-l1 t=3", |b| b.iter(|| net.assign_l1(3)));
+    group.bench_function("tree-approx d1=4 t=3", |b| {
+        b.iter(|| net.assign_delta1(3, 4))
+    });
+    let sep = SeparationVector::all_ones(3);
+    group.bench_function("greedy-bfs t=3", |b| b.iter(|| net.assign_greedy(&sep)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_corridor, bench_platoon, bench_backbone);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E6 — Lemma 2: the generic peeling solver is correct but heavily
+//! superlinear; the specialized O(nt) algorithms exist for a reason. This
+//! bench quantifies the gap that motivates Figures 1 and 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssg_bench::{interval_workload, tree_workload};
+use ssg_labeling::interval::l1_coloring as interval_l1;
+use ssg_labeling::tree::l1_coloring as tree_l1;
+use ssg_simplicial::peel_l1_coloring;
+
+fn bench_interval_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6/interval_peel_vs_fast");
+    group.sample_size(10);
+    let t = 2u32;
+    for n in [256usize, 1_024, 4_096] {
+        let rep = interval_workload(n, 0xE6);
+        let g = rep.to_graph();
+        let order: Vec<u32> = (0..n as u32).collect();
+        group.bench_with_input(BenchmarkId::new("fast", n), &rep, |b, rep| {
+            b.iter(|| interval_l1(rep, t))
+        });
+        group.bench_with_input(BenchmarkId::new("peel", n), &g, |b, g| {
+            b.iter(|| peel_l1_coloring(g, t, &order))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6/tree_peel_vs_fast");
+    group.sample_size(10);
+    let t = 2u32;
+    for n in [256usize, 1_024, 4_096] {
+        let tr = tree_workload(n, 4, 0xE6);
+        let g = tr.to_graph();
+        let order: Vec<u32> = (0..n as u32).collect();
+        group.bench_with_input(BenchmarkId::new("fast", n), &tr, |b, tr| {
+            b.iter(|| tree_l1(tr, t))
+        });
+        group.bench_with_input(BenchmarkId::new("peel", n), &g, |b, g| {
+            b.iter(|| peel_l1_coloring(g, t, &order))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interval_gap, bench_tree_gap);
+criterion_main!(benches);

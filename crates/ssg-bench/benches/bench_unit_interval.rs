@@ -1,0 +1,48 @@
+//! E3 — Theorem 3: `Unit-Interval-L(δ1,δ2)-coloring` is linear time in both
+//! regimes (δ1 > 2δ2 and δ1 <= 2δ2), on slack and tight workloads; the
+//! literal published Figure 2 is included for reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ssg_bench::{platoon_workload, unit_workload};
+use ssg_labeling::unit_interval::{figure2_literal, l_delta1_delta2_coloring};
+
+fn bench_regimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3/unit_interval_regimes");
+    group.sample_size(10);
+    let n = 64_000usize;
+    let slack = unit_workload(n, 0xE3);
+    let tight = platoon_workload(n, 6, 0xE3);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("slack/d1<=2d2 (3,2)", |b| {
+        b.iter(|| l_delta1_delta2_coloring(&slack, 3, 2))
+    });
+    group.bench_function("slack/d1>2d2 (5,1)", |b| {
+        b.iter(|| l_delta1_delta2_coloring(&slack, 5, 1))
+    });
+    group.bench_function("tight/d1<=2d2 (3,2)", |b| {
+        b.iter(|| l_delta1_delta2_coloring(&tight, 3, 2))
+    });
+    group.bench_function("tight/d1>2d2 (5,1)", |b| {
+        b.iter(|| l_delta1_delta2_coloring(&tight, 5, 1))
+    });
+    group.bench_function("figure2-literal (5,1)", |b| {
+        b.iter(|| figure2_literal(&tight, 5, 1))
+    });
+    group.finish();
+}
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3/unit_interval_vs_n");
+    group.sample_size(10);
+    for n in [16_000usize, 64_000, 256_000] {
+        let rep = unit_workload(n, 0xE3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rep, |b, rep| {
+            b.iter(|| l_delta1_delta2_coloring(rep, 5, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regimes, bench_vs_n);
+criterion_main!(benches);

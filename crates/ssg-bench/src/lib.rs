@@ -1,0 +1,33 @@
+//! Shared workload builders for the Criterion benches (E1–E8 in DESIGN.md).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssg_intervals::{IntervalRepresentation, UnitIntervalRepresentation};
+use ssg_tree::RootedTree;
+
+/// Deterministic connected interval workload.
+pub fn interval_workload(n: usize, seed: u64) -> IntervalRepresentation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ssg_intervals::gen::random_connected_intervals(n, 0.8, 1.0, 4.0, &mut rng)
+}
+
+/// Deterministic connected unit-interval workload.
+pub fn unit_workload(n: usize, seed: u64) -> UnitIntervalRepresentation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ssg_intervals::gen::random_connected_unit_intervals(n, 0.5, &mut rng)
+}
+
+/// Deterministic tight platoon workload (clique number k+1).
+pub fn platoon_workload(n: usize, k: usize, seed: u64) -> UnitIntervalRepresentation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ssg_intervals::gen::corridor_unit_intervals(n, k, &mut rng)
+}
+
+/// Deterministic random bounded-degree tree, BFS-canonical.
+pub fn tree_workload(n: usize, max_degree: usize, seed: u64) -> RootedTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = ssg_graph::generators::random_bounded_degree_tree(n, max_degree, &mut rng);
+    RootedTree::bfs_canonical(&g, 0).expect("generated tree is valid")
+}

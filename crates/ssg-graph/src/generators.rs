@@ -1,0 +1,289 @@
+//! Deterministic and random graph generators used by tests, examples and the
+//! benchmark workloads.
+
+use crate::graph::{Graph, Vertex};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Path `P_n`: vertices `0..n` in a line.
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<_> = (1..n as Vertex).map(|i| (i - 1, i)).collect();
+    Graph::from_edges(n, &edges).expect("path edges are valid")
+}
+
+/// Cycle `C_n` (requires `n >= 3`).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires n >= 3");
+    let mut edges: Vec<_> = (1..n as Vertex).map(|i| (i - 1, i)).collect();
+    edges.push((n as Vertex - 1, 0));
+    Graph::from_edges(n, &edges).expect("cycle edges are valid")
+}
+
+/// Star `K_{1,n-1}`: vertex 0 adjacent to all others.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1);
+    let edges: Vec<_> = (1..n as Vertex).map(|i| (0, i)).collect();
+    Graph::from_edges(n, &edges).expect("star edges are valid")
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as Vertex {
+        for v in (u + 1)..n as Vertex {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("complete edges are valid")
+}
+
+/// Complete `k`-ary tree with `n` vertices in BFS numbering: vertex `v >= 1`
+/// has parent `(v - 1) / k`.
+pub fn kary_tree(n: usize, k: usize) -> Graph {
+    assert!(k >= 1);
+    let edges: Vec<_> = (1..n as Vertex)
+        .map(|v| ((v - 1) / k as Vertex, v))
+        .collect();
+    Graph::from_edges(n, &edges).expect("k-ary tree edges are valid")
+}
+
+/// Caterpillar: a spine path of `spine` vertices, with `legs` pendant leaves
+/// attached to every spine vertex. Total `spine * (1 + legs)` vertices.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1);
+    let n = spine * (1 + legs);
+    let mut edges = Vec::with_capacity(n - 1);
+    for s in 1..spine as Vertex {
+        edges.push((s - 1, s));
+    }
+    let mut next = spine as Vertex;
+    for s in 0..spine as Vertex {
+        for _ in 0..legs {
+            edges.push((s, next));
+            next += 1;
+        }
+    }
+    Graph::from_edges(n, &edges).expect("caterpillar edges are valid")
+}
+
+/// Spider: `legs` paths of length `leg_len` glued at a center vertex 0.
+/// Total `1 + legs * leg_len` vertices.
+pub fn spider(legs: usize, leg_len: usize) -> Graph {
+    let n = 1 + legs * leg_len;
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut next = 1 as Vertex;
+    for _ in 0..legs {
+        let mut prev = 0 as Vertex;
+        for _ in 0..leg_len {
+            edges.push((prev, next));
+            prev = next;
+            next += 1;
+        }
+    }
+    Graph::from_edges(n, &edges).expect("spider edges are valid")
+}
+
+/// Uniformly random labelled tree on `n` vertices via a random Prüfer
+/// sequence. `n >= 1`.
+pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> Graph {
+    assert!(n >= 1);
+    if n == 1 {
+        return Graph::from_edges(1, &[]).unwrap();
+    }
+    if n == 2 {
+        return Graph::from_edges(2, &[(0, 1)]).unwrap();
+    }
+    let prufer: Vec<Vertex> = (0..n - 2).map(|_| rng.gen_range(0..n as Vertex)).collect();
+    Graph::from_edges(n, &prufer_to_edges(n, &prufer)).expect("prufer edges are valid")
+}
+
+/// Decodes a Prüfer sequence of length `n - 2` into the edge list of the
+/// corresponding labelled tree.
+pub fn prufer_to_edges(n: usize, prufer: &[Vertex]) -> Vec<(Vertex, Vertex)> {
+    assert_eq!(prufer.len(), n - 2);
+    let mut degree = vec![1u32; n];
+    for &p in prufer {
+        degree[p as usize] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    // Min-heap of current leaves.
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<Vertex>> = (0..n as Vertex)
+        .filter(|&v| degree[v as usize] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &p in prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("tree always has a leaf");
+        edges.push((leaf, p));
+        degree[p as usize] -= 1;
+        if degree[p as usize] == 1 {
+            leaves.push(std::cmp::Reverse(p));
+        }
+    }
+    let std::cmp::Reverse(a) = leaves.pop().unwrap();
+    let std::cmp::Reverse(b) = leaves.pop().unwrap();
+    edges.push((a, b));
+    edges
+}
+
+/// Random tree with bounded degree: grown by attaching each new vertex to a
+/// uniformly random existing vertex that still has fewer than `max_degree`
+/// neighbors. Produces BFS-friendly shallow trees for stress tests.
+pub fn random_bounded_degree_tree<R: Rng>(n: usize, max_degree: usize, rng: &mut R) -> Graph {
+    assert!(n >= 1 && max_degree >= 2);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    let mut deg = vec![0usize; n];
+    let mut eligible: Vec<Vertex> = vec![0];
+    for v in 1..n as Vertex {
+        let idx = rng.gen_range(0..eligible.len());
+        let parent = eligible[idx];
+        edges.push((parent, v));
+        deg[parent as usize] += 1;
+        deg[v as usize] = 1;
+        if deg[parent as usize] >= max_degree {
+            eligible.swap_remove(idx);
+        }
+        if deg[v as usize] < max_degree {
+            eligible.push(v);
+        }
+    }
+    Graph::from_edges(n, &edges).expect("grown tree edges are valid")
+}
+
+/// Random connected graph `G(n, m)`: a uniform random spanning tree plus
+/// `m - (n - 1)` additional distinct random non-tree edges. Panics unless
+/// `n - 1 <= m <= n(n-1)/2`.
+pub fn random_connected<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(n >= 1);
+    let max_m = n * n.saturating_sub(1) / 2;
+    assert!(m + 1 >= n && m <= max_m, "need n-1 <= m <= n(n-1)/2");
+    let tree = random_tree(n, rng);
+    let mut edges: Vec<(Vertex, Vertex)> = tree.edges().collect();
+    let mut have: std::collections::HashSet<(Vertex, Vertex)> = edges.iter().copied().collect();
+    while edges.len() < m {
+        let u = rng.gen_range(0..n as Vertex);
+        let v = rng.gen_range(0..n as Vertex);
+        if u == v {
+            continue;
+        }
+        let e = (u.min(v), u.max(v));
+        if have.insert(e) {
+            edges.push(e);
+        }
+    }
+    Graph::from_edges(n, &edges).expect("random connected edges are valid")
+}
+
+/// Erdős–Rényi `G(n, p)`; possibly disconnected.
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut edges = Vec::new();
+    for u in 0..n as Vertex {
+        for v in (u + 1)..n as Vertex {
+            if rng.gen_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("gnp edges are valid")
+}
+
+/// Relabels the graph's vertices by a uniformly random permutation and
+/// returns `(relabelled graph, permutation old -> new)`. Useful for checking
+/// that algorithms do not depend on a convenient input numbering.
+pub fn shuffle_labels<R: Rng>(g: &Graph, rng: &mut R) -> (Graph, Vec<Vertex>) {
+    let n = g.num_vertices();
+    let mut perm: Vec<Vertex> = (0..n as Vertex).collect();
+    perm.shuffle(rng);
+    let edges: Vec<(Vertex, Vertex)> = g
+        .edges()
+        .map(|(u, v)| (perm[u as usize], perm[v as usize]))
+        .collect();
+    (
+        Graph::from_edges(n, &edges).expect("permuted edges are valid"),
+        perm,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, is_connected};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_shapes() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(star(6).num_edges(), 5);
+        assert_eq!(star(6).degree(0), 5);
+        assert_eq!(complete(5).num_edges(), 10);
+        assert_eq!(kary_tree(7, 2).num_edges(), 6);
+        assert_eq!(kary_tree(7, 2).degree(0), 2);
+        let cat = caterpillar(3, 2);
+        assert_eq!(cat.num_vertices(), 9);
+        assert_eq!(cat.num_edges(), 8);
+        let sp = spider(3, 2);
+        assert_eq!(sp.num_vertices(), 7);
+        assert_eq!(sp.degree(0), 3);
+        assert_eq!(diameter(&sp), 4);
+    }
+
+    #[test]
+    fn random_trees_are_trees() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 3, 10, 57, 200] {
+            let t = random_tree(n, &mut rng);
+            assert_eq!(t.num_edges(), n - 1, "n={n}");
+            assert!(is_connected(&t), "n={n}");
+        }
+    }
+
+    #[test]
+    fn prufer_decoding_known_case() {
+        // Prüfer [3, 3, 3, 4] on n=6 -> star-ish tree; verify degrees.
+        let edges = prufer_to_edges(6, &[3, 3, 3, 4]);
+        let g = Graph::from_edges(6, &edges).unwrap();
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.degree(3), 4);
+        assert_eq!(g.degree(4), 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn bounded_degree_tree_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &d in &[2usize, 3, 5] {
+            let t = random_bounded_degree_tree(300, d, &mut rng);
+            assert_eq!(t.num_edges(), 299);
+            assert!(is_connected(&t));
+            assert!(t.max_degree() <= d, "degree bound {d} violated");
+        }
+    }
+
+    #[test]
+    fn random_connected_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_connected(40, 100, &mut rng);
+        assert_eq!(g.num_vertices(), 40);
+        assert_eq!(g.num_edges(), 100);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(gnp(10, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).num_edges(), 45);
+    }
+
+    #[test]
+    fn shuffle_preserves_structure() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = random_connected(30, 60, &mut rng);
+        let (h, perm) = shuffle_labels(&g, &mut rng);
+        assert_eq!(h.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(h.has_edge(perm[u as usize], perm[v as usize]));
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Compressed-sparse-row undirected graph.
+//!
+//! The whole library operates on this one representation: vertices are dense
+//! indices `0..n`, and the adjacency of every vertex is a sorted slice inside a
+//! single backing buffer. This keeps traversals cache-friendly (one indirection,
+//! sequential neighbor scans), which matters because the coloring verifier and
+//! the augmented-graph construction both do `n` truncated BFS passes.
+
+use std::fmt;
+
+/// Vertex identifier. Dense indices `0..n` into a [`Graph`].
+pub type Vertex = u32;
+
+/// An undirected simple graph in CSR (compressed sparse row) form.
+///
+/// Construction normalizes the edge list: self-loops are rejected, duplicate
+/// edges are merged, and each adjacency list is sorted ascending. Both
+/// directions of every edge are stored, so `degree(v)` is the true degree and
+/// `neighbors(v)` yields each neighbor exactly once.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` with the neighbors of `v`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted adjacency lists.
+    targets: Vec<Vertex>,
+    /// Number of undirected edges.
+    num_edges: usize,
+}
+
+/// Errors produced when building a [`Graph`] from an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    VertexOutOfRange {
+        /// The offending edge.
+        edge: (Vertex, Vertex),
+        /// The declared vertex count.
+        n: usize,
+    },
+    /// An edge joined a vertex to itself.
+    SelfLoop {
+        /// The vertex with the loop.
+        vertex: Vertex,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { edge, n } => {
+                write!(
+                    f,
+                    "edge ({}, {}) references a vertex >= n = {}",
+                    edge.0, edge.1, n
+                )
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl Graph {
+    /// Builds a graph on `n` vertices from an undirected edge list.
+    ///
+    /// Duplicate edges (in either orientation) are merged. Self-loops and
+    /// out-of-range endpoints are errors.
+    ///
+    /// ```
+    /// use ssg_graph::Graph;
+    /// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (1, 0)]).unwrap();
+    /// assert_eq!(g.num_edges(), 3);
+    /// assert_eq!(g.neighbors(1), &[0, 2]);
+    /// assert!(Graph::from_edges(2, &[(0, 0)]).is_err());
+    /// ```
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Result<Self, GraphError> {
+        for &(u, v) in edges {
+            if u == v {
+                return Err(GraphError::SelfLoop { vertex: u });
+            }
+            if (u as usize) >= n || (v as usize) >= n {
+                return Err(GraphError::VertexOutOfRange { edge: (u, v), n });
+            }
+        }
+        // Count both directions, then fill via a cursor sweep.
+        let mut deg = vec![0u32; n];
+        for &(u, v) in edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut targets = vec![0 as Vertex; acc as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(u, v) in edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort each adjacency list and deduplicate in place.
+        let mut write = 0usize;
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0u32);
+        let mut scratch: Vec<Vertex> = Vec::new();
+        for v in 0..n {
+            let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
+            scratch.clear();
+            scratch.extend_from_slice(&targets[s..e]);
+            scratch.sort_unstable();
+            scratch.dedup();
+            // write <= s always holds, so this never overwrites unread data.
+            for (i, &t) in scratch.iter().enumerate() {
+                targets[write + i] = t;
+            }
+            write += scratch.len();
+            new_offsets.push(write as u32);
+        }
+        targets.truncate(write);
+        let num_edges = write / 2;
+        Ok(Graph {
+            offsets: new_offsets,
+            targets,
+            num_edges,
+        })
+    }
+
+    /// Builds a graph from an adjacency-list description (used by generators
+    /// that already produce clean sorted lists). Lists must be symmetric,
+    /// sorted, loop-free and duplicate-free; this is checked in debug builds.
+    pub(crate) fn from_sorted_adjacency(adj: Vec<Vec<Vertex>>) -> Self {
+        let n = adj.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let total: usize = adj.iter().map(|a| a.len()).sum();
+        let mut targets = Vec::with_capacity(total);
+        for (v, list) in adj.iter().enumerate() {
+            debug_assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "unsorted/duplicated list"
+            );
+            debug_assert!(list.iter().all(|&u| u as usize != v), "self-loop");
+            targets.extend_from_slice(list);
+            offsets.push(targets.len() as u32);
+        }
+        let g = Graph {
+            offsets,
+            targets,
+            num_edges: total / 2,
+        };
+        debug_assert!(g.check_symmetric(), "asymmetric adjacency");
+        g
+    }
+
+    fn check_symmetric(&self) -> bool {
+        (0..self.num_vertices() as Vertex)
+            .all(|v| self.neighbors(v).iter().all(|&u| self.has_edge(u, v)))
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        let s = self.offsets[v as usize] as usize;
+        let e = self.offsets[v as usize + 1] as usize;
+        &self.targets[s..e]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as Vertex)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether the (undirected) edge `uv` exists. `O(log deg(u))`.
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        0..self.num_vertices() as Vertex
+    }
+
+    /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| u < v)
+    }
+
+    /// The subgraph induced by `keep`, together with the mapping
+    /// `new index -> old vertex`. Vertices are renumbered in the order they
+    /// appear in `keep`; duplicates in `keep` are ignored after the first.
+    pub fn induced_subgraph(&self, keep: &[Vertex]) -> (Graph, Vec<Vertex>) {
+        let n = self.num_vertices();
+        let mut new_id = vec![u32::MAX; n];
+        let mut order: Vec<Vertex> = Vec::with_capacity(keep.len());
+        for &v in keep {
+            if new_id[v as usize] == u32::MAX {
+                new_id[v as usize] = order.len() as u32;
+                order.push(v);
+            }
+        }
+        let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); order.len()];
+        for (ni, &old) in order.iter().enumerate() {
+            for &w in self.neighbors(old) {
+                let nw = new_id[w as usize];
+                if nw != u32::MAX {
+                    adj[ni].push(nw);
+                }
+            }
+            adj[ni].sort_unstable();
+        }
+        (Graph::from_sorted_adjacency(adj), order)
+    }
+
+    /// Complement within vertex set (useful only for small graphs in tests).
+    pub fn complement(&self) -> Graph {
+        let n = self.num_vertices();
+        let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+        for u in 0..n as Vertex {
+            let nb = self.neighbors(u);
+            let mut it = nb.iter().peekable();
+            for v in 0..n as Vertex {
+                if v == u {
+                    continue;
+                }
+                while let Some(&&w) = it.peek() {
+                    if w < v {
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                if it.peek().map(|&&w| w) != Some(v) {
+                    adj[u as usize].push(v);
+                }
+            }
+        }
+        Graph::from_sorted_adjacency(adj)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={})",
+            self.num_vertices(),
+            self.num_edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_queries_triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn merges_duplicate_edges_both_orientations() {
+        let g = Graph::from_edges(2, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(
+            Graph::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 2)]),
+            Err(GraphError::VertexOutOfRange { edge: (0, 2), n: 2 })
+        );
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        let g = Graph::from_edges(4, &[(1, 2)]).unwrap();
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        // Path 0-1-2-3; keep {1,3,2} in that order.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let (h, map) = g.induced_subgraph(&[1, 3, 2]);
+        assert_eq!(map, vec![1, 3, 2]);
+        assert_eq!(h.num_vertices(), 3);
+        // edges in h: 1-2 (new 0-2), 2-3 (new 2-1)
+        assert!(h.has_edge(0, 2));
+        assert!(h.has_edge(1, 2));
+        assert!(!h.has_edge(0, 1));
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let (h, map) = g.induced_subgraph(&[2, 2, 0]);
+        assert_eq!(map, vec![2, 0]);
+        assert_eq!(h.num_vertices(), 2);
+        assert_eq!(h.num_edges(), 0);
+    }
+
+    #[test]
+    fn complement_of_path3_is_single_edge() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let c = g.complement();
+        assert_eq!(c.num_edges(), 1);
+        assert!(c.has_edge(0, 2));
+    }
+}

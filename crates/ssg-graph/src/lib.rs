@@ -1,0 +1,27 @@
+//! # ssg-graph
+//!
+//! Graph substrate for the strongly-simplicial channel-assignment library
+//! (Bertossi–Pinotti–Rizzi, *Channel Assignment on Strongly-Simplicial
+//! Graphs*, IPPS 2003): a compact CSR graph type, BFS-based traversal and
+//! truncated all-pairs distances, the augmented graph `A_{G,t}` (the
+//! distance-`t` power used throughout the paper's §2), classical
+//! chordal-graph orderings (Lex-BFS, MCS, perfect elimination orders), and a
+//! family of deterministic and random generators used by the tests, examples
+//! and benchmarks.
+//!
+//! Everything downstream (`ssg-intervals`, `ssg-tree`, `ssg-simplicial`,
+//! `ssg-labeling`, `ssg-netsim`) builds on [`Graph`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod graph;
+pub mod ordering;
+pub mod power;
+pub mod recognition;
+pub mod traversal;
+
+pub use graph::{Graph, GraphError, Vertex};
+pub use power::augmented_graph;
+pub use traversal::UNREACHABLE;

@@ -1,0 +1,318 @@
+//! Vertex orderings: lexicographic BFS, maximum cardinality search, and
+//! perfect-elimination-order checking (chordality).
+//!
+//! Interval graphs are chordal; the paper's strongly-simplicial theory is the
+//! distance-`t` generalization of ordinary simplicial elimination, so these
+//! classical routines serve both as substrate sanity checks for generated
+//! inputs and as baselines in the experiments.
+
+use crate::graph::{Graph, Vertex};
+
+/// Lexicographic BFS from `start`, using the partition-refinement
+/// implementation (`O(n + m)`). Returns the visit order.
+pub fn lex_bfs(g: &Graph, start: Vertex) -> Vec<Vertex> {
+    let n = g.num_vertices();
+    assert!((start as usize) < n);
+    // Doubly linked list of cells; each cell is a set of vertices with equal
+    // label. Implemented with Vec-based slots for stability.
+    #[derive(Clone)]
+    struct Cell {
+        verts: Vec<Vertex>,
+        prev: usize,
+        next: usize,
+    }
+    const NIL: usize = usize::MAX;
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut head: usize;
+
+    let mut initial: Vec<Vertex> = (0..n as Vertex).filter(|&v| v != start).collect();
+    initial.insert(0, start);
+    // First cell: {start}; second: everything else. Keeping start alone makes
+    // the traversal begin at the requested vertex.
+    if n == 0 {
+        return Vec::new();
+    }
+    cells.push(Cell {
+        verts: vec![start],
+        prev: NIL,
+        next: NIL,
+    });
+    head = 0;
+    if n > 1 {
+        cells.push(Cell {
+            verts: initial[1..].to_vec(),
+            prev: 0,
+            next: NIL,
+        });
+        cells[0].next = 1;
+    }
+    // cell_of[v], pos_of[v]: current location of v.
+    let mut cell_of = vec![0usize; n];
+    let mut pos_of = vec![0usize; n];
+    for (i, &v) in cells[0].verts.iter().enumerate() {
+        cell_of[v as usize] = 0;
+        pos_of[v as usize] = i;
+    }
+    if n > 1 {
+        for (i, &v) in cells[1].verts.iter().enumerate() {
+            cell_of[v as usize] = 1;
+            pos_of[v as usize] = i;
+        }
+    }
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+
+    // Helper to unlink empty cells lazily: we skip empties when reading head.
+    while order.len() < n {
+        // Advance head past empty cells.
+        while head != NIL && cells[head].verts.is_empty() {
+            head = cells[head].next;
+            if head != NIL {
+                cells[head].prev = NIL;
+            }
+        }
+        let h = head;
+        debug_assert!(h != NIL, "ran out of cells early");
+        let v = cells[h].verts.pop().expect("non-empty head cell");
+        // pos bookkeeping: the popped slot was the last; fix nothing else.
+        visited[v as usize] = true;
+        order.push(v);
+        // Partition refinement: for each unvisited neighbor w, move w into a
+        // cell placed immediately *before* its current cell (vertices seen by
+        // more recent pivots sort earlier).
+        let mut split_of: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for &w in g.neighbors(v) {
+            if visited[w as usize] {
+                continue;
+            }
+            let c = cell_of[w as usize];
+            let target = *split_of.entry(c).or_insert_with(|| {
+                let idx = cells.len();
+                let prev = cells[c].prev;
+                cells.push(Cell {
+                    verts: Vec::new(),
+                    prev,
+                    next: c,
+                });
+                if prev == NIL {
+                    head = idx;
+                } else {
+                    cells[prev].next = idx;
+                }
+                cells[c].prev = idx;
+                idx
+            });
+            // Remove w from cell c by swap-remove, fixing the moved vertex.
+            let p = pos_of[w as usize];
+            let last = cells[c].verts.len() - 1;
+            cells[c].verts.swap(p, last);
+            let moved = cells[c].verts[p];
+            pos_of[moved as usize] = p;
+            cells[c].verts.pop();
+            // Insert into target.
+            pos_of[w as usize] = cells[target].verts.len();
+            cell_of[w as usize] = target;
+            cells[target].verts.push(w);
+        }
+    }
+    order
+}
+
+/// Maximum cardinality search from `start`: repeatedly visit the vertex with
+/// the most visited neighbors. Returns the visit order. `O(n^2)` simple
+/// implementation (adequate for test/oracle use).
+pub fn mcs(g: &Graph, start: Vertex) -> Vec<Vertex> {
+    let n = g.num_vertices();
+    assert!((start as usize) < n);
+    let mut weight = vec![0usize; n];
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut current = start;
+    for _ in 0..n {
+        visited[current as usize] = true;
+        order.push(current);
+        for &w in g.neighbors(current) {
+            if !visited[w as usize] {
+                weight[w as usize] += 1;
+            }
+        }
+        if order.len() == n {
+            break;
+        }
+        current = (0..n as Vertex)
+            .filter(|&v| !visited[v as usize])
+            .max_by_key(|&v| weight[v as usize])
+            .expect("unvisited vertex remains");
+    }
+    order
+}
+
+/// Checks whether `order` (a permutation of the vertices) is a perfect
+/// elimination order: `order[0]` is eliminated first, and for every vertex
+/// `v` the neighbors of `v` appearing after it in `order` must form a clique.
+///
+/// Uses the classical single-witness test: for each `v` let `p(v)` be its
+/// earliest later neighbor; it suffices that every other later neighbor of
+/// `v` is adjacent to `p(v)`.
+pub fn is_perfect_elimination_order(g: &Graph, order: &[Vertex]) -> bool {
+    let n = g.num_vertices();
+    if order.len() != n {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        if pos[v as usize] != usize::MAX {
+            return false; // not a permutation
+        }
+        pos[v as usize] = i;
+    }
+    for (i, &v) in order.iter().enumerate() {
+        // Later neighbors of v.
+        let mut later: Vec<Vertex> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| pos[w as usize] > i)
+            .collect();
+        if later.len() <= 1 {
+            continue;
+        }
+        later.sort_by_key(|&w| pos[w as usize]);
+        let p = later[0];
+        for &w in &later[1..] {
+            if !g.has_edge(p, w) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether `g` is chordal, decided by Lex-BFS + PEO check. Handles
+/// disconnected graphs (Lex-BFS partition refinement visits all vertices).
+pub fn is_chordal(g: &Graph) -> bool {
+    if g.num_vertices() == 0 {
+        return true;
+    }
+    let mut order = lex_bfs(g, 0);
+    order.reverse(); // reverse Lex-BFS order is a PEO iff chordal
+    is_perfect_elimination_order(g, &order)
+}
+
+/// Exact clique number of a **chordal** graph via any PEO: the max over `v`
+/// of `1 + #(later neighbors)` along the PEO. Returns `None` when the graph
+/// is not chordal.
+pub fn chordal_clique_number(g: &Graph) -> Option<usize> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Some(0);
+    }
+    let mut order = lex_bfs(g, 0);
+    order.reverse();
+    if !is_perfect_elimination_order(g, &order) {
+        return None;
+    }
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+    let mut best = 1usize;
+    for (i, &v) in order.iter().enumerate() {
+        let later = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&w| pos[w as usize] > i)
+            .count();
+        best = best.max(1 + later);
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::power::max_clique_bruteforce;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lexbfs_visits_everything_once() {
+        let g = generators::random_connected(50, 120, &mut StdRng::seed_from_u64(1));
+        let order = lex_bfs(&g, 7);
+        assert_eq!(order.len(), 50);
+        assert_eq!(order[0], 7);
+        let mut seen = [false; 50];
+        for &v in &order {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn lexbfs_handles_disconnected() {
+        let g = crate::graph::Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let order = lex_bfs(&g, 0);
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn trees_and_complete_graphs_are_chordal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [2usize, 5, 20, 100] {
+            assert!(
+                is_chordal(&generators::random_tree(n, &mut rng)),
+                "tree n={n}"
+            );
+        }
+        assert!(is_chordal(&generators::complete(6)));
+        assert!(is_chordal(&generators::path(10)));
+        assert!(is_chordal(&generators::star(10)));
+    }
+
+    #[test]
+    fn long_cycles_are_not_chordal() {
+        for n in 4..10 {
+            assert!(!is_chordal(&generators::cycle(n)), "C{n} misclassified");
+        }
+        assert!(is_chordal(&generators::cycle(3)));
+    }
+
+    #[test]
+    fn mcs_order_is_permutation_and_peo_on_chordal() {
+        let g = generators::kary_tree(25, 3);
+        let mut order = mcs(&g, 0);
+        assert_eq!(order.len(), 25);
+        order.reverse();
+        assert!(is_perfect_elimination_order(&g, &order));
+    }
+
+    #[test]
+    fn peo_rejects_non_permutations() {
+        let g = generators::path(3);
+        assert!(!is_perfect_elimination_order(&g, &[0, 0, 1]));
+        assert!(!is_perfect_elimination_order(&g, &[0, 1]));
+    }
+
+    #[test]
+    fn chordal_clique_number_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(33);
+        // Random trees: clique number 2 (n >= 2).
+        for n in [2usize, 8, 30] {
+            let t = generators::random_tree(n, &mut rng);
+            assert_eq!(chordal_clique_number(&t), Some(2));
+        }
+        assert_eq!(chordal_clique_number(&generators::complete(7)), Some(7));
+        assert_eq!(chordal_clique_number(&generators::cycle(5)), None);
+        // Chordal-by-construction small graphs (powers of paths are chordal —
+        // in fact interval): verify against brute force.
+        for n in 2..12usize {
+            for t in 1..4u32 {
+                let g = crate::power::augmented_graph(&generators::path(n), t);
+                let expect = max_clique_bruteforce(&g);
+                assert_eq!(chordal_clique_number(&g), Some(expect), "P{n}^{t}");
+            }
+        }
+    }
+}

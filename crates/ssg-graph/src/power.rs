@@ -1,0 +1,162 @@
+//! Graph powers: the augmented graph `A_{G,t}` of the paper (§2).
+//!
+//! `A_{G,t}` has the same vertex set as `G` and an edge `uv` iff
+//! `d_G(u, v) <= t`. The `L(1,...,1)`-coloring problem on `G` is exactly the
+//! ordinary vertex-coloring problem on `A_{G,t}`, and `ω(A_{G,t}) - 1` lower
+//! bounds the optimal span `λ*_{G,t}` (paper, §2).
+
+use crate::graph::{Graph, Vertex};
+use crate::traversal::{bfs_distances_bounded_into, UNREACHABLE};
+use std::collections::VecDeque;
+
+/// Builds the augmented graph `A_{G,t}` by running a truncated BFS from every
+/// vertex. `O(n * |ball_t|)` time; quadratic in the worst case, which is
+/// inherent since `A_{G,t}` can itself be dense.
+///
+/// ```
+/// use ssg_graph::{augmented_graph, generators};
+/// let p5 = generators::path(5);
+/// let square = augmented_graph(&p5, 2);
+/// assert!(square.has_edge(0, 2));
+/// assert!(!square.has_edge(0, 3));
+/// ```
+pub fn augmented_graph(g: &Graph, t: u32) -> Graph {
+    assert!(t >= 1, "augmented graph requires t >= 1");
+    let n = g.num_vertices();
+    let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    for v in 0..n as Vertex {
+        bfs_distances_bounded_into(g, v, t, &mut dist, &mut queue);
+        let list = &mut adj[v as usize];
+        for (w, &d) in dist.iter().enumerate() {
+            if d != UNREACHABLE && d > 0 {
+                list.push(w as Vertex);
+            }
+        }
+        // dist rows are produced in vertex order, so each list is sorted.
+    }
+    Graph::from_sorted_adjacency(adj)
+}
+
+/// Size of the largest clique in `A_{G,t}` **assuming it is computed by the
+/// caller-provided exact method**; here: a simple exact branch-and-bound,
+/// intended for small graphs (tests / oracles). For interval graphs use
+/// `ssg-intervals`' sweep instead, and for trees the `F_t` neighborhoods.
+pub fn max_clique_bruteforce(g: &Graph) -> usize {
+    let n = g.num_vertices();
+    assert!(n <= 64, "brute-force clique limited to 64 vertices");
+    if n == 0 {
+        return 0;
+    }
+    // Bitset adjacency.
+    let mut adj = vec![0u64; n];
+    for u in g.vertices() {
+        for &v in g.neighbors(u) {
+            adj[u as usize] |= 1u64 << v;
+        }
+    }
+    let mut best = 0usize;
+    // Branch and bound over candidates in increasing vertex order; the
+    // `size + |cand| <= best` cut keeps this fast for the small graphs it is
+    // meant for.
+    fn expand(adj: &[u64], cand: u64, size: usize, best: &mut usize) {
+        if size > *best {
+            *best = size;
+        }
+        if size + cand.count_ones() as usize <= *best {
+            return;
+        }
+        let mut c = cand;
+        while c != 0 {
+            let v = c.trailing_zeros() as usize;
+            c &= c - 1;
+            // Only extend with vertices > v (c after clearing) to avoid
+            // revisiting the same clique in different orders.
+            expand(adj, c & adj[v], size + 1, best);
+            if size + 1 + c.count_ones() as usize <= *best {
+                return;
+            }
+        }
+    }
+    let full = if n == 64 { !0u64 } else { (1u64 << n) - 1 };
+    expand(&adj, full, 0, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn square_of_path() {
+        let g = path(5);
+        let g2 = augmented_graph(&g, 2);
+        // In P5^2: 0-1,0-2,1-2,1-3,2-3,2-4,3-4
+        assert_eq!(g2.num_edges(), 7);
+        assert!(g2.has_edge(0, 2));
+        assert!(!g2.has_edge(0, 3));
+    }
+
+    #[test]
+    fn power_at_least_diameter_is_complete() {
+        let g = path(4);
+        let gc = augmented_graph(&g, 3);
+        assert_eq!(gc.num_edges(), 6); // K4
+        let gc = augmented_graph(&g, 10);
+        assert_eq!(gc.num_edges(), 6);
+    }
+
+    #[test]
+    fn t1_power_is_identity() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 2)]).unwrap();
+        let g1 = augmented_graph(&g, 1);
+        assert_eq!(g1, g);
+    }
+
+    #[test]
+    fn power_respects_components() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let g5 = augmented_graph(&g, 5);
+        assert!(!g5.has_edge(1, 2));
+        assert_eq!(g5.num_edges(), 2);
+    }
+
+    #[test]
+    fn bruteforce_clique_small_cases() {
+        assert_eq!(
+            max_clique_bruteforce(&Graph::from_edges(0, &[]).unwrap()),
+            0
+        );
+        assert_eq!(
+            max_clique_bruteforce(&Graph::from_edges(3, &[]).unwrap()),
+            1
+        );
+        assert_eq!(max_clique_bruteforce(&path(4)), 2);
+        let k4 = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(max_clique_bruteforce(&k4), 4);
+        // K4 minus an edge
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)]).unwrap();
+        assert_eq!(max_clique_bruteforce(&g), 3);
+    }
+
+    #[test]
+    fn clique_of_path_power() {
+        // P_n^t has clique number min(n, t+1).
+        for n in 2..9usize {
+            for t in 1..6u32 {
+                let g = augmented_graph(&path(n), t);
+                assert_eq!(
+                    max_clique_bruteforce(&g),
+                    n.min(t as usize + 1),
+                    "n={n} t={t}"
+                );
+            }
+        }
+    }
+}

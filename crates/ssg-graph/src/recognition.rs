@@ -1,0 +1,279 @@
+//! Graph-class recognition: trees/forests, umbrella (straight) orderings and
+//! proper-interval recognition via Corneil's 3-sweep Lex-BFS.
+//!
+//! The paper's algorithms each require a certified input class (tree,
+//! interval graph with representation, unit interval graph). These routines
+//! let a caller holding a bare [`Graph`] discover the class and obtain the
+//! certificate the fast algorithms need (a BFS tree, an umbrella order) —
+//! the glue that makes the library usable on graphs of unknown provenance.
+
+use crate::graph::{Graph, Vertex};
+use crate::ordering::lex_bfs;
+use crate::traversal::is_connected;
+
+/// Whether `g` is a tree (connected and `m = n - 1`).
+pub fn is_tree(g: &Graph) -> bool {
+    g.num_vertices() >= 1 && g.num_edges() == g.num_vertices() - 1 && is_connected(g)
+}
+
+/// Whether `g` is a forest (acyclic): every component has `m = n - 1`.
+pub fn is_forest(g: &Graph) -> bool {
+    // A graph is acyclic iff m = n - c (c = number of components).
+    let (_, c) = crate::traversal::connected_components(g);
+    g.num_edges() + c == g.num_vertices()
+}
+
+/// Lex-BFS where ties inside the lexicographically-best cell are broken by
+/// **largest `priority`** (the `LBFS+` sweep of multi-sweep recognition
+/// algorithms, with `priority[v]` = position of `v` in the previous sweep).
+///
+/// Same partition-refinement skeleton as [`lex_bfs`]; the head-cell scan
+/// makes this `O(n * max_cell + m)` — fine for recognition duty.
+pub fn lex_bfs_plus(g: &Graph, priority: &[u32]) -> Vec<Vertex> {
+    let n = g.num_vertices();
+    assert_eq!(priority.len(), n);
+    if n == 0 {
+        return Vec::new();
+    }
+    #[derive(Clone)]
+    struct Cell {
+        verts: Vec<Vertex>,
+        prev: usize,
+        next: usize,
+    }
+    const NIL: usize = usize::MAX;
+    let mut cells: Vec<Cell> = vec![Cell {
+        verts: (0..n as Vertex).collect(),
+        prev: NIL,
+        next: NIL,
+    }];
+    let mut head = 0usize;
+    let mut cell_of = vec![0usize; n];
+    let mut pos_of: Vec<usize> = (0..n).collect();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        while head != NIL && cells[head].verts.is_empty() {
+            head = cells[head].next;
+            if head != NIL {
+                cells[head].prev = NIL;
+            }
+        }
+        let h = head;
+        debug_assert!(h != NIL);
+        // Pick the max-priority vertex of the head cell.
+        let (best_idx, _) = cells[h]
+            .verts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| priority[v as usize])
+            .expect("head cell non-empty");
+        let last = cells[h].verts.len() - 1;
+        cells[h].verts.swap(best_idx, last);
+        pos_of[cells[h].verts[best_idx] as usize] = best_idx;
+        let v = cells[h].verts.pop().expect("non-empty");
+        visited[v as usize] = true;
+        order.push(v);
+        let mut split_of: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for &w in g.neighbors(v) {
+            if visited[w as usize] {
+                continue;
+            }
+            let c = cell_of[w as usize];
+            let target = *split_of.entry(c).or_insert_with(|| {
+                let idx = cells.len();
+                let prev = cells[c].prev;
+                cells.push(Cell {
+                    verts: Vec::new(),
+                    prev,
+                    next: c,
+                });
+                if prev == NIL {
+                    head = idx;
+                } else {
+                    cells[prev].next = idx;
+                }
+                cells[c].prev = idx;
+                idx
+            });
+            let p = pos_of[w as usize];
+            let lastc = cells[c].verts.len() - 1;
+            cells[c].verts.swap(p, lastc);
+            let moved = cells[c].verts[p];
+            pos_of[moved as usize] = p;
+            cells[c].verts.pop();
+            pos_of[w as usize] = cells[target].verts.len();
+            cell_of[w as usize] = target;
+            cells[target].verts.push(w);
+        }
+    }
+    order
+}
+
+/// Whether `order` is an **umbrella (straight) ordering**: for positions
+/// `u < v < w`, `uw ∈ E` implies `uv ∈ E` and `vw ∈ E`. Equivalently, every
+/// closed neighborhood occupies a consecutive block of positions. `O(n+m)`.
+pub fn is_umbrella_order(g: &Graph, order: &[Vertex]) -> bool {
+    let n = g.num_vertices();
+    if order.len() != n {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        if pos[v as usize] != usize::MAX {
+            return false;
+        }
+        pos[v as usize] = i;
+    }
+    for v in 0..n as Vertex {
+        let p = pos[v as usize];
+        let mut lo = p;
+        let mut hi = p;
+        for &w in g.neighbors(v) {
+            lo = lo.min(pos[w as usize]);
+            hi = hi.max(pos[w as usize]);
+        }
+        if hi - lo != g.degree(v) {
+            return false; // N[v] not consecutive
+        }
+    }
+    true
+}
+
+/// Proper-interval (= unit-interval) recognition by Corneil's 3-sweep
+/// Lex-BFS: `σ1 = LBFS`, `σ2 = LBFS+(σ1)`, `σ3 = LBFS+(σ2)`; the graph is
+/// proper interval iff `σ3` is an umbrella ordering. Returns that ordering
+/// as the certificate, or `None`.
+///
+/// ```
+/// use ssg_graph::{generators, recognition};
+/// assert!(recognition::proper_interval_order(&generators::path(6)).is_some());
+/// assert!(recognition::proper_interval_order(&generators::star(4)).is_none()); // the claw
+/// ```
+pub fn proper_interval_order(g: &Graph) -> Option<Vec<Vertex>> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let sigma1 = lex_bfs(g, 0);
+    let prio = positions(&sigma1, n);
+    let sigma2 = lex_bfs_plus(g, &prio);
+    let prio = positions(&sigma2, n);
+    let sigma3 = lex_bfs_plus(g, &prio);
+    if is_umbrella_order(g, &sigma3) {
+        Some(sigma3)
+    } else {
+        None
+    }
+}
+
+fn positions(order: &[Vertex], n: usize) -> Vec<u32> {
+    let mut pos = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i as u32;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tree_and_forest_checks() {
+        let mut rng = StdRng::seed_from_u64(40);
+        assert!(is_tree(&generators::random_tree(30, &mut rng)));
+        assert!(!is_tree(&generators::cycle(5)));
+        let forest = Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!is_tree(&forest));
+        assert!(is_forest(&forest));
+        assert!(!is_forest(&generators::cycle(4)));
+        assert!(is_forest(&Graph::from_edges(3, &[]).unwrap()));
+    }
+
+    #[test]
+    fn umbrella_order_checks() {
+        // P4 in path order is umbrella; shuffled is not.
+        let g = generators::path(4);
+        assert!(is_umbrella_order(&g, &[0, 1, 2, 3]));
+        assert!(is_umbrella_order(&g, &[3, 2, 1, 0]));
+        assert!(!is_umbrella_order(&g, &[0, 2, 1, 3]));
+        assert!(!is_umbrella_order(&g, &[0, 1, 2]));
+        assert!(!is_umbrella_order(&g, &[0, 0, 1, 2]));
+    }
+
+    #[test]
+    fn recognizes_unit_interval_graphs() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..20 {
+            let rep = ssg_intervals_stub::random_unit_graph(25, &mut rng);
+            let order = proper_interval_order(&rep).expect("unit interval graph");
+            assert!(is_umbrella_order(&rep, &order));
+        }
+        assert!(proper_interval_order(&generators::complete(6)).is_some());
+        assert!(proper_interval_order(&generators::path(9)).is_some());
+        // Single vertices / empty.
+        assert!(proper_interval_order(&Graph::from_edges(1, &[]).unwrap()).is_some());
+        assert_eq!(
+            proper_interval_order(&Graph::from_edges(0, &[]).unwrap()),
+            Some(vec![])
+        );
+    }
+
+    /// Local stand-in generator: ssg-graph cannot depend on ssg-intervals
+    /// (it is the other way around), so build unit interval graphs directly
+    /// from sorted centers.
+    mod ssg_intervals_stub {
+        use super::super::Graph;
+        use rand::Rng;
+
+        pub fn random_unit_graph<R: Rng>(n: usize, rng: &mut R) -> Graph {
+            let mut centers: Vec<f64> =
+                (0..n).map(|_| rng.gen_range(0.0..n as f64 / 3.0)).collect();
+            centers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if (centers[j] - centers[i]).abs() <= 1.0 {
+                        edges.push((i as u32, j as u32));
+                    }
+                }
+            }
+            Graph::from_edges(n, &edges).unwrap()
+        }
+    }
+
+    #[test]
+    fn rejects_non_proper_interval_graphs() {
+        // The claw K_{1,3} is interval but NOT proper interval.
+        assert_eq!(proper_interval_order(&generators::star(4)), None);
+        // C_4 and larger cycles are not interval at all.
+        for n in 4..8 {
+            assert_eq!(proper_interval_order(&generators::cycle(n)), None, "C{n}");
+        }
+        // Disconnected union of proper interval graphs is proper interval.
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3), (3, 4)]).unwrap();
+        assert!(proper_interval_order(&g).is_some());
+    }
+
+    #[test]
+    fn lbfs_plus_is_a_permutation_breaking_ties_by_priority() {
+        let g = generators::complete(5);
+        // On K_5 every cell tie is broken by priority: expect descending.
+        let prio = vec![10, 30, 20, 50, 40];
+        let order = lex_bfs_plus(&g, &prio);
+        assert_eq!(order, vec![3, 4, 1, 2, 0]);
+        // Still a permutation on arbitrary graphs.
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = generators::random_connected(30, 60, &mut rng);
+        let prio: Vec<u32> = (0..30).rev().collect();
+        let order = lex_bfs_plus(&g, &prio);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..30).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,229 @@
+//! Breadth-first traversal, truncated BFS, connectivity and eccentricity.
+
+use crate::graph::{Graph, Vertex};
+use std::collections::VecDeque;
+
+/// Distance value returned by BFS routines; `UNREACHABLE` marks vertices not
+/// reached (different component, or beyond the truncation radius).
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances from `src`. `O(n + m)`.
+pub fn bfs_distances(g: &Graph, src: Vertex) -> Vec<u32> {
+    bfs_distances_bounded(g, src, u32::MAX)
+}
+
+/// Single-source BFS distances truncated at `radius`: vertices farther than
+/// `radius` report [`UNREACHABLE`]. Visits only the ball of radius `radius`.
+pub fn bfs_distances_bounded(g: &Graph, src: Vertex, radius: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_vertices()];
+    bfs_distances_bounded_into(g, src, radius, &mut dist, &mut VecDeque::new());
+    dist
+}
+
+/// Workhorse variant of [`bfs_distances_bounded`] that reuses caller-provided
+/// buffers. `dist` must have length `n` and is fully reset by this call.
+pub fn bfs_distances_bounded_into(
+    g: &Graph,
+    src: Vertex,
+    radius: u32,
+    dist: &mut [u32],
+    queue: &mut VecDeque<Vertex>,
+) {
+    assert_eq!(dist.len(), g.num_vertices());
+    dist.fill(UNREACHABLE);
+    queue.clear();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        if dv >= radius {
+            continue;
+        }
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+}
+
+/// The vertices within distance `radius` of `src`, excluding `src` itself,
+/// paired with their distances. Ordered by nondecreasing distance.
+pub fn ball(g: &Graph, src: Vertex, radius: u32) -> Vec<(Vertex, u32)> {
+    let dist = bfs_distances_bounded(g, src, radius);
+    let mut out: Vec<(Vertex, u32)> = dist
+        .iter()
+        .enumerate()
+        .filter(|&(v, &d)| d != UNREACHABLE && v as Vertex != src)
+        .map(|(v, &d)| (v as Vertex, d))
+        .collect();
+    out.sort_by_key(|&(v, d)| (d, v));
+    out
+}
+
+/// Exact distance between two vertices ([`UNREACHABLE`] if disconnected).
+pub fn distance(g: &Graph, u: Vertex, v: Vertex) -> u32 {
+    if u == v {
+        return 0;
+    }
+    bfs_distances(g, u)[v as usize]
+}
+
+/// Connected components; returns `(component id per vertex, component count)`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n as Vertex {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = next;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Whether the graph is connected. The empty graph counts as connected.
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_vertices() == 0 || connected_components(g).1 == 1
+}
+
+/// Vertex lists of each connected component, in vertex order.
+pub fn component_vertex_lists(g: &Graph) -> Vec<Vec<Vertex>> {
+    let (comp, k) = connected_components(g);
+    let mut lists: Vec<Vec<Vertex>> = vec![Vec::new(); k];
+    for (v, &c) in comp.iter().enumerate() {
+        lists[c as usize].push(v as Vertex);
+    }
+    lists
+}
+
+/// Eccentricity of `src` within its component (max BFS distance).
+pub fn eccentricity(g: &Graph, src: Vertex) -> u32 {
+    bfs_distances(g, src)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact diameter (max eccentricity over the graph); `O(n(n+m))`.
+/// Returns 0 for graphs with fewer than 2 vertices and [`UNREACHABLE`] for
+/// disconnected graphs.
+pub fn diameter(g: &Graph) -> u32 {
+    if g.num_vertices() < 2 {
+        return 0;
+    }
+    if !is_connected(g) {
+        return UNREACHABLE;
+    }
+    g.vertices().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+/// All-pairs distances truncated at `radius`, as one row per source.
+/// `O(n * ball)` time, `O(n^2)` space — intended for verification on
+/// small/medium graphs, not for the algorithmic hot path.
+pub fn truncated_apsp(g: &Graph, radius: u32) -> Vec<Vec<u32>> {
+    let n = g.num_vertices();
+    let mut rows = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+    for v in 0..n as Vertex {
+        let mut row = vec![UNREACHABLE; n];
+        bfs_distances_bounded_into(g, v, radius, &mut row, &mut queue);
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bounded_bfs_truncates() {
+        let g = path(6);
+        let d = bfs_distances_bounded(&g, 0, 2);
+        assert_eq!(d, vec![0, 1, 2, UNREACHABLE, UNREACHABLE, UNREACHABLE]);
+    }
+
+    #[test]
+    fn ball_excludes_source_and_sorts() {
+        let g = path(5);
+        assert_eq!(ball(&g, 2, 1), vec![(1, 1), (3, 1)]);
+        assert_eq!(ball(&g, 0, 2), vec![(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn distance_pairs() {
+        let g = path(4);
+        assert_eq!(distance(&g, 0, 3), 3);
+        assert_eq!(distance(&g, 1, 1), 0);
+        let g2 = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(distance(&g2, 0, 3), UNREACHABLE);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&path(3)));
+        assert!(is_connected(&Graph::from_edges(0, &[]).unwrap()));
+        let lists = component_vertex_lists(&g);
+        assert_eq!(lists, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn diameter_and_eccentricity() {
+        let g = path(5);
+        assert_eq!(eccentricity(&g, 0), 4);
+        assert_eq!(eccentricity(&g, 2), 2);
+        assert_eq!(diameter(&g), 4);
+        let disc = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(diameter(&disc), UNREACHABLE);
+        assert_eq!(diameter(&Graph::from_edges(1, &[]).unwrap()), 0);
+    }
+
+    #[test]
+    fn truncated_apsp_matches_point_queries() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)])
+            .unwrap();
+        let rows = truncated_apsp(&g, 2);
+        for u in 0..6u32 {
+            let full = bfs_distances(&g, u);
+            for v in 0..6usize {
+                let expect = if full[v] <= 2 { full[v] } else { UNREACHABLE };
+                assert_eq!(rows[u as usize][v], expect, "u={u} v={v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the graph substrate: the CSR construction, traversal
+//! and power operations must agree with naive reference implementations on
+//! arbitrary inputs.
+
+#![allow(clippy::needless_range_loop)] // index-symmetric matrix checks read clearer with explicit indices
+
+use proptest::prelude::*;
+use ssg_graph::traversal::{bfs_distances, connected_components, truncated_apsp, UNREACHABLE};
+use ssg_graph::{augmented_graph, Graph};
+
+/// Arbitrary edge list over up to 16 vertices (dense enough to exercise
+/// duplicate merging, sparse enough to brute-force).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..16).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32), 0..40).prop_map(move |mut edges| {
+            edges.retain(|&(u, v)| u != v);
+            Graph::from_edges(n, &edges).expect("filtered edges are valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csr_matches_adjacency_matrix(g in arb_graph()) {
+        let n = g.num_vertices();
+        // Rebuild a matrix from the CSR and check symmetry + no loops.
+        let mut mat = vec![vec![false; n]; n];
+        for u in 0..n as u32 {
+            for &v in g.neighbors(u) {
+                mat[u as usize][v as usize] = true;
+            }
+        }
+        for u in 0..n {
+            prop_assert!(!mat[u][u], "no self loops");
+            for v in 0..n {
+                prop_assert_eq!(mat[u][v], mat[v][u], "symmetric");
+                prop_assert_eq!(mat[u][v], g.has_edge(u as u32, v as u32));
+            }
+        }
+        let m = (0..n).map(|u| g.degree(u as u32)).sum::<usize>() / 2;
+        prop_assert_eq!(m, g.num_edges());
+    }
+
+    #[test]
+    fn bfs_matches_floyd_warshall(g in arb_graph()) {
+        let n = g.num_vertices();
+        // Floyd–Warshall reference.
+        let inf = u32::MAX / 4;
+        let mut d = vec![vec![inf; n]; n];
+        for v in 0..n {
+            d[v][v] = 0;
+        }
+        for (u, v) in g.edges() {
+            d[u as usize][v as usize] = 1;
+            d[v as usize][u as usize] = 1;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let via = d[i][k].saturating_add(d[k][j]);
+                    if via < d[i][j] {
+                        d[i][j] = via;
+                    }
+                }
+            }
+        }
+        for src in 0..n as u32 {
+            let bfs = bfs_distances(&g, src);
+            for v in 0..n {
+                let expect = if d[src as usize][v] >= inf { UNREACHABLE } else { d[src as usize][v] };
+                prop_assert_eq!(bfs[v], expect, "src={} v={}", src, v);
+            }
+        }
+    }
+
+    #[test]
+    fn augmented_graph_is_distance_thresholding(g in arb_graph(), t in 1u32..5) {
+        let a = augmented_graph(&g, t);
+        let dist = truncated_apsp(&g, t);
+        for u in 0..g.num_vertices() as u32 {
+            for v in 0..g.num_vertices() as u32 {
+                if u == v { continue; }
+                let within = dist[u as usize][v as usize] != UNREACHABLE;
+                prop_assert_eq!(a.has_edge(u, v), within, "u={} v={} t={}", u, v, t);
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_and_respect_edges(g in arb_graph()) {
+        let (comp, k) = connected_components(&g);
+        prop_assert!(k >= 1);
+        prop_assert!(comp.iter().all(|&c| (c as usize) < k));
+        for (u, v) in g.edges() {
+            prop_assert_eq!(comp[u as usize], comp[v as usize]);
+        }
+    }
+
+    #[test]
+    fn lexbfs_is_permutation_starting_anywhere(g in arb_graph(), s in 0u32..16) {
+        let n = g.num_vertices() as u32;
+        let start = s % n;
+        let order = ssg_graph::ordering::lex_bfs(&g, start);
+        prop_assert_eq!(order.len(), n as usize);
+        prop_assert_eq!(order[0], start);
+        let mut seen = vec![false; n as usize];
+        for &v in &order {
+            prop_assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn chordal_clique_number_is_sound(g in arb_graph()) {
+        if let Some(omega) = ssg_graph::ordering::chordal_clique_number(&g) {
+            let brute = ssg_graph::power::max_clique_bruteforce(&g);
+            prop_assert_eq!(omega, brute);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_adjacency(g in arb_graph(), keep_mask in prop::collection::vec(any::<bool>(), 16)) {
+        let keep: Vec<u32> = (0..g.num_vertices() as u32)
+            .filter(|&v| keep_mask[v as usize])
+            .collect();
+        let (h, names) = g.induced_subgraph(&keep);
+        prop_assert_eq!(h.num_vertices(), keep.len());
+        for a in 0..h.num_vertices() as u32 {
+            for b in 0..h.num_vertices() as u32 {
+                prop_assert_eq!(
+                    h.has_edge(a, b),
+                    g.has_edge(names[a as usize], names[b as usize])
+                );
+            }
+        }
+    }
+}

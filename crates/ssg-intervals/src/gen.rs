@@ -1,0 +1,176 @@
+//! Random interval-model generators for tests and benchmark workloads.
+//!
+//! All generators are deterministic in the provided RNG, so experiment rows
+//! are reproducible from a seed.
+
+use crate::rep::IntervalRepresentation;
+use crate::unit::UnitIntervalRepresentation;
+use rand::Rng;
+
+/// Random interval representation: `n` intervals with left endpoints uniform
+/// in `[0, spread)` and lengths uniform in `[min_len, max_len)`. Density is
+/// controlled by `spread` relative to `n * mean length`.
+pub fn random_intervals<R: Rng>(
+    n: usize,
+    spread: f64,
+    min_len: f64,
+    max_len: f64,
+    rng: &mut R,
+) -> IntervalRepresentation {
+    assert!(min_len > 0.0 && max_len >= min_len && spread > 0.0);
+    let intervals: Vec<(f64, f64)> = (0..n)
+        .map(|_| {
+            let l = rng.gen_range(0.0..spread);
+            let len = rng.gen_range(min_len..=max_len);
+            (l, l + len)
+        })
+        .collect();
+    IntervalRepresentation::from_floats(&intervals).expect("generated intervals are valid")
+}
+
+/// Random **connected** interval representation: intervals are laid left to
+/// right with each new left endpoint placed inside the union of what is
+/// already open, guaranteeing one component. `overlap` in `(0, 1]` controls
+/// how far into the previous interval the next one starts (1 = nested start,
+/// near 0 = barely touching chains).
+pub fn random_connected_intervals<R: Rng>(
+    n: usize,
+    overlap: f64,
+    min_len: f64,
+    max_len: f64,
+    rng: &mut R,
+) -> IntervalRepresentation {
+    assert!(n >= 1);
+    assert!(overlap > 0.0 && overlap <= 1.0);
+    assert!(min_len > 0.0 && max_len >= min_len);
+    let mut intervals: Vec<(f64, f64)> = Vec::with_capacity(n);
+    let mut frontier_l = 0.0f64;
+    let mut frontier_r = rng.gen_range(min_len..=max_len);
+    intervals.push((frontier_l, frontier_r));
+    for _ in 1..n {
+        // New left endpoint strictly inside the current frontier interval.
+        let span = (frontier_r - frontier_l) * overlap;
+        let l = rng.gen_range((frontier_r - span).max(frontier_l)..frontier_r);
+        let len = rng.gen_range(min_len..=max_len);
+        let r = l + len;
+        intervals.push((l, r));
+        frontier_l = l;
+        frontier_r = frontier_r.max(r);
+    }
+    let rep =
+        IntervalRepresentation::from_floats(&intervals).expect("generated intervals are valid");
+    debug_assert!(rep.is_connected());
+    rep
+}
+
+/// Random unit interval representation: `n` unit intervals with centers drawn
+/// uniformly in `[0, spread)`.
+pub fn random_unit_intervals<R: Rng>(
+    n: usize,
+    spread: f64,
+    rng: &mut R,
+) -> UnitIntervalRepresentation {
+    assert!(spread > 0.0);
+    let centers: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..spread)).collect();
+    UnitIntervalRepresentation::from_centers(&centers).expect("unit centers are proper")
+}
+
+/// Random **connected** unit interval representation: consecutive centers
+/// advance by gaps uniform in `(0, max_gap]` with `max_gap < 1`, so each
+/// center is adjacent to its successor.
+pub fn random_connected_unit_intervals<R: Rng>(
+    n: usize,
+    max_gap: f64,
+    rng: &mut R,
+) -> UnitIntervalRepresentation {
+    assert!(n >= 1);
+    assert!(max_gap > 0.0 && max_gap < 1.0);
+    let mut centers = Vec::with_capacity(n);
+    let mut c = 0.0f64;
+    centers.push(c);
+    for _ in 1..n {
+        c += rng.gen_range(f64::EPSILON..=max_gap);
+        centers.push(c);
+    }
+    let u = UnitIntervalRepresentation::from_centers(&centers).expect("centers are proper");
+    debug_assert!(u.is_connected());
+    u
+}
+
+/// A "corridor" workload with controlled clique number: `n` unit intervals
+/// whose centers advance by `1 / k` each step, giving clique number exactly
+/// `min(n, k + 1)` (each interval overlaps its `k` predecessors). Jitter
+/// `< 1/(2k)` keeps endpoints distinct without changing adjacency.
+pub fn corridor_unit_intervals<R: Rng>(
+    n: usize,
+    k: usize,
+    rng: &mut R,
+) -> UnitIntervalRepresentation {
+    assert!(n >= 1 && k >= 1);
+    // step chosen so that k*step + 2*jitter < 1 (distance-k pairs overlap)
+    // and (k+1)*step - 2*jitter > 1 (distance-(k+1) pairs do not).
+    let step = 1.0 / (k as f64 + 0.25);
+    let jitter = step / 16.0;
+    let centers: Vec<f64> = (0..n)
+        .map(|i| i as f64 * step + rng.gen_range(-jitter..jitter))
+        .collect();
+    UnitIntervalRepresentation::from_centers(&centers).expect("corridor centers are proper")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_intervals_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rep = random_intervals(100, 50.0, 1.0, 5.0, &mut rng);
+        assert_eq!(rep.len(), 100);
+        let g = rep.to_graph();
+        assert_eq!(g.num_vertices(), 100);
+    }
+
+    #[test]
+    fn connected_generator_is_connected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [1usize, 2, 10, 200] {
+            for &ov in &[0.1f64, 0.5, 1.0] {
+                let rep = random_connected_intervals(n, ov, 1.0, 4.0, &mut rng);
+                assert!(rep.is_connected(), "n={n} overlap={ov}");
+                assert_eq!(rep.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn connected_unit_generator_is_connected_and_proper() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1usize, 2, 50, 500] {
+            let u = random_connected_unit_intervals(n, 0.7, &mut rng);
+            assert!(u.is_connected(), "n={n}");
+            assert_eq!(u.len(), n);
+        }
+    }
+
+    #[test]
+    fn corridor_clique_number_is_k_plus_1() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for &k in &[1usize, 2, 3, 7] {
+            let u = corridor_unit_intervals(60, k, &mut rng);
+            assert_eq!(u.max_clique(), k + 1, "k={k}");
+            assert!(u.is_connected());
+        }
+        // n smaller than k+1 caps the clique.
+        let u = corridor_unit_intervals(3, 10, &mut rng);
+        assert_eq!(u.max_clique(), 3);
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = random_intervals(50, 20.0, 1.0, 3.0, &mut StdRng::seed_from_u64(9));
+        let b = random_intervals(50, 20.0, 1.0, 3.0, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

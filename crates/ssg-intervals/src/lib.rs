@@ -1,0 +1,20 @@
+//! # ssg-intervals
+//!
+//! Interval and unit-interval graph models for the strongly-simplicial
+//! channel-assignment library (paper §3): normalized interval
+//! representations with distinct endpoint ranks `1..=2n` and vertices ordered
+//! by increasing left endpoint — exactly the precondition of the paper's
+//! `Interval-L(1,...,1)-coloring` algorithm — plus sweep primitives (exact
+//! max clique, connectivity, component splitting), the proper/unit subclass
+//! of §3.3, and random generators for benchmark workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod recognize;
+pub mod rep;
+pub mod unit;
+
+pub use rep::{Endpoint, IntervalError, IntervalRepresentation};
+pub use unit::{UnitIntervalError, UnitIntervalRepresentation};

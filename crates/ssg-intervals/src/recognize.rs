@@ -1,0 +1,125 @@
+//! From bare graphs to certified interval models: builds a
+//! [`UnitIntervalRepresentation`] for any proper-interval graph, using the
+//! umbrella ordering produced by `ssg_graph::recognition`.
+
+use crate::rep::IntervalRepresentation;
+use crate::unit::UnitIntervalRepresentation;
+use ssg_graph::recognition::{is_umbrella_order, proper_interval_order};
+use ssg_graph::{Graph, Vertex};
+
+/// Builds a proper interval representation realizing `g` from an umbrella
+/// ordering of its vertices, or `None` when `order` is not an umbrella
+/// ordering for `g`.
+///
+/// Construction: with vertices at positions `p = 0..n` of the order, give
+/// position `p` the interval `[p, hi(p) + (p+1)/(n+2)]` where `hi(p)` is the
+/// largest position adjacent to `p`. For `q > p` the intervals intersect iff
+/// `q <= hi(p)`, which by the umbrella property is exactly adjacency; the
+/// umbrella property also makes `hi` nondecreasing, so no interval contains
+/// another (the representation is proper). The fractional part keeps all
+/// endpoints distinct.
+pub fn representation_from_umbrella(
+    g: &Graph,
+    order: &[Vertex],
+) -> Option<UnitIntervalRepresentation> {
+    if !is_umbrella_order(g, order) {
+        return None;
+    }
+    let n = g.num_vertices();
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+    let mut intervals = Vec::with_capacity(n);
+    for &v in order {
+        let p = pos[v as usize];
+        let hi = g
+            .neighbors(v)
+            .iter()
+            .map(|&w| pos[w as usize])
+            .max()
+            .unwrap_or(p)
+            .max(p);
+        let l = p as f64;
+        let r = hi as f64 + (p as f64 + 1.0) / (n as f64 + 2.0);
+        intervals.push((l, r));
+    }
+    let rep = IntervalRepresentation::from_floats(&intervals).ok()?;
+    let unit = UnitIntervalRepresentation::from_representation(rep).ok()?;
+    debug_assert!(realizes(g, order, &unit));
+    Some(unit)
+}
+
+/// Recognizes a proper interval graph and returns `(umbrella order,
+/// representation)`. The representation's vertex `i` corresponds to
+/// `order[i]` in `g`.
+pub fn recognize_unit_interval(g: &Graph) -> Option<(Vec<Vertex>, UnitIntervalRepresentation)> {
+    let order = proper_interval_order(g)?;
+    let rep = representation_from_umbrella(g, &order)?;
+    Some((order, rep))
+}
+
+/// Checks that `rep`'s intersection graph equals `g` under the mapping
+/// `rep vertex i -> order[i]`.
+fn realizes(g: &Graph, order: &[Vertex], rep: &UnitIntervalRepresentation) -> bool {
+    let h = rep.to_graph();
+    if h.num_vertices() != g.num_vertices() || h.num_edges() != g.num_edges() {
+        return false;
+    }
+    let edges: Vec<_> = h.edges().collect();
+    edges
+        .into_iter()
+        .all(|(a, b)| g.has_edge(order[a as usize], order[b as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssg_graph::generators;
+
+    #[test]
+    fn roundtrip_random_unit_graphs() {
+        let mut rng = StdRng::seed_from_u64(45);
+        for _ in 0..20 {
+            let src = crate::gen::random_unit_intervals(22, 8.0, &mut rng);
+            let g = src.to_graph();
+            let (order, rep) = recognize_unit_interval(&g).expect("recognizable");
+            // Mapped intersection graph must equal g.
+            let h = rep.to_graph();
+            assert_eq!(h.num_edges(), g.num_edges());
+            for (a, b) in h.edges() {
+                assert!(g.has_edge(order[a as usize], order[b as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn recognizes_named_families() {
+        assert!(recognize_unit_interval(&generators::path(10)).is_some());
+        assert!(recognize_unit_interval(&generators::complete(7)).is_some());
+        // Power of a path is proper interval.
+        let p2 = ssg_graph::augmented_graph(&generators::path(12), 3);
+        assert!(recognize_unit_interval(&p2).is_some());
+        // Claw and cycles are not.
+        assert!(recognize_unit_interval(&generators::star(4)).is_none());
+        assert!(recognize_unit_interval(&generators::cycle(6)).is_none());
+    }
+
+    #[test]
+    fn rejects_fake_umbrella_orders() {
+        let g = generators::path(4);
+        assert!(representation_from_umbrella(&g, &[0, 2, 1, 3]).is_none());
+        assert!(representation_from_umbrella(&g, &[0, 1, 2]).is_none());
+    }
+
+    #[test]
+    fn disconnected_and_trivial() {
+        let g = ssg_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let (_, rep) = recognize_unit_interval(&g).expect("union of edges is proper interval");
+        assert_eq!(rep.to_graph().num_edges(), 2);
+        let g1 = ssg_graph::Graph::from_edges(1, &[]).unwrap();
+        assert!(recognize_unit_interval(&g1).is_some());
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for interval representations against pairwise references.
+
+use proptest::prelude::*;
+use ssg_intervals::{IntervalRepresentation, UnitIntervalRepresentation};
+
+fn arb_intervals() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0f64..50.0, 0.05f64..10.0), 1..24)
+        .prop_map(|v| v.into_iter().map(|(l, len)| (l, l + len)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn graph_edges_iff_pairwise_intersection(intervals in arb_intervals()) {
+        let rep = IntervalRepresentation::from_floats(&intervals).unwrap();
+        let g = rep.to_graph();
+        for u in 0..rep.len() as u32 {
+            for v in (u + 1)..rep.len() as u32 {
+                prop_assert_eq!(g.has_edge(u, v), rep.intersects(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_input_intersections(intervals in arb_intervals()) {
+        let rep = IntervalRepresentation::from_floats(&intervals).unwrap();
+        // Compare against the closed-interval float semantics directly.
+        for u in 0..rep.len() as u32 {
+            for v in (u + 1)..rep.len() as u32 {
+                let (iu, iv) = (rep.original_index(u), rep.original_index(v));
+                let (al, ar) = intervals[iu];
+                let (bl, br) = intervals[iv];
+                let float_overlap = al <= br && bl <= ar;
+                prop_assert_eq!(rep.intersects(u, v), float_overlap,
+                    "u={} v={} a=({},{}) b=({},{})", u, v, al, ar, bl, br);
+            }
+        }
+    }
+
+    #[test]
+    fn max_clique_matches_point_stabbing(intervals in arb_intervals()) {
+        let rep = IntervalRepresentation::from_floats(&intervals).unwrap();
+        // Reference: max over endpoints of the number of stabbing intervals.
+        let mut best = 0usize;
+        for &(p, _) in &intervals {
+            let stab = intervals.iter().filter(|&&(l, r)| l <= p && p <= r).count();
+            best = best.max(stab);
+        }
+        prop_assert_eq!(rep.max_clique(), best);
+    }
+
+    #[test]
+    fn components_partition_vertices(intervals in arb_intervals()) {
+        let rep = IntervalRepresentation::from_floats(&intervals).unwrap();
+        let comps = rep.components();
+        let mut all: Vec<u32> = comps.iter().flat_map(|(_, vs)| vs.clone()).collect();
+        all.sort_unstable();
+        let expect: Vec<u32> = (0..rep.len() as u32).collect();
+        prop_assert_eq!(all, expect);
+        for (sub, _) in &comps {
+            prop_assert!(sub.is_connected());
+        }
+        prop_assert_eq!(comps.len() == 1, rep.is_connected() || rep.is_empty());
+    }
+
+    #[test]
+    fn unit_centers_always_proper(centers in prop::collection::vec(0.0f64..40.0, 1..24)) {
+        let u = UnitIntervalRepresentation::from_centers(&centers).unwrap();
+        prop_assert!(u.as_interval().is_proper());
+        prop_assert!(u.consecutive_cliques_hold());
+    }
+
+    #[test]
+    fn recognition_roundtrip(centers in prop::collection::vec(0.0f64..15.0, 1..18)) {
+        let src = UnitIntervalRepresentation::from_centers(&centers).unwrap();
+        let g = src.to_graph();
+        let (order, rep) = ssg_intervals::recognize::recognize_unit_interval(&g)
+            .expect("unit interval graphs must be recognized");
+        let h = rep.to_graph();
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        let edges: Vec<_> = h.edges().collect();
+        for (a, b) in edges {
+            prop_assert!(g.has_edge(order[a as usize], order[b as usize]));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Ablation variants of the Figure 1 sweep, isolating the palette data
+//! structure that Theorem 1's `O(nt)` argument depends on:
+//!
+//! * [`l1_coloring_btreeset`] — palettes as `BTreeSet<u32>` (`O(log n)` per
+//!   move, pop-min extraction). The natural "just use a sorted set" choice a
+//!   practitioner would reach for.
+//! * [`l1_coloring_scan`] — a single `free: Vec<bool>` with linear mex scans
+//!   (the textbook greedy). `O(n · span)` worst case.
+//!
+//! Both produce optimal spans (any extraction policy from `P_0` works);
+//! `bench_ablation` measures what the intrusive linked list of
+//! [`crate::palette::PaletteFamily`] actually buys.
+
+use crate::spec::Labeling;
+use ssg_intervals::{Endpoint, IntervalRepresentation};
+use std::collections::BTreeSet;
+
+/// Figure 1 with `BTreeSet` palettes and smallest-color extraction.
+/// Optimal span, `O(nt log n)`.
+pub fn l1_coloring_btreeset(rep: &IntervalRepresentation, t: u32) -> (Labeling, u32) {
+    assert!(t >= 1);
+    let n = rep.len();
+    if n == 0 {
+        return (Labeling::new(Vec::new()), 0);
+    }
+    let mut colors = vec![0u32; n];
+    let mut lambda = 0u32;
+    let mut components = rep.components();
+    if components.len() == 1 {
+        let (cc, cl) = run_btreeset(rep, t);
+        return (Labeling::new(cc), cl);
+    }
+    for (comp, verts) in components.drain(..) {
+        let (cc, cl) = run_btreeset(&comp, t);
+        lambda = lambda.max(cl);
+        for (i, &v) in verts.iter().enumerate() {
+            colors[v as usize] = cc[i];
+        }
+    }
+    (Labeling::new(colors), lambda)
+}
+
+fn run_btreeset(rep: &IntervalRepresentation, t: u32) -> (Vec<u32>, u32) {
+    let n = rep.len();
+    let mut palettes: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); t as usize + 1];
+    let mut level = vec![0u32; n + 1]; // level per color; colors < n+1
+    let mut dep: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut colors = vec![u32::MAX; n];
+    let mut lambda: i64 = -1;
+    let mut max_r = 0u32;
+    let mut deep = 0u32;
+    for &ev in rep.events() {
+        match ev {
+            Endpoint::Left(v) => {
+                if palettes[0].is_empty() {
+                    lambda += 1;
+                    palettes[0].insert(lambda as u32);
+                }
+                let c = *palettes[0].iter().next().expect("refilled");
+                palettes[0].remove(&c);
+                colors[v as usize] = c;
+                palettes[t as usize].insert(c);
+                level[c as usize] = t;
+                dep[v as usize].push(c);
+                if rep.right(v) > max_r {
+                    max_r = rep.right(v);
+                    deep = v;
+                }
+            }
+            Endpoint::Right(v) => {
+                let drained = std::mem::take(&mut dep[v as usize]);
+                for c in drained {
+                    let j = level[c as usize];
+                    debug_assert!(j >= 1);
+                    palettes[j as usize].remove(&c);
+                    palettes[j as usize - 1].insert(c);
+                    level[c as usize] = j - 1;
+                    if j > 1 && deep != v {
+                        dep[deep as usize].push(c);
+                    }
+                }
+            }
+        }
+    }
+    (colors, lambda.max(0) as u32)
+}
+
+/// Textbook greedy on the sweep: for each opening interval take the mex of
+/// the colors currently "blocked" (held by the same `L_v` bookkeeping), via
+/// a boolean scan. Optimal span, but `O(n · span + nt)`.
+pub fn l1_coloring_scan(rep: &IntervalRepresentation, t: u32) -> (Labeling, u32) {
+    assert!(t >= 1);
+    let n = rep.len();
+    if n == 0 {
+        return (Labeling::new(Vec::new()), 0);
+    }
+    let mut components = rep.components();
+    if components.len() == 1 {
+        let (cc, cl) = run_scan(rep, t);
+        return (Labeling::new(cc), cl);
+    }
+    let mut colors = vec![0u32; n];
+    let mut lambda = 0u32;
+    for (comp, verts) in components.drain(..) {
+        let (cc, cl) = run_scan(&comp, t);
+        lambda = lambda.max(cl);
+        for (i, &v) in verts.iter().enumerate() {
+            colors[v as usize] = cc[i];
+        }
+    }
+    (Labeling::new(colors), lambda)
+}
+
+fn run_scan(rep: &IntervalRepresentation, t: u32) -> (Vec<u32>, u32) {
+    let n = rep.len();
+    // busy[c] > 0 <=> color c sits in some P_j with j >= 1 (blocked).
+    let mut busy: Vec<bool> = Vec::new();
+    let mut level = vec![0u32; n + 1];
+    let mut dep: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut colors = vec![u32::MAX; n];
+    let mut lambda = 0u32;
+    let mut max_r = 0u32;
+    let mut deep = 0u32;
+    for &ev in rep.events() {
+        match ev {
+            Endpoint::Left(v) => {
+                let c = busy.iter().position(|&b| !b).unwrap_or_else(|| {
+                    busy.push(false);
+                    busy.len() - 1
+                }) as u32;
+                busy[c as usize] = true;
+                lambda = lambda.max(c);
+                colors[v as usize] = c;
+                level[c as usize] = t;
+                dep[v as usize].push(c);
+                if rep.right(v) > max_r {
+                    max_r = rep.right(v);
+                    deep = v;
+                }
+            }
+            Endpoint::Right(v) => {
+                let drained = std::mem::take(&mut dep[v as usize]);
+                for c in drained {
+                    let j = level[c as usize];
+                    level[c as usize] = j - 1;
+                    if j == 1 {
+                        busy[c as usize] = false;
+                    } else if deep != v {
+                        dep[deep as usize].push(c);
+                    }
+                }
+            }
+        }
+    }
+    (colors, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::l1_coloring;
+    use crate::spec::{verify_labeling, SeparationVector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssg_intervals::gen::random_intervals;
+
+    #[test]
+    fn all_variants_agree_on_span_and_are_legal() {
+        let mut rng = StdRng::seed_from_u64(120);
+        for round in 0..20 {
+            let rep = random_intervals(60, 25.0, 0.5, 4.0, &mut rng);
+            let g = rep.to_graph();
+            for t in 1..=4u32 {
+                let reference = l1_coloring(&rep, t);
+                let (bt_lab, bt_span) = l1_coloring_btreeset(&rep, t);
+                let (sc_lab, sc_span) = l1_coloring_scan(&rep, t);
+                assert_eq!(
+                    bt_span, reference.lambda_star,
+                    "btreeset round {round} t={t}"
+                );
+                assert_eq!(sc_span, reference.lambda_star, "scan round {round} t={t}");
+                let sep = SeparationVector::all_ones(t);
+                verify_labeling(&g, &sep, bt_lab.colors()).unwrap();
+                verify_labeling(&g, &sep, sc_lab.colors()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn btreeset_extracts_smallest_color_first() {
+        // With pop-min, the first interval always gets color 0 and a chain
+        // gets 0,1,0,1,... at t=1.
+        let rep =
+            IntervalRepresentation::from_floats(&[(0.0, 2.0), (1.0, 3.0), (2.5, 4.5), (4.0, 6.0)])
+                .unwrap();
+        let (lab, span) = l1_coloring_btreeset(&rep, 1);
+        assert_eq!(span, 1);
+        assert_eq!(lab.colors(), &[0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let rep = IntervalRepresentation::from_floats(&[]).unwrap();
+        assert_eq!(l1_coloring_btreeset(&rep, 2).1, 0);
+        assert_eq!(l1_coloring_scan(&rep, 2).1, 0);
+        let rep = IntervalRepresentation::from_floats(&[(0.0, 1.0)]).unwrap();
+        assert_eq!(l1_coloring_btreeset(&rep, 2).0.colors(), &[0]);
+        assert_eq!(l1_coloring_scan(&rep, 2).0.colors(), &[0]);
+    }
+}

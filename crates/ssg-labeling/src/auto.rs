@@ -1,0 +1,355 @@
+//! Class detection and automatic algorithm dispatch: the entry point for
+//! callers holding a bare [`Graph`] of unknown provenance.
+//!
+//! [`classify`] certifies the input as a tree, a proper interval graph, or a
+//! chordal graph (in that order of preference); [`auto_l1_coloring`] and
+//! [`auto_coloring`] then route to the strongest applicable algorithm from
+//! the paper and report exactly which guarantee the caller obtained.
+
+use crate::baseline::greedy_bfs_order;
+use crate::interval as interval_mod;
+use crate::spec::{Labeling, SeparationVector};
+use crate::tree as tree_mod;
+use crate::unit_interval;
+use ssg_graph::ordering::{is_perfect_elimination_order, lex_bfs};
+use ssg_graph::recognition::is_tree;
+use ssg_graph::{Graph, Vertex};
+use ssg_intervals::recognize::recognize_unit_interval;
+use ssg_tree::RootedTree;
+
+/// The graph class a bare input was certified as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphClass {
+    /// Connected and acyclic.
+    Tree,
+    /// Acyclic but disconnected.
+    Forest,
+    /// Proper (= unit) interval graph, certified by an umbrella ordering.
+    ProperInterval,
+    /// Chordal (certified by a perfect elimination order) but not one of
+    /// the above.
+    Chordal,
+    /// None of the recognized classes.
+    Unknown,
+}
+
+/// What guarantee the dispatched algorithm carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guarantee {
+    /// The span is provably minimal.
+    Optimal,
+    /// Within the stated factor of the optimum (paper Theorems 2/3/5).
+    Approximation(u32),
+    /// Legal but unbounded (greedy fallback).
+    Heuristic,
+}
+
+/// Result of automatic dispatch.
+#[derive(Debug, Clone)]
+pub struct AutoOutput {
+    /// The coloring, indexed by the input graph's own vertex ids.
+    pub labeling: Labeling,
+    /// The class the input was certified as.
+    pub class: GraphClass,
+    /// Short name of the algorithm that ran.
+    pub algorithm: &'static str,
+    /// The guarantee that algorithm carries for this input.
+    pub guarantee: Guarantee,
+}
+
+/// Certifies the strongest class this library can exploit. Cost: `O(n + m)`
+/// for trees, three Lex-BFS sweeps for proper interval, one for chordal.
+///
+/// ```
+/// use ssg_graph::generators;
+/// use ssg_labeling::auto::{classify, GraphClass};
+/// assert_eq!(classify(&generators::path(5)), GraphClass::Tree);
+/// assert_eq!(classify(&generators::complete(4)), GraphClass::ProperInterval);
+/// assert_eq!(classify(&generators::cycle(7)), GraphClass::Unknown);
+/// ```
+pub fn classify(g: &Graph) -> GraphClass {
+    if g.num_vertices() == 0 {
+        return GraphClass::Unknown;
+    }
+    if is_tree(g) {
+        return GraphClass::Tree;
+    }
+    if ssg_graph::recognition::is_forest(g) {
+        return GraphClass::Forest;
+    }
+    if ssg_graph::recognition::proper_interval_order(g).is_some() {
+        return GraphClass::ProperInterval;
+    }
+    let mut order = lex_bfs(g, 0);
+    order.reverse();
+    if is_perfect_elimination_order(g, &order) {
+        return GraphClass::Chordal;
+    }
+    GraphClass::Unknown
+}
+
+/// Optimal-or-best-effort `L(1,...,1)` coloring of a bare graph:
+///
+/// * tree → Figure 5 (optimal);
+/// * proper interval → Figure 1 on the recognized representation (optimal);
+/// * chordal, `t = 1` → Lemma-2 peel along the Lex-BFS order (optimal —
+///   `t = 1` removals are always distance-safe);
+/// * otherwise → greedy BFS first-fit (legal, no guarantee).
+pub fn auto_l1_coloring(g: &Graph, t: u32) -> AutoOutput {
+    assert!(t >= 1);
+    let n = g.num_vertices();
+    if n == 0 {
+        return AutoOutput {
+            labeling: Labeling::new(Vec::new()),
+            class: GraphClass::Unknown,
+            algorithm: "empty",
+            guarantee: Guarantee::Optimal,
+        };
+    }
+    match classify(g) {
+        GraphClass::Tree => {
+            let tree = RootedTree::bfs_canonical(g, 0).expect("certified tree");
+            let out = tree_mod::l1_coloring(&tree, t);
+            AutoOutput {
+                labeling: tree_mod::to_original_ids(&tree, &out.labeling),
+                class: GraphClass::Tree,
+                algorithm: "tree-l1 (Figure 5)",
+                guarantee: Guarantee::Optimal,
+            }
+        }
+        GraphClass::Forest => {
+            let out = tree_mod::l1_coloring_forest(g, t).expect("certified forest");
+            AutoOutput {
+                labeling: out.labeling,
+                class: GraphClass::Forest,
+                algorithm: "tree-l1 per component (Figure 5)",
+                guarantee: Guarantee::Optimal,
+            }
+        }
+        GraphClass::ProperInterval => {
+            let (order, rep) = recognize_unit_interval(g).expect("certified proper interval");
+            let out = interval_mod::l1_coloring(rep.as_interval(), t);
+            AutoOutput {
+                labeling: map_back(g, &order, &out.labeling, rep.as_interval()),
+                class: GraphClass::ProperInterval,
+                algorithm: "interval-l1 (Figure 1)",
+                guarantee: Guarantee::Optimal,
+            }
+        }
+        GraphClass::Chordal if t == 1 => {
+            let insertion = lex_bfs(g, 0);
+            let (colors, _) = ssg_simplicial::peel_l1_coloring(g, 1, &insertion);
+            AutoOutput {
+                labeling: Labeling::new(colors),
+                class: GraphClass::Chordal,
+                algorithm: "chordal-peel (Lemma 2)",
+                guarantee: Guarantee::Optimal,
+            }
+        }
+        class @ (GraphClass::Chordal | GraphClass::Unknown) => {
+            let lab = greedy_bfs_order(g, &SeparationVector::all_ones(t));
+            AutoOutput {
+                labeling: lab,
+                class,
+                algorithm: "greedy-bfs",
+                guarantee: Guarantee::Heuristic,
+            }
+        }
+    }
+}
+
+/// Automatic dispatch for a general separation vector:
+///
+/// * all-ones → [`auto_l1_coloring`];
+/// * `(δ1, 1, ..., 1)` on trees / proper interval graphs → the paper's
+///   3-approximations (§4.2 / §3.2);
+/// * `(δ1, δ2)` on proper interval graphs → Theorem 3 (3-approximation);
+/// * anything else → greedy BFS first-fit.
+pub fn auto_coloring(g: &Graph, sep: &SeparationVector) -> AutoOutput {
+    if sep.is_all_ones() {
+        return auto_l1_coloring(g, sep.t());
+    }
+    let t = sep.t();
+    let delta1 = sep.delta(1);
+    let tail_ones = (2..=t).all(|i| sep.delta(i) == 1);
+    let class = classify(g);
+    match (class, tail_ones, t) {
+        (GraphClass::Tree, true, _) => {
+            let tree = RootedTree::bfs_canonical(g, 0).expect("certified tree");
+            let out = tree_mod::approx_delta1_coloring(&tree, t, delta1);
+            AutoOutput {
+                labeling: tree_mod::to_original_ids(&tree, &out.labeling),
+                class,
+                algorithm: "tree-approx-d1 (Theorem 5)",
+                guarantee: Guarantee::Approximation(3),
+            }
+        }
+        (GraphClass::ProperInterval, true, _) => {
+            let (order, rep) = recognize_unit_interval(g).expect("certified");
+            let out = interval_mod::approx_delta1_coloring(rep.as_interval(), t, delta1);
+            AutoOutput {
+                labeling: map_back(g, &order, &out.labeling, rep.as_interval()),
+                class,
+                algorithm: "interval-approx-d1 (Theorem 2)",
+                guarantee: Guarantee::Approximation(3),
+            }
+        }
+        (GraphClass::ProperInterval, false, 2) => {
+            let (order, rep) = recognize_unit_interval(g).expect("certified");
+            let out = unit_interval::l_delta1_delta2_coloring(&rep, delta1, sep.delta(2));
+            AutoOutput {
+                labeling: map_back(g, &order, &out.labeling, rep.as_interval()),
+                class,
+                algorithm: "unit-l-d1d2 (Theorem 3)",
+                guarantee: Guarantee::Approximation(3),
+            }
+        }
+        _ => AutoOutput {
+            labeling: greedy_bfs_order(g, sep),
+            class,
+            algorithm: "greedy-bfs",
+            guarantee: Guarantee::Heuristic,
+        },
+    }
+}
+
+/// Re-indexes a labeling from representation numbering back to `g`'s ids:
+/// representation vertex `i` is `order[rep.original_index(i)]`... the
+/// recognized representation's vertex `i` corresponds to `order[j]` where
+/// `j` is the position the representation kept as `original_index(i)`.
+fn map_back(
+    g: &Graph,
+    order: &[Vertex],
+    labeling: &Labeling,
+    rep: &ssg_intervals::IntervalRepresentation,
+) -> Labeling {
+    let mut colors = vec![0u32; g.num_vertices()];
+    for i in 0..labeling.len() as Vertex {
+        let order_pos = rep.original_index(i);
+        colors[order[order_pos] as usize] = labeling.color(i);
+    }
+    Labeling::new(colors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::verify_labeling;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssg_graph::generators;
+
+    #[test]
+    fn classifies_known_families() {
+        let mut rng = StdRng::seed_from_u64(110);
+        assert_eq!(
+            classify(&generators::random_tree(20, &mut rng)),
+            GraphClass::Tree
+        );
+        assert_eq!(
+            classify(&generators::complete(5)),
+            GraphClass::ProperInterval
+        );
+        // The claw is chordal but neither a tree (it is — wait, K_{1,3} IS a
+        // tree). Use a chordal non-interval graph: two triangles sharing a
+        // vertex plus a pendant making it non-proper...
+        // Simplest: star + triangle glued: vertices 0..4, star edges 0-1,0-2,
+        // 0-3 and triangle 1-2 gives a chordal graph that is interval but
+        // not proper (claw K_{1,3} inside? 0 adjacent to 1,2,3; 1-2 edge;
+        // claw on {0,3,1_or_2, ...}). classify returns Chordal only when not
+        // proper interval.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]).unwrap();
+        assert_eq!(classify(&g), GraphClass::Chordal);
+        assert_eq!(classify(&generators::cycle(6)), GraphClass::Unknown);
+    }
+
+    #[test]
+    fn auto_l1_on_trees_is_optimal() {
+        let mut rng = StdRng::seed_from_u64(111);
+        for _ in 0..5 {
+            let g = generators::random_tree(30, &mut rng);
+            for t in 1..=3u32 {
+                let out = auto_l1_coloring(&g, t);
+                assert_eq!(out.class, GraphClass::Tree);
+                assert_eq!(out.guarantee, Guarantee::Optimal);
+                verify_labeling(&g, &SeparationVector::all_ones(t), out.labeling.colors()).unwrap();
+                let order: Vec<u32> = (0..30).collect();
+                // BFS order on the ORIGINAL ids need not satisfy Lemma 2,
+                // so compare spans via the canonical-order peel instead.
+                let tr = RootedTree::bfs_canonical(&g, 0).unwrap();
+                let cg = tr.to_graph();
+                let canon: Vec<u32> = (0..30).collect();
+                let oracle = ssg_simplicial::peel_lambda_star(&cg, t, &canon);
+                let _ = order;
+                assert_eq!(out.labeling.span(), oracle);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_l1_on_unit_interval_graphs_is_optimal() {
+        let mut rng = StdRng::seed_from_u64(112);
+        for _ in 0..5 {
+            let src = ssg_intervals::gen::random_connected_unit_intervals(20, 0.6, &mut rng);
+            let g = src.to_graph();
+            for t in 1..=3u32 {
+                let out = auto_l1_coloring(&g, t);
+                assert_eq!(out.class, GraphClass::ProperInterval, "t={t}");
+                assert_eq!(out.guarantee, Guarantee::Optimal);
+                verify_labeling(&g, &SeparationVector::all_ones(t), out.labeling.colors()).unwrap();
+                // Optimality vs the source representation's own run.
+                let direct = interval_mod::l1_coloring(src.as_interval(), t).lambda_star;
+                assert_eq!(out.labeling.span(), direct, "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_l1_on_chordal_at_t1_matches_clique() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]).unwrap();
+        let out = auto_l1_coloring(&g, 1);
+        assert_eq!(out.class, GraphClass::Chordal);
+        assert_eq!(out.guarantee, Guarantee::Optimal);
+        verify_labeling(&g, &SeparationVector::all_ones(1), out.labeling.colors()).unwrap();
+        assert_eq!(out.labeling.span(), 2); // ω = 3
+                                            // Same graph, t = 2: falls back to greedy (still legal).
+        let out = auto_l1_coloring(&g, 2);
+        assert_eq!(out.guarantee, Guarantee::Heuristic);
+        verify_labeling(&g, &SeparationVector::all_ones(2), out.labeling.colors()).unwrap();
+    }
+
+    #[test]
+    fn auto_coloring_routes_separations() {
+        let mut rng = StdRng::seed_from_u64(113);
+        let tree = generators::random_tree(25, &mut rng);
+        let sep = SeparationVector::delta1_then_ones(3, 2).unwrap();
+        let out = auto_coloring(&tree, &sep);
+        assert_eq!(out.algorithm, "tree-approx-d1 (Theorem 5)");
+        verify_labeling(&tree, &sep, out.labeling.colors()).unwrap();
+
+        let src = ssg_intervals::gen::random_connected_unit_intervals(18, 0.6, &mut rng);
+        let g = src.to_graph();
+        let sep = SeparationVector::two(4, 2).unwrap();
+        let out = auto_coloring(&g, &sep);
+        assert_eq!(out.algorithm, "unit-l-d1d2 (Theorem 3)");
+        verify_labeling(&g, &sep, out.labeling.colors()).unwrap();
+
+        let sep = SeparationVector::delta1_then_ones(3, 3).unwrap();
+        let out = auto_coloring(&g, &sep);
+        assert_eq!(out.algorithm, "interval-approx-d1 (Theorem 2)");
+        verify_labeling(&g, &sep, out.labeling.colors()).unwrap();
+
+        let cyc = generators::cycle(8);
+        let sep = SeparationVector::two(2, 1).unwrap();
+        let out = auto_coloring(&cyc, &sep);
+        assert_eq!(out.guarantee, Guarantee::Heuristic);
+        verify_labeling(&cyc, &sep, out.labeling.colors()).unwrap();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        let out = auto_l1_coloring(&g, 2);
+        assert!(out.labeling.is_empty());
+    }
+}

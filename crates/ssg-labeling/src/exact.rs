@@ -1,0 +1,427 @@
+//! Exact `L(δ1,...,δt)` solvers used as optimality oracles:
+//!
+//! * [`path_optimal`] — exact `L(δ1,δ2)` on paths `P_n` by binary search on
+//!   the span plus a layered feasibility DP. The paper's §3.3 defers paths to
+//!   Van den Heuvel–Leese–Shepherd (the paper's reference \[10\]); this DP plays that role.
+//! * [`exact_min_span`] — branch-and-bound exact solver for arbitrary
+//!   separation vectors on *small* graphs (the test oracle for every
+//!   approximation theorem).
+
+use crate::spec::{Labeling, SeparationVector};
+use ssg_graph::traversal::{truncated_apsp, UNREACHABLE};
+use ssg_graph::Graph;
+
+/// Exact optimal `L(δ1,δ2)` labeling of the path `P_n`.
+///
+/// Feasibility for a candidate span `λ` is decided by a DP over position
+/// layers with state `(f(v-1), f(v))`; the span is found by linear search
+/// upward from the trivial lower bound (the optimum is at most
+/// `δ1 + 2δ2 + max(δ1, 2δ2)`-ish, tiny, so this terminates fast).
+///
+/// Returns the labeling and its span.
+///
+/// ```
+/// use ssg_labeling::exact::path_optimal;
+/// let (lab, span) = path_optimal(7, 2, 1);     // the classic L(2,1)
+/// assert_eq!(span, 4);                          // Griggs & Yeh
+/// assert_eq!(lab.len(), 7);
+/// ```
+pub fn path_optimal(n: usize, delta1: u32, delta2: u32) -> (Labeling, u32) {
+    assert!(delta1 >= delta2 && delta2 >= 1, "need δ1 >= δ2 >= 1");
+    if n == 0 {
+        return (Labeling::new(Vec::new()), 0);
+    }
+    if n == 1 {
+        return (Labeling::new(vec![0]), 0);
+    }
+    if n == 2 {
+        return (Labeling::new(vec![0, delta1]), delta1);
+    }
+    // Optimum for n >= 5 is known to be at most δ1 + 2δ2 [10]; for all n it
+    // is at most 2δ1. Cap generously and search upward.
+    let cap = delta1 + 2 * delta2 + delta1;
+    let mut lambda = delta1; // any edge forces span >= δ1
+    loop {
+        if let Some(colors) = path_feasible(n, delta1, delta2, lambda) {
+            return (Labeling::new(colors), lambda);
+        }
+        lambda += 1;
+        assert!(lambda <= cap, "path DP failed to terminate below cap");
+    }
+}
+
+/// DP feasibility check for span `lambda`; returns a witness coloring.
+fn path_feasible(n: usize, delta1: u32, delta2: u32, lambda: u32) -> Option<Vec<u32>> {
+    let k = lambda as usize + 1;
+    let ok1 = |a: u32, b: u32| a.abs_diff(b) >= delta1;
+    let ok2 = |a: u32, b: u32| a.abs_diff(b) >= delta2;
+    // reachable[s] for states s = a * k + b meaning (f(v-1)=a, f(v)=b);
+    // parent pointers reconstruct a witness.
+    let mut reach: Vec<bool> = vec![false; k * k];
+    // parent[v][state] = previous state's `a` (f(v-2)); u32::MAX = none.
+    let mut parents: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut layer0 = vec![u32::MAX; k * k];
+    for a in 0..k as u32 {
+        for b in 0..k as u32 {
+            if ok1(a, b) {
+                reach[(a as usize) * k + b as usize] = true;
+                layer0[(a as usize) * k + b as usize] = a; // sentinel self
+            }
+        }
+    }
+    parents.push(layer0);
+    for _v in 2..n {
+        let mut next = vec![false; k * k];
+        let mut par = vec![u32::MAX; k * k];
+        for a in 0..k as u32 {
+            for b in 0..k as u32 {
+                if !reach[(a as usize) * k + b as usize] {
+                    continue;
+                }
+                for c in 0..k as u32 {
+                    if ok1(b, c) && ok2(a, c) {
+                        let idx = (b as usize) * k + c as usize;
+                        if !next[idx] {
+                            next[idx] = true;
+                            par[idx] = a;
+                        }
+                    }
+                }
+            }
+        }
+        reach = next;
+        parents.push(par);
+    }
+    // Find any reachable final state and walk back.
+    let final_idx = reach.iter().position(|&r| r)?;
+    let mut colors = vec![0u32; n];
+    let mut b = (final_idx % k) as u32;
+    let mut a = (final_idx / k) as u32;
+    colors[n - 1] = b;
+    colors[n - 2] = a;
+    for v in (2..n).rev() {
+        let idx = (a as usize) * k + b as usize;
+        let pa = parents[v - 1][idx];
+        debug_assert_ne!(pa, u32::MAX);
+        colors[v - 2] = pa;
+        b = a;
+        a = pa;
+    }
+    Some(colors)
+}
+
+/// Exact optimal `L(δ1,δ2)` labeling of the cycle `C_n` (`n >= 3`).
+///
+/// The paper's conclusion asks for further classes beyond trees and interval
+/// graphs; cycles are the smallest non-simplicial case (no `t`-simplicial
+/// vertex exists for small `t`), and this DP provides the exact answer the
+/// greedy machinery cannot: for every anchor pair `(f(0), f(1))` a layered
+/// DP over states `(f(i-1), f(i))` runs down the cycle and closes the loop
+/// with the wrap-around constraints `(f(n-2), f(n-1))` vs `(f(0), f(1))`.
+///
+/// `O(λ^4 · n)` per candidate span — an oracle, not a production path.
+pub fn cycle_optimal(n: usize, delta1: u32, delta2: u32) -> (Labeling, u32) {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    assert!(delta1 >= delta2 && delta2 >= 1);
+    if n == 3 || n == 4 {
+        // All pairs are within distance 2; brute force is cheapest.
+        let g = ssg_graph::generators::cycle(n);
+        let sep = SeparationVector::new(vec![delta1, delta2]).expect("valid");
+        return exact_min_span(&g, &sep);
+    }
+    let cap = 2 * delta1 + 2 * delta2 + 2; // generous; optimum <= δ1 + 2δ2 + small
+    let mut lambda = delta1.max(2 * delta2); // C_n always has a distance-2 pair each side
+    loop {
+        if let Some(colors) = cycle_feasible(n, delta1, delta2, lambda) {
+            return (Labeling::new(colors), lambda);
+        }
+        lambda += 1;
+        assert!(lambda <= cap, "cycle DP failed to terminate below cap");
+    }
+}
+
+/// Feasibility of span `lambda` on `C_n` (`n >= 5`), returning a witness.
+fn cycle_feasible(n: usize, delta1: u32, delta2: u32, lambda: u32) -> Option<Vec<u32>> {
+    let k = lambda as usize + 1;
+    let ok1 = |a: u32, b: u32| a.abs_diff(b) >= delta1;
+    let ok2 = |a: u32, b: u32| a.abs_diff(b) >= delta2;
+    for f0 in 0..=(lambda / 2) {
+        // reflection symmetry on the anchor
+        for f1 in 0..=lambda {
+            if !ok1(f0, f1) {
+                continue;
+            }
+            // DP over positions 2..n-1; state = (prev, cur).
+            let mut reach = vec![false; k * k];
+            let mut parents: Vec<Vec<u32>> = Vec::with_capacity(n);
+            reach[(f0 as usize) * k + f1 as usize] = true;
+            parents.push(vec![u32::MAX; k * k]); // layer for position 1 (anchored)
+            for pos in 2..n {
+                let mut next = vec![false; k * k];
+                let mut par = vec![u32::MAX; k * k];
+                for a in 0..k as u32 {
+                    for b in 0..k as u32 {
+                        if !reach[(a as usize) * k + b as usize] {
+                            continue;
+                        }
+                        for c in 0..k as u32 {
+                            if !(ok1(b, c) && ok2(a, c)) {
+                                continue;
+                            }
+                            // Wrap-around pruning at the last two positions.
+                            if pos == n - 1 && !(ok1(c, f0) && ok2(c, f1) && ok2(b, f0)) {
+                                continue;
+                            }
+                            let idx = (b as usize) * k + c as usize;
+                            if !next[idx] {
+                                next[idx] = true;
+                                par[idx] = a;
+                            }
+                        }
+                    }
+                }
+                reach = next;
+                parents.push(par);
+            }
+            if let Some(final_idx) = reach.iter().position(|&r| r) {
+                let mut colors = vec![0u32; n];
+                colors[0] = f0;
+                colors[1] = f1;
+                let mut b = (final_idx % k) as u32;
+                let mut a = (final_idx / k) as u32;
+                colors[n - 1] = b;
+                colors[n - 2] = a;
+                for pos in (2..n - 1).rev() {
+                    let idx = (a as usize) * k + b as usize;
+                    let pa = parents[pos][idx];
+                    debug_assert_ne!(pa, u32::MAX);
+                    colors[pos - 1] = pa;
+                    b = a;
+                    a = pa;
+                }
+                return Some(colors);
+            }
+        }
+    }
+    None
+}
+
+/// Exact minimum-span `L(δ1,...,δt)` labeling by branch and bound.
+///
+/// Precomputes all pairwise distances `<= t`, then searches spans upward;
+/// each candidate span is checked by backtracking in max-degree-first vertex
+/// order with the `c -> λ - c` reflection symmetry broken on the first
+/// vertex. Exponential — intended for `n <= ~12` oracle duty.
+pub fn exact_min_span(g: &Graph, sep: &SeparationVector) -> (Labeling, u32) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (Labeling::new(Vec::new()), 0);
+    }
+    let t = sep.t();
+    let dist = truncated_apsp(g, t);
+    // Order: max degree in A_{G,t} first (most constrained first).
+    let mut order: Vec<usize> = (0..n).collect();
+    let deg_t: Vec<usize> = (0..n)
+        .map(|u| {
+            dist[u]
+                .iter()
+                .filter(|&&d| d != UNREACHABLE && d > 0)
+                .count()
+        })
+        .collect();
+    order.sort_by_key(|&u| std::cmp::Reverse(deg_t[u]));
+    // Seed the search at Lemma 1's clique lower bound
+    // max_i δi (ω(A_{G,i}) - 1); this prunes the (expensive-to-refute)
+    // infeasible spans below the optimum.
+    let mut lambda = 0u32;
+    if n <= 64 {
+        for i in 1..=t {
+            let a = ssg_graph::augmented_graph(g, i);
+            let omega = ssg_graph::power::max_clique_bruteforce(&a) as u32;
+            lambda = lambda.max(sep.delta(i) * omega.saturating_sub(1));
+        }
+    }
+    loop {
+        let mut colors = vec![u32::MAX; n];
+        if backtrack(&dist, sep, &order, 0, lambda, &mut colors) {
+            return (Labeling::new(colors), lambda);
+        }
+        lambda += 1;
+        assert!(
+            lambda as usize <= sep.delta(1) as usize * n,
+            "exact solver exceeded the trivial δ1*(n-1) upper bound"
+        );
+    }
+}
+
+fn backtrack(
+    dist: &[Vec<u32>],
+    sep: &SeparationVector,
+    order: &[usize],
+    pos: usize,
+    lambda: u32,
+    colors: &mut [u32],
+) -> bool {
+    if pos == order.len() {
+        return true;
+    }
+    let v = order[pos];
+    // Reflection symmetry: pin the first vertex to the lower half.
+    let max_c = if pos == 0 { lambda / 2 } else { lambda };
+    'colors: for c in 0..=max_c {
+        for (u, &d) in dist[v].iter().enumerate() {
+            if d == UNREACHABLE || d == 0 || colors[u] == u32::MAX {
+                continue;
+            }
+            if c.abs_diff(colors[u]) < sep.delta(d) {
+                continue 'colors;
+            }
+        }
+        colors[v] = c;
+        if backtrack(dist, sep, order, pos + 1, lambda, colors) {
+            return true;
+        }
+        colors[v] = u32::MAX;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::verify_labeling;
+    use ssg_graph::generators;
+
+    #[test]
+    fn path_l21_known_optima() {
+        // λ(P_n; 2,1): n=2 -> 2, n=3,4 -> 3, n >= 5 -> 4 (Griggs & Yeh).
+        assert_eq!(path_optimal(2, 2, 1).1, 2);
+        assert_eq!(path_optimal(3, 2, 1).1, 3);
+        assert_eq!(path_optimal(4, 2, 1).1, 3);
+        for n in 5..12 {
+            assert_eq!(path_optimal(n, 2, 1).1, 4, "n={n}");
+        }
+    }
+
+    #[test]
+    fn path_solutions_are_legal() {
+        for n in [2usize, 3, 5, 9, 16] {
+            for (d1, d2) in [(1, 1), (2, 1), (3, 1), (3, 2), (4, 2), (5, 5)] {
+                let (lab, span) = path_optimal(n, d1, d2);
+                assert_eq!(lab.span(), span);
+                let g = generators::path(n);
+                let sep = SeparationVector::two(d1, d2).unwrap();
+                verify_labeling(&g, &sep, lab.colors())
+                    .unwrap_or_else(|v| panic!("n={n} d=({d1},{d2}): {v}"));
+            }
+        }
+    }
+
+    #[test]
+    fn path_matches_exact_solver() {
+        for n in 2..9usize {
+            for (d1, d2) in [(2, 1), (3, 2), (4, 1)] {
+                let g = generators::path(n);
+                let sep = SeparationVector::two(d1, d2).unwrap();
+                let (_, bb) = exact_min_span(&g, &sep);
+                let (_, dp) = path_optimal(n, d1, d2);
+                assert_eq!(bb, dp, "n={n} d=({d1},{d2})");
+            }
+        }
+    }
+
+    #[test]
+    fn path_degenerate_sizes() {
+        assert_eq!(path_optimal(0, 2, 1).1, 0);
+        assert_eq!(path_optimal(1, 2, 1).1, 0);
+        assert_eq!(path_optimal(2, 5, 2).1, 5);
+    }
+
+    #[test]
+    fn cycle_l21_is_always_four() {
+        // Griggs & Yeh: λ(C_n; 2,1) = 4 for every n >= 3.
+        for n in 3..14usize {
+            let (lab, span) = cycle_optimal(n, 2, 1);
+            assert_eq!(span, 4, "n={n}");
+            let g = generators::cycle(n);
+            verify_labeling(&g, &SeparationVector::two(2, 1).unwrap(), lab.colors()).unwrap();
+        }
+    }
+
+    #[test]
+    fn cycle_l11_follows_squared_chromatic_number() {
+        // λ(C_n; 1,1) = χ(C_n²) - 1: 2 when 3 | n, 4 for n = 5, else 3.
+        for n in 5..13usize {
+            let (_, span) = cycle_optimal(n, 1, 1);
+            let expect = if n % 3 == 0 {
+                2
+            } else if n == 5 {
+                4
+            } else {
+                3
+            };
+            assert_eq!(span, expect, "n={n}");
+        }
+        assert_eq!(cycle_optimal(3, 1, 1).1, 2); // K_3
+        assert_eq!(cycle_optimal(4, 1, 1).1, 3); // K_4 as C_4 squared
+    }
+
+    #[test]
+    fn cycle_matches_branch_and_bound() {
+        for n in 5..8usize {
+            for (d1, d2) in [(3, 1), (3, 2)] {
+                let g = generators::cycle(n);
+                let sep = SeparationVector::two(d1, d2).unwrap();
+                let (_, bb) = exact_min_span(&g, &sep);
+                let (lab, dp) = cycle_optimal(n, d1, d2);
+                assert_eq!(bb, dp, "n={n} d=({d1},{d2})");
+                verify_labeling(&g, &sep, lab.colors()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn exact_solver_known_values() {
+        // K_n with L(1): span n-1.
+        let g = generators::complete(4);
+        let (lab, span) = exact_min_span(&g, &SeparationVector::all_ones(1));
+        assert_eq!(span, 3);
+        verify_labeling(&g, &SeparationVector::all_ones(1), lab.colors()).unwrap();
+        // K_3 with L(2,1): colors pairwise >= 2 apart -> 0,2,4.
+        let g = generators::complete(3);
+        let (_, span) = exact_min_span(&g, &SeparationVector::two(2, 1).unwrap());
+        assert_eq!(span, 4);
+        // Star K_{1,4} with L(2,1): known λ = Δ + 1 = 5.
+        let g = generators::star(5);
+        let (_, span) = exact_min_span(&g, &SeparationVector::two(2, 1).unwrap());
+        assert_eq!(span, 5);
+        // C_5 with L(2,1) = 4 (Griggs & Yeh: cycles have λ = 4).
+        let g = generators::cycle(5);
+        let (_, span) = exact_min_span(&g, &SeparationVector::two(2, 1).unwrap());
+        assert_eq!(span, 4);
+        // Single vertex / empty.
+        let g = ssg_graph::Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(
+            exact_min_span(&g, &SeparationVector::two(2, 1).unwrap()).1,
+            0
+        );
+    }
+
+    #[test]
+    fn exact_solver_l111_matches_power_clique_on_trees() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..5 {
+            let g = generators::random_tree(9, &mut rng);
+            for t in 1..=3u32 {
+                let sep = SeparationVector::all_ones(t);
+                let (_, span) = exact_min_span(&g, &sep);
+                let a = ssg_graph::augmented_graph(&g, t);
+                // trees/interval: chromatic = clique on powers
+                let omega = ssg_graph::power::max_clique_bruteforce(&a) as u32;
+                assert_eq!(span + 1, omega, "t={t}");
+            }
+        }
+    }
+}

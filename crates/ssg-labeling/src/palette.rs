@@ -1,0 +1,252 @@
+//! The palette family `P_0, ..., P_t` of the paper's interval algorithms
+//! (Figure 1 and §3.2), implemented exactly as Theorem 1's complexity proof
+//! prescribes: doubly linked lists threaded through a color-indexed table
+//! `C[c]`, so that insertion, extraction of a *given* color, and extraction
+//! of *some* color are all `O(1)`.
+
+/// Sentinel for "no color" in the intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// A family of `t + 1` palettes over colors `0..pool_size`, with O(1)
+/// insert / remove / pop and per-color level tracking.
+///
+/// A color is always *assigned a level* once introduced, but may be
+/// temporarily **parked** (tracked at its level yet not linked into the
+/// list) — the §3.2 approximation uses this for colors blocked by the
+/// `δ1`-separation of an open interval.
+#[derive(Debug, Clone)]
+pub struct PaletteFamily {
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    level: Vec<u32>,
+    linked: Vec<bool>,
+    head: Vec<u32>,
+    len: Vec<usize>,
+}
+
+impl PaletteFamily {
+    /// Creates palettes `P_0..P_t` with an initial pool of `pool` colors
+    /// (`0..pool`), all linked into `P_0`.
+    pub fn new(t: u32, pool: usize) -> Self {
+        let mut f = PaletteFamily {
+            next: Vec::new(),
+            prev: Vec::new(),
+            level: Vec::new(),
+            linked: Vec::new(),
+            head: vec![NIL; t as usize + 1],
+            len: vec![0; t as usize + 1],
+        };
+        for _ in 0..pool {
+            f.grow();
+        }
+        f
+    }
+
+    /// Number of palettes (`t + 1`).
+    pub fn num_levels(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Total colors ever introduced.
+    pub fn pool_size(&self) -> usize {
+        self.level.len()
+    }
+
+    /// Introduces the next color (id `pool_size()`), linked into `P_0`.
+    /// Returns its id.
+    pub fn grow(&mut self) -> u32 {
+        let c = self.level.len() as u32;
+        self.next.push(NIL);
+        self.prev.push(NIL);
+        self.level.push(0);
+        self.linked.push(false);
+        self.link(0, c);
+        c
+    }
+
+    /// The palette index currently holding color `c`.
+    #[inline]
+    pub fn level_of(&self, c: u32) -> u32 {
+        self.level[c as usize]
+    }
+
+    /// Whether `c` is linked into its palette's list (not parked).
+    #[inline]
+    pub fn is_linked(&self, c: u32) -> bool {
+        self.linked[c as usize]
+    }
+
+    /// Number of linked colors in palette `j`.
+    #[inline]
+    pub fn len(&self, j: u32) -> usize {
+        self.len[j as usize]
+    }
+
+    /// Whether palette `j` has no linked colors.
+    #[inline]
+    pub fn is_empty(&self, j: u32) -> bool {
+        self.len[j as usize] == 0
+    }
+
+    /// Links `c` into palette `j` (front insertion) and records its level.
+    /// `c` must not currently be linked.
+    pub fn link(&mut self, j: u32, c: u32) {
+        debug_assert!(!self.linked[c as usize], "color {c} already linked");
+        let h = self.head[j as usize];
+        self.next[c as usize] = h;
+        self.prev[c as usize] = NIL;
+        if h != NIL {
+            self.prev[h as usize] = c;
+        }
+        self.head[j as usize] = c;
+        self.level[c as usize] = j;
+        self.linked[c as usize] = true;
+        self.len[j as usize] += 1;
+    }
+
+    /// Unlinks `c` from its palette list, keeping its level. The color is
+    /// then *parked*.
+    pub fn unlink(&mut self, c: u32) {
+        debug_assert!(self.linked[c as usize], "color {c} not linked");
+        let (p, n) = (self.prev[c as usize], self.next[c as usize]);
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.head[self.level[c as usize] as usize] = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        }
+        self.linked[c as usize] = false;
+        self.len[self.level[c as usize] as usize] -= 1;
+    }
+
+    /// Moves a linked color to palette `j` (unlink + link).
+    pub fn move_to(&mut self, c: u32, j: u32) {
+        self.unlink(c);
+        self.link(j, c);
+    }
+
+    /// Sets the level of a *parked* color without linking it.
+    pub fn set_parked_level(&mut self, c: u32, j: u32) {
+        debug_assert!(!self.linked[c as usize]);
+        self.level[c as usize] = j;
+    }
+
+    /// Pops some color from palette `j` (the most recently inserted), or
+    /// `None` when the palette is empty.
+    pub fn pop(&mut self, j: u32) -> Option<u32> {
+        let h = self.head[j as usize];
+        if h == NIL {
+            return None;
+        }
+        self.unlink(h);
+        Some(h)
+    }
+
+    /// Pops the first linked color of palette `j` satisfying `pred`,
+    /// scanning front to back. Used by the §4.2 tree approximation, whose
+    /// predicate rejects at most `2(δ1-1)` colors — O(δ1) there.
+    pub fn pop_where(&mut self, j: u32, pred: impl Fn(u32) -> bool) -> Option<u32> {
+        let mut c = self.head[j as usize];
+        while c != NIL {
+            if pred(c) {
+                self.unlink(c);
+                return Some(c);
+            }
+            c = self.next[c as usize];
+        }
+        None
+    }
+
+    /// The linked colors of palette `j`, front to back (test helper; O(len)).
+    pub fn collect(&self, j: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut c = self.head[j as usize];
+        while c != NIL {
+            out.push(c);
+            c = self.next[c as usize];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_links_into_p0() {
+        let mut f = PaletteFamily::new(2, 3);
+        assert_eq!(f.pool_size(), 3);
+        assert_eq!(f.num_levels(), 3);
+        assert_eq!(f.len(0), 3);
+        assert!(f.is_empty(1));
+        let c = f.grow();
+        assert_eq!(c, 3);
+        assert_eq!(f.len(0), 4);
+    }
+
+    #[test]
+    fn pop_is_lifo_and_empties() {
+        let mut f = PaletteFamily::new(1, 2);
+        let a = f.pop(0).unwrap();
+        let b = f.pop(0).unwrap();
+        assert_eq!((a, b), (1, 0));
+        assert_eq!(f.pop(0), None);
+        assert!(f.is_empty(0));
+    }
+
+    #[test]
+    fn move_between_levels() {
+        let mut f = PaletteFamily::new(3, 1);
+        f.move_to(0, 3);
+        assert_eq!(f.level_of(0), 3);
+        assert!(f.is_empty(0));
+        assert_eq!(f.collect(3), vec![0]);
+        f.move_to(0, 2);
+        f.move_to(0, 1);
+        f.move_to(0, 0);
+        assert_eq!(f.collect(0), vec![0]);
+    }
+
+    #[test]
+    fn unlink_from_middle_keeps_list_consistent() {
+        let mut f = PaletteFamily::new(0, 5);
+        // List is [4, 3, 2, 1, 0] (front insertion).
+        f.unlink(2);
+        assert_eq!(f.collect(0), vec![4, 3, 1, 0]);
+        assert!(!f.is_linked(2));
+        assert_eq!(f.level_of(2), 0);
+        f.unlink(4); // head removal
+        assert_eq!(f.collect(0), vec![3, 1, 0]);
+        f.unlink(0); // tail removal
+        assert_eq!(f.collect(0), vec![3, 1]);
+        f.link(0, 2);
+        assert_eq!(f.collect(0), vec![2, 3, 1]);
+        assert_eq!(f.len(0), 3);
+    }
+
+    #[test]
+    fn pop_where_skips_rejected_colors() {
+        let mut f = PaletteFamily::new(0, 6);
+        // List (front to back): [5, 4, 3, 2, 1, 0]; reject anything >= 3.
+        let got = f.pop_where(0, |c| c < 3);
+        assert_eq!(got, Some(2));
+        assert_eq!(f.len(0), 5);
+        // Nothing matches: list untouched.
+        assert_eq!(f.pop_where(0, |c| c > 100), None);
+        assert_eq!(f.len(0), 5);
+    }
+
+    #[test]
+    fn parked_levels_track_without_linking() {
+        let mut f = PaletteFamily::new(2, 1);
+        f.unlink(0);
+        f.set_parked_level(0, 2);
+        assert_eq!(f.level_of(0), 2);
+        assert!(f.is_empty(2));
+        f.link(2, 0);
+        assert_eq!(f.len(2), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Rayon-parallel experiment harness: run a parameter grid across many
+//! seeds, aggregate the per-run reports, and emit CSV rows for
+//! EXPERIMENTS.md. This is the "evaluation section" machinery the paper
+//! itself never had.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+
+/// Aggregate statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Summarizes a (non-empty or empty) sample.
+    pub fn of(values: &[f64]) -> Summary {
+        let count = values.len();
+        if count == 0 {
+            return Summary {
+                count,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                stddev: 0.0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        Summary {
+            count,
+            mean,
+            min,
+            max,
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+/// Runs `f` over every `(param, seed)` pair in parallel with rayon and
+/// returns the results grouped by parameter (in input order, seeds in
+/// order). `f` must be deterministic in its inputs for reproducibility.
+///
+/// ```
+/// use ssg_netsim::run_grid;
+/// let rows = run_grid(&[10u32, 20], &[1, 2, 3], |p, s| *p as u64 + s);
+/// assert_eq!(rows, vec![vec![11, 12, 13], vec![21, 22, 23]]);
+/// ```
+pub fn run_grid<P, R, F>(params: &[P], seeds: &[u64], f: F) -> Vec<Vec<R>>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, u64) -> R + Sync,
+{
+    params
+        .par_iter()
+        .map(|p| seeds.par_iter().map(|&s| f(p, s)).collect())
+        .collect()
+}
+
+/// Sequential twin of [`run_grid`] — used to measure rayon's speedup in
+/// experiment E8 and as a fallback in single-threaded contexts.
+pub fn run_grid_sequential<P, R, F>(params: &[P], seeds: &[u64], f: F) -> Vec<Vec<R>>
+where
+    F: Fn(&P, u64) -> R,
+{
+    params
+        .iter()
+        .map(|p| seeds.iter().map(|&s| f(p, s)).collect())
+        .collect()
+}
+
+/// One row of an experiment table: a parameter label plus named metric
+/// summaries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRow {
+    /// Human-readable parameter cell (e.g. `"n=4096 t=2"`).
+    pub params: String,
+    /// `(metric name, summary)` pairs, in column order.
+    pub metrics: Vec<(String, Summary)>,
+}
+
+impl ExperimentRow {
+    /// Builds a row from raw metric samples.
+    pub fn new(params: impl Into<String>, metrics: &[(&str, &[f64])]) -> Self {
+        ExperimentRow {
+            params: params.into(),
+            metrics: metrics
+                .iter()
+                .map(|(name, vals)| (name.to_string(), Summary::of(vals)))
+                .collect(),
+        }
+    }
+}
+
+/// Writes rows as CSV (params column + `<metric>_mean`, `<metric>_min`,
+/// `<metric>_max` columns) to any writer.
+pub fn write_csv<W: Write>(mut w: W, rows: &[ExperimentRow]) -> std::io::Result<()> {
+    let Some(first) = rows.first() else {
+        return Ok(());
+    };
+    write!(w, "params")?;
+    for (name, _) in &first.metrics {
+        write!(w, ",{name}_mean,{name}_min,{name}_max")?;
+    }
+    writeln!(w)?;
+    for row in rows {
+        write!(w, "{}", row.params)?;
+        for (_, s) in &row.metrics {
+            write!(w, ",{:.4},{:.4},{:.4}", s.mean, s.min, s.max)?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Renders rows as a GitHub-flavored markdown table (mean ± stddev).
+pub fn to_markdown(rows: &[ExperimentRow]) -> String {
+    let Some(first) = rows.first() else {
+        return String::new();
+    };
+    let mut out = String::from("| params |");
+    for (name, _) in &first.metrics {
+        out.push_str(&format!(" {name} |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &first.metrics {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("| {} |", row.params));
+        for (_, s) in &row.metrics {
+            if s.stddev > 1e-9 {
+                out.push_str(&format!(" {:.2} ± {:.2} |", s.mean, s.stddev));
+            } else {
+                out.push_str(&format!(" {:.2} |", s.mean));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.stddev - (1.25f64).sqrt()).abs() < 1e-12);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.count, 0);
+    }
+
+    #[test]
+    fn grid_matches_sequential() {
+        let params = vec![1u64, 2, 3];
+        let seeds = vec![10u64, 20];
+        let f = |p: &u64, s: u64| p * 1000 + s;
+        let par = run_grid(&params, &seeds, f);
+        let seq = run_grid_sequential(&params, &seeds, f);
+        assert_eq!(par, seq);
+        assert_eq!(par[2][1], 3020);
+    }
+
+    #[test]
+    fn csv_and_markdown_render() {
+        let rows = vec![
+            ExperimentRow::new("n=10", &[("span", &[4.0, 6.0][..]), ("ratio", &[1.0][..])]),
+            ExperimentRow::new("n=20", &[("span", &[8.0][..]), ("ratio", &[1.5][..])]),
+        ];
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &rows).unwrap();
+        let csv = String::from_utf8(buf).unwrap();
+        assert!(csv.starts_with("params,span_mean,span_min,span_max,ratio_mean"));
+        assert!(csv.contains("n=10,5.0000,4.0000,6.0000"));
+        let md = to_markdown(&rows);
+        assert!(md.contains("| n=20 |"));
+        assert!(md.contains("±"));
+        assert!(write_csv(&mut Vec::new(), &[]).is_ok());
+        assert_eq!(to_markdown(&[]), "");
+    }
+}

@@ -1,0 +1,63 @@
+//! Integration: the sweep harness drives real scenario assignments across a
+//! parameter grid, aggregates them, and renders CSV/markdown — the exact
+//! path the report example and EXPERIMENTS.md rely on.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssg_netsim::{
+    run_grid, run_grid_sequential, to_markdown, write_csv, BackboneNetwork, CorridorNetwork,
+    ExperimentRow, Summary,
+};
+
+#[test]
+fn grid_of_real_assignments_parallel_equals_sequential() {
+    let params: Vec<(usize, u32)> = vec![(50, 1), (50, 2), (120, 2)];
+    let seeds: Vec<u64> = vec![1, 2, 3, 4];
+    let cell = |p: &(usize, u32), seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = CorridorNetwork::generate(p.0, 1.0, 1.0, 4.0, &mut rng);
+        let r = net.assign_l1(p.1);
+        assert!(r.verified);
+        (r.span, r.lower_bound)
+    };
+    let par = run_grid(&params, &seeds, cell);
+    let seq = run_grid_sequential(&params, &seeds, cell);
+    assert_eq!(par, seq);
+    // Optimal algorithm: span equals its lower bound everywhere.
+    for row in &par {
+        for &(span, lower) in row {
+            assert_eq!(span, lower);
+        }
+    }
+}
+
+#[test]
+fn rows_aggregate_and_render() {
+    let seeds: Vec<u64> = (0..6).collect();
+    let spans: Vec<f64> = seeds
+        .iter()
+        .map(|&s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            let net = BackboneNetwork::generate(80, 3, &mut rng);
+            net.assign_l1(2).span as f64
+        })
+        .collect();
+    let row = ExperimentRow::new("backbone n=80 t=2", &[("span", &spans[..])]);
+    let summary = &row.metrics[0].1;
+    assert_eq!(summary.count, 6);
+    assert!(summary.min <= summary.mean && summary.mean <= summary.max);
+
+    let mut csv = Vec::new();
+    write_csv(&mut csv, std::slice::from_ref(&row)).unwrap();
+    let csv = String::from_utf8(csv).unwrap();
+    assert!(csv.contains("backbone n=80 t=2"));
+    let md = to_markdown(std::slice::from_ref(&row));
+    assert!(md.starts_with("| params |"));
+}
+
+#[test]
+fn summary_of_constant_sample_has_zero_stddev() {
+    let s = Summary::of(&[5.0; 10]);
+    assert_eq!(s.stddev, 0.0);
+    assert_eq!(s.mean, 5.0);
+}

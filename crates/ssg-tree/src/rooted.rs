@@ -1,0 +1,569 @@
+//! Rooted ordered trees with BFS-canonical numbering.
+//!
+//! The paper's tree algorithms (§4) assume an *ordered* tree whose vertices
+//! are numbered in breadth-first order: level by level, left to right within
+//! each level. [`RootedTree::bfs_canonical`] produces exactly that numbering
+//! from any tree graph, and the rest of the crate (descendant lists,
+//! up-neighborhoods) relies on its invariants:
+//!
+//! * vertex `0` is the root;
+//! * levels are contiguous vertex ranges (`level_range`);
+//! * within a level, the left-to-right order agrees with the DFS entry order
+//!   (children of earlier parents come first; siblings keep their order).
+
+use ssg_graph::{Graph, Vertex};
+use std::fmt;
+
+/// Sentinel parent of the root.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// Errors when interpreting a graph as a tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The graph does not have exactly `n - 1` edges.
+    WrongEdgeCount {
+        /// Vertices in the graph.
+        n: usize,
+        /// Edges in the graph.
+        m: usize,
+    },
+    /// The graph is not connected.
+    Disconnected,
+    /// The requested root is out of range.
+    RootOutOfRange {
+        /// The requested root.
+        root: Vertex,
+    },
+    /// The graph is empty (a tree needs at least one vertex).
+    Empty,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::WrongEdgeCount { n, m } => {
+                write!(f, "a tree on {n} vertices needs {} edges, got {m}", n - 1)
+            }
+            TreeError::Disconnected => write!(f, "graph is not connected"),
+            TreeError::RootOutOfRange { root } => write!(f, "root {root} out of range"),
+            TreeError::Empty => write!(f, "empty graph is not a tree"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A rooted ordered tree in BFS-canonical numbering.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RootedTree {
+    /// Parent of each vertex (`NO_PARENT` for the root, which is vertex 0).
+    parent: Vec<u32>,
+    /// Level (depth) of each vertex; the root has level 0.
+    level: Vec<u32>,
+    /// Children CSR: `child_off[v]..child_off[v+1]` indexes `child_buf`.
+    child_off: Vec<u32>,
+    child_buf: Vec<Vertex>,
+    /// `level_start[l]..level_start[l+1]` is the contiguous vertex range of
+    /// level `l`; `level_start.len() = height + 2`.
+    level_start: Vec<u32>,
+    /// DFS entry/exit times (preorder, children in BFS-canonical order).
+    tin: Vec<u32>,
+    tout: Vec<u32>,
+    /// Mapping BFS-canonical vertex -> original graph vertex.
+    original: Vec<Vertex>,
+}
+
+impl fmt::Debug for RootedTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RootedTree(n={}, height={})", self.len(), self.height())
+    }
+}
+
+impl RootedTree {
+    /// Interprets `g` as a tree rooted at `root` and renumbers it into
+    /// BFS-canonical form. Children of each vertex are ordered by their
+    /// original vertex id, making the construction deterministic.
+    ///
+    /// ```
+    /// use ssg_graph::Graph;
+    /// use ssg_tree::RootedTree;
+    /// let g = Graph::from_edges(4, &[(2, 0), (0, 3), (3, 1)]).unwrap();
+    /// let t = RootedTree::bfs_canonical(&g, 2).unwrap();
+    /// assert_eq!(t.original_id(0), 2);   // the root
+    /// assert_eq!(t.height(), 3);         // 2 - 0 - 3 - 1 is a path
+    /// assert_eq!(t.level_range(1), 1..2);
+    /// ```
+    pub fn bfs_canonical(g: &Graph, root: Vertex) -> Result<Self, TreeError> {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Err(TreeError::Empty);
+        }
+        if (root as usize) >= n {
+            return Err(TreeError::RootOutOfRange { root });
+        }
+        if g.num_edges() != n - 1 {
+            return Err(TreeError::WrongEdgeCount {
+                n,
+                m: g.num_edges(),
+            });
+        }
+        // BFS from root over the original graph; neighbors are sorted in the
+        // CSR, so children order = original id order.
+        let mut order: Vec<Vertex> = Vec::with_capacity(n); // BFS order, original ids
+        let mut parent_orig = vec![NO_PARENT; n];
+        let mut seen = vec![false; n];
+        seen[root as usize] = true;
+        order.push(root);
+        let mut head = 0usize;
+        while head < order.len() {
+            let v = order[head];
+            head += 1;
+            for &w in g.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    parent_orig[w as usize] = v;
+                    order.push(w);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(TreeError::Disconnected);
+        }
+        // new id = position in BFS order.
+        let mut new_id = vec![0u32; n];
+        for (i, &v) in order.iter().enumerate() {
+            new_id[v as usize] = i as u32;
+        }
+        let mut parent = vec![NO_PARENT; n];
+        let mut level = vec![0u32; n];
+        for (i, &v) in order.iter().enumerate() {
+            let p = parent_orig[v as usize];
+            if p != NO_PARENT {
+                let np = new_id[p as usize];
+                parent[i] = np;
+                level[i] = level[np as usize] + 1;
+            }
+        }
+        Self::from_bfs_parents(parent, level, order)
+    }
+
+    /// Builds directly from a parent array already in BFS-canonical order:
+    /// `parent[0] == NO_PARENT`, `parent[v] < v`, and levels nondecreasing
+    /// in `v`. `original[v]` records an external id for each vertex (use
+    /// `0..n` when there is none). Panics if the invariants fail.
+    pub fn from_bfs_parents(
+        parent: Vec<u32>,
+        level: Vec<u32>,
+        original: Vec<Vertex>,
+    ) -> Result<Self, TreeError> {
+        let n = parent.len();
+        assert!(n >= 1, "tree needs at least one vertex");
+        assert_eq!(level.len(), n);
+        assert_eq!(original.len(), n);
+        assert_eq!(parent[0], NO_PARENT, "vertex 0 must be the root");
+        for v in 1..n {
+            assert!(
+                parent[v] < v as u32,
+                "parent must precede child in BFS order"
+            );
+            assert_eq!(level[v], level[parent[v] as usize] + 1, "level mismatch");
+            assert!(level[v] >= level[v - 1], "levels must be nondecreasing");
+        }
+        // Children CSR (children appear in increasing id order automatically).
+        let mut cnt = vec![0u32; n];
+        for v in 1..n {
+            cnt[parent[v] as usize] += 1;
+        }
+        let mut child_off = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        child_off.push(0);
+        for &c in &cnt {
+            acc += c;
+            child_off.push(acc);
+        }
+        let mut cursor: Vec<u32> = child_off[..n].to_vec();
+        let mut child_buf = vec![0 as Vertex; n - 1];
+        for v in 1..n as u32 {
+            let p = parent[v as usize] as usize;
+            child_buf[cursor[p] as usize] = v;
+            cursor[p] += 1;
+        }
+        // Level ranges.
+        let height = level[n - 1];
+        let mut level_start = vec![0u32; height as usize + 2];
+        for &l in &level {
+            level_start[l as usize + 1] += 1;
+        }
+        for i in 1..level_start.len() {
+            level_start[i] += level_start[i - 1];
+        }
+        // DFS entry/exit (iterative, children in CSR order).
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut timer = 0u32;
+        // Stack of (vertex, next child index).
+        let mut stack: Vec<(u32, u32)> = vec![(0, child_off[0])];
+        tin[0] = timer;
+        timer += 1;
+        while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+            if *ci < child_off[v as usize + 1] {
+                let c = child_buf[*ci as usize];
+                *ci += 1;
+                tin[c as usize] = timer;
+                timer += 1;
+                stack.push((c, child_off[c as usize]));
+            } else {
+                tout[v as usize] = timer;
+                stack.pop();
+            }
+        }
+        Ok(RootedTree {
+            parent,
+            level,
+            child_off,
+            child_buf,
+            level_start,
+            tin,
+            tout,
+            original,
+        })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Always false — trees have at least one vertex.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Height of the tree (level of the deepest vertex; 0 for a single node).
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.level[self.len() - 1]
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, v: Vertex) -> Option<Vertex> {
+        let p = self.parent[v as usize];
+        (p != NO_PARENT).then_some(p)
+    }
+
+    /// Level (depth) of `v`.
+    #[inline]
+    pub fn level(&self, v: Vertex) -> u32 {
+        self.level[v as usize]
+    }
+
+    /// Children of `v` in left-to-right order.
+    #[inline]
+    pub fn children(&self, v: Vertex) -> &[Vertex] {
+        let s = self.child_off[v as usize] as usize;
+        let e = self.child_off[v as usize + 1] as usize;
+        &self.child_buf[s..e]
+    }
+
+    /// The contiguous vertex range of level `l` (empty when `l > height`).
+    #[inline]
+    pub fn level_range(&self, l: u32) -> std::ops::Range<Vertex> {
+        if l as usize + 1 >= self.level_start.len() {
+            return 0..0;
+        }
+        self.level_start[l as usize]..self.level_start[l as usize + 1]
+    }
+
+    /// The original (pre-renumbering) id of canonical vertex `v`.
+    #[inline]
+    pub fn original_id(&self, v: Vertex) -> Vertex {
+        self.original[v as usize]
+    }
+
+    /// The ancestor of `v` at distance `i` (`anc_i(v)` in the paper), or
+    /// `None` if `i > level(v)`. `O(i)`.
+    pub fn ancestor(&self, v: Vertex, i: u32) -> Option<Vertex> {
+        if i > self.level(v) {
+            return None;
+        }
+        let mut a = v;
+        for _ in 0..i {
+            a = self.parent[a as usize];
+        }
+        Some(a)
+    }
+
+    /// Whether `a` is an ancestor of (or equal to) `v`.
+    #[inline]
+    pub fn is_ancestor(&self, a: Vertex, v: Vertex) -> bool {
+        self.tin[a as usize] <= self.tin[v as usize] && self.tin[v as usize] < self.tout[a as usize]
+    }
+
+    /// Lowest common ancestor of `u` and `v`. `O(height)` by level-aligned
+    /// parent walking (adequate for the paper's O(t)-bounded uses; callers
+    /// needing many far LCAs should cap with [`RootedTree::lca_capped`]).
+    pub fn lca(&self, mut u: Vertex, mut v: Vertex) -> Vertex {
+        while self.level(u) > self.level(v) {
+            u = self.parent[u as usize];
+        }
+        while self.level(v) > self.level(u) {
+            v = self.parent[v as usize];
+        }
+        while u != v {
+            u = self.parent[u as usize];
+            v = self.parent[v as usize];
+        }
+        u
+    }
+
+    /// Like [`RootedTree::lca`] but gives up after walking `cap` steps up
+    /// from each vertex, returning `None` when the LCA is farther than that.
+    /// Used by the coloring algorithm, which only needs
+    /// `min(t, l - l(lca) - 1)`.
+    pub fn lca_capped(&self, mut u: Vertex, mut v: Vertex, cap: u32) -> Option<Vertex> {
+        let mut steps = 0u32;
+        while self.level(u) > self.level(v) {
+            if steps == cap {
+                return None;
+            }
+            u = self.parent[u as usize];
+            steps += 1;
+        }
+        while self.level(v) > self.level(u) {
+            if steps == cap {
+                return None;
+            }
+            v = self.parent[v as usize];
+            steps += 1;
+        }
+        while u != v {
+            if steps == cap {
+                return None;
+            }
+            u = self.parent[u as usize];
+            v = self.parent[v as usize];
+            steps += 1;
+        }
+        Some(u)
+    }
+
+    /// Tree distance between two vertices via the LCA.
+    pub fn distance(&self, u: Vertex, v: Vertex) -> u32 {
+        let a = self.lca(u, v);
+        self.level(u) + self.level(v) - 2 * self.level(a)
+    }
+
+    /// The vertices of the subtree of `x` at level `level(x) + i`, i.e. the
+    /// paper's `D_i(x)`, as a contiguous canonical-vertex range. `O(log n)`
+    /// by binary search within the level range.
+    pub fn descendant_range(&self, x: Vertex, i: u32) -> std::ops::Range<Vertex> {
+        if i == 0 {
+            return x..x + 1;
+        }
+        let l = self.level(x) + i;
+        let range = self.level_range(l);
+        if range.is_empty() {
+            return 0..0;
+        }
+        // Vertices in a level are ordered by tin; descendants of x are those
+        // with tin in [tin(x), tout(x)).
+        let (lo, hi) = (self.tin[x as usize], self.tout[x as usize]);
+        let base = range.start;
+        let slice_len = (range.end - range.start) as usize;
+        let first =
+            base + partition_point(slice_len, |k| self.tin[(base + k as u32) as usize] < lo) as u32;
+        let last =
+            base + partition_point(slice_len, |k| self.tin[(base + k as u32) as usize] < hi) as u32;
+        first..last
+    }
+
+    /// `|D_i(x)|` without materializing the range contents.
+    #[inline]
+    pub fn descendant_count(&self, x: Vertex, i: u32) -> usize {
+        let r = self.descendant_range(x, i);
+        (r.end - r.start) as usize
+    }
+
+    /// Rebuilds the underlying undirected graph (in canonical numbering).
+    pub fn to_graph(&self) -> Graph {
+        let edges: Vec<(Vertex, Vertex)> = (1..self.len() as Vertex)
+            .map(|v| (self.parent[v as usize], v))
+            .collect();
+        Graph::from_edges(self.len(), &edges).expect("tree edges are valid")
+    }
+}
+
+/// `slice::partition_point` over an implicit slice of length `len`.
+fn partition_point(len: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (0usize, len);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssg_graph::generators;
+    use ssg_graph::traversal::distance as graph_distance;
+
+    fn canonical(g: &Graph, root: Vertex) -> RootedTree {
+        RootedTree::bfs_canonical(g, root).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_trees() {
+        let cyc = generators::cycle(4);
+        assert!(matches!(
+            RootedTree::bfs_canonical(&cyc, 0),
+            Err(TreeError::WrongEdgeCount { .. })
+        ));
+        let disc = Graph::from_edges(4, &[(0, 1), (2, 3), (1, 2), (0, 3)]).unwrap();
+        assert!(RootedTree::bfs_canonical(&disc, 0).is_err());
+        let forest = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            RootedTree::bfs_canonical(&forest, 0),
+            Err(TreeError::WrongEdgeCount { .. })
+        ));
+        assert!(matches!(
+            RootedTree::bfs_canonical(&Graph::from_edges(0, &[]).unwrap(), 0),
+            Err(TreeError::Empty)
+        ));
+        assert!(matches!(
+            RootedTree::bfs_canonical(&generators::path(3), 5),
+            Err(TreeError::RootOutOfRange { root: 5 })
+        ));
+    }
+
+    #[test]
+    fn canonical_numbering_invariants() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 3, 17, 120] {
+            let g = generators::random_tree(n, &mut rng);
+            let t = canonical(&g, 0);
+            assert_eq!(t.len(), n);
+            assert_eq!(t.parent(0), None);
+            for v in 1..n as Vertex {
+                let p = t.parent(v).unwrap();
+                assert!(p < v, "BFS order: parent before child");
+                assert_eq!(t.level(v), t.level(p) + 1);
+                assert!(t.level(v) >= t.level(v - 1), "levels nondecreasing");
+            }
+            // level ranges tile 0..n.
+            let mut covered = 0u32;
+            for l in 0..=t.height() {
+                let r = t.level_range(l);
+                assert_eq!(r.start, covered);
+                covered = r.end;
+                for v in r {
+                    assert_eq!(t.level(v), l);
+                }
+            }
+            assert_eq!(covered as usize, n);
+        }
+    }
+
+    #[test]
+    fn original_ids_roundtrip() {
+        // star rooted at a leaf: original ids preserved in mapping.
+        let g = generators::star(5);
+        let t = canonical(&g, 3);
+        assert_eq!(t.original_id(0), 3);
+        assert_eq!(t.original_id(1), 0); // center is the only child
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn ancestors_and_lca() {
+        // Path 0-1-2-3-4 rooted at 0 is already canonical.
+        let g = generators::path(5);
+        let t = canonical(&g, 0);
+        assert_eq!(t.ancestor(4, 2), Some(2));
+        assert_eq!(t.ancestor(4, 4), Some(0));
+        assert_eq!(t.ancestor(4, 5), None);
+        assert_eq!(t.lca(3, 4), 3);
+        let g = generators::kary_tree(7, 2);
+        let t = canonical(&g, 0);
+        // children of 0: 1,2; of 1: 3,4; of 2: 5,6.
+        assert_eq!(t.lca(3, 4), 1);
+        assert_eq!(t.lca(3, 6), 0);
+        assert_eq!(t.lca(5, 6), 2);
+        assert_eq!(t.distance(3, 6), 4);
+        assert_eq!(t.distance(3, 1), 1);
+    }
+
+    #[test]
+    fn lca_capped_agrees_or_gives_up() {
+        let g = generators::kary_tree(31, 2);
+        let t = canonical(&g, 0);
+        for u in 0..31 as Vertex {
+            for v in 0..31 as Vertex {
+                let full = t.lca(u, v);
+                let walk = t.level(u) + t.level(v) - 2 * t.level(full);
+                let steps_needed = (t.level(u) - t.level(full)).max(t.level(v) - t.level(full));
+                let _ = walk;
+                for cap in 0..6u32 {
+                    let got = t.lca_capped(u, v, cap);
+                    if cap >= steps_needed {
+                        assert_eq!(got, Some(full), "u={u} v={v} cap={cap}");
+                    } else {
+                        assert_eq!(got, None, "u={u} v={v} cap={cap}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_distance_matches_graph_bfs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::random_tree(40, &mut rng);
+        let t = canonical(&g, 0);
+        let cg = t.to_graph();
+        for u in 0..40 as Vertex {
+            for v in 0..40 as Vertex {
+                assert_eq!(t.distance(u, v), graph_distance(&cg, u, v), "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn descendant_ranges_match_definition() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for n in [1usize, 5, 30, 100] {
+            let g = generators::random_tree(n, &mut rng);
+            let t = canonical(&g, 0);
+            for x in 0..n as Vertex {
+                for i in 0..=(t.height() + 1) {
+                    let r = t.descendant_range(x, i);
+                    let expect: Vec<Vertex> = (0..n as Vertex)
+                        .filter(|&v| t.level(v) == t.level(x) + i && t.is_ancestor(x, v))
+                        .collect();
+                    let got: Vec<Vertex> = r.collect();
+                    assert_eq!(got, expect, "n={n} x={x} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_check_via_tin_tout() {
+        let g = generators::kary_tree(15, 2);
+        let t = canonical(&g, 0);
+        assert!(t.is_ancestor(0, 14));
+        assert!(t.is_ancestor(1, 3));
+        assert!(!t.is_ancestor(2, 3));
+        assert!(t.is_ancestor(5, 5));
+    }
+}

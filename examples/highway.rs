@@ -1,0 +1,69 @@
+//! Highway scenario: channel assignment for roadside units and a vehicle
+//! platoon. Demonstrates the interval and unit-interval algorithms against
+//! the greedy baseline on realistically-shaped workloads.
+//!
+//! ```sh
+//! cargo run --release --example highway [n] [seed]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use strongly_simplicial::netsim::{CorridorNetwork, VehicularNetwork};
+use strongly_simplicial::prelude::SeparationVector;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_000);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    // --- Roadside units with heterogeneous ranges (interval graph) --------
+    let mut rng = StdRng::seed_from_u64(seed);
+    let corridor = CorridorNetwork::generate(n, 1.0, 1.0, 6.0, &mut rng);
+    println!(
+        "corridor: {} stations, {} conflicts, clique {}",
+        n,
+        corridor.graph().num_edges(),
+        corridor.representation().max_clique()
+    );
+    println!(
+        "{:<22} {:>6} {:>9} {:>8} {:>6}",
+        "algorithm", "span", "channels", "lower", "ok"
+    );
+    for t in [1u32, 2, 4] {
+        let opt = corridor.assign_l1(t);
+        let greedy = corridor.assign_greedy(&SeparationVector::all_ones(t));
+        for r in [&opt, &greedy] {
+            println!(
+                "{:<22} {:>6} {:>9} {:>8} {:>6}   (t={t})",
+                r.algorithm, r.span, r.distinct_channels, r.lower_bound, r.verified
+            );
+        }
+    }
+    for (t, d1) in [(2u32, 4u32), (3, 6)] {
+        let approx = corridor.assign_delta1(t, d1);
+        let greedy = corridor.assign_greedy(&SeparationVector::delta1_then_ones(d1, t).unwrap());
+        for r in [&approx, &greedy] {
+            println!(
+                "{:<22} {:>6} {:>9} {:>8} {:>6}   (t={t}, δ1={d1})",
+                r.algorithm, r.span, r.distinct_channels, r.lower_bound, r.verified
+            );
+        }
+    }
+
+    // --- Vehicle platoon (unit interval graph) ----------------------------
+    println!("\nplatoon (unit intervals):");
+    let platoon = VehicularNetwork::platoon(n, 6, &mut rng);
+    println!(
+        "  {} vehicles, clique {}",
+        n,
+        platoon.representation().max_clique()
+    );
+    for (d1, d2) in [(2u32, 1u32), (5, 1), (3, 2)] {
+        let ours = platoon.assign_l_delta(d1, d2);
+        let greedy = platoon.assign_greedy(d1, d2);
+        println!(
+            "  L({d1},{d2}): paper span {} vs greedy {} (lower bound {}, verified {}/{})",
+            ours.span, greedy.span, ours.lower_bound, ours.verified, greedy.verified
+        );
+    }
+}

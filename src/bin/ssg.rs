@@ -1,0 +1,224 @@
+//! `ssg` — command-line channel assignment.
+//!
+//! ```text
+//! ssg gen corridor <n> [seed]        # emit an interval-graph edge list
+//! ssg gen platoon  <n> <k> [seed]    # tight unit-interval platoon
+//! ssg gen backbone <n> [seed]        # random degree-4 tree
+//! ssg classify <file>                # certify the graph class
+//! ssg color <file> <d1[,d2,...]>     # auto-dispatch an L(δ...) coloring
+//! ssg churn [epochs] [seed]          # dynamic corridor churn demo
+//! ```
+//!
+//! Graph files: first line `n m`, then `m` lines `u v` (0-based).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use strongly_simplicial::labeling::auto::{auto_coloring, classify, Guarantee};
+use strongly_simplicial::labeling::{all_violations, SeparationVector};
+use strongly_simplicial::netsim::{
+    simulate_corridor, BackboneNetwork, CorridorNetwork, DynamicsConfig, Policy, VehicularNetwork,
+};
+use strongly_simplicial::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("color") => cmd_color(&args[1..]),
+        Some("churn") => cmd_churn(&args[1..]),
+        _ => {
+            eprintln!("usage: ssg gen|classify|color|churn ... (see --help in the README)");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_gen(args: &[String]) -> i32 {
+    let kind = match args.first() {
+        Some(k) => k.as_str(),
+        None => {
+            eprintln!("usage: ssg gen corridor|platoon|backbone <n> [...] [seed]");
+            return 2;
+        }
+    };
+    let n: usize = match args.get(1).and_then(|a| a.parse().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => {
+            eprintln!("gen: need a positive vertex count");
+            return 2;
+        }
+    };
+    let g = match kind {
+        "corridor" => {
+            let seed = parse_seed(args.get(2));
+            let mut rng = StdRng::seed_from_u64(seed);
+            CorridorNetwork::generate(n, 1.0, 1.0, 5.0, &mut rng)
+                .graph()
+                .clone()
+        }
+        "platoon" => {
+            let k: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(4);
+            let seed = parse_seed(args.get(3));
+            let mut rng = StdRng::seed_from_u64(seed);
+            VehicularNetwork::platoon(n, k, &mut rng).graph().clone()
+        }
+        "backbone" => {
+            let seed = parse_seed(args.get(2));
+            let mut rng = StdRng::seed_from_u64(seed);
+            BackboneNetwork::generate(n, 4, &mut rng).graph().clone()
+        }
+        other => {
+            eprintln!("gen: unknown workload '{other}'");
+            return 2;
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if writeln!(out, "{} {}", g.num_vertices(), g.num_edges()).is_err() {
+        return 0; // closed pipe
+    }
+    for (u, v) in g.edges() {
+        if writeln!(out, "{u} {v}").is_err() {
+            return 0;
+        }
+    }
+    0
+}
+
+fn parse_seed(arg: Option<&String>) -> u64 {
+    arg.and_then(|a| a.parse().ok()).unwrap_or(42)
+}
+
+fn read_graph(path: &str) -> Result<Graph, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut lines = BufReader::new(file).lines();
+    let header = lines
+        .next()
+        .ok_or("empty file")?
+        .map_err(|e| e.to_string())?;
+    let mut it = header.split_whitespace();
+    let n: usize = it.next().ok_or("missing n")?.parse().map_err(|_| "bad n")?;
+    let m: usize = it.next().ok_or("missing m")?.parse().map_err(|_| "bad m")?;
+    let mut edges = Vec::with_capacity(m);
+    for line in lines {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: u32 = it.next().ok_or("missing u")?.parse().map_err(|_| "bad u")?;
+        let v: u32 = it.next().ok_or("missing v")?.parse().map_err(|_| "bad v")?;
+        edges.push((u, v));
+    }
+    if edges.len() != m {
+        return Err(format!("expected {m} edges, found {}", edges.len()));
+    }
+    Graph::from_edges(n, &edges).map_err(|e| e.to_string())
+}
+
+fn cmd_classify(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: ssg classify <file>");
+        return 2;
+    };
+    match read_graph(path) {
+        Ok(g) => {
+            println!(
+                "n={} m={} class={:?}",
+                g.num_vertices(),
+                g.num_edges(),
+                classify(&g)
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("classify: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_color(args: &[String]) -> i32 {
+    let (Some(path), Some(sep_spec)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: ssg color <file> <d1[,d2,...]>");
+        return 2;
+    };
+    let deltas: Result<Vec<u32>, _> = sep_spec.split(',').map(str::parse).collect();
+    let sep = match deltas
+        .map_err(|_| "bad separations".to_string())
+        .and_then(|d| SeparationVector::new(d).map_err(|e| e.to_string()))
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("color: {e}");
+            return 2;
+        }
+    };
+    let g = match read_graph(path) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("color: {e}");
+            return 1;
+        }
+    };
+    let out = auto_coloring(&g, &sep);
+    let violations = all_violations(&g, &sep, out.labeling.colors());
+    println!(
+        "class={:?} algorithm=\"{}\" guarantee={} span={} channels={} violations={}",
+        out.class,
+        out.algorithm,
+        match out.guarantee {
+            Guarantee::Optimal => "optimal".to_string(),
+            Guarantee::Approximation(f) => format!("{f}-approx"),
+            Guarantee::Heuristic => "heuristic".to_string(),
+        },
+        out.labeling.span(),
+        out.labeling.distinct_colors(),
+        violations.len()
+    );
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    for (v, c) in out.labeling.colors().iter().enumerate() {
+        // A closed pipe (e.g. `| head`) is a normal way to stop reading.
+        if writeln!(w, "{v} {c}").is_err() {
+            break;
+        }
+    }
+    if violations.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+fn cmd_churn(args: &[String]) -> i32 {
+    let epochs: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(50);
+    let seed = parse_seed(args.get(1));
+    let cfg = DynamicsConfig {
+        initial: 100,
+        epochs,
+        p_depart: 0.08,
+        arrivals_max: 10,
+        corridor_len: 60.0,
+        range_min: 1.0,
+        range_max: 4.0,
+        t: 2,
+    };
+    for policy in [Policy::OptimalL1, Policy::Greedy] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rep = simulate_corridor(cfg, policy, &mut rng);
+        println!(
+            "{policy:?}: epochs={} mean_stations={:.1} mean_span={:.2} max_span={} mean_churn={:.1}% retunes={}",
+            rep.epochs,
+            rep.mean_stations,
+            rep.mean_span,
+            rep.max_span,
+            rep.mean_churn * 100.0,
+            rep.total_retunes
+        );
+    }
+    0
+}

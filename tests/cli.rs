@@ -1,0 +1,106 @@
+//! End-to-end tests of the `ssg` command-line binary (Cargo builds it and
+//! exposes the path via `CARGO_BIN_EXE_ssg`).
+
+use std::io::Write;
+use std::process::Command;
+
+fn ssg() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ssg"))
+}
+
+#[test]
+fn gen_classify_color_pipeline() {
+    // Generate a platoon workload.
+    let out = ssg()
+        .args(["gen", "platoon", "25", "3", "11"])
+        .output()
+        .expect("gen runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let mut lines = text.lines();
+    let header = lines.next().unwrap();
+    assert!(header.starts_with("25 "));
+    // Persist to a temp file.
+    let dir = std::env::temp_dir().join("ssg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("platoon.g");
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(text.as_bytes()).unwrap();
+    drop(f);
+
+    // Classify: proper interval.
+    let out = ssg()
+        .args(["classify", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("class=ProperInterval"), "{text}");
+
+    // Color with L(2,1): no violations expected, exit code 0.
+    let out = ssg()
+        .args(["color", path.to_str().unwrap(), "2,1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("violations=0"), "{text}");
+    // One channel line per vertex.
+    assert_eq!(text.lines().count(), 1 + 25);
+}
+
+#[test]
+fn backbone_is_a_tree_and_colors_optimally() {
+    let out = ssg().args(["gen", "backbone", "40", "5"]).output().unwrap();
+    assert!(out.status.success());
+    let dir = std::env::temp_dir().join("ssg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("backbone.g");
+    std::fs::write(&path, &out.stdout).unwrap();
+    let out = ssg()
+        .args(["classify", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("class=Tree"));
+    let out = ssg()
+        .args(["color", path.to_str().unwrap(), "1,1"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("guarantee=optimal"), "{text}");
+    assert!(text.contains("violations=0"));
+}
+
+#[test]
+fn usage_errors_exit_nonzero() {
+    let out = ssg().output().unwrap();
+    assert!(!out.status.success());
+    let out = ssg()
+        .args(["color", "/nonexistent/file", "2,1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = ssg().args(["gen", "nonsense", "5"]).output().unwrap();
+    assert!(!out.status.success());
+    // Increasing separations are invalid.
+    let dir = std::env::temp_dir().join("ssg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tiny.g");
+    std::fs::write(&path, "2 1\n0 1\n").unwrap();
+    let out = ssg()
+        .args(["color", path.to_str().unwrap(), "1,2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn churn_prints_both_policies() {
+    let out = ssg().args(["churn", "5", "3"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("OptimalL1:"));
+    assert!(text.contains("Greedy:"));
+}

@@ -1,0 +1,182 @@
+//! Cross-class integration tests: graphs that live in several of the
+//! paper's classes at once must get the same optimal span from every
+//! specialized algorithm.
+
+use strongly_simplicial::labeling::interval::l1_coloring as interval_l1;
+use strongly_simplicial::labeling::tree::l1_coloring as tree_l1;
+use strongly_simplicial::labeling::unit_interval::l_delta1_delta2_coloring;
+use strongly_simplicial::labeling::{exact, verify_labeling, SeparationVector};
+use strongly_simplicial::prelude::*;
+
+/// A path P_n as an interval representation (unit intervals on a line).
+fn path_as_intervals(n: usize) -> IntervalRepresentation {
+    let intervals: Vec<(f64, f64)> = (0..n)
+        .map(|i| (i as f64 * 0.9, i as f64 * 0.9 + 1.0))
+        .collect();
+    IntervalRepresentation::from_floats(&intervals).unwrap()
+}
+
+/// A caterpillar as an interval representation: spine i = [i, i + 1.05],
+/// legs of spine i packed inside (i + 0.2, i + 0.8).
+fn caterpillar_as_intervals(spine: usize, legs: usize) -> (IntervalRepresentation, Graph) {
+    let mut intervals: Vec<(f64, f64)> = Vec::new();
+    for i in 0..spine {
+        intervals.push((i as f64, i as f64 + 1.05));
+    }
+    for i in 0..spine {
+        for j in 0..legs {
+            let base = i as f64 + 0.2 + j as f64 * 0.05;
+            intervals.push((base, base + 0.02));
+        }
+    }
+    let rep = IntervalRepresentation::from_floats(&intervals).unwrap();
+    let g = ssg_graph_from_caterpillar(spine, legs);
+    (rep, g)
+}
+
+fn ssg_graph_from_caterpillar(spine: usize, legs: usize) -> Graph {
+    strongly_simplicial::graph::generators::caterpillar(spine, legs)
+}
+
+#[test]
+fn paths_agree_across_all_four_solvers() {
+    for n in [2usize, 3, 5, 9, 14] {
+        let g = strongly_simplicial::graph::generators::path(n);
+        let rep = path_as_intervals(n);
+        assert!(rep.represents(&g), "n={n}: construction must realize P_n");
+        let tree = RootedTree::bfs_canonical(&g, 0).unwrap();
+        for t in 1..=4u32 {
+            let iv = interval_l1(&rep, t).lambda_star;
+            let tr = tree_l1(&tree, t).lambda_star;
+            let peel = strongly_simplicial::simplicial::peel_lambda_star(
+                &g,
+                t,
+                &(0..n as u32).collect::<Vec<_>>(),
+            );
+            assert_eq!(iv, tr, "n={n} t={t}: interval vs tree");
+            assert_eq!(iv, peel, "n={n} t={t}: vs peel");
+            assert_eq!(
+                iv as usize,
+                t.min(n as u32 - 1) as usize,
+                "known path formula"
+            );
+            if n <= 9 && t <= 3 {
+                let (_, opt) = exact::exact_min_span(&g, &SeparationVector::all_ones(t));
+                assert_eq!(iv, opt, "n={n} t={t}: vs exact");
+            }
+        }
+    }
+}
+
+#[test]
+fn caterpillars_agree_between_tree_and_interval_algorithms() {
+    for (spine, legs) in [(3usize, 1usize), (4, 2), (6, 3), (2, 5)] {
+        let (rep, g) = caterpillar_as_intervals(spine, legs);
+        assert!(
+            rep.to_graph().num_edges() == g.num_edges(),
+            "spine={spine} legs={legs}: interval construction edge count"
+        );
+        let tree = RootedTree::bfs_canonical(&g, 0).unwrap();
+        for t in 1..=5u32 {
+            let iv = interval_l1(&rep, t);
+            let tr = tree_l1(&tree, t);
+            assert_eq!(
+                iv.lambda_star, tr.lambda_star,
+                "spine={spine} legs={legs} t={t}"
+            );
+            // Both colorings legal on their own graphs.
+            verify_labeling(
+                &rep.to_graph(),
+                &SeparationVector::all_ones(t),
+                iv.labeling.colors(),
+            )
+            .unwrap();
+            verify_labeling(
+                &tree.to_graph(),
+                &SeparationVector::all_ones(t),
+                tr.labeling.colors(),
+            )
+            .unwrap();
+        }
+    }
+}
+
+#[test]
+fn unit_interval_l11_matches_interval_l1_at_t2() {
+    // L(1,1) on a unit interval graph: Theorem 3 with δ1 = δ2 = 1 uses the
+    // modular scheme with span 2λ*₁+2; the optimal L(1,1) is λ*_{G,2}. The
+    // approximation must stay within Theorem 3's ratio 3 of the optimum.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(100);
+    for _ in 0..10 {
+        let u =
+            strongly_simplicial::intervals::gen::random_connected_unit_intervals(30, 0.6, &mut rng);
+        let opt = interval_l1(u.as_interval(), 2).lambda_star;
+        let approx = l_delta1_delta2_coloring(&u, 1, 1);
+        verify_labeling(
+            &u.to_graph(),
+            &SeparationVector::all_ones(2),
+            approx.labeling.colors(),
+        )
+        .unwrap();
+        assert!(approx.labeling.span() >= opt);
+        assert!(approx.labeling.span() as f64 <= 3.0 * opt.max(1) as f64);
+    }
+}
+
+#[test]
+fn stars_as_intervals_and_trees() {
+    // Star K_{1,m}: center interval covering m pairwise-disjoint leaves.
+    let m = 6usize;
+    let mut intervals = vec![(0.0, (m as f64) + 1.0)];
+    for j in 0..m {
+        intervals.push((j as f64 + 0.1, j as f64 + 0.9));
+    }
+    let rep = IntervalRepresentation::from_floats(&intervals).unwrap();
+    let g = strongly_simplicial::graph::generators::star(m + 1);
+    assert_eq!(rep.to_graph().num_edges(), g.num_edges());
+    let tree = RootedTree::bfs_canonical(&g, 0).unwrap();
+    for t in 1..=3u32 {
+        let iv = interval_l1(&rep, t).lambda_star;
+        let tr = tree_l1(&tree, t).lambda_star;
+        assert_eq!(iv, tr, "t={t}");
+        let expect = if t == 1 { 1 } else { m as u32 };
+        assert_eq!(iv, expect, "star closed form, t={t}");
+    }
+}
+
+#[test]
+fn lemma1_lower_bound_holds_for_every_algorithm_output() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(101);
+    for _ in 0..5 {
+        let rep = strongly_simplicial::intervals::gen::random_connected_intervals(
+            25, 0.7, 1.0, 4.0, &mut rng,
+        );
+        for t in 2..=3u32 {
+            for d1 in 2..=4u32 {
+                let out =
+                    strongly_simplicial::labeling::interval::approx_delta1_coloring(&rep, t, d1);
+                // Lemma 1: λ >= max_i δi λ*_i; here δ = (d1, 1, .., 1).
+                let mut lambdas = Vec::new();
+                for i in 1..=t {
+                    lambdas.push(interval_l1(&rep, i).lambda_star);
+                }
+                let mut deltas = vec![1u32; t as usize];
+                deltas[0] = d1;
+                let lower = strongly_simplicial::simplicial::lemma1_lower_bound(&deltas, &lambdas);
+                // Any legal coloring's span is at least the optimum, which
+                // Lemma 1 bounds from below; Theorem 2 bounds ours from
+                // above by 3x that same quantity.
+                let span = out.labeling.span() as u64;
+                assert!(span >= lower, "span {span} below Lemma-1 bound {lower}");
+                assert!(
+                    span <= 3 * lower.max(1),
+                    "span {span} above 3x bound {lower}"
+                );
+            }
+        }
+    }
+}

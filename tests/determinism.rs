@@ -1,0 +1,73 @@
+//! Determinism: identical seeds must give identical workloads, colorings and
+//! reports across the whole pipeline — the property EXPERIMENTS.md's
+//! reproducibility story rests on.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use strongly_simplicial::intervals::gen;
+use strongly_simplicial::labeling::{interval, tree, unit_interval};
+use strongly_simplicial::netsim::{BackboneNetwork, CorridorNetwork};
+use strongly_simplicial::prelude::*;
+
+#[test]
+fn interval_pipeline_is_deterministic() {
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(31337);
+        let rep = gen::random_connected_intervals(300, 0.8, 1.0, 4.0, &mut rng);
+        let out = interval::l1_coloring(&rep, 3);
+        (rep, out.labeling.colors().to_vec(), out.lambda_star)
+    };
+    let (a_rep, a_colors, a_span) = run();
+    let (b_rep, b_colors, b_span) = run();
+    assert_eq!(a_rep, b_rep);
+    assert_eq!(a_colors, b_colors);
+    assert_eq!(a_span, b_span);
+}
+
+#[test]
+fn tree_pipeline_is_deterministic() {
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(424242);
+        let g = strongly_simplicial::graph::generators::random_tree(250, &mut rng);
+        let tr = RootedTree::bfs_canonical(&g, 0).unwrap();
+        let out = tree::l1_coloring(&tr, 4);
+        (out.labeling.colors().to_vec(), out.lambda_star)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn unit_interval_pipeline_is_deterministic() {
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(777);
+        let rep = gen::corridor_unit_intervals(200, 5, &mut rng);
+        let out = unit_interval::l_delta1_delta2_coloring(&rep, 5, 2);
+        (out.labeling.colors().to_vec(), out.schemes.clone())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn netsim_reports_are_deterministic() {
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(99);
+        let corridor = CorridorNetwork::generate(150, 1.0, 1.0, 4.0, &mut rng);
+        let backbone = BackboneNetwork::generate(150, 4, &mut rng);
+        (corridor.assign_l1(2), backbone.assign_l1(3))
+    };
+    let (c1, b1) = run();
+    let (c2, b2) = run();
+    assert_eq!(c1, c2);
+    assert_eq!(b1, b2);
+    assert_eq!(c1.to_csv_row(), c2.to_csv_row());
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    // Guard against a generator accidentally ignoring its RNG.
+    let mut a = StdRng::seed_from_u64(1);
+    let mut b = StdRng::seed_from_u64(2);
+    let ra = gen::random_connected_intervals(100, 0.8, 1.0, 4.0, &mut a);
+    let rb = gen::random_connected_intervals(100, 0.8, 1.0, 4.0, &mut b);
+    assert_ne!(ra, rb);
+}

