@@ -1,0 +1,61 @@
+//! E11 — telemetry overhead: the instrumented hot paths must cost nothing
+//! measurable when telemetry is off.
+//!
+//! Three variants of the same Theorem-1 interval sweep:
+//!
+//! * `seed_api` — the original un-instrumented entry point `l1_coloring`
+//!   (which now delegates to a disabled handle internally);
+//! * `disabled` — `l1_coloring_with` called explicitly with
+//!   `Metrics::disabled()`;
+//! * `enabled` — `l1_coloring_with` with a recording handle.
+//!
+//! `seed_api` and `disabled` must be within noise of each other (they run
+//! the identical code); `enabled` bounds the cost of actually recording.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ssg_bench::{interval_workload, tree_workload};
+use ssg_labeling::interval::{l1_coloring, l1_coloring_with};
+use ssg_labeling::tree::l1_coloring_with as tree_l1_with;
+use ssg_telemetry::Metrics;
+
+fn bench_interval_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11/interval_l1_telemetry");
+    group.sample_size(20);
+    let n = 16_000usize;
+    let t = 4u32;
+    let rep = interval_workload(n, 0xE11);
+    group.throughput(Throughput::Elements((n as u64) * t as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("seed_api"), &rep, |b, rep| {
+        b.iter(|| l1_coloring(rep, t))
+    });
+    let disabled = Metrics::disabled();
+    group.bench_with_input(BenchmarkId::from_parameter("disabled"), &rep, |b, rep| {
+        b.iter(|| l1_coloring_with(rep, t, &disabled))
+    });
+    let enabled = Metrics::enabled();
+    group.bench_with_input(BenchmarkId::from_parameter("enabled"), &rep, |b, rep| {
+        b.iter(|| l1_coloring_with(rep, t, &enabled))
+    });
+    group.finish();
+}
+
+fn bench_tree_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11/tree_l1_telemetry");
+    group.sample_size(20);
+    let n = 16_000usize;
+    let t = 3u32;
+    let tree = tree_workload(n, 4, 0xE11);
+    group.throughput(Throughput::Elements(n as u64));
+    let disabled = Metrics::disabled();
+    group.bench_with_input(BenchmarkId::from_parameter("disabled"), &tree, |b, tree| {
+        b.iter(|| tree_l1_with(tree, t, &disabled))
+    });
+    let enabled = Metrics::enabled();
+    group.bench_with_input(BenchmarkId::from_parameter("enabled"), &tree, |b, tree| {
+        b.iter(|| tree_l1_with(tree, t, &enabled))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interval_overhead, bench_tree_overhead);
+criterion_main!(benches);

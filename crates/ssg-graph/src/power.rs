@@ -7,6 +7,7 @@
 
 use crate::graph::{Graph, Vertex};
 use crate::traversal::{bfs_distances_bounded_into, UNREACHABLE};
+use ssg_telemetry::{Counter, Metrics};
 use std::collections::VecDeque;
 
 /// Builds the augmented graph `A_{G,t}` by running a truncated BFS from every
@@ -21,13 +22,21 @@ use std::collections::VecDeque;
 /// assert!(!square.has_edge(0, 3));
 /// ```
 pub fn augmented_graph(g: &Graph, t: u32) -> Graph {
+    augmented_graph_with(g, t, &Metrics::disabled())
+}
+
+/// [`augmented_graph`] with telemetry: records one
+/// [`Counter::BfsNodeVisits`] per vertex dequeued across the `n` truncated
+/// BFS runs.
+pub fn augmented_graph_with(g: &Graph, t: u32, metrics: &Metrics) -> Graph {
     assert!(t >= 1, "augmented graph requires t >= 1");
     let n = g.num_vertices();
     let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); n];
     let mut dist = vec![UNREACHABLE; n];
     let mut queue = VecDeque::new();
+    let mut visits = 0u64;
     for v in 0..n as Vertex {
-        bfs_distances_bounded_into(g, v, t, &mut dist, &mut queue);
+        visits += bfs_distances_bounded_into(g, v, t, &mut dist, &mut queue);
         let list = &mut adj[v as usize];
         for (w, &d) in dist.iter().enumerate() {
             if d != UNREACHABLE && d > 0 {
@@ -35,6 +44,9 @@ pub fn augmented_graph(g: &Graph, t: u32) -> Graph {
             }
         }
         // dist rows are produced in vertex order, so each list is sorted.
+    }
+    if metrics.is_enabled() {
+        metrics.add(Counter::BfsNodeVisits, visits);
     }
     Graph::from_sorted_adjacency(adj)
 }
@@ -44,6 +56,12 @@ pub fn augmented_graph(g: &Graph, t: u32) -> Graph {
 /// intended for small graphs (tests / oracles). For interval graphs use
 /// `ssg-intervals`' sweep instead, and for trees the `F_t` neighborhoods.
 pub fn max_clique_bruteforce(g: &Graph) -> usize {
+    max_clique_bruteforce_with(g, &Metrics::disabled())
+}
+
+/// [`max_clique_bruteforce`] with telemetry: records one
+/// [`Counter::SearchNodes`] per branch-and-bound node expanded.
+pub fn max_clique_bruteforce_with(g: &Graph, metrics: &Metrics) -> usize {
     let n = g.num_vertices();
     assert!(n <= 64, "brute-force clique limited to 64 vertices");
     if n == 0 {
@@ -57,10 +75,12 @@ pub fn max_clique_bruteforce(g: &Graph) -> usize {
         }
     }
     let mut best = 0usize;
+    let mut nodes = 0u64;
     // Branch and bound over candidates in increasing vertex order; the
     // `size + |cand| <= best` cut keeps this fast for the small graphs it is
     // meant for.
-    fn expand(adj: &[u64], cand: u64, size: usize, best: &mut usize) {
+    fn expand(adj: &[u64], cand: u64, size: usize, best: &mut usize, nodes: &mut u64) {
+        *nodes += 1;
         if size > *best {
             *best = size;
         }
@@ -73,14 +93,17 @@ pub fn max_clique_bruteforce(g: &Graph) -> usize {
             c &= c - 1;
             // Only extend with vertices > v (c after clearing) to avoid
             // revisiting the same clique in different orders.
-            expand(adj, c & adj[v], size + 1, best);
+            expand(adj, c & adj[v], size + 1, best, nodes);
             if size + 1 + c.count_ones() as usize <= *best {
                 return;
             }
         }
     }
     let full = if n == 64 { !0u64 } else { (1u64 << n) - 1 };
-    expand(&adj, full, 0, &mut best);
+    expand(&adj, full, 0, &mut best, &mut nodes);
+    if metrics.is_enabled() {
+        metrics.add(Counter::SearchNodes, nodes);
+    }
     best
 }
 

@@ -1,6 +1,7 @@
 //! Breadth-first traversal, truncated BFS, connectivity and eccentricity.
 
 use crate::graph::{Graph, Vertex};
+use ssg_telemetry::{Counter, Metrics};
 use std::collections::VecDeque;
 
 /// Distance value returned by BFS routines; `UNREACHABLE` marks vertices not
@@ -22,19 +23,24 @@ pub fn bfs_distances_bounded(g: &Graph, src: Vertex, radius: u32) -> Vec<u32> {
 
 /// Workhorse variant of [`bfs_distances_bounded`] that reuses caller-provided
 /// buffers. `dist` must have length `n` and is fully reset by this call.
+///
+/// Returns the number of vertices dequeued (the size of the visited ball,
+/// including `src`) — the "BFS node visit" work unit reported by telemetry.
 pub fn bfs_distances_bounded_into(
     g: &Graph,
     src: Vertex,
     radius: u32,
     dist: &mut [u32],
     queue: &mut VecDeque<Vertex>,
-) {
+) -> u64 {
     assert_eq!(dist.len(), g.num_vertices());
     dist.fill(UNREACHABLE);
     queue.clear();
     dist[src as usize] = 0;
     queue.push_back(src);
+    let mut visited = 0u64;
     while let Some(v) = queue.pop_front() {
+        visited += 1;
         let dv = dist[v as usize];
         if dv >= radius {
             continue;
@@ -46,6 +52,7 @@ pub fn bfs_distances_bounded_into(
             }
         }
     }
+    visited
 }
 
 /// The vertices within distance `radius` of `src`, excluding `src` itself,
@@ -136,13 +143,23 @@ pub fn diameter(g: &Graph) -> u32 {
 /// `O(n * ball)` time, `O(n^2)` space — intended for verification on
 /// small/medium graphs, not for the algorithmic hot path.
 pub fn truncated_apsp(g: &Graph, radius: u32) -> Vec<Vec<u32>> {
+    truncated_apsp_with(g, radius, &Metrics::disabled())
+}
+
+/// [`truncated_apsp`] with telemetry: records one
+/// [`Counter::BfsNodeVisits`] per vertex dequeued across all `n` sources.
+pub fn truncated_apsp_with(g: &Graph, radius: u32, metrics: &Metrics) -> Vec<Vec<u32>> {
     let n = g.num_vertices();
     let mut rows = Vec::with_capacity(n);
     let mut queue = VecDeque::new();
+    let mut visits = 0u64;
     for v in 0..n as Vertex {
         let mut row = vec![UNREACHABLE; n];
-        bfs_distances_bounded_into(g, v, radius, &mut row, &mut queue);
+        visits += bfs_distances_bounded_into(g, v, radius, &mut row, &mut queue);
         rows.push(row);
+    }
+    if metrics.is_enabled() {
+        metrics.add(Counter::BfsNodeVisits, visits);
     }
     rows
 }

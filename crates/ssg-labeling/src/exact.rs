@@ -8,8 +8,9 @@
 //!   approximation theorem).
 
 use crate::spec::{Labeling, SeparationVector};
-use ssg_graph::traversal::{truncated_apsp, UNREACHABLE};
+use ssg_graph::traversal::{truncated_apsp_with, UNREACHABLE};
 use ssg_graph::Graph;
+use ssg_telemetry::{Counter, Metrics};
 
 /// Exact optimal `L(δ1,δ2)` labeling of the path `P_n`.
 ///
@@ -27,6 +28,17 @@ use ssg_graph::Graph;
 /// assert_eq!(lab.len(), 7);
 /// ```
 pub fn path_optimal(n: usize, delta1: u32, delta2: u32) -> (Labeling, u32) {
+    path_optimal_with(n, delta1, delta2, &Metrics::disabled())
+}
+
+/// [`path_optimal`] with telemetry: records one [`Counter::SearchNodes`]
+/// per DP state transition examined across all candidate spans.
+pub fn path_optimal_with(
+    n: usize,
+    delta1: u32,
+    delta2: u32,
+    metrics: &Metrics,
+) -> (Labeling, u32) {
     assert!(delta1 >= delta2 && delta2 >= 1, "need δ1 >= δ2 >= 1");
     if n == 0 {
         return (Labeling::new(Vec::new()), 0);
@@ -41,8 +53,13 @@ pub fn path_optimal(n: usize, delta1: u32, delta2: u32) -> (Labeling, u32) {
     // is at most 2δ1. Cap generously and search upward.
     let cap = delta1 + 2 * delta2 + delta1;
     let mut lambda = delta1; // any edge forces span >= δ1
+    let mut transitions = 0u64;
     loop {
-        if let Some(colors) = path_feasible(n, delta1, delta2, lambda) {
+        let witness = path_feasible(n, delta1, delta2, lambda, &mut transitions);
+        if let Some(colors) = witness {
+            if metrics.is_enabled() {
+                metrics.add(Counter::SearchNodes, transitions);
+            }
             return (Labeling::new(colors), lambda);
         }
         lambda += 1;
@@ -51,7 +68,14 @@ pub fn path_optimal(n: usize, delta1: u32, delta2: u32) -> (Labeling, u32) {
 }
 
 /// DP feasibility check for span `lambda`; returns a witness coloring.
-fn path_feasible(n: usize, delta1: u32, delta2: u32, lambda: u32) -> Option<Vec<u32>> {
+/// `transitions` accumulates the number of DP state transitions examined.
+fn path_feasible(
+    n: usize,
+    delta1: u32,
+    delta2: u32,
+    lambda: u32,
+    transitions: &mut u64,
+) -> Option<Vec<u32>> {
     let k = lambda as usize + 1;
     let ok1 = |a: u32, b: u32| a.abs_diff(b) >= delta1;
     let ok2 = |a: u32, b: u32| a.abs_diff(b) >= delta2;
@@ -61,6 +85,7 @@ fn path_feasible(n: usize, delta1: u32, delta2: u32, lambda: u32) -> Option<Vec<
     // parent[v][state] = previous state's `a` (f(v-2)); u32::MAX = none.
     let mut parents: Vec<Vec<u32>> = Vec::with_capacity(n);
     let mut layer0 = vec![u32::MAX; k * k];
+    *transitions += (k * k) as u64;
     for a in 0..k as u32 {
         for b in 0..k as u32 {
             if ok1(a, b) {
@@ -78,6 +103,7 @@ fn path_feasible(n: usize, delta1: u32, delta2: u32, lambda: u32) -> Option<Vec<
                 if !reach[(a as usize) * k + b as usize] {
                     continue;
                 }
+                *transitions += k as u64;
                 for c in 0..k as u32 {
                     if ok1(b, c) && ok2(a, c) {
                         let idx = (b as usize) * k + c as usize;
@@ -213,12 +239,23 @@ fn cycle_feasible(n: usize, delta1: u32, delta2: u32, lambda: u32) -> Option<Vec
 /// order with the `c -> λ - c` reflection symmetry broken on the first
 /// vertex. Exponential — intended for `n <= ~12` oracle duty.
 pub fn exact_min_span(g: &Graph, sep: &SeparationVector) -> (Labeling, u32) {
+    exact_min_span_with(g, sep, &Metrics::disabled())
+}
+
+/// [`exact_min_span`] with telemetry: records one [`Counter::SearchNodes`]
+/// per backtracking node expanded and one [`Counter::PaletteProbes`] per
+/// candidate color tried, across all candidate spans.
+pub fn exact_min_span_with(
+    g: &Graph,
+    sep: &SeparationVector,
+    metrics: &Metrics,
+) -> (Labeling, u32) {
     let n = g.num_vertices();
     if n == 0 {
         return (Labeling::new(Vec::new()), 0);
     }
     let t = sep.t();
-    let dist = truncated_apsp(g, t);
+    let dist = truncated_apsp_with(g, t, metrics);
     // Order: max degree in A_{G,t} first (most constrained first).
     let mut order: Vec<usize> = (0..n).collect();
     let deg_t: Vec<usize> = (0..n)
@@ -236,14 +273,22 @@ pub fn exact_min_span(g: &Graph, sep: &SeparationVector) -> (Labeling, u32) {
     let mut lambda = 0u32;
     if n <= 64 {
         for i in 1..=t {
-            let a = ssg_graph::augmented_graph(g, i);
-            let omega = ssg_graph::power::max_clique_bruteforce(&a) as u32;
+            let a = ssg_graph::power::augmented_graph_with(g, i, metrics);
+            let omega = ssg_graph::power::max_clique_bruteforce_with(&a, metrics) as u32;
             lambda = lambda.max(sep.delta(i) * omega.saturating_sub(1));
         }
     }
+    let mut nodes = 0u64;
+    let mut probes = 0u64;
     loop {
         let mut colors = vec![u32::MAX; n];
-        if backtrack(&dist, sep, &order, 0, lambda, &mut colors) {
+        if backtrack(
+            &dist, sep, &order, 0, lambda, &mut colors, &mut nodes, &mut probes,
+        ) {
+            if metrics.is_enabled() {
+                metrics.add(Counter::SearchNodes, nodes);
+                metrics.add(Counter::PaletteProbes, probes);
+            }
             return (Labeling::new(colors), lambda);
         }
         lambda += 1;
@@ -254,6 +299,7 @@ pub fn exact_min_span(g: &Graph, sep: &SeparationVector) -> (Labeling, u32) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn backtrack(
     dist: &[Vec<u32>],
     sep: &SeparationVector,
@@ -261,7 +307,10 @@ fn backtrack(
     pos: usize,
     lambda: u32,
     colors: &mut [u32],
+    nodes: &mut u64,
+    probes: &mut u64,
 ) -> bool {
+    *nodes += 1;
     if pos == order.len() {
         return true;
     }
@@ -269,6 +318,7 @@ fn backtrack(
     // Reflection symmetry: pin the first vertex to the lower half.
     let max_c = if pos == 0 { lambda / 2 } else { lambda };
     'colors: for c in 0..=max_c {
+        *probes += 1;
         for (u, &d) in dist[v].iter().enumerate() {
             if d == UNREACHABLE || d == 0 || colors[u] == u32::MAX {
                 continue;
@@ -278,7 +328,7 @@ fn backtrack(
             }
         }
         colors[v] = c;
-        if backtrack(dist, sep, order, pos + 1, lambda, colors) {
+        if backtrack(dist, sep, order, pos + 1, lambda, colors, nodes, probes) {
             return true;
         }
         colors[v] = u32::MAX;

@@ -10,6 +10,7 @@ use crate::palette::PaletteFamily;
 use crate::spec::Labeling;
 use ssg_graph::Vertex;
 use ssg_intervals::{Endpoint, IntervalRepresentation};
+use ssg_telemetry::{Counter, Metrics};
 
 /// Result of the optimal `L(1,...,1)` interval coloring.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +42,17 @@ pub struct IntervalL1Output {
 /// assert_eq!(out.lambda_star, 3); // everything within distance 2
 /// ```
 pub fn l1_coloring(rep: &IntervalRepresentation, t: u32) -> IntervalL1Output {
+    l1_coloring_with(rep, t, &Metrics::disabled())
+}
+
+/// [`l1_coloring`] with telemetry: records one
+/// [`Counter::PeelSteps`] per colored vertex and the palette probes of the
+/// sweep on `metrics`.
+pub fn l1_coloring_with(
+    rep: &IntervalRepresentation,
+    t: u32,
+    metrics: &Metrics,
+) -> IntervalL1Output {
     assert!(t >= 1, "interference radius t must be >= 1");
     let n = rep.len();
     if n == 0 {
@@ -50,7 +62,7 @@ pub fn l1_coloring(rep: &IntervalRepresentation, t: u32) -> IntervalL1Output {
         };
     }
     if rep.is_connected() {
-        let (colors, lambda) = l1_connected(rep, t);
+        let (colors, lambda) = l1_connected(rep, t, metrics);
         return IntervalL1Output {
             labeling: Labeling::new(colors),
             lambda_star: lambda,
@@ -59,7 +71,7 @@ pub fn l1_coloring(rep: &IntervalRepresentation, t: u32) -> IntervalL1Output {
     let mut colors = vec![0u32; n];
     let mut lambda = 0u32;
     for (comp, verts) in rep.components() {
-        let (cc, cl) = l1_connected(&comp, t);
+        let (cc, cl) = l1_connected(&comp, t, metrics);
         lambda = lambda.max(cl);
         for (i, &v) in verts.iter().enumerate() {
             colors[v as usize] = cc[i];
@@ -72,7 +84,7 @@ pub fn l1_coloring(rep: &IntervalRepresentation, t: u32) -> IntervalL1Output {
 }
 
 /// Figure 1 on a connected representation. Returns `(colors, λ*_{G,t})`.
-fn l1_connected(rep: &IntervalRepresentation, t: u32) -> (Vec<u32>, u32) {
+fn l1_connected(rep: &IntervalRepresentation, t: u32, metrics: &Metrics) -> (Vec<u32>, u32) {
     let n = rep.len();
     debug_assert!(rep.is_connected());
     let mut palettes = PaletteFamily::new(t, 0);
@@ -125,6 +137,10 @@ fn l1_connected(rep: &IntervalRepresentation, t: u32) -> (Vec<u32>, u32) {
         }
     }
     let lambda = lambda.max(0) as u32;
+    if metrics.is_enabled() {
+        metrics.add(Counter::PeelSteps, n as u64);
+        metrics.add(Counter::PaletteProbes, palettes.probe_count());
+    }
     (colors, lambda)
 }
 
@@ -178,6 +194,18 @@ pub fn approx_delta1_coloring(
     t: u32,
     delta1: u32,
 ) -> IntervalApproxOutput {
+    approx_delta1_coloring_with(rep, t, delta1, &Metrics::disabled())
+}
+
+/// [`approx_delta1_coloring`] with telemetry. The two optimal subruns that
+/// compute `λ*_{G,1}` and `λ*_{G,t}` are real work of the algorithm, so
+/// their peel steps and palette probes are recorded on `metrics` too.
+pub fn approx_delta1_coloring_with(
+    rep: &IntervalRepresentation,
+    t: u32,
+    delta1: u32,
+    metrics: &Metrics,
+) -> IntervalApproxOutput {
     assert!(t >= 1, "interference radius t must be >= 1");
     assert!(delta1 >= 1, "delta1 must be >= 1");
     let n = rep.len();
@@ -189,12 +217,12 @@ pub fn approx_delta1_coloring(
             upper_bound: 0,
         };
     }
-    let lambda_t = l1_coloring(rep, t).lambda_star;
-    let lambda_1 = l1_coloring(rep, 1).lambda_star;
+    let lambda_t = l1_coloring_with(rep, t, metrics).lambda_star;
+    let lambda_1 = l1_coloring_with(rep, 1, metrics).lambda_star;
     let upper_bound = lambda_t + 2 * (delta1 - 1) * lambda_1;
     let mut colors = vec![0u32; n];
     let run = |comp: &IntervalRepresentation, out: &mut [u32], verts: Option<&[Vertex]>| {
-        let cc = approx_connected(comp, t, delta1, upper_bound);
+        let cc = approx_connected(comp, t, delta1, upper_bound, metrics);
         match verts {
             None => out.copy_from_slice(&cc),
             Some(vs) => {
@@ -220,7 +248,13 @@ pub fn approx_delta1_coloring(
 }
 
 /// §3.2 sweep on a connected representation with a fixed pool `{0..=bound}`.
-fn approx_connected(rep: &IntervalRepresentation, t: u32, delta1: u32, bound: u32) -> Vec<u32> {
+fn approx_connected(
+    rep: &IntervalRepresentation,
+    t: u32,
+    delta1: u32,
+    bound: u32,
+    metrics: &Metrics,
+) -> Vec<u32> {
     let n = rep.len();
     let pool = bound as usize + 1;
     let mut palettes = PaletteFamily::new(t, pool);
@@ -300,6 +334,10 @@ fn approx_connected(rep: &IntervalRepresentation, t: u32, delta1: u32, bound: u3
                 }
             }
         }
+    }
+    if metrics.is_enabled() {
+        metrics.add(Counter::PeelSteps, n as u64);
+        metrics.add(Counter::PaletteProbes, palettes.probe_count());
     }
     colors
 }

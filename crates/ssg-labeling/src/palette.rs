@@ -22,6 +22,7 @@ pub struct PaletteFamily {
     linked: Vec<bool>,
     head: Vec<u32>,
     len: Vec<usize>,
+    probes: u64,
 }
 
 impl PaletteFamily {
@@ -35,6 +36,7 @@ impl PaletteFamily {
             linked: Vec::new(),
             head: vec![NIL; t as usize + 1],
             len: vec![0; t as usize + 1],
+            probes: 0,
         };
         for _ in 0..pool {
             f.grow();
@@ -136,6 +138,7 @@ impl PaletteFamily {
     /// Pops some color from palette `j` (the most recently inserted), or
     /// `None` when the palette is empty.
     pub fn pop(&mut self, j: u32) -> Option<u32> {
+        self.probes += 1;
         let h = self.head[j as usize];
         if h == NIL {
             return None;
@@ -150,6 +153,7 @@ impl PaletteFamily {
     pub fn pop_where(&mut self, j: u32, pred: impl Fn(u32) -> bool) -> Option<u32> {
         let mut c = self.head[j as usize];
         while c != NIL {
+            self.probes += 1;
             if pred(c) {
                 self.unlink(c);
                 return Some(c);
@@ -157,6 +161,14 @@ impl PaletteFamily {
             c = self.next[c as usize];
         }
         None
+    }
+
+    /// Palette entries examined by [`pop`](Self::pop) /
+    /// [`pop_where`](Self::pop_where) since creation — the "palette probe"
+    /// work counter reported by telemetry. A plain integer, maintained
+    /// unconditionally: one add per probe is far below measurement noise.
+    pub fn probe_count(&self) -> u64 {
+        self.probes
     }
 
     /// The linked colors of palette `j`, front to back (test helper; O(len)).
@@ -237,6 +249,19 @@ mod tests {
         // Nothing matches: list untouched.
         assert_eq!(f.pop_where(0, |c| c > 100), None);
         assert_eq!(f.len(0), 5);
+    }
+
+    #[test]
+    fn probe_count_tracks_pops_and_scans() {
+        let mut f = PaletteFamily::new(0, 6);
+        assert_eq!(f.probe_count(), 0);
+        f.pop(0); // 1 probe
+        assert_eq!(f.probe_count(), 1);
+        // List is now [4, 3, 2, 1, 0]; scanning for c < 3 examines 4, 3, 2.
+        f.pop_where(0, |c| c < 3);
+        assert_eq!(f.probe_count(), 4);
+        f.pop_where(0, |c| c > 100); // exhaustive scan of [4, 3, 1, 0]
+        assert_eq!(f.probe_count(), 8);
     }
 
     #[test]

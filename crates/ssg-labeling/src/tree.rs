@@ -32,6 +32,7 @@
 use crate::palette::PaletteFamily;
 use crate::spec::Labeling;
 use ssg_graph::Vertex;
+use ssg_telemetry::{Counter, Metrics};
 use ssg_tree::{for_each_in_up_neighborhood, tree_lambda_star, RootedTree};
 
 /// Result of the optimal tree coloring.
@@ -46,7 +47,14 @@ pub struct TreeL1Output {
 
 /// `Tree-L(1,...,1)-coloring` (Figure 5). Optimal for any tree.
 pub fn l1_coloring(tree: &RootedTree, t: u32) -> TreeL1Output {
-    let (labeling, lambda_star) = color_tree(tree, t, 1);
+    l1_coloring_with(tree, t, &Metrics::disabled())
+}
+
+/// [`l1_coloring`] with telemetry: records one
+/// [`Counter::PeelSteps`] per colored vertex and the palette probes of the
+/// sweep on `metrics`.
+pub fn l1_coloring_with(tree: &RootedTree, t: u32, metrics: &Metrics) -> TreeL1Output {
+    let (labeling, lambda_star) = color_tree(tree, t, 1, metrics);
     TreeL1Output {
         labeling,
         lambda_star,
@@ -68,8 +76,19 @@ pub struct TreeApproxOutput {
 /// enriched to `{0, ..., λ* + 2(δ1-1)}` and each extraction required to be
 /// `δ1`-separated from the parent's color.
 pub fn approx_delta1_coloring(tree: &RootedTree, t: u32, delta1: u32) -> TreeApproxOutput {
+    approx_delta1_coloring_with(tree, t, delta1, &Metrics::disabled())
+}
+
+/// [`approx_delta1_coloring`] with telemetry (same counters as
+/// [`l1_coloring_with`]).
+pub fn approx_delta1_coloring_with(
+    tree: &RootedTree,
+    t: u32,
+    delta1: u32,
+    metrics: &Metrics,
+) -> TreeApproxOutput {
     assert!(delta1 >= 1);
-    let (labeling, lambda_star) = color_tree(tree, t, delta1);
+    let (labeling, lambda_star) = color_tree(tree, t, delta1, metrics);
     TreeApproxOutput {
         labeling,
         lambda_star,
@@ -79,7 +98,7 @@ pub fn approx_delta1_coloring(tree: &RootedTree, t: u32, delta1: u32) -> TreeApp
 
 /// Shared sweep: `delta1 == 1` is exactly Figure 5; `delta1 > 1` is the
 /// §4.2 generalization. Returns `(labeling, λ*)`.
-fn color_tree(tree: &RootedTree, t: u32, delta1: u32) -> (Labeling, u32) {
+fn color_tree(tree: &RootedTree, t: u32, delta1: u32, metrics: &Metrics) -> (Labeling, u32) {
     assert!(t >= 1, "interference radius t must be >= 1");
     let n = tree.len();
     let lambda_star = tree_lambda_star(tree, t) as u32;
@@ -184,6 +203,10 @@ fn color_tree(tree: &RootedTree, t: u32, delta1: u32) -> (Labeling, u32) {
     }
     let span = colors.iter().copied().max().unwrap_or(0);
     debug_assert!(span <= lambda_star + 2 * (delta1 - 1));
+    if metrics.is_enabled() {
+        metrics.add(Counter::PeelSteps, n as u64);
+        metrics.add(Counter::PaletteProbes, pal.probe_count());
+    }
     (Labeling::new(colors), lambda_star)
 }
 

@@ -29,10 +29,11 @@
 //! Paths are routed to the exact DP of [`crate::exact::path_optimal`], as
 //! the paper prescribes ("assume the graph is not a path, otherwise \[10\]").
 
-use crate::exact::path_optimal;
-use crate::interval::l1_coloring;
+use crate::exact::path_optimal_with;
+use crate::interval::l1_coloring_with;
 use crate::spec::Labeling;
 use ssg_intervals::UnitIntervalRepresentation;
+use ssg_telemetry::{Counter, Metrics};
 
 /// Which cyclic scheme colored (a component of) the graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +72,19 @@ pub fn l_delta1_delta2_coloring(
     delta1: u32,
     delta2: u32,
 ) -> UnitIntervalOutput {
+    l_delta1_delta2_coloring_with(rep, delta1, delta2, &Metrics::disabled())
+}
+
+/// [`l_delta1_delta2_coloring`] with telemetry: records one
+/// [`Counter::PeelSteps`] per colored vertex and counts the `λ*₁` subruns,
+/// scheme-verification comparisons, and path-DP work against the other
+/// counters.
+pub fn l_delta1_delta2_coloring_with(
+    rep: &UnitIntervalRepresentation,
+    delta1: u32,
+    delta2: u32,
+    metrics: &Metrics,
+) -> UnitIntervalOutput {
     assert!(delta1 >= delta2 && delta2 >= 1, "need δ1 >= δ2 >= 1");
     let n = rep.len();
     let lambda_1 = rep.lambda1() as u32;
@@ -88,7 +102,7 @@ pub fn l_delta1_delta2_coloring(
     for (comp, verts) in rep.as_interval().components() {
         let comp_unit = UnitIntervalRepresentation::from_representation(comp)
             .expect("components of a proper representation stay proper");
-        let (cc, scheme, b) = color_component(&comp_unit, delta1, delta2);
+        let (cc, scheme, b) = color_component(&comp_unit, delta1, delta2, metrics);
         bound = bound.max(b);
         schemes.push(scheme);
         for (i, &v) in verts.iter().enumerate() {
@@ -108,16 +122,20 @@ fn color_component(
     comp: &UnitIntervalRepresentation,
     delta1: u32,
     delta2: u32,
+    metrics: &Metrics,
 ) -> (Vec<u32>, UnitScheme, u32) {
     let m = comp.len();
+    if metrics.is_enabled() {
+        metrics.add(Counter::PeelSteps, m as u64);
+    }
     if m == 1 {
         return (vec![0], UnitScheme::Singleton, 0);
     }
     if comp.is_path() {
-        let (lab, span) = path_optimal(m, delta1, delta2);
+        let (lab, span) = path_optimal_with(m, delta1, delta2, metrics);
         return (lab.colors().to_vec(), UnitScheme::PathExact, span);
     }
-    let l1 = l1_coloring(comp.as_interval(), 1).lambda_star; // component λ*₁
+    let l1 = l1_coloring_with(comp.as_interval(), 1, metrics).lambda_star; // component λ*₁
     debug_assert!(l1 >= 2, "non-path connected unit graphs have ω >= 3");
     if delta1 <= 2 * delta2 {
         // Figure 2, second branch, verbatim (0-indexed vertices).
@@ -134,7 +152,11 @@ fn color_component(
     let published: Vec<u32> = (0..m as u32)
         .map(|v| comb_color(v, l1, delta1, delta2))
         .collect();
-    if scheme_verifies(comp, &published, delta1, delta2) {
+    let (verified, comparisons) = scheme_verifies_counted(comp, &published, delta1, delta2);
+    if metrics.is_enabled() {
+        metrics.add(Counter::PaletteProbes, comparisons);
+    }
+    if verified {
         (published, UnitScheme::PaperCombs, l1 * delta1 + delta2)
     } else {
         // Pair combs: provably legal on every unit interval graph.
@@ -149,14 +171,17 @@ fn color_component(
 /// Fast `L(δ1,δ2)` legality check exploiting the unit-interval structure:
 /// with vertices in left-endpoint order, `reach1[v]` = rightmost neighbor of
 /// `v`, and `d(v, w) <= 2` iff `w <= reach1[reach1[v]]`. `O(n + Σ ball₂)`.
-fn scheme_verifies(
+/// Also returns the number of pairwise color comparisons made — the
+/// "palette probe" work of this algorithm's verification pass.
+fn scheme_verifies_counted(
     comp: &UnitIntervalRepresentation,
     colors: &[u32],
     delta1: u32,
     delta2: u32,
-) -> bool {
+) -> (bool, u64) {
     let rep = comp.as_interval();
     let m = comp.len() as u32;
+    let mut comparisons = 0u64;
     // reach1[v]: rightmost u with left(u) < right(v); nondecreasing in v.
     let mut reach1 = vec![0u32; m as usize];
     let mut u = 0u32;
@@ -173,13 +198,14 @@ fn scheme_verifies(
         let r1 = reach1[v as usize];
         let r2 = reach1[r1 as usize];
         for w in (v + 1)..=r2 {
+            comparisons += 1;
             let need = if w <= r1 { delta1 } else { delta2 };
             if colors[v as usize].abs_diff(colors[w as usize]) < need {
-                return false;
+                return (false, comparisons);
             }
         }
     }
-    true
+    (true, comparisons)
 }
 
 /// Published comb: position `p = v mod (2λ*₁+2)` gets `p·δ1` in the first
@@ -413,7 +439,8 @@ mod tests {
             let g = rep.to_graph();
             let sep = SeparationVector::two(4, 2).unwrap();
             let colors: Vec<u32> = (0..20).map(|_| rng.gen_range(0..30)).collect();
-            let fast = super::scheme_verifies(&rep, &colors, 4, 2);
+            let (fast, comparisons) = super::scheme_verifies_counted(&rep, &colors, 4, 2);
+            assert!(comparisons >= 1);
             let slow = verify_labeling(&g, &sep, &colors).is_ok();
             assert_eq!(fast, slow);
         }

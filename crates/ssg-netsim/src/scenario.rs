@@ -16,7 +16,6 @@
 
 use rand::Rng;
 use rand_distr_exp::sample_exp;
-use serde::{Deserialize, Serialize};
 use ssg_graph::Graph;
 use ssg_intervals::{IntervalRepresentation, UnitIntervalRepresentation};
 use ssg_labeling::baseline::greedy_bfs_order;
@@ -48,7 +47,7 @@ pub struct Station {
 }
 
 /// What an assignment run produced, ready for experiment tables.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AssignmentReport {
     /// Which algorithm produced it.
     pub algorithm: String,

@@ -4,11 +4,11 @@
 //! itself never had.
 
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use ssg_telemetry::{Metrics, Phase};
 use std::io::Write;
 
 /// Aggregate statistics of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Sample size.
     pub count: usize,
@@ -70,6 +70,30 @@ where
         .collect()
 }
 
+/// [`run_grid`] with telemetry: each `(param, seed)` cell is timed under
+/// [`Phase::Cell`], so a post-run [`Metrics::snapshot`] reports total cell
+/// wall time, cell count, and (dividing one by the other) grid throughput.
+/// Counter updates are atomic, so the rayon workers share one handle.
+pub fn run_grid_with<P, R, F>(params: &[P], seeds: &[u64], metrics: &Metrics, f: F) -> Vec<Vec<R>>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, u64) -> R + Sync,
+{
+    params
+        .par_iter()
+        .map(|p| {
+            seeds
+                .par_iter()
+                .map(|&s| {
+                    let _cell = metrics.time(Phase::Cell);
+                    f(p, s)
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Sequential twin of [`run_grid`] — used to measure rayon's speedup in
 /// experiment E8 and as a fallback in single-threaded contexts.
 pub fn run_grid_sequential<P, R, F>(params: &[P], seeds: &[u64], f: F) -> Vec<Vec<R>>
@@ -84,7 +108,7 @@ where
 
 /// One row of an experiment table: a parameter label plus named metric
 /// summaries.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRow {
     /// Human-readable parameter cell (e.g. `"n=4096 t=2"`).
     pub params: String,
@@ -180,6 +204,22 @@ mod tests {
         let seq = run_grid_sequential(&params, &seeds, f);
         assert_eq!(par, seq);
         assert_eq!(par[2][1], 3020);
+    }
+
+    #[test]
+    fn instrumented_grid_times_every_cell() {
+        let params = vec![1u64, 2];
+        let seeds = vec![10u64, 20, 30];
+        let f = |p: &u64, s: u64| p * 1000 + s;
+        let metrics = Metrics::enabled();
+        let timed = run_grid_with(&params, &seeds, &metrics, f);
+        assert_eq!(timed, run_grid_sequential(&params, &seeds, f));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.phase_count(Phase::Cell), 6);
+        // Disabled handle: same results, nothing recorded.
+        let off = Metrics::disabled();
+        run_grid_with(&params, &seeds, &off, f);
+        assert_eq!(off.snapshot().phase_count(Phase::Cell), 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use ssg_graph::traversal::{bfs_distances_bounded_into, eccentricity, UNREACHABLE};
 use ssg_graph::{Graph, Vertex};
+use ssg_telemetry::{Counter, Metrics};
 use std::collections::VecDeque;
 
 /// Whether `x` is `t`-simplicial in `g`: all pairs in the distance-`t` ball
@@ -189,6 +190,19 @@ pub fn safe_t_simplicial_elimination_order(g: &Graph, t: u32) -> Option<Vec<Vert
 ///
 /// Returns `(colors, span)`. `O(n * ball_t)` time.
 pub fn peel_l1_coloring(g: &Graph, t: u32, insertion: &[Vertex]) -> (Vec<u32>, u32) {
+    peel_l1_coloring_with(g, t, insertion, &Metrics::disabled())
+}
+
+/// [`peel_l1_coloring`] with telemetry: records one [`Counter::PeelSteps`]
+/// per inserted vertex, one [`Counter::BfsNodeVisits`] per vertex dequeued
+/// by the prefix-restricted BFS runs, and one [`Counter::PaletteProbes`]
+/// per slot examined by the minimum-excludant color scan.
+pub fn peel_l1_coloring_with(
+    g: &Graph,
+    t: u32,
+    insertion: &[Vertex],
+    metrics: &Metrics,
+) -> (Vec<u32>, u32) {
     assert!(t >= 1);
     let n = g.num_vertices();
     assert_eq!(
@@ -202,6 +216,8 @@ pub fn peel_l1_coloring(g: &Graph, t: u32, insertion: &[Vertex]) -> (Vec<u32>, u
     let mut dist = vec![UNREACHABLE; n];
     let mut queue: VecDeque<Vertex> = VecDeque::new();
     let mut forbidden: Vec<bool> = Vec::new();
+    let mut bfs_visits = 0u64;
+    let mut mex_probes = 0u64;
     for &v in insertion {
         assert!(!active[v as usize], "duplicate vertex in insertion order");
         active[v as usize] = true;
@@ -213,6 +229,7 @@ pub fn peel_l1_coloring(g: &Graph, t: u32, insertion: &[Vertex]) -> (Vec<u32>, u
         forbidden.clear();
         forbidden.resize(n + 1, false);
         while let Some(u) = queue.pop_front() {
+            bfs_visits += 1;
             let du = dist[u as usize];
             if du >= t {
                 continue;
@@ -232,8 +249,14 @@ pub fn peel_l1_coloring(g: &Graph, t: u32, insertion: &[Vertex]) -> (Vec<u32>, u
             .iter()
             .position(|&b| !b)
             .expect("n+1 slots always leave a free color") as u32;
+        mex_probes += mex as u64 + 1;
         colors[v as usize] = mex;
         span = span.max(mex);
+    }
+    if metrics.is_enabled() {
+        metrics.add(Counter::PeelSteps, n as u64);
+        metrics.add(Counter::BfsNodeVisits, bfs_visits);
+        metrics.add(Counter::PaletteProbes, mex_probes);
     }
     (colors, span)
 }

@@ -1,0 +1,238 @@
+//! Hand-rolled JSON value type and writer.
+//!
+//! The build environment has no registry access, so the workspace cannot
+//! use `serde_json`; this module is the minimal replacement the `ssg bench
+//! --json` report needs. Objects keep insertion order, which makes emitted
+//! reports byte-stable for golden-file tests.
+
+use std::fmt::Write;
+
+/// A JSON value.
+///
+/// ```
+/// use ssg_telemetry::json::Json;
+///
+/// let report = Json::Object(vec![
+///     ("schema".into(), Json::Str("ssg-bench/v1".into())),
+///     ("ok".into(), Json::Bool(true)),
+///     ("spans".into(), Json::Array(vec![Json::U64(4), Json::U64(7)])),
+/// ]);
+/// assert_eq!(
+///     report.render(),
+///     r#"{"schema":"ssg-bench/v1","ok":true,"spans":[4,7]}"#
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (counters, nanosecond totals).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Finite float; non-finite values render as `null` per JSON rules.
+    F64(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Ordered list.
+    Array(Vec<Json>),
+    /// Ordered key/value pairs — insertion order is preserved on render.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Renders compactly (no whitespace), like `serde_json::to_string`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Renders with 2-space indentation and a trailing newline, suitable
+    /// for committing as a `BENCH_*.json` file.
+    ///
+    /// ```
+    /// use ssg_telemetry::json::Json;
+    /// let v = Json::Object(vec![("n".into(), Json::U64(1))]);
+    /// assert_eq!(v.render_pretty(), "{\n  \"n\": 1\n}\n");
+    /// ```
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` keeps a decimal point or exponent, so the value re-parses
+        // as a float rather than an integer.
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Escapes a string into a quoted JSON string literal.
+///
+/// ```
+/// assert_eq!(ssg_telemetry::json::escape("a\"b\n"), r#""a\"b\n""#);
+/// ```
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_escaped(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(false).render(), "false");
+        assert_eq!(Json::U64(18_446_744_073_709_551_615).render(), "18446744073709551615");
+        assert_eq!(Json::I64(-42).render(), "-42");
+        assert_eq!(Json::F64(1.5).render(), "1.5");
+        assert_eq!(Json::F64(2.0).render(), "2.0");
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_and_quotes() {
+        assert_eq!(Json::Str("he\"llo\\".into()).render(), r#""he\"llo\\""#);
+        assert_eq!(Json::Str("a\nb\tc\u{1}".into()).render(), "\"a\\nb\\tc\\u0001\"");
+        assert_eq!(Json::Str("héllo→".into()).render(), "\"héllo→\"");
+    }
+
+    #[test]
+    fn empty_containers_stay_compact_when_pretty() {
+        let v = Json::Object(vec![
+            ("a".into(), Json::Array(vec![])),
+            ("o".into(), Json::Object(vec![])),
+        ]);
+        assert_eq!(v.render(), r#"{"a":[],"o":{}}"#);
+        assert_eq!(v.render_pretty(), "{\n  \"a\": [],\n  \"o\": {}\n}\n");
+    }
+
+    #[test]
+    fn nested_pretty_rendering() {
+        let v = Json::Object(vec![(
+            "rows".into(),
+            Json::Array(vec![Json::Object(vec![("x".into(), Json::U64(1))])]),
+        )]);
+        assert_eq!(
+            v.render_pretty(),
+            "{\n  \"rows\": [\n    {\n      \"x\": 1\n    }\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn object_order_is_insertion_order() {
+        let v = Json::Object(vec![
+            ("z".into(), Json::U64(1)),
+            ("a".into(), Json::U64(2)),
+        ]);
+        assert_eq!(v.render(), r#"{"z":1,"a":2}"#);
+    }
+}

@@ -1,0 +1,364 @@
+//! Zero-dependency telemetry for the `ssg` workspace.
+//!
+//! The paper's complexity claims — Theorem 1's `O(nt)` interval sweep,
+//! Theorem 3's `O(n)` unit-interval pass — are only reproducible if the
+//! code can report how much work it actually did. This crate provides the
+//! three pieces the rest of the workspace threads through its hot paths:
+//!
+//! * [`Metrics`] — a cheap, cloneable handle over atomic work counters
+//!   ([`Counter`]) and wall-clock phase timers ([`Phase`]). A disabled
+//!   handle ([`Metrics::disabled`]) is a `None` inside and every operation
+//!   on it is a branch on that `None` — no allocation, no atomics, no
+//!   syscalls — so instrumented code paths cost nothing measurable when
+//!   telemetry is off.
+//! * [`Snapshot`] — a plain-data copy of the current counter/timer state,
+//!   taken with [`Metrics::snapshot`].
+//! * [`json`] — a hand-rolled JSON value type and writer (the build
+//!   environment has no network, so no `serde_json`), used by the `ssg
+//!   bench --json` report and anything else that wants machine-readable
+//!   output.
+//!
+//! # Example
+//!
+//! ```
+//! use ssg_telemetry::{Counter, Metrics, Phase};
+//!
+//! let metrics = Metrics::enabled();
+//! {
+//!     let _run = metrics.time(Phase::Run);
+//!     for _ in 0..10 {
+//!         metrics.add(Counter::PeelSteps, 1);
+//!     }
+//! } // timer records on drop
+//! let snap = metrics.snapshot();
+//! assert_eq!(snap.counter(Counter::PeelSteps), 10);
+//! assert_eq!(snap.phase_count(Phase::Run), 1);
+//!
+//! // Disabled handles observe nothing and cost (almost) nothing.
+//! let off = Metrics::disabled();
+//! off.add(Counter::PeelSteps, 1);
+//! assert_eq!(off.snapshot().counter(Counter::PeelSteps), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Work counters recorded by the instrumented hot paths.
+///
+/// Each counter is a pure function of the input for a fixed algorithm, so
+/// fixed-seed runs reproduce them bit-for-bit (unlike wall time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Vertices peeled / swept in elimination-order style loops: interval
+    /// sweep events, tree level passes, simplicial peeling.
+    PeelSteps,
+    /// Palette entries examined while searching for an admissible channel
+    /// (`PaletteFamily` pops and scans, comb probes, DP candidate checks).
+    PaletteProbes,
+    /// Nodes dequeued across all BFS traversals (`ssg-graph`).
+    BfsNodeVisits,
+    /// Nodes expanded by exhaustive search (branch-and-bound, brute-force
+    /// clique).
+    SearchNodes,
+}
+
+impl Counter {
+    /// Every counter, in report order.
+    pub const ALL: [Counter; 4] = [
+        Counter::PeelSteps,
+        Counter::PaletteProbes,
+        Counter::BfsNodeVisits,
+        Counter::SearchNodes,
+    ];
+
+    /// Stable snake_case name used in JSON reports.
+    ///
+    /// ```
+    /// assert_eq!(ssg_telemetry::Counter::PeelSteps.name(), "peel_steps");
+    /// ```
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::PeelSteps => "peel_steps",
+            Counter::PaletteProbes => "palette_probes",
+            Counter::BfsNodeVisits => "bfs_node_visits",
+            Counter::SearchNodes => "search_nodes",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Counter::PeelSteps => 0,
+            Counter::PaletteProbes => 1,
+            Counter::BfsNodeVisits => 2,
+            Counter::SearchNodes => 3,
+        }
+    }
+}
+
+/// Wall-clock phases recorded by [`Metrics::time`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// One end-to-end algorithm run.
+    Run,
+    /// One cell of a parameter-sweep grid (`ssg-netsim`).
+    Cell,
+}
+
+impl Phase {
+    /// Every phase, in report order.
+    pub const ALL: [Phase; 2] = [Phase::Run, Phase::Cell];
+
+    /// Stable snake_case name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Run => "run",
+            Phase::Cell => "cell",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Run => 0,
+            Phase::Cell => 1,
+        }
+    }
+}
+
+const NUM_COUNTERS: usize = Counter::ALL.len();
+const NUM_PHASES: usize = Phase::ALL.len();
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: [AtomicU64; NUM_COUNTERS],
+    phase_ns: [AtomicU64; NUM_PHASES],
+    phase_count: [AtomicU64; NUM_PHASES],
+}
+
+/// A cheap, cloneable, thread-safe telemetry handle.
+///
+/// Clones share the same underlying counters, so a handle can be passed
+/// across rayon workers and the totals still aggregate in one place:
+///
+/// ```
+/// use ssg_telemetry::{Counter, Metrics};
+///
+/// let metrics = Metrics::enabled();
+/// let worker = metrics.clone();
+/// std::thread::spawn(move || worker.add(Counter::BfsNodeVisits, 5))
+///     .join()
+///     .unwrap();
+/// metrics.add(Counter::BfsNodeVisits, 2);
+/// assert_eq!(metrics.snapshot().counter(Counter::BfsNodeVisits), 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Metrics {
+    /// A recording handle.
+    pub fn enabled() -> Metrics {
+        Metrics {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A no-op handle: every operation is a branch on a `None`.
+    ///
+    /// This is the handle the un-instrumented public APIs pass down, so
+    /// code that never asks for telemetry pays only a handful of dead
+    /// branches (see `bench_telemetry_overhead` in `ssg-bench`).
+    pub fn disabled() -> Metrics {
+        Metrics { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    ///
+    /// Hot loops can use this to skip even the local bookkeeping:
+    ///
+    /// ```
+    /// assert!(ssg_telemetry::Metrics::enabled().is_enabled());
+    /// assert!(!ssg_telemetry::Metrics::disabled().is_enabled());
+    /// ```
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `delta` to a counter (no-op when disabled).
+    #[inline]
+    pub fn add(&self, counter: Counter, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.counters[counter.index()].fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts timing `phase`; the elapsed wall time is recorded when the
+    /// returned guard drops. On a disabled handle the guard never reads
+    /// the clock.
+    #[inline]
+    pub fn time(&self, phase: Phase) -> PhaseTimer<'_> {
+        PhaseTimer {
+            metrics: self,
+            phase,
+            start: self.inner.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Records an externally measured duration for `phase`.
+    pub fn record_duration(&self, phase: Phase, elapsed: Duration) {
+        if let Some(inner) = &self.inner {
+            let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            inner.phase_ns[phase.index()].fetch_add(ns, Ordering::Relaxed);
+            inner.phase_count[phase.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A plain-data copy of the current totals (all zeros when disabled).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        if let Some(inner) = &self.inner {
+            for c in Counter::ALL {
+                snap.counters[c.index()] = inner.counters[c.index()].load(Ordering::Relaxed);
+            }
+            for p in Phase::ALL {
+                snap.phase_ns[p.index()] = inner.phase_ns[p.index()].load(Ordering::Relaxed);
+                snap.phase_count[p.index()] =
+                    inner.phase_count[p.index()].load(Ordering::Relaxed);
+            }
+        }
+        snap
+    }
+}
+
+/// Drop guard returned by [`Metrics::time`].
+///
+/// ```
+/// use ssg_telemetry::{Metrics, Phase};
+/// let metrics = Metrics::enabled();
+/// {
+///     let _guard = metrics.time(Phase::Cell);
+///     // ... timed work ...
+/// }
+/// assert_eq!(metrics.snapshot().phase_count(Phase::Cell), 1);
+/// ```
+#[must_use = "dropping the timer immediately records a ~zero duration"]
+#[derive(Debug)]
+pub struct PhaseTimer<'a> {
+    metrics: &'a Metrics,
+    phase: Phase,
+    start: Option<Instant>,
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.metrics.record_duration(self.phase, start.elapsed());
+        }
+    }
+}
+
+/// Plain-data copy of a [`Metrics`] handle's totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    counters: [u64; NUM_COUNTERS],
+    phase_ns: [u64; NUM_PHASES],
+    phase_count: [u64; NUM_PHASES],
+}
+
+impl Snapshot {
+    /// Total recorded for `counter`.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// Total nanoseconds recorded for `phase`.
+    pub fn phase_ns(&self, phase: Phase) -> u64 {
+        self.phase_ns[phase.index()]
+    }
+
+    /// How many times `phase` was recorded.
+    pub fn phase_count(&self, phase: Phase) -> u64 {
+        self.phase_count[phase.index()]
+    }
+
+    /// The counters as a JSON object in [`Counter::ALL`] order.
+    ///
+    /// ```
+    /// use ssg_telemetry::{Counter, Metrics};
+    /// let m = Metrics::enabled();
+    /// m.add(Counter::PaletteProbes, 3);
+    /// let json = m.snapshot().counters_json().render();
+    /// assert!(json.contains("\"palette_probes\":3"));
+    /// ```
+    pub fn counters_json(&self) -> json::Json {
+        json::Json::Object(
+            Counter::ALL
+                .iter()
+                .map(|&c| (c.name().to_string(), json::Json::U64(self.counter(c))))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = Metrics::enabled();
+        m.add(Counter::PeelSteps, 3);
+        m.add(Counter::PeelSteps, 4);
+        m.add(Counter::SearchNodes, 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(Counter::PeelSteps), 7);
+        assert_eq!(snap.counter(Counter::SearchNodes), 1);
+        assert_eq!(snap.counter(Counter::BfsNodeVisits), 0);
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let m = Metrics::disabled();
+        m.add(Counter::PaletteProbes, 10);
+        m.record_duration(Phase::Run, Duration::from_secs(1));
+        drop(m.time(Phase::Run));
+        assert_eq!(m.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn timers_count_and_accumulate() {
+        let m = Metrics::enabled();
+        drop(m.time(Phase::Run));
+        drop(m.time(Phase::Run));
+        m.record_duration(Phase::Cell, Duration::from_nanos(500));
+        let snap = m.snapshot();
+        assert_eq!(snap.phase_count(Phase::Run), 2);
+        assert_eq!(snap.phase_count(Phase::Cell), 1);
+        assert_eq!(snap.phase_ns(Phase::Cell), 500);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Metrics::enabled();
+        let c = m.clone();
+        c.add(Counter::BfsNodeVisits, 9);
+        assert_eq!(m.snapshot().counter(Counter::BfsNodeVisits), 9);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            ["peel_steps", "palette_probes", "bfs_node_visits", "search_nodes"]
+        );
+        assert_eq!(Phase::Run.name(), "run");
+        assert_eq!(Phase::Cell.name(), "cell");
+    }
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Repo verification gate: release build, full test suite, and rustdoc with
+# warnings promoted to errors. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace --offline
+
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+
+echo "==> OK"

@@ -1,0 +1,328 @@
+//! The `ssg bench` harness: runs the paper's five algorithms (A1–A5) on
+//! deterministic synthetic workloads with telemetry enabled and builds a
+//! machine-readable run report.
+//!
+//! The report's JSON schema is `"ssg-bench/v1"` (see
+//! [`BenchReport::to_json`] and EXPERIMENTS.md). Work counters are pure
+//! functions of `(n, seed)`, so fixed-config runs reproduce them
+//! bit-for-bit; wall times are environment-dependent and belong to the
+//! committed `BENCH_labeling.json` baseline only as an order-of-magnitude
+//! record.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssg_graph::generators::random_bounded_degree_tree;
+use ssg_intervals::gen::{corridor_unit_intervals, random_connected_intervals};
+use ssg_labeling::interval::{approx_delta1_coloring_with, l1_coloring_with};
+use ssg_labeling::tree::{
+    approx_delta1_coloring_with as tree_approx_with, l1_coloring_with as tree_l1_with,
+};
+use ssg_labeling::unit_interval::l_delta1_delta2_coloring_with;
+use ssg_telemetry::json::Json;
+use ssg_telemetry::{Counter, Metrics, Phase, Snapshot};
+use ssg_tree::RootedTree;
+
+/// Configuration of one `ssg bench` run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Vertex count per workload.
+    pub n: usize,
+    /// Timed repetitions per algorithm (counters are identical across
+    /// repetitions; wall time is reported per repetition).
+    pub reps: usize,
+    /// RNG seed for the synthetic workloads.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            n: 4000,
+            reps: 3,
+            seed: 42,
+        }
+    }
+}
+
+/// Measured results of one algorithm on its workload.
+#[derive(Debug, Clone)]
+pub struct AlgorithmBench {
+    /// Paper identifier (`"A1"` … `"A5"`).
+    pub id: &'static str,
+    /// Stable machine-readable algorithm name.
+    pub name: &'static str,
+    /// Human-readable workload description.
+    pub workload: &'static str,
+    /// Algorithm parameters, in render order (e.g. `("t", 2)`).
+    pub params: Vec<(&'static str, u64)>,
+    /// Vertex count of the workload actually run.
+    pub n: usize,
+    /// Largest color used by the produced labeling.
+    pub span: u32,
+    /// Wall time of each repetition, in nanoseconds.
+    pub wall_ns: Vec<u64>,
+    /// Telemetry totals of one repetition (identical across repetitions).
+    pub counters: Snapshot,
+}
+
+impl AlgorithmBench {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("id".into(), Json::Str(self.id.into())),
+            ("name".into(), Json::Str(self.name.into())),
+            ("workload".into(), Json::Str(self.workload.into())),
+            (
+                "params".into(),
+                Json::Object(
+                    self.params
+                        .iter()
+                        .map(|&(k, v)| (k.to_string(), Json::U64(v)))
+                        .collect(),
+                ),
+            ),
+            ("n".into(), Json::U64(self.n as u64)),
+            ("span".into(), Json::U64(self.span as u64)),
+            (
+                "wall_ns".into(),
+                Json::Array(self.wall_ns.iter().map(|&ns| Json::U64(ns)).collect()),
+            ),
+            (
+                "wall_ns_min".into(),
+                Json::U64(self.wall_ns.iter().copied().min().unwrap_or(0)),
+            ),
+            ("counters".into(), self.counters.counters_json()),
+        ])
+    }
+}
+
+/// A full `ssg bench` run: configuration plus one entry per algorithm.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// The configuration the run used.
+    pub config: BenchConfig,
+    /// Per-algorithm results, in paper order A1–A5.
+    pub algorithms: Vec<AlgorithmBench>,
+}
+
+impl BenchReport {
+    /// Renders the report as a `"ssg-bench/v1"` JSON value.
+    ///
+    /// Top-level keys, in order: `schema`, `config` (`n`, `reps`, `seed`),
+    /// `algorithms` (array of objects with `id`, `name`, `workload`,
+    /// `params`, `n`, `span`, `wall_ns`, `wall_ns_min`, `counters`).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("schema".into(), Json::Str("ssg-bench/v1".into())),
+            (
+                "config".into(),
+                Json::Object(vec![
+                    ("n".into(), Json::U64(self.config.n as u64)),
+                    ("reps".into(), Json::U64(self.config.reps as u64)),
+                    ("seed".into(), Json::U64(self.config.seed)),
+                ]),
+            ),
+            (
+                "algorithms".into(),
+                Json::Array(self.algorithms.iter().map(|a| a.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Renders a human-readable table (the non-`--json` CLI output).
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "ssg bench: n={} reps={} seed={}\n",
+            self.config.n, self.config.reps, self.config.seed
+        );
+        out.push_str(
+            "id  algorithm                      span  best wall     peel_steps  palette_probes\n",
+        );
+        for a in &self.algorithms {
+            let best = a.wall_ns.iter().copied().min().unwrap_or(0);
+            out.push_str(&format!(
+                "{:<3} {:<30} {:>5} {:>9.3} ms {:>12} {:>15}\n",
+                a.id,
+                a.name,
+                a.span,
+                best as f64 / 1e6,
+                a.counters.counter(Counter::PeelSteps),
+                a.counters.counter(Counter::PaletteProbes),
+            ));
+        }
+        out
+    }
+}
+
+/// Runs one algorithm `cfg.reps` times, each repetition on a fresh enabled
+/// [`Metrics`] handle timed under [`Phase::Run`].
+fn bench_one<F>(
+    cfg: &BenchConfig,
+    id: &'static str,
+    name: &'static str,
+    workload: &'static str,
+    params: Vec<(&'static str, u64)>,
+    n: usize,
+    mut run: F,
+) -> AlgorithmBench
+where
+    F: FnMut(&Metrics) -> u32,
+{
+    let mut wall_ns = Vec::with_capacity(cfg.reps);
+    let mut span = 0u32;
+    let mut counters = Snapshot::default();
+    for _ in 0..cfg.reps.max(1) {
+        let metrics = Metrics::enabled();
+        {
+            let _run = metrics.time(Phase::Run);
+            span = run(&metrics);
+        }
+        let snap = metrics.snapshot();
+        wall_ns.push(snap.phase_ns(Phase::Run));
+        counters = snap;
+    }
+    AlgorithmBench {
+        id,
+        name,
+        workload,
+        params,
+        n,
+        span,
+        wall_ns,
+        counters,
+    }
+}
+
+/// Runs all five paper algorithms on deterministic workloads derived from
+/// `cfg` and returns the aggregated report.
+///
+/// Workloads: A1/A2 share a random connected interval graph, A3 uses a
+/// tight unit-interval corridor (the hardest case for Theorem 3), A4/A5
+/// share a random degree-bounded tree.
+pub fn run_benchmarks(cfg: &BenchConfig) -> BenchReport {
+    let n = cfg.n.max(2);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let interval_rep = random_connected_intervals(n, 0.5, 1.0, 3.0, &mut rng);
+    let unit_rep = corridor_unit_intervals(n, 4, &mut rng);
+    let tree_graph = random_bounded_degree_tree(n, 4, &mut rng);
+    let tree = RootedTree::bfs_canonical(&tree_graph, 0).expect("generator returns a tree");
+
+    let algorithms = vec![
+        bench_one(
+            cfg,
+            "A1",
+            "interval_l1",
+            "random connected interval graph",
+            vec![("t", 2)],
+            n,
+            |m| l1_coloring_with(&interval_rep, 2, m).labeling.span(),
+        ),
+        bench_one(
+            cfg,
+            "A2",
+            "interval_approx_delta1",
+            "random connected interval graph",
+            vec![("t", 2), ("delta1", 4)],
+            n,
+            |m| {
+                approx_delta1_coloring_with(&interval_rep, 2, 4, m)
+                    .labeling
+                    .span()
+            },
+        ),
+        bench_one(
+            cfg,
+            "A3",
+            "unit_interval_l_delta1_delta2",
+            "tight unit-interval corridor (k=4)",
+            vec![("delta1", 5), ("delta2", 2)],
+            n,
+            |m| {
+                l_delta1_delta2_coloring_with(&unit_rep, 5, 2, m)
+                    .labeling
+                    .span()
+            },
+        ),
+        bench_one(
+            cfg,
+            "A4",
+            "tree_l1",
+            "random degree-<=4 tree",
+            vec![("t", 2)],
+            n,
+            |m| tree_l1_with(&tree, 2, m).labeling.span(),
+        ),
+        bench_one(
+            cfg,
+            "A5",
+            "tree_approx_delta1",
+            "random degree-<=4 tree",
+            vec![("t", 2), ("delta1", 4)],
+            n,
+            |m| tree_approx_with(&tree, 2, 4, m).labeling.span(),
+        ),
+    ];
+    BenchReport {
+        config: *cfg,
+        algorithms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BenchConfig {
+        BenchConfig {
+            n: 120,
+            reps: 2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn report_covers_all_five_algorithms() {
+        let report = run_benchmarks(&small());
+        let ids: Vec<&str> = report.algorithms.iter().map(|a| a.id).collect();
+        assert_eq!(ids, ["A1", "A2", "A3", "A4", "A5"]);
+        for a in &report.algorithms {
+            assert_eq!(a.wall_ns.len(), 2, "{}", a.id);
+            assert!(
+                a.counters.counter(Counter::PeelSteps) >= a.n as u64,
+                "{} must record at least one peel step per vertex",
+                a.id
+            );
+            assert!(
+                a.counters.counter(Counter::PaletteProbes) > 0,
+                "{} must record palette probes",
+                a.id
+            );
+        }
+    }
+
+    #[test]
+    fn counters_are_reproducible_across_runs() {
+        let a = run_benchmarks(&small());
+        let b = run_benchmarks(&small());
+        for (x, y) in a.algorithms.iter().zip(&b.algorithms) {
+            assert_eq!(x.span, y.span, "{}", x.id);
+            for c in Counter::ALL {
+                assert_eq!(
+                    x.counters.counter(c),
+                    y.counters.counter(c),
+                    "{} {}",
+                    x.id,
+                    c.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn text_rendering_mentions_every_algorithm() {
+        let report = run_benchmarks(&small());
+        let text = report.to_text();
+        for a in &report.algorithms {
+            assert!(text.contains(a.name));
+        }
+    }
+}

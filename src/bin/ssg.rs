@@ -7,6 +7,9 @@
 //! ssg classify <file>                # certify the graph class
 //! ssg color <file> <d1[,d2,...]>     # auto-dispatch an L(δ...) coloring
 //! ssg churn [epochs] [seed]          # dynamic corridor churn demo
+//! ssg bench [--json] [--n N] [--reps R] [--seed S]
+//!                                    # run A1-A5 with telemetry; --json
+//!                                    # emits an ssg-bench/v1 report
 //! ```
 //!
 //! Graph files: first line `n m`, then `m` lines `u v` (0-based).
@@ -14,6 +17,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, Write};
+use strongly_simplicial::bench::{run_benchmarks, BenchConfig};
 use strongly_simplicial::labeling::auto::{auto_coloring, classify, Guarantee};
 use strongly_simplicial::labeling::{all_violations, SeparationVector};
 use strongly_simplicial::netsim::{
@@ -28,8 +32,9 @@ fn main() {
         Some("classify") => cmd_classify(&args[1..]),
         Some("color") => cmd_color(&args[1..]),
         Some("churn") => cmd_churn(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         _ => {
-            eprintln!("usage: ssg gen|classify|color|churn ... (see --help in the README)");
+            eprintln!("usage: ssg gen|classify|color|churn|bench ... (see --help in the README)");
             2
         }
     };
@@ -192,6 +197,49 @@ fn cmd_color(args: &[String]) -> i32 {
     } else {
         1
     }
+}
+
+fn cmd_bench(args: &[String]) -> i32 {
+    let mut cfg = BenchConfig::default();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--n" => match it.next().and_then(|a| a.parse().ok()) {
+                Some(n) if n >= 2 => cfg.n = n,
+                _ => {
+                    eprintln!("bench: --n needs an integer >= 2");
+                    return 2;
+                }
+            },
+            "--reps" => match it.next().and_then(|a| a.parse().ok()) {
+                Some(r) if r >= 1 => cfg.reps = r,
+                _ => {
+                    eprintln!("bench: --reps needs an integer >= 1");
+                    return 2;
+                }
+            },
+            "--seed" => match it.next().and_then(|a| a.parse().ok()) {
+                Some(s) => cfg.seed = s,
+                None => {
+                    eprintln!("bench: --seed needs an integer");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("bench: unknown flag '{other}' (usage: ssg bench [--json] [--n N] [--reps R] [--seed S])");
+                return 2;
+            }
+        }
+    }
+    let report = run_benchmarks(&cfg);
+    if json {
+        print!("{}", report.to_json().render_pretty());
+    } else {
+        print!("{}", report.to_text());
+    }
+    0
 }
 
 fn cmd_churn(args: &[String]) -> i32 {

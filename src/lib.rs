@@ -20,6 +20,10 @@
 //!   baselines.
 //! * [`netsim`] — synthetic wireless workloads and the rayon-parallel
 //!   experiment harness.
+//! * [`telemetry`] — zero-dependency work counters, phase timers and the
+//!   hand-rolled JSON writer behind `ssg bench --json`.
+//! * [`bench`](mod@bench) — the `ssg bench` harness producing
+//!   `ssg-bench/v1` reports over the five paper algorithms.
 //!
 //! ## Quickstart
 //!
@@ -42,7 +46,10 @@ pub use ssg_intervals as intervals;
 pub use ssg_labeling as labeling;
 pub use ssg_netsim as netsim;
 pub use ssg_simplicial as simplicial;
+pub use ssg_telemetry as telemetry;
 pub use ssg_tree as tree;
+
+pub mod bench;
 
 /// Convenient glob-import surface covering the most common types and entry
 /// points from every crate.

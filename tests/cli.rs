@@ -97,6 +97,35 @@ fn usage_errors_exit_nonzero() {
 }
 
 #[test]
+fn bench_emits_text_and_json_reports() {
+    let out = ssg()
+        .args(["bench", "--n", "80", "--reps", "1", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for id in ["A1", "A2", "A3", "A4", "A5"] {
+        assert!(text.contains(id), "{text}");
+    }
+
+    let out = ssg()
+        .args(["bench", "--json", "--n", "80", "--reps", "1", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.starts_with('{') && json.ends_with("}\n"), "{json}");
+    assert!(json.contains("\"schema\": \"ssg-bench/v1\""), "{json}");
+    assert!(json.contains("\"palette_probes\""), "{json}");
+
+    // Bad flags are usage errors.
+    let out = ssg().args(["bench", "--n", "1"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = ssg().args(["bench", "--frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn churn_prints_both_policies() {
     let out = ssg().args(["churn", "5", "3"]).output().unwrap();
     assert!(out.status.success());

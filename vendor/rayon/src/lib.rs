@@ -1,0 +1,140 @@
+//! Offline stand-in for the subset of the `rayon` API used by this
+//! workspace: `slice.par_iter().map(f).collect()`.
+//!
+//! The build environment cannot fetch the real `rayon`, so this crate
+//! provides the same surface on `std::thread::scope`: the input slice is
+//! split into one contiguous chunk per available core and each chunk is
+//! mapped on its own scoped thread. Results come back in input order, like
+//! rayon's indexed parallel iterators.
+//!
+//! Only the combinators the workspace calls exist here; grow this file if a
+//! new call site needs more.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Traits and types expected from `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Types whose contents can be iterated in parallel by reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type yielded by reference.
+    type Item: 'a + Sync;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice (returned by
+/// [`IntoParallelRefIterator::par_iter`]).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f`, keeping input order.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator; consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map across scoped threads and collects results in input
+    /// order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n);
+        if threads <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk_len = n.div_ceil(threads);
+        let mut buffers: Vec<Option<Vec<R>>> = Vec::new();
+        buffers.resize_with(threads, || None);
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            for (slot, chunk) in buffers.iter_mut().zip(self.items.chunks(chunk_len)) {
+                scope.spawn(move || {
+                    *slot = Some(chunk.iter().map(f).collect());
+                });
+            }
+        });
+        buffers.into_iter().flatten().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_parallelism_works() {
+        let rows: Vec<u64> = (0..8).collect();
+        let cols: Vec<u64> = (0..8).collect();
+        let grid: Vec<Vec<u64>> = rows
+            .par_iter()
+            .map(|&r| cols.par_iter().map(|&c| r * 10 + c).collect())
+            .collect();
+        assert_eq!(grid[3][4], 34);
+        assert_eq!(grid.len(), 8);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}
