@@ -1,0 +1,58 @@
+//! E12 — Workspace arenas: cold (fresh `Workspace` per solve) vs warm
+//! (one `Workspace` reused across solves) on the E11 bench workloads.
+//!
+//! The warm path skips every per-solve allocation (color buffers, palette
+//! family, dependency lists, BFS scratch), so it should beat cold by a
+//! clear margin on the allocation-dominated A1/A4 sweeps. Both variants
+//! route through the `SolverRegistry`, exactly like `ssg bench --repeat`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssg_bench::{interval_workload, tree_workload, unit_workload};
+use ssg_labeling::solver::{default_registry, Problem};
+use ssg_labeling::{SeparationVector, Workspace};
+use ssg_telemetry::Metrics;
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let n = 4_000usize;
+    let interval = interval_workload(n, 0xE12);
+    let unit = unit_workload(n, 0xE12);
+    let tree = tree_workload(n, 4, 0xE12);
+    let ones = SeparationVector::all_ones(2);
+    let d1_ones = SeparationVector::delta1_then_ones(4, 2).unwrap();
+    let d1_d2 = SeparationVector::two(5, 2).unwrap();
+    let problems: Vec<(&str, Problem<'_>)> = vec![
+        ("interval_l1", Problem::interval(&interval, &ones)),
+        ("interval_approx_delta1", Problem::interval(&interval, &d1_ones)),
+        ("unit_interval_l_delta1_delta2", Problem::unit_interval(&unit, &d1_d2)),
+        ("tree_l1", Problem::tree(&tree, &ones)),
+        ("tree_approx_delta1", Problem::tree(&tree, &d1_ones)),
+    ];
+    let registry = default_registry();
+    let metrics = Metrics::disabled();
+
+    let mut group = c.benchmark_group("E12/workspace_reuse");
+    group.sample_size(10);
+    for (name, problem) in &problems {
+        group.bench_with_input(BenchmarkId::new("cold", name), problem, |b, p| {
+            b.iter(|| {
+                let mut ws = Workspace::new();
+                registry.solve(name, p, &mut ws, &metrics)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm", name), problem, |b, p| {
+            let mut ws = Workspace::new();
+            let first = registry.solve(name, p, &mut ws, &metrics);
+            ws.recycle(first);
+            b.iter(|| {
+                let lab = registry.solve(name, p, &mut ws, &metrics);
+                let span = lab.span();
+                ws.recycle(lab);
+                span
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm);
+criterion_main!(benches);

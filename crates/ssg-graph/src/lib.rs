@@ -20,8 +20,10 @@ pub mod graph;
 pub mod ordering;
 pub mod power;
 pub mod recognition;
+pub mod scratch;
 pub mod traversal;
 
 pub use graph::{Graph, GraphError, Vertex};
+pub use scratch::BfsScratch;
 pub use power::augmented_graph;
 pub use traversal::UNREACHABLE;

@@ -1,0 +1,97 @@
+//! Reusable BFS scratch buffers.
+//!
+//! The labeling algorithms and the Lemma-2 peel run many truncated BFS
+//! passes per solve; on repeated same-sized workloads the distance array
+//! and queue are the dominant per-call allocations. [`BfsScratch`] owns
+//! both and hands out correctly-sized `&mut` views, so a warm scratch
+//! performs zero heap allocation (the contract the `Workspace` layer in
+//! `ssg-labeling` asserts via capacity footprints).
+
+use crate::graph::Vertex;
+use crate::traversal::UNREACHABLE;
+use std::collections::VecDeque;
+
+/// Owned distance array + BFS queue, reusable across solves.
+///
+/// ```
+/// use ssg_graph::scratch::BfsScratch;
+/// use ssg_graph::traversal::bfs_distances_bounded_into;
+/// use ssg_graph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let mut scratch = BfsScratch::new();
+/// let (dist, queue) = scratch.buffers(g.num_vertices());
+/// bfs_distances_bounded_into(&g, 0, 2, dist, queue);
+/// assert_eq!(dist[2], 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct BfsScratch {
+    dist: Vec<u32>,
+    queue: VecDeque<Vertex>,
+    grow_events: u64,
+}
+
+impl BfsScratch {
+    /// An empty scratch; buffers are allocated lazily by
+    /// [`buffers`](Self::buffers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A distance slice of length `n` (filled with [`UNREACHABLE`]) and a
+    /// cleared queue, ready for
+    /// [`bfs_distances_bounded_into`](crate::traversal::bfs_distances_bounded_into).
+    /// Grows the distance buffer only when `n` exceeds its capacity, and
+    /// tallies that growth in [`grow_events`](Self::grow_events).
+    pub fn buffers(&mut self, n: usize) -> (&mut Vec<u32>, &mut VecDeque<Vertex>) {
+        if self.dist.capacity() < n {
+            self.grow_events += 1;
+        }
+        self.dist.clear();
+        self.dist.resize(n, UNREACHABLE);
+        self.queue.clear();
+        (&mut self.dist, &mut self.queue)
+    }
+
+    /// How many times [`buffers`](Self::buffers) had to grow the distance
+    /// buffer. Stable across warm same-sized reuses (the queue grows at
+    /// most once, during the first BFS, and is caught by
+    /// [`capacity_footprint`](Self::capacity_footprint)).
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    /// Sum of buffer capacities in elements, for the workspace allocation
+    /// tally.
+    pub fn capacity_footprint(&self) -> usize {
+        self.dist.capacity() + self.queue.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::traversal::bfs_distances_bounded_into;
+
+    #[test]
+    fn warm_reuse_does_not_regrow() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let mut scratch = BfsScratch::new();
+        {
+            let (dist, queue) = scratch.buffers(6);
+            bfs_distances_bounded_into(&g, 0, 3, dist, queue);
+            assert_eq!(dist[3], 3);
+            assert_eq!(dist[4], UNREACHABLE);
+        }
+        let grows = scratch.grow_events();
+        let footprint = scratch.capacity_footprint();
+        assert_eq!(grows, 1);
+        for src in 0..6 {
+            let (dist, queue) = scratch.buffers(6);
+            bfs_distances_bounded_into(&g, src, 2, dist, queue);
+        }
+        assert_eq!(scratch.grow_events(), grows);
+        assert_eq!(scratch.capacity_footprint(), footprint);
+    }
+}

@@ -5,17 +5,18 @@
 //! chordal graph (in that order of preference); [`auto_l1_coloring`] and
 //! [`auto_coloring`] then route to the strongest applicable algorithm from
 //! the paper and report exactly which guarantee the caller obtained.
+//!
+//! These free functions are transient-workspace wrappers over
+//! [`default_registry`]: repeated callers should hold a
+//! [`Workspace`] and call the registry's
+//! [`auto_coloring`](crate::solver::SolverRegistry::auto_coloring)
+//! directly for the warm zero-allocation path.
 
-use crate::baseline::greedy_bfs_order;
-use crate::interval as interval_mod;
+use crate::solver::default_registry;
 use crate::spec::{Labeling, SeparationVector};
-use crate::tree as tree_mod;
-use crate::unit_interval;
-use ssg_graph::ordering::{is_perfect_elimination_order, lex_bfs};
-use ssg_graph::recognition::is_tree;
-use ssg_graph::{Graph, Vertex};
-use ssg_intervals::recognize::recognize_unit_interval;
-use ssg_tree::RootedTree;
+use crate::workspace::Workspace;
+use ssg_graph::Graph;
+use ssg_telemetry::Metrics;
 
 /// The graph class a bare input was certified as.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,24 +69,7 @@ pub struct AutoOutput {
 /// assert_eq!(classify(&generators::cycle(7)), GraphClass::Unknown);
 /// ```
 pub fn classify(g: &Graph) -> GraphClass {
-    if g.num_vertices() == 0 {
-        return GraphClass::Unknown;
-    }
-    if is_tree(g) {
-        return GraphClass::Tree;
-    }
-    if ssg_graph::recognition::is_forest(g) {
-        return GraphClass::Forest;
-    }
-    if ssg_graph::recognition::proper_interval_order(g).is_some() {
-        return GraphClass::ProperInterval;
-    }
-    let mut order = lex_bfs(g, 0);
-    order.reverse();
-    if is_perfect_elimination_order(g, &order) {
-        return GraphClass::Chordal;
-    }
-    GraphClass::Unknown
+    default_registry().classify(g)
 }
 
 /// Optimal-or-best-effort `L(1,...,1)` coloring of a bare graph:
@@ -96,66 +80,7 @@ pub fn classify(g: &Graph) -> GraphClass {
 ///   `t = 1` removals are always distance-safe);
 /// * otherwise → greedy BFS first-fit (legal, no guarantee).
 pub fn auto_l1_coloring(g: &Graph, t: u32) -> AutoOutput {
-    assert!(t >= 1);
-    let n = g.num_vertices();
-    if n == 0 {
-        return AutoOutput {
-            labeling: Labeling::new(Vec::new()),
-            class: GraphClass::Unknown,
-            algorithm: "empty",
-            guarantee: Guarantee::Optimal,
-        };
-    }
-    match classify(g) {
-        GraphClass::Tree => {
-            let tree = RootedTree::bfs_canonical(g, 0).expect("certified tree");
-            let out = tree_mod::l1_coloring(&tree, t);
-            AutoOutput {
-                labeling: tree_mod::to_original_ids(&tree, &out.labeling),
-                class: GraphClass::Tree,
-                algorithm: "tree-l1 (Figure 5)",
-                guarantee: Guarantee::Optimal,
-            }
-        }
-        GraphClass::Forest => {
-            let out = tree_mod::l1_coloring_forest(g, t).expect("certified forest");
-            AutoOutput {
-                labeling: out.labeling,
-                class: GraphClass::Forest,
-                algorithm: "tree-l1 per component (Figure 5)",
-                guarantee: Guarantee::Optimal,
-            }
-        }
-        GraphClass::ProperInterval => {
-            let (order, rep) = recognize_unit_interval(g).expect("certified proper interval");
-            let out = interval_mod::l1_coloring(rep.as_interval(), t);
-            AutoOutput {
-                labeling: map_back(g, &order, &out.labeling, rep.as_interval()),
-                class: GraphClass::ProperInterval,
-                algorithm: "interval-l1 (Figure 1)",
-                guarantee: Guarantee::Optimal,
-            }
-        }
-        GraphClass::Chordal if t == 1 => {
-            let insertion = lex_bfs(g, 0);
-            let (colors, _) = ssg_simplicial::peel_l1_coloring(g, 1, &insertion);
-            AutoOutput {
-                labeling: Labeling::new(colors),
-                class: GraphClass::Chordal,
-                algorithm: "chordal-peel (Lemma 2)",
-                guarantee: Guarantee::Optimal,
-            }
-        }
-        class @ (GraphClass::Chordal | GraphClass::Unknown) => {
-            let lab = greedy_bfs_order(g, &SeparationVector::all_ones(t));
-            AutoOutput {
-                labeling: lab,
-                class,
-                algorithm: "greedy-bfs",
-                guarantee: Guarantee::Heuristic,
-            }
-        }
-    }
+    default_registry().auto_l1_coloring(g, t, &mut Workspace::new(), &Metrics::disabled())
 }
 
 /// Automatic dispatch for a general separation vector:
@@ -166,78 +91,18 @@ pub fn auto_l1_coloring(g: &Graph, t: u32) -> AutoOutput {
 /// * `(δ1, δ2)` on proper interval graphs → Theorem 3 (3-approximation);
 /// * anything else → greedy BFS first-fit.
 pub fn auto_coloring(g: &Graph, sep: &SeparationVector) -> AutoOutput {
-    if sep.is_all_ones() {
-        return auto_l1_coloring(g, sep.t());
-    }
-    let t = sep.t();
-    let delta1 = sep.delta(1);
-    let tail_ones = (2..=t).all(|i| sep.delta(i) == 1);
-    let class = classify(g);
-    match (class, tail_ones, t) {
-        (GraphClass::Tree, true, _) => {
-            let tree = RootedTree::bfs_canonical(g, 0).expect("certified tree");
-            let out = tree_mod::approx_delta1_coloring(&tree, t, delta1);
-            AutoOutput {
-                labeling: tree_mod::to_original_ids(&tree, &out.labeling),
-                class,
-                algorithm: "tree-approx-d1 (Theorem 5)",
-                guarantee: Guarantee::Approximation(3),
-            }
-        }
-        (GraphClass::ProperInterval, true, _) => {
-            let (order, rep) = recognize_unit_interval(g).expect("certified");
-            let out = interval_mod::approx_delta1_coloring(rep.as_interval(), t, delta1);
-            AutoOutput {
-                labeling: map_back(g, &order, &out.labeling, rep.as_interval()),
-                class,
-                algorithm: "interval-approx-d1 (Theorem 2)",
-                guarantee: Guarantee::Approximation(3),
-            }
-        }
-        (GraphClass::ProperInterval, false, 2) => {
-            let (order, rep) = recognize_unit_interval(g).expect("certified");
-            let out = unit_interval::l_delta1_delta2_coloring(&rep, delta1, sep.delta(2));
-            AutoOutput {
-                labeling: map_back(g, &order, &out.labeling, rep.as_interval()),
-                class,
-                algorithm: "unit-l-d1d2 (Theorem 3)",
-                guarantee: Guarantee::Approximation(3),
-            }
-        }
-        _ => AutoOutput {
-            labeling: greedy_bfs_order(g, sep),
-            class,
-            algorithm: "greedy-bfs",
-            guarantee: Guarantee::Heuristic,
-        },
-    }
-}
-
-/// Re-indexes a labeling from representation numbering back to `g`'s ids:
-/// representation vertex `i` is `order[rep.original_index(i)]`... the
-/// recognized representation's vertex `i` corresponds to `order[j]` where
-/// `j` is the position the representation kept as `original_index(i)`.
-fn map_back(
-    g: &Graph,
-    order: &[Vertex],
-    labeling: &Labeling,
-    rep: &ssg_intervals::IntervalRepresentation,
-) -> Labeling {
-    let mut colors = vec![0u32; g.num_vertices()];
-    for i in 0..labeling.len() as Vertex {
-        let order_pos = rep.original_index(i);
-        colors[order[order_pos] as usize] = labeling.color(i);
-    }
-    Labeling::new(colors)
+    default_registry().auto_coloring(g, sep, &mut Workspace::new(), &Metrics::disabled())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interval as interval_mod;
     use crate::spec::verify_labeling;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use ssg_graph::generators;
+    use ssg_tree::RootedTree;
 
     #[test]
     fn classifies_known_families() {

@@ -5,9 +5,11 @@
 //! structure-aware sweeps would deploy.
 
 use crate::spec::{Labeling, SeparationVector};
+use crate::workspace::{ensure_bool, Workspace};
+use ssg_graph::scratch::BfsScratch;
 use ssg_graph::traversal::{bfs_distances_bounded_into, UNREACHABLE};
 use ssg_graph::{Graph, Vertex};
-use std::collections::VecDeque;
+use ssg_telemetry::Metrics;
 
 /// Greedy first-fit `L(δ1,...,δt)` labeling: processes vertices in the given
 /// order (or `0..n` when `order` is `None`) and assigns each the smallest
@@ -16,50 +18,44 @@ use std::collections::VecDeque;
 ///
 /// `O(n * (ball_t + span * t))` — the reference point for experiment E7.
 pub fn greedy_first_fit(g: &Graph, sep: &SeparationVector, order: Option<&[Vertex]>) -> Labeling {
+    greedy_first_fit_ws(g, sep, order, &mut Workspace::new(), &Metrics::disabled())
+}
+
+/// [`greedy_first_fit`] on a caller-owned [`Workspace`]: the color output,
+/// BFS scratch, and forbidden-color bitmap draw from the arena, and solves
+/// after the first record one
+/// [`Counter::WorkspaceReuses`](ssg_telemetry::Counter) on
+/// `metrics`.
+pub fn greedy_first_fit_ws(
+    g: &Graph,
+    sep: &SeparationVector,
+    order: Option<&[Vertex]>,
+    ws: &mut Workspace,
+    metrics: &Metrics,
+) -> Labeling {
+    ws.begin_solve(metrics);
     let n = g.num_vertices();
-    let t = sep.t();
-    let default_order: Vec<Vertex>;
-    let order: &[Vertex] = match order {
+    let mut colors = ws.take_colors(n, u32::MAX);
+    let Workspace {
+        order: order_buf,
+        bfs,
+        forbidden,
+        grow_events,
+        ..
+    } = ws;
+    match order {
         Some(o) => {
             assert_eq!(o.len(), n, "order must cover all vertices");
-            o
+            greedy_core(g, sep, o, &mut colors, bfs, forbidden, grow_events);
         }
         None => {
-            default_order = (0..n as Vertex).collect();
-            &default_order
+            if order_buf.capacity() < n {
+                *grow_events += 1;
+            }
+            order_buf.clear();
+            order_buf.extend(0..n as Vertex);
+            greedy_core(g, sep, order_buf, &mut colors, bfs, forbidden, grow_events);
         }
-    };
-    let mut colors = vec![u32::MAX; n];
-    let mut dist = vec![UNREACHABLE; n];
-    let mut queue = VecDeque::new();
-    // forbidden[c] = true when color c conflicts with some colored neighbor.
-    let mut forbidden: Vec<bool> = Vec::new();
-    for &v in order {
-        bfs_distances_bounded_into(g, v, t, &mut dist, &mut queue);
-        forbidden.clear();
-        for (u, &d) in dist.iter().enumerate() {
-            if d == UNREACHABLE || d == 0 {
-                continue;
-            }
-            let c = colors[u];
-            if c == u32::MAX {
-                continue;
-            }
-            let need = sep.delta(d);
-            let lo = c.saturating_sub(need - 1) as usize;
-            let hi = (c + need - 1) as usize;
-            if forbidden.len() <= hi {
-                forbidden.resize(hi + 1, false);
-            }
-            for slot in forbidden.iter_mut().take(hi + 1).skip(lo) {
-                *slot = true;
-            }
-        }
-        let c = forbidden
-            .iter()
-            .position(|&b| !b)
-            .unwrap_or(forbidden.len()) as u32;
-        colors[v as usize] = c;
     }
     Labeling::new(colors)
 }
@@ -67,12 +63,36 @@ pub fn greedy_first_fit(g: &Graph, sep: &SeparationVector, order: Option<&[Verte
 /// Greedy first-fit in BFS order from vertex 0 — the common "flood the
 /// network outward" heuristic.
 pub fn greedy_bfs_order(g: &Graph, sep: &SeparationVector) -> Labeling {
+    greedy_bfs_order_ws(g, sep, &mut Workspace::new(), &Metrics::disabled())
+}
+
+/// [`greedy_bfs_order`] on a caller-owned [`Workspace`] (see
+/// [`greedy_first_fit_ws`] for the reuse contract).
+pub fn greedy_bfs_order_ws(
+    g: &Graph,
+    sep: &SeparationVector,
+    ws: &mut Workspace,
+    metrics: &Metrics,
+) -> Labeling {
+    ws.begin_solve(metrics);
     let n = g.num_vertices();
     if n == 0 {
         return Labeling::new(Vec::new());
     }
-    let mut order = Vec::with_capacity(n);
-    let mut seen = vec![false; n];
+    let mut colors = ws.take_colors(n, u32::MAX);
+    let Workspace {
+        order,
+        seen,
+        bfs,
+        forbidden,
+        grow_events,
+        ..
+    } = ws;
+    if order.capacity() < n {
+        *grow_events += 1;
+    }
+    order.clear();
+    ensure_bool(seen, n, grow_events);
     for s in 0..n as Vertex {
         if seen[s as usize] {
             continue;
@@ -91,7 +111,54 @@ pub fn greedy_bfs_order(g: &Graph, sep: &SeparationVector) -> Labeling {
             }
         }
     }
-    greedy_first_fit(g, sep, Some(&order))
+    greedy_core(g, sep, order, &mut colors, bfs, forbidden, grow_events);
+    Labeling::new(colors)
+}
+
+/// The first-fit sweep over an explicit vertex order, writing into
+/// caller-provided buffers (the borrow-split halves of a [`Workspace`]).
+fn greedy_core(
+    g: &Graph,
+    sep: &SeparationVector,
+    order: &[Vertex],
+    colors: &mut [u32],
+    bfs: &mut BfsScratch,
+    forbidden: &mut Vec<bool>,
+    grow_events: &mut u64,
+) {
+    let t = sep.t();
+    let (dist, queue) = bfs.buffers(g.num_vertices());
+    forbidden.clear();
+    for &v in order {
+        bfs_distances_bounded_into(g, v, t, dist, queue);
+        forbidden.clear();
+        for (u, &d) in dist.iter().enumerate() {
+            if d == UNREACHABLE || d == 0 {
+                continue;
+            }
+            let c = colors[u];
+            if c == u32::MAX {
+                continue;
+            }
+            let need = sep.delta(d);
+            let lo = c.saturating_sub(need - 1) as usize;
+            let hi = (c + need - 1) as usize;
+            if forbidden.len() <= hi {
+                if forbidden.capacity() <= hi {
+                    *grow_events += 1;
+                }
+                forbidden.resize(hi + 1, false);
+            }
+            for slot in forbidden.iter_mut().take(hi + 1).skip(lo) {
+                *slot = true;
+            }
+        }
+        let c = forbidden
+            .iter()
+            .position(|&b| !b)
+            .unwrap_or(forbidden.len()) as u32;
+        colors[v as usize] = c;
+    }
 }
 
 #[cfg(test)]

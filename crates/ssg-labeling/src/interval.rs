@@ -6,8 +6,8 @@
 //!   (§3.2, Theorem 2): legal coloring with largest color at most
 //!   `λ*_{G,t} + 2(δ1-1) λ*_{G,1}`, a 3-approximation.
 
-use crate::palette::PaletteFamily;
 use crate::spec::Labeling;
+use crate::workspace::{ensure_dep, ensure_u32, Workspace};
 use ssg_graph::Vertex;
 use ssg_intervals::{Endpoint, IntervalRepresentation};
 use ssg_telemetry::{Counter, Metrics};
@@ -53,7 +53,36 @@ pub fn l1_coloring_with(
     t: u32,
     metrics: &Metrics,
 ) -> IntervalL1Output {
+    l1_coloring_ws(rep, t, &mut Workspace::new(), metrics)
+}
+
+/// [`l1_coloring_with`] on a caller-owned [`Workspace`]: repeated solves
+/// on same-sized representations reuse every scratch buffer (zero heap
+/// allocation once warm; disconnected inputs still allocate their
+/// per-component sub-representations) and record
+/// [`Counter::WorkspaceReuses`]. Outputs and all other counters are
+/// bit-identical to [`l1_coloring_with`]. Recycle the output via
+/// [`Workspace::recycle`] to keep the warm path allocation-free.
+pub fn l1_coloring_ws(
+    rep: &IntervalRepresentation,
+    t: u32,
+    ws: &mut Workspace,
+    metrics: &Metrics,
+) -> IntervalL1Output {
     assert!(t >= 1, "interference radius t must be >= 1");
+    ws.begin_solve(metrics);
+    l1_inner(rep, t, ws, metrics)
+}
+
+/// [`l1_coloring_ws`] without the `begin_solve` announcement — the shared
+/// body used by A2/A3 subruns so that one public solve records at most one
+/// workspace reuse.
+pub(crate) fn l1_inner(
+    rep: &IntervalRepresentation,
+    t: u32,
+    ws: &mut Workspace,
+    metrics: &Metrics,
+) -> IntervalL1Output {
     let n = rep.len();
     if n == 0 {
         return IntervalL1Output {
@@ -62,20 +91,23 @@ pub fn l1_coloring_with(
         };
     }
     if rep.is_connected() {
-        let (colors, lambda) = l1_connected(rep, t, metrics);
+        let mut colors = ws.take_colors(n, u32::MAX);
+        let lambda = l1_connected(rep, t, ws, &mut colors, metrics);
         return IntervalL1Output {
             labeling: Labeling::new(colors),
             lambda_star: lambda,
         };
     }
-    let mut colors = vec![0u32; n];
+    let mut colors = ws.take_colors(n, 0);
     let mut lambda = 0u32;
     for (comp, verts) in rep.components() {
-        let (cc, cl) = l1_connected(&comp, t, metrics);
+        let mut cc = ws.take_colors(comp.len(), u32::MAX);
+        let cl = l1_connected(&comp, t, ws, &mut cc, metrics);
         lambda = lambda.max(cl);
         for (i, &v) in verts.iter().enumerate() {
             colors[v as usize] = cc[i];
         }
+        ws.recycle_colors(cc);
     }
     IntervalL1Output {
         labeling: Labeling::new(colors),
@@ -83,19 +115,31 @@ pub fn l1_coloring_with(
     }
 }
 
-/// Figure 1 on a connected representation. Returns `(colors, λ*_{G,t})`.
-fn l1_connected(rep: &IntervalRepresentation, t: u32, metrics: &Metrics) -> (Vec<u32>, u32) {
+/// Figure 1 on a connected representation, writing into `colors` (length
+/// `n`, pre-filled with `u32::MAX`). Returns `λ*_{G,t}`.
+fn l1_connected(
+    rep: &IntervalRepresentation,
+    t: u32,
+    ws: &mut Workspace,
+    colors: &mut [u32],
+    metrics: &Metrics,
+) -> u32 {
     let n = rep.len();
     debug_assert!(rep.is_connected());
-    let mut palettes = PaletteFamily::new(t, 0);
+    let Workspace {
+        palette: palettes,
+        dep,
+        drained,
+        grow_events,
+        ..
+    } = ws;
+    palettes.reset(t, 0);
     // L_v: colors currently "depending on" interval v.
-    let mut dep: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut colors = vec![u32::MAX; n];
+    ensure_dep(dep, n, grow_events);
     let mut lambda: i64 = -1;
     let mut max_r = 0u32;
     let mut deep: Vertex = 0;
     let mut open = 0usize;
-    let mut drained: Vec<u32> = Vec::new();
     for &ev in rep.events() {
         match ev {
             Endpoint::Left(v) => {
@@ -118,7 +162,7 @@ fn l1_connected(rep: &IntervalRepresentation, t: u32, metrics: &Metrics) -> (Vec
                 open -= 1;
                 drained.clear();
                 drained.append(&mut dep[v as usize]);
-                for &c in &drained {
+                for &c in drained.iter() {
                     let j = palettes.level_of(c);
                     debug_assert!(j >= 1, "colors in L lists sit in P_1..P_t");
                     palettes.move_to(c, j - 1);
@@ -141,7 +185,7 @@ fn l1_connected(rep: &IntervalRepresentation, t: u32, metrics: &Metrics) -> (Vec
         metrics.add(Counter::PeelSteps, n as u64);
         metrics.add(Counter::PaletteProbes, palettes.probe_count());
     }
-    (colors, lambda)
+    lambda
 }
 
 /// The profile `[λ*_{G,1}, λ*_{G,2}, ..., λ*_{G,t_max}]` of optimal
@@ -206,8 +250,21 @@ pub fn approx_delta1_coloring_with(
     delta1: u32,
     metrics: &Metrics,
 ) -> IntervalApproxOutput {
+    approx_delta1_coloring_ws(rep, t, delta1, &mut Workspace::new(), metrics)
+}
+
+/// [`approx_delta1_coloring_with`] on a caller-owned [`Workspace`] (see
+/// [`l1_coloring_ws`] for the reuse contract).
+pub fn approx_delta1_coloring_ws(
+    rep: &IntervalRepresentation,
+    t: u32,
+    delta1: u32,
+    ws: &mut Workspace,
+    metrics: &Metrics,
+) -> IntervalApproxOutput {
     assert!(t >= 1, "interference radius t must be >= 1");
     assert!(delta1 >= 1, "delta1 must be >= 1");
+    ws.begin_solve(metrics);
     let n = rep.len();
     if n == 0 {
         return IntervalApproxOutput {
@@ -217,26 +274,24 @@ pub fn approx_delta1_coloring_with(
             upper_bound: 0,
         };
     }
-    let lambda_t = l1_coloring_with(rep, t, metrics).lambda_star;
-    let lambda_1 = l1_coloring_with(rep, 1, metrics).lambda_star;
+    let sub = l1_inner(rep, t, ws, metrics);
+    let lambda_t = sub.lambda_star;
+    ws.recycle(sub.labeling);
+    let sub = l1_inner(rep, 1, ws, metrics);
+    let lambda_1 = sub.lambda_star;
+    ws.recycle(sub.labeling);
     let upper_bound = lambda_t + 2 * (delta1 - 1) * lambda_1;
-    let mut colors = vec![0u32; n];
-    let run = |comp: &IntervalRepresentation, out: &mut [u32], verts: Option<&[Vertex]>| {
-        let cc = approx_connected(comp, t, delta1, upper_bound, metrics);
-        match verts {
-            None => out.copy_from_slice(&cc),
-            Some(vs) => {
-                for (i, &v) in vs.iter().enumerate() {
-                    out[v as usize] = cc[i];
-                }
-            }
-        }
-    };
+    let mut colors = ws.take_colors(n, 0);
     if rep.is_connected() {
-        run(rep, &mut colors, None);
+        approx_connected(rep, t, delta1, upper_bound, ws, &mut colors, metrics);
     } else {
         for (comp, verts) in rep.components() {
-            run(&comp, &mut colors, Some(&verts));
+            let mut cc = ws.take_colors(comp.len(), u32::MAX);
+            approx_connected(&comp, t, delta1, upper_bound, ws, &mut cc, metrics);
+            for (i, &v) in verts.iter().enumerate() {
+                colors[v as usize] = cc[i];
+            }
+            ws.recycle_colors(cc);
         }
     }
     IntervalApproxOutput {
@@ -247,25 +302,34 @@ pub fn approx_delta1_coloring_with(
     }
 }
 
-/// §3.2 sweep on a connected representation with a fixed pool `{0..=bound}`.
+/// §3.2 sweep on a connected representation with a fixed pool `{0..=bound}`,
+/// writing into `colors` (length `n`; every entry is assigned).
 fn approx_connected(
     rep: &IntervalRepresentation,
     t: u32,
     delta1: u32,
     bound: u32,
+    ws: &mut Workspace,
+    colors: &mut [u32],
     metrics: &Metrics,
-) -> Vec<u32> {
+) {
     let n = rep.len();
     let pool = bound as usize + 1;
-    let mut palettes = PaletteFamily::new(t, pool);
+    let Workspace {
+        palette: palettes,
+        dep,
+        drained,
+        block,
+        grow_events,
+        ..
+    } = ws;
+    palettes.reset(t, pool);
     // block[c] = number of open intervals whose color is within delta1-1 of c.
-    let mut block = vec![0u32; pool];
-    let mut dep: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut colors = vec![u32::MAX; n];
+    ensure_u32(block, pool, 0, grow_events);
+    ensure_dep(dep, n, grow_events);
     let mut max_r = 0u32;
     let mut deep: Vertex = 0;
     let mut open = 0usize;
-    let mut drained: Vec<u32> = Vec::new();
     let window = |c: u32| {
         let lo = c.saturating_sub(delta1 - 1);
         let hi = (c + delta1 - 1).min(bound);
@@ -303,7 +367,7 @@ fn approx_connected(
                 open -= 1;
                 drained.clear();
                 drained.append(&mut dep[v as usize]);
-                for &c in &drained {
+                for &c in drained.iter() {
                     let j = palettes.level_of(c);
                     debug_assert!(j >= 1);
                     palettes.unlink(c);
@@ -339,7 +403,6 @@ fn approx_connected(
         metrics.add(Counter::PeelSteps, n as u64);
         metrics.add(Counter::PaletteProbes, palettes.probe_count());
     }
-    colors
 }
 
 #[cfg(test)]

@@ -30,10 +30,14 @@ pub mod certificate;
 pub mod exact;
 pub mod interval;
 pub mod palette;
+pub mod solver;
 pub mod spec;
 pub mod tree;
 pub mod unit_interval;
+pub mod workspace;
 
+pub use solver::{Problem, ProblemInstance, Solver, SolverRegistry};
 pub use spec::{
     all_violations, verify_labeling, Labeling, SeparationError, SeparationVector, Violation,
 };
+pub use workspace::{Workspace, WorkspacePool};

@@ -25,6 +25,14 @@ pub struct PaletteFamily {
     probes: u64,
 }
 
+impl Default for PaletteFamily {
+    /// The cold state of a workspace arena: `P_0` alone, empty pool.
+    /// Solvers reinitialize with [`reset`](Self::reset) before use.
+    fn default() -> Self {
+        Self::new(0, 0)
+    }
+}
+
 impl PaletteFamily {
     /// Creates palettes `P_0..P_t` with an initial pool of `pool` colors
     /// (`0..pool`), all linked into `P_0`.
@@ -42,6 +50,39 @@ impl PaletteFamily {
             f.grow();
         }
         f
+    }
+
+    /// Reinitializes the family to exactly the state [`new`](Self::new)
+    /// would produce — `t + 1` empty palettes, a fresh pool of `pool`
+    /// colors linked into `P_0` in the same LIFO order, and a zeroed probe
+    /// tally — while keeping every previously grown buffer's capacity.
+    /// This is what lets a warm [`Workspace`](crate::workspace::Workspace)
+    /// rerun an algorithm without heap allocation.
+    pub fn reset(&mut self, t: u32, pool: usize) {
+        self.next.clear();
+        self.prev.clear();
+        self.level.clear();
+        self.linked.clear();
+        self.head.clear();
+        self.head.resize(t as usize + 1, NIL);
+        self.len.clear();
+        self.len.resize(t as usize + 1, 0);
+        self.probes = 0;
+        for _ in 0..pool {
+            self.grow();
+        }
+    }
+
+    /// Sum of the capacities (in elements) of the family's internal
+    /// buffers. Used by the workspace allocation tally: equal footprints
+    /// across repeated same-sized solves certify that no buffer regrew.
+    pub fn capacity_footprint(&self) -> usize {
+        self.next.capacity()
+            + self.prev.capacity()
+            + self.level.capacity()
+            + self.linked.capacity()
+            + self.head.capacity()
+            + self.len.capacity()
     }
 
     /// Number of palettes (`t + 1`).
@@ -262,6 +303,24 @@ mod tests {
         assert_eq!(f.probe_count(), 4);
         f.pop_where(0, |c| c > 100); // exhaustive scan of [4, 3, 1, 0]
         assert_eq!(f.probe_count(), 8);
+    }
+
+    #[test]
+    fn reset_matches_fresh_family() {
+        let mut f = PaletteFamily::new(2, 3);
+        f.pop(0);
+        f.move_to(0, 2);
+        f.grow();
+        f.reset(1, 2);
+        let fresh = PaletteFamily::new(1, 2);
+        assert_eq!(f.num_levels(), fresh.num_levels());
+        assert_eq!(f.pool_size(), fresh.pool_size());
+        assert_eq!(f.collect(0), fresh.collect(0));
+        assert_eq!(f.probe_count(), 0);
+        // Same LIFO pop order as a fresh family.
+        assert_eq!(f.pop(0), Some(1));
+        assert_eq!(f.pop(0), Some(0));
+        assert_eq!(f.pop(0), None);
     }
 
     #[test]

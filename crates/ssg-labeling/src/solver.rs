@@ -1,0 +1,693 @@
+//! The unified [`Solver`] trait and [`SolverRegistry`] dispatcher.
+//!
+//! PR-1 gave every algorithm a `*_with(&Metrics)` entry point; this module
+//! gives them a common *shape*. A [`Problem`] bundles an instance (bare
+//! graph, interval representation, unit-interval representation, or rooted
+//! tree) with the separation vector to enforce; a [`Solver`] consumes a
+//! problem plus a [`Workspace`] arena and produces a [`Labeling`]:
+//!
+//! ```text
+//! fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling
+//! ```
+//!
+//! The [`SolverRegistry`] owns the solver set **and** the graph-class
+//! dispatch that used to be duplicated across `auto`, the bench runner, the
+//! CLI, and the netsim sweep: [`SolverRegistry::classify`] certifies the
+//! strongest class, and [`SolverRegistry::auto_l1_coloring`] /
+//! [`SolverRegistry::auto_coloring`] route to the strongest registered
+//! solver, threading one warm workspace through whichever algorithm runs.
+//! [`crate::auto`]'s free functions are thin transient-workspace wrappers
+//! over [`default_registry`].
+//!
+//! Solver names double as the bench-report algorithm ids
+//! (`interval_l1`, `tree_approx_delta1`, ...), so a report row can be
+//! replayed by name: `registry.get(id).solve_with(...)`.
+//!
+//! See `ARCHITECTURE.md` for the "adding a new solver" recipe.
+
+use crate::auto::{AutoOutput, GraphClass, Guarantee};
+use crate::spec::{Labeling, SeparationVector};
+use crate::workspace::Workspace;
+use crate::{baseline, exact, interval, tree, unit_interval};
+use ssg_graph::ordering::{is_perfect_elimination_order, lex_bfs};
+use ssg_graph::recognition::{is_forest, is_tree, proper_interval_order};
+use ssg_graph::{Graph, Vertex};
+use ssg_intervals::recognize::recognize_unit_interval;
+use ssg_intervals::{IntervalRepresentation, UnitIntervalRepresentation};
+use ssg_telemetry::Metrics;
+use ssg_tree::RootedTree;
+use std::sync::OnceLock;
+
+/// The structure a [`Problem`] presents its instance in. Each solver
+/// documents which variants it accepts and panics on the others — feeding a
+/// solver the wrong structure is a caller bug, not a runtime condition.
+#[derive(Debug, Clone, Copy)]
+pub enum ProblemInstance<'a> {
+    /// A bare graph (greedy baselines, the Lemma-2 peel, forests, exact).
+    Graph(&'a Graph),
+    /// An interval representation in left-endpoint order (A1, A2).
+    Interval(&'a IntervalRepresentation),
+    /// A proper/unit interval representation (A3).
+    UnitInterval(&'a UnitIntervalRepresentation),
+    /// A BFS-canonical rooted tree (A4, A5).
+    Tree(&'a RootedTree),
+}
+
+/// One channel-assignment instance: what to color and under which
+/// `L(δ1,...,δt)` constraints.
+#[derive(Debug, Clone, Copy)]
+pub struct Problem<'a> {
+    /// The instance structure.
+    pub instance: ProblemInstance<'a>,
+    /// The separation vector to enforce.
+    pub sep: &'a SeparationVector,
+}
+
+impl<'a> Problem<'a> {
+    /// A problem over a bare graph.
+    pub fn graph(g: &'a Graph, sep: &'a SeparationVector) -> Self {
+        Self {
+            instance: ProblemInstance::Graph(g),
+            sep,
+        }
+    }
+
+    /// A problem over an interval representation.
+    pub fn interval(rep: &'a IntervalRepresentation, sep: &'a SeparationVector) -> Self {
+        Self {
+            instance: ProblemInstance::Interval(rep),
+            sep,
+        }
+    }
+
+    /// A problem over a unit-interval representation.
+    pub fn unit_interval(rep: &'a UnitIntervalRepresentation, sep: &'a SeparationVector) -> Self {
+        Self {
+            instance: ProblemInstance::UnitInterval(rep),
+            sep,
+        }
+    }
+
+    /// A problem over a BFS-canonical rooted tree.
+    pub fn tree(t: &'a RootedTree, sep: &'a SeparationVector) -> Self {
+        Self {
+            instance: ProblemInstance::Tree(t),
+            sep,
+        }
+    }
+}
+
+/// A channel-assignment algorithm behind a uniform entry point.
+///
+/// Implementations borrow every scratch buffer from the [`Workspace`], so a
+/// caller that holds one workspace across solves gets the warm zero-
+/// allocation path, and telemetry (including
+/// [`Counter::WorkspaceReuses`](ssg_telemetry::Counter::WorkspaceReuses))
+/// lands on `m` exactly as it does for the direct `*_ws` entry points —
+/// [`Solver::solve_with`] **is** the direct entry point, reshaped.
+pub trait Solver: Send + Sync {
+    /// Stable identifier; doubles as the bench-report algorithm id.
+    fn name(&self) -> &'static str;
+
+    /// Solves `problem` using `ws` for scratch space, recording telemetry
+    /// on `m`. Panics when `problem.instance` is a structure this solver
+    /// does not accept (see each solver's docs).
+    fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling;
+}
+
+fn wrong_instance(name: &str, wants: &str) -> ! {
+    panic!("solver `{name}` requires a {wants} instance");
+}
+
+/// A1 — `Interval-L(1,...,1)-coloring` (Figure 1, Theorem 1). Optimal.
+/// Accepts [`ProblemInstance::Interval`]; uses `sep.t()`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntervalL1;
+
+impl Solver for IntervalL1 {
+    fn name(&self) -> &'static str {
+        "interval_l1"
+    }
+
+    fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
+        match problem.instance {
+            ProblemInstance::Interval(rep) => {
+                interval::l1_coloring_ws(rep, problem.sep.t(), ws, m).labeling
+            }
+            _ => wrong_instance(self.name(), "interval"),
+        }
+    }
+}
+
+/// A2 — `Interval-L(δ1,1,...,1)-coloring` (§3.2, Theorem 2).
+/// 3-approximation. Accepts [`ProblemInstance::Interval`]; uses `sep.t()`
+/// and `sep.delta(1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntervalApproxDelta1;
+
+impl Solver for IntervalApproxDelta1 {
+    fn name(&self) -> &'static str {
+        "interval_approx_delta1"
+    }
+
+    fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
+        match problem.instance {
+            ProblemInstance::Interval(rep) => {
+                interval::approx_delta1_coloring_ws(rep, problem.sep.t(), problem.sep.delta(1), ws, m)
+                    .labeling
+            }
+            _ => wrong_instance(self.name(), "interval"),
+        }
+    }
+}
+
+/// A3 — `Unit-Interval-L(δ1,δ2)-coloring` (Figure 2, Theorem 3, with the
+/// pair-comb correction). Accepts [`ProblemInstance::UnitInterval`] with
+/// `sep.t() == 2`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitIntervalLDelta1Delta2;
+
+impl Solver for UnitIntervalLDelta1Delta2 {
+    fn name(&self) -> &'static str {
+        "unit_interval_l_delta1_delta2"
+    }
+
+    fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
+        assert_eq!(problem.sep.t(), 2, "A3 handles exactly L(δ1,δ2)");
+        match problem.instance {
+            ProblemInstance::UnitInterval(rep) => unit_interval::l_delta1_delta2_coloring_ws(
+                rep,
+                problem.sep.delta(1),
+                problem.sep.delta(2),
+                ws,
+                m,
+            )
+            .labeling,
+            _ => wrong_instance(self.name(), "unit-interval"),
+        }
+    }
+}
+
+/// A4 — `Tree-L(1,...,1)-coloring` (Figure 5, Theorem 4). Optimal.
+/// Accepts [`ProblemInstance::Tree`]; colors are in the tree's canonical
+/// numbering ([`tree::to_original_ids`] maps back).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeL1;
+
+impl Solver for TreeL1 {
+    fn name(&self) -> &'static str {
+        "tree_l1"
+    }
+
+    fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
+        match problem.instance {
+            ProblemInstance::Tree(t) => tree::l1_coloring_ws(t, problem.sep.t(), ws, m).labeling,
+            _ => wrong_instance(self.name(), "tree"),
+        }
+    }
+}
+
+/// A5 — `Tree-L(δ1,1,...,1)-coloring` (§4.2, Theorem 5). 3-approximation.
+/// Accepts [`ProblemInstance::Tree`] (canonical numbering, as [`TreeL1`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeApproxDelta1;
+
+impl Solver for TreeApproxDelta1 {
+    fn name(&self) -> &'static str {
+        "tree_approx_delta1"
+    }
+
+    fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
+        match problem.instance {
+            ProblemInstance::Tree(t) => {
+                tree::approx_delta1_coloring_ws(t, problem.sep.t(), problem.sep.delta(1), ws, m)
+                    .labeling
+            }
+            _ => wrong_instance(self.name(), "tree"),
+        }
+    }
+}
+
+/// Figure 5 per component over a shared color pool. Optimal on forests.
+/// Accepts [`ProblemInstance::Graph`] that certifies as a forest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForestL1;
+
+impl Solver for ForestL1 {
+    fn name(&self) -> &'static str {
+        "forest_l1"
+    }
+
+    fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
+        match problem.instance {
+            ProblemInstance::Graph(g) => tree::l1_coloring_forest_ws(g, problem.sep.t(), ws, m)
+                .expect("solver `forest_l1` requires a forest")
+                .labeling,
+            _ => wrong_instance(self.name(), "graph"),
+        }
+    }
+}
+
+/// Lemma-2 peel along a Lex-BFS order. Optimal on chordal graphs at
+/// `t = 1` (and on strongly-simplicial inputs whose peel stays
+/// distance-safe). Accepts [`ProblemInstance::Graph`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lemma2Peel;
+
+impl Solver for Lemma2Peel {
+    fn name(&self) -> &'static str {
+        "lemma2_peel"
+    }
+
+    fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
+        match problem.instance {
+            ProblemInstance::Graph(g) => {
+                ws.begin_solve(m);
+                let insertion = lex_bfs(g, 0);
+                let (colors, _) =
+                    ssg_simplicial::peel_l1_coloring_ws(g, problem.sep.t(), &insertion, &mut ws.peel, m);
+                Labeling::new(colors)
+            }
+            _ => wrong_instance(self.name(), "graph"),
+        }
+    }
+}
+
+/// Exact branch-and-bound minimum span (the small-`n` oracle). Accepts
+/// [`ProblemInstance::Graph`]; exponential — keep instances small.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactBranchAndBound;
+
+impl Solver for ExactBranchAndBound {
+    fn name(&self) -> &'static str {
+        "exact_bb"
+    }
+
+    fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
+        match problem.instance {
+            ProblemInstance::Graph(g) => {
+                ws.begin_solve(m);
+                let (labeling, _) = exact::exact_min_span_with(g, problem.sep, m);
+                labeling
+            }
+            _ => wrong_instance(self.name(), "graph"),
+        }
+    }
+}
+
+/// Greedy first-fit in BFS order — the structure-blind baseline. Accepts
+/// [`ProblemInstance::Graph`]; legal on anything, no guarantee.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyBfs;
+
+impl Solver for GreedyBfs {
+    fn name(&self) -> &'static str {
+        "greedy_bfs"
+    }
+
+    fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
+        match problem.instance {
+            ProblemInstance::Graph(g) => baseline::greedy_bfs_order_ws(g, problem.sep, ws, m),
+            _ => wrong_instance(self.name(), "graph"),
+        }
+    }
+}
+
+/// The solver set plus the graph-class dispatch built on it. One registry
+/// serves any number of solves; pair it with one [`Workspace`] per thread
+/// for warm repeated dispatch.
+pub struct SolverRegistry {
+    solvers: Vec<Box<dyn Solver>>,
+}
+
+impl std::fmt::Debug for SolverRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverRegistry")
+            .field("solvers", &self.names())
+            .finish()
+    }
+}
+
+impl Default for SolverRegistry {
+    fn default() -> Self {
+        Self::with_paper_algorithms()
+    }
+}
+
+impl SolverRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            solvers: Vec::new(),
+        }
+    }
+
+    /// A registry holding every algorithm in this crate: A1–A5, the forest
+    /// variant, the Lemma-2 peel, the exact oracle, and the greedy
+    /// baseline.
+    pub fn with_paper_algorithms() -> Self {
+        let mut r = Self::new();
+        r.register(Box::new(IntervalL1));
+        r.register(Box::new(IntervalApproxDelta1));
+        r.register(Box::new(UnitIntervalLDelta1Delta2));
+        r.register(Box::new(TreeL1));
+        r.register(Box::new(TreeApproxDelta1));
+        r.register(Box::new(ForestL1));
+        r.register(Box::new(Lemma2Peel));
+        r.register(Box::new(ExactBranchAndBound));
+        r.register(Box::new(GreedyBfs));
+        r
+    }
+
+    /// Adds a solver. Later registrations shadow earlier ones of the same
+    /// name in [`get`](Self::get).
+    pub fn register(&mut self, solver: Box<dyn Solver>) {
+        self.solvers.push(solver);
+    }
+
+    /// Looks a solver up by its [`Solver::name`].
+    pub fn get(&self, name: &str) -> Option<&dyn Solver> {
+        self.solvers
+            .iter()
+            .rev()
+            .find(|s| s.name() == name)
+            .map(Box::as_ref)
+    }
+
+    /// The registered solver names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.solvers.iter().map(|s| s.name()).collect()
+    }
+
+    /// [`get`](Self::get) + [`Solver::solve_with`], panicking on an unknown
+    /// name with the list of known ones.
+    pub fn solve(
+        &self,
+        name: &str,
+        problem: &Problem,
+        ws: &mut Workspace,
+        m: &Metrics,
+    ) -> Labeling {
+        self.get(name)
+            .unwrap_or_else(|| panic!("no solver named `{name}` (have {:?})", self.names()))
+            .solve_with(problem, ws, m)
+    }
+
+    /// Certifies the strongest class this library can exploit. Cost:
+    /// `O(n + m)` for trees, three Lex-BFS sweeps for proper interval, one
+    /// for chordal.
+    pub fn classify(&self, g: &Graph) -> GraphClass {
+        if g.num_vertices() == 0 {
+            return GraphClass::Unknown;
+        }
+        if is_tree(g) {
+            return GraphClass::Tree;
+        }
+        if is_forest(g) {
+            return GraphClass::Forest;
+        }
+        if proper_interval_order(g).is_some() {
+            return GraphClass::ProperInterval;
+        }
+        let mut order = lex_bfs(g, 0);
+        order.reverse();
+        if is_perfect_elimination_order(g, &order) {
+            return GraphClass::Chordal;
+        }
+        GraphClass::Unknown
+    }
+
+    /// Optimal-or-best-effort `L(1,...,1)` coloring of a bare graph,
+    /// routed through the registered solvers (see
+    /// [`crate::auto::auto_l1_coloring`] for the routing table).
+    pub fn auto_l1_coloring(
+        &self,
+        g: &Graph,
+        t: u32,
+        ws: &mut Workspace,
+        m: &Metrics,
+    ) -> AutoOutput {
+        assert!(t >= 1);
+        if g.num_vertices() == 0 {
+            return AutoOutput {
+                labeling: Labeling::new(Vec::new()),
+                class: GraphClass::Unknown,
+                algorithm: "empty",
+                guarantee: Guarantee::Optimal,
+            };
+        }
+        let sep = SeparationVector::all_ones(t);
+        match self.classify(g) {
+            GraphClass::Tree => {
+                let tree = RootedTree::bfs_canonical(g, 0).expect("certified tree");
+                let lab = self.solve("tree_l1", &Problem::tree(&tree, &sep), ws, m);
+                let mapped = tree::to_original_ids(&tree, &lab);
+                ws.recycle(lab);
+                AutoOutput {
+                    labeling: mapped,
+                    class: GraphClass::Tree,
+                    algorithm: "tree-l1 (Figure 5)",
+                    guarantee: Guarantee::Optimal,
+                }
+            }
+            GraphClass::Forest => AutoOutput {
+                labeling: self.solve("forest_l1", &Problem::graph(g, &sep), ws, m),
+                class: GraphClass::Forest,
+                algorithm: "tree-l1 per component (Figure 5)",
+                guarantee: Guarantee::Optimal,
+            },
+            GraphClass::ProperInterval => {
+                let (order, rep) = recognize_unit_interval(g).expect("certified proper interval");
+                let lab = self.solve("interval_l1", &Problem::interval(rep.as_interval(), &sep), ws, m);
+                let mapped = map_back(g, &order, &lab, rep.as_interval());
+                ws.recycle(lab);
+                AutoOutput {
+                    labeling: mapped,
+                    class: GraphClass::ProperInterval,
+                    algorithm: "interval-l1 (Figure 1)",
+                    guarantee: Guarantee::Optimal,
+                }
+            }
+            GraphClass::Chordal if t == 1 => AutoOutput {
+                labeling: self.solve("lemma2_peel", &Problem::graph(g, &sep), ws, m),
+                class: GraphClass::Chordal,
+                algorithm: "chordal-peel (Lemma 2)",
+                guarantee: Guarantee::Optimal,
+            },
+            class @ (GraphClass::Chordal | GraphClass::Unknown) => AutoOutput {
+                labeling: self.solve("greedy_bfs", &Problem::graph(g, &sep), ws, m),
+                class,
+                algorithm: "greedy-bfs",
+                guarantee: Guarantee::Heuristic,
+            },
+        }
+    }
+
+    /// Automatic dispatch for a general separation vector, routed through
+    /// the registered solvers (see [`crate::auto::auto_coloring`] for the
+    /// routing table).
+    pub fn auto_coloring(
+        &self,
+        g: &Graph,
+        sep: &SeparationVector,
+        ws: &mut Workspace,
+        m: &Metrics,
+    ) -> AutoOutput {
+        if sep.is_all_ones() {
+            return self.auto_l1_coloring(g, sep.t(), ws, m);
+        }
+        let t = sep.t();
+        let tail_ones = (2..=t).all(|i| sep.delta(i) == 1);
+        let class = self.classify(g);
+        match (class, tail_ones, t) {
+            (GraphClass::Tree, true, _) => {
+                let tree = RootedTree::bfs_canonical(g, 0).expect("certified tree");
+                let lab = self.solve("tree_approx_delta1", &Problem::tree(&tree, sep), ws, m);
+                let mapped = tree::to_original_ids(&tree, &lab);
+                ws.recycle(lab);
+                AutoOutput {
+                    labeling: mapped,
+                    class,
+                    algorithm: "tree-approx-d1 (Theorem 5)",
+                    guarantee: Guarantee::Approximation(3),
+                }
+            }
+            (GraphClass::ProperInterval, true, _) => {
+                let (order, rep) = recognize_unit_interval(g).expect("certified");
+                let lab = self.solve(
+                    "interval_approx_delta1",
+                    &Problem::interval(rep.as_interval(), sep),
+                    ws,
+                    m,
+                );
+                let mapped = map_back(g, &order, &lab, rep.as_interval());
+                ws.recycle(lab);
+                AutoOutput {
+                    labeling: mapped,
+                    class,
+                    algorithm: "interval-approx-d1 (Theorem 2)",
+                    guarantee: Guarantee::Approximation(3),
+                }
+            }
+            (GraphClass::ProperInterval, false, 2) => {
+                let (order, rep) = recognize_unit_interval(g).expect("certified");
+                let lab = self.solve(
+                    "unit_interval_l_delta1_delta2",
+                    &Problem::unit_interval(&rep, sep),
+                    ws,
+                    m,
+                );
+                let mapped = map_back(g, &order, &lab, rep.as_interval());
+                ws.recycle(lab);
+                AutoOutput {
+                    labeling: mapped,
+                    class,
+                    algorithm: "unit-l-d1d2 (Theorem 3)",
+                    guarantee: Guarantee::Approximation(3),
+                }
+            }
+            _ => AutoOutput {
+                labeling: self.solve("greedy_bfs", &Problem::graph(g, sep), ws, m),
+                class,
+                algorithm: "greedy-bfs",
+                guarantee: Guarantee::Heuristic,
+            },
+        }
+    }
+}
+
+/// The process-wide registry of paper algorithms, built once on first use.
+/// Dispatch sites that do not need custom solvers share this instance.
+pub fn default_registry() -> &'static SolverRegistry {
+    static REGISTRY: OnceLock<SolverRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(SolverRegistry::with_paper_algorithms)
+}
+
+/// Re-indexes a labeling from representation numbering back to `g`'s ids:
+/// the recognized representation's vertex `i` corresponds to `order[j]`
+/// where `j` is the position the representation kept as
+/// `original_index(i)`.
+pub(crate) fn map_back(
+    g: &Graph,
+    order: &[Vertex],
+    labeling: &Labeling,
+    rep: &IntervalRepresentation,
+) -> Labeling {
+    let mut colors = vec![0u32; g.num_vertices()];
+    for i in 0..labeling.len() as Vertex {
+        let order_pos = rep.original_index(i);
+        colors[order[order_pos] as usize] = labeling.color(i);
+    }
+    Labeling::new(colors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::verify_labeling;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ssg_graph::generators;
+    use ssg_telemetry::Counter;
+
+    #[test]
+    fn registry_knows_all_paper_algorithms() {
+        let r = SolverRegistry::with_paper_algorithms();
+        for name in [
+            "interval_l1",
+            "interval_approx_delta1",
+            "unit_interval_l_delta1_delta2",
+            "tree_l1",
+            "tree_approx_delta1",
+            "forest_l1",
+            "lemma2_peel",
+            "exact_bb",
+            "greedy_bfs",
+        ] {
+            let s = r.get(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(s.name(), name);
+        }
+        assert!(r.get("no_such_solver").is_none());
+        assert_eq!(default_registry().names(), r.names());
+    }
+
+    #[test]
+    fn registry_solves_match_direct_entry_points() {
+        let mut rng = StdRng::seed_from_u64(120);
+        let r = default_registry();
+        let mut ws = Workspace::new();
+
+        let g = generators::random_tree(30, &mut rng);
+        let tree = RootedTree::bfs_canonical(&g, 0).unwrap();
+        let sep = SeparationVector::all_ones(2);
+        let lab = r.solve("tree_l1", &Problem::tree(&tree, &sep), &mut ws, &Metrics::disabled());
+        assert_eq!(lab, tree::l1_coloring(&tree, 2).labeling);
+
+        let src = ssg_intervals::gen::random_connected_unit_intervals(25, 0.5, &mut rng);
+        let lab = r.solve(
+            "interval_l1",
+            &Problem::interval(src.as_interval(), &sep),
+            &mut ws,
+            &Metrics::disabled(),
+        );
+        assert_eq!(lab, interval::l1_coloring(src.as_interval(), 2).labeling);
+
+        let sep2 = SeparationVector::two(4, 2).unwrap();
+        let lab = r.solve(
+            "unit_interval_l_delta1_delta2",
+            &Problem::unit_interval(&src, &sep2),
+            &mut ws,
+            &Metrics::disabled(),
+        );
+        assert_eq!(lab, unit_interval::l_delta1_delta2_coloring(&src, 4, 2).labeling);
+    }
+
+    #[test]
+    fn registry_auto_matches_auto_module() {
+        let mut rng = StdRng::seed_from_u64(121);
+        let r = default_registry();
+        let mut ws = Workspace::new();
+        let m = Metrics::enabled();
+        for g in [
+            generators::random_tree(20, &mut rng),
+            generators::cycle(9),
+            generators::complete(5),
+        ] {
+            for t in 1..=2u32 {
+                let a = crate::auto::auto_l1_coloring(&g, t);
+                let b = r.auto_l1_coloring(&g, t, &mut ws, &m);
+                assert_eq!(a.labeling, b.labeling);
+                assert_eq!(a.class, b.class);
+                assert_eq!(a.algorithm, b.algorithm);
+            }
+        }
+        // The shared workspace saw several solves: reuses were recorded.
+        assert!(m.snapshot().counter(Counter::WorkspaceReuses) >= 1);
+    }
+
+    #[test]
+    fn solved_outputs_are_legal() {
+        let mut rng = StdRng::seed_from_u64(122);
+        let r = default_registry();
+        let mut ws = Workspace::new();
+        let g = generators::random_connected(18, 30, &mut rng);
+        let sep = SeparationVector::two(3, 1).unwrap();
+        for name in ["greedy_bfs", "exact_bb"] {
+            let lab = r.solve(name, &Problem::graph(&g, &sep), &mut ws, &Metrics::disabled());
+            verify_labeling(&g, &sep, lab.colors()).unwrap_or_else(|v| panic!("{name}: {v}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a tree")]
+    fn wrong_instance_panics() {
+        let g = generators::path(4);
+        let sep = SeparationVector::all_ones(1);
+        default_registry().solve(
+            "tree_l1",
+            &Problem::graph(&g, &sep),
+            &mut Workspace::new(),
+            &Metrics::disabled(),
+        );
+    }
+}

@@ -150,6 +150,14 @@ impl Labeling {
         &self.colors
     }
 
+    /// Consumes the labeling, returning the color buffer — used by
+    /// [`Workspace::recycle`](crate::workspace::Workspace::recycle) to
+    /// return output buffers to the arena.
+    #[inline]
+    pub fn into_colors(self) -> Vec<u32> {
+        self.colors
+    }
+
     /// Number of labelled vertices.
     #[inline]
     pub fn len(&self) -> usize {

@@ -31,6 +31,7 @@
 
 use crate::palette::PaletteFamily;
 use crate::spec::Labeling;
+use crate::workspace::Workspace;
 use ssg_graph::Vertex;
 use ssg_telemetry::{Counter, Metrics};
 use ssg_tree::{for_each_in_up_neighborhood, tree_lambda_star, RootedTree};
@@ -54,7 +55,23 @@ pub fn l1_coloring(tree: &RootedTree, t: u32) -> TreeL1Output {
 /// [`Counter::PeelSteps`] per colored vertex and the palette probes of the
 /// sweep on `metrics`.
 pub fn l1_coloring_with(tree: &RootedTree, t: u32, metrics: &Metrics) -> TreeL1Output {
-    let (labeling, lambda_star) = color_tree(tree, t, 1, metrics);
+    l1_coloring_ws(tree, t, &mut Workspace::new(), metrics)
+}
+
+/// [`l1_coloring_with`] on a caller-owned [`Workspace`]: repeated solves
+/// on same-sized trees reuse every scratch buffer (zero heap allocation
+/// once warm) and record
+/// [`Counter::WorkspaceReuses`](ssg_telemetry::Counter).
+/// Outputs and all other counters are bit-identical to
+/// [`l1_coloring_with`].
+pub fn l1_coloring_ws(
+    tree: &RootedTree,
+    t: u32,
+    ws: &mut Workspace,
+    metrics: &Metrics,
+) -> TreeL1Output {
+    ws.begin_solve(metrics);
+    let (labeling, lambda_star) = color_tree(tree, t, 1, ws, metrics);
     TreeL1Output {
         labeling,
         lambda_star,
@@ -87,8 +104,21 @@ pub fn approx_delta1_coloring_with(
     delta1: u32,
     metrics: &Metrics,
 ) -> TreeApproxOutput {
+    approx_delta1_coloring_ws(tree, t, delta1, &mut Workspace::new(), metrics)
+}
+
+/// [`approx_delta1_coloring_with`] on a caller-owned [`Workspace`] (see
+/// [`l1_coloring_ws`] for the reuse contract).
+pub fn approx_delta1_coloring_ws(
+    tree: &RootedTree,
+    t: u32,
+    delta1: u32,
+    ws: &mut Workspace,
+    metrics: &Metrics,
+) -> TreeApproxOutput {
     assert!(delta1 >= 1);
-    let (labeling, lambda_star) = color_tree(tree, t, delta1, metrics);
+    ws.begin_solve(metrics);
+    let (labeling, lambda_star) = color_tree(tree, t, delta1, ws, metrics);
     TreeApproxOutput {
         labeling,
         lambda_star,
@@ -98,16 +128,27 @@ pub fn approx_delta1_coloring_with(
 
 /// Shared sweep: `delta1 == 1` is exactly Figure 5; `delta1 > 1` is the
 /// §4.2 generalization. Returns `(labeling, λ*)`.
-fn color_tree(tree: &RootedTree, t: u32, delta1: u32, metrics: &Metrics) -> (Labeling, u32) {
+fn color_tree(
+    tree: &RootedTree,
+    t: u32,
+    delta1: u32,
+    ws: &mut Workspace,
+    metrics: &Metrics,
+) -> (Labeling, u32) {
     assert!(t >= 1, "interference radius t must be >= 1");
     let n = tree.len();
     let lambda_star = tree_lambda_star(tree, t) as u32;
     let pool = lambda_star + 1 + 2 * (delta1 - 1);
-    let mut pal = PaletteFamily::new(0, pool as usize);
-    let mut colors = vec![u32::MAX; n];
+    let mut colors = ws.take_colors(n, u32::MAX);
+    let Workspace {
+        palette: pal,
+        level_log,
+        ..
+    } = ws;
+    pal.reset(0, pool as usize);
     // Colors that left the palette during the current level; re-linked at
     // the next level's start (amortized per-level reset).
-    let mut level_log: Vec<u32> = Vec::new();
+    level_log.clear();
     let h = t / 2;
     let height = tree.height();
 
@@ -137,7 +178,7 @@ fn color_tree(tree: &RootedTree, t: u32, delta1: u32, metrics: &Metrics) -> (Lab
     let top_end = tree.level_range(top_levels).end;
     for v in 0..top_end {
         let pc = parent_color(tree, &colors, v);
-        colors[v as usize] = extract(&mut pal, &mut level_log, pc);
+        colors[v as usize] = extract(pal, level_log, pc);
     }
 
     for ell in (h + 1)..=height {
@@ -162,15 +203,7 @@ fn color_tree(tree: &RootedTree, t: u32, delta1: u32, metrics: &Metrics) -> (Lab
                     // First group of the level: remove the colors of the
                     // full neighborhood F_t(x).
                     let uplevel = t.min(ell);
-                    remove_neighborhood_colors(
-                        tree,
-                        x,
-                        uplevel,
-                        t,
-                        &colors,
-                        &mut pal,
-                        &mut level_log,
-                    );
+                    remove_neighborhood_colors(tree, x, uplevel, t, &colors, pal, level_log);
                 }
                 Some(o) => {
                     let uplevel = divergence_uplevel(tree, o, x, t, ell);
@@ -178,24 +211,16 @@ fn color_tree(tree: &RootedTree, t: u32, delta1: u32, metrics: &Metrics) -> (Lab
                     // neighborhood excludes it, but its color was extracted
                     // when its group was colored and is now > t away from
                     // every vertex of the new group).
-                    restore_color(&colors, o, &mut pal);
+                    restore_color(&colors, o, pal);
                     for_each_in_up_neighborhood(tree, o, uplevel, t, |u| {
-                        restore_color(&colors, u, &mut pal);
+                        restore_color(&colors, u, pal);
                     });
-                    remove_neighborhood_colors(
-                        tree,
-                        x,
-                        uplevel,
-                        t,
-                        &colors,
-                        &mut pal,
-                        &mut level_log,
-                    );
+                    remove_neighborhood_colors(tree, x, uplevel, t, &colors, pal, level_log);
                 }
             }
             for v in x..group_end {
                 let pc = parent_color(tree, &colors, v);
-                colors[v as usize] = extract(&mut pal, &mut level_log, pc);
+                colors[v as usize] = extract(pal, level_log, pc);
             }
             old_x = Some(x);
             x = group_end;
@@ -282,20 +307,34 @@ pub struct ForestL1Output {
 /// colored by Figure 5 from a shared color pool. Returns `None` when `g` is
 /// not a forest.
 pub fn l1_coloring_forest(g: &ssg_graph::Graph, t: u32) -> Option<ForestL1Output> {
+    l1_coloring_forest_ws(g, t, &mut Workspace::new(), &Metrics::disabled())
+}
+
+/// [`l1_coloring_forest`] on a caller-owned [`Workspace`] (see
+/// [`l1_coloring_ws`] for the reuse contract). Component subruns share the
+/// arena without recording extra reuse events.
+pub fn l1_coloring_forest_ws(
+    g: &ssg_graph::Graph,
+    t: u32,
+    ws: &mut Workspace,
+    metrics: &Metrics,
+) -> Option<ForestL1Output> {
     if !ssg_graph::recognition::is_forest(g) {
         return None;
     }
-    let mut colors = vec![0u32; g.num_vertices()];
+    ws.begin_solve(metrics);
+    let mut colors = ws.take_colors(g.num_vertices(), 0);
     let mut lambda = 0u32;
     for comp in ssg_graph::traversal::component_vertex_lists(g) {
         let (sub, names) = g.induced_subgraph(&comp);
         let tree = RootedTree::bfs_canonical(&sub, 0).expect("component of a forest is a tree");
-        let out = l1_coloring(&tree, t);
-        lambda = lambda.max(out.lambda_star);
+        let (labeling, lambda_star) = color_tree(&tree, t, 1, ws, metrics);
+        lambda = lambda.max(lambda_star);
         for v in 0..tree.len() as Vertex {
             let sub_id = tree.original_id(v);
-            colors[names[sub_id as usize] as usize] = out.labeling.color(v);
+            colors[names[sub_id as usize] as usize] = labeling.color(v);
         }
+        ws.recycle(labeling);
     }
     Some(ForestL1Output {
         labeling: Labeling::new(colors),
@@ -488,6 +527,38 @@ mod tests {
         }
         // Non-forests are rejected.
         assert!(l1_coloring_forest(&generators::cycle(5), 2).is_none());
+    }
+
+    #[test]
+    fn warm_workspace_is_bit_identical_and_allocation_free() {
+        let g = generators::kary_tree(60, 3);
+        let tree = canonical(&g);
+        let baseline = l1_coloring_with(&tree, 3, &Metrics::disabled());
+
+        let mut ws = Workspace::new();
+        let cold_m = Metrics::enabled();
+        let cold = l1_coloring_ws(&tree, 3, &mut ws, &cold_m);
+        assert_eq!(cold, baseline);
+        let cold_snap = cold_m.snapshot();
+        assert_eq!(cold_snap.counter(Counter::WorkspaceReuses), 0);
+        ws.recycle(cold.labeling);
+
+        let footprint = ws.capacity_footprint();
+        let grows = ws.grow_events();
+        for _ in 0..3 {
+            let warm_m = Metrics::enabled();
+            let warm = l1_coloring_ws(&tree, 3, &mut ws, &warm_m);
+            assert_eq!(warm, baseline);
+            let snap = warm_m.snapshot();
+            assert_eq!(snap.counter(Counter::WorkspaceReuses), 1);
+            assert_eq!(
+                snap.counter(Counter::PaletteProbes),
+                cold_snap.counter(Counter::PaletteProbes)
+            );
+            ws.recycle(warm.labeling);
+            assert_eq!(ws.capacity_footprint(), footprint, "buffer regrew");
+            assert_eq!(ws.grow_events(), grows, "buffer regrew");
+        }
     }
 
     #[test]

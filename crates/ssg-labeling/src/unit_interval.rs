@@ -30,8 +30,8 @@
 //! the paper prescribes ("assume the graph is not a path, otherwise \[10\]").
 
 use crate::exact::path_optimal_with;
-use crate::interval::l1_coloring_with;
 use crate::spec::Labeling;
+use crate::workspace::Workspace;
 use ssg_intervals::UnitIntervalRepresentation;
 use ssg_telemetry::{Counter, Metrics};
 
@@ -85,7 +85,24 @@ pub fn l_delta1_delta2_coloring_with(
     delta2: u32,
     metrics: &Metrics,
 ) -> UnitIntervalOutput {
+    l_delta1_delta2_coloring_ws(rep, delta1, delta2, &mut Workspace::new(), metrics)
+}
+
+/// [`l_delta1_delta2_coloring_with`] on a caller-owned [`Workspace`]:
+/// color buffers and the `λ*₁` subruns draw from the arena, and solves
+/// after the first record one
+/// [`Counter::WorkspaceReuses`](ssg_telemetry::Counter).
+/// Outputs and all other counters are bit-identical to
+/// [`l_delta1_delta2_coloring_with`].
+pub fn l_delta1_delta2_coloring_ws(
+    rep: &UnitIntervalRepresentation,
+    delta1: u32,
+    delta2: u32,
+    ws: &mut Workspace,
+    metrics: &Metrics,
+) -> UnitIntervalOutput {
     assert!(delta1 >= delta2 && delta2 >= 1, "need δ1 >= δ2 >= 1");
+    ws.begin_solve(metrics);
     let n = rep.len();
     let lambda_1 = rep.lambda1() as u32;
     if n == 0 {
@@ -96,18 +113,19 @@ pub fn l_delta1_delta2_coloring_with(
             schemes: Vec::new(),
         };
     }
-    let mut colors = vec![0u32; n];
+    let mut colors = ws.take_colors(n, 0);
     let mut schemes = Vec::new();
     let mut bound = 0u32;
     for (comp, verts) in rep.as_interval().components() {
         let comp_unit = UnitIntervalRepresentation::from_representation(comp)
             .expect("components of a proper representation stay proper");
-        let (cc, scheme, b) = color_component(&comp_unit, delta1, delta2, metrics);
+        let (cc, scheme, b) = color_component(&comp_unit, delta1, delta2, ws, metrics);
         bound = bound.max(b);
         schemes.push(scheme);
         for (i, &v) in verts.iter().enumerate() {
             colors[v as usize] = cc[i];
         }
+        ws.recycle_colors(cc);
     }
     UnitIntervalOutput {
         labeling: Labeling::new(colors),
@@ -117,11 +135,14 @@ pub fn l_delta1_delta2_coloring_with(
     }
 }
 
-/// Colors one connected component; returns `(colors, scheme, bound)`.
+/// Colors one connected component; returns `(colors, scheme, bound)`. The
+/// color buffer is drawn from the arena — callers hand it back with
+/// [`Workspace::recycle_colors`] after copying it out.
 fn color_component(
     comp: &UnitIntervalRepresentation,
     delta1: u32,
     delta2: u32,
+    ws: &mut Workspace,
     metrics: &Metrics,
 ) -> (Vec<u32>, UnitScheme, u32) {
     let m = comp.len();
@@ -129,18 +150,23 @@ fn color_component(
         metrics.add(Counter::PeelSteps, m as u64);
     }
     if m == 1 {
-        return (vec![0], UnitScheme::Singleton, 0);
+        return (ws.take_colors(1, 0), UnitScheme::Singleton, 0);
     }
     if comp.is_path() {
         let (lab, span) = path_optimal_with(m, delta1, delta2, metrics);
-        return (lab.colors().to_vec(), UnitScheme::PathExact, span);
+        return (lab.into_colors(), UnitScheme::PathExact, span);
     }
-    let l1 = l1_coloring_with(comp.as_interval(), 1, metrics).lambda_star; // component λ*₁
+    let sub = crate::interval::l1_inner(comp.as_interval(), 1, ws, metrics); // component λ*₁
+    let l1 = sub.lambda_star;
+    ws.recycle(sub.labeling);
     debug_assert!(l1 >= 2, "non-path connected unit graphs have ω >= 3");
+    let mut colors = ws.take_colors(m, 0);
     if delta1 <= 2 * delta2 {
         // Figure 2, second branch, verbatim (0-indexed vertices).
         let modulus = (2 * l1 + 3) * delta2;
-        let colors = (0..m as u32).map(|v| (2 * delta2 * v) % modulus).collect();
+        for (v, c) in colors.iter_mut().enumerate() {
+            *c = (2 * delta2 * v as u32) % modulus;
+        }
         return (
             colors,
             UnitScheme::ModularSmallDelta1,
@@ -149,21 +175,24 @@ fn color_component(
     }
     // Try the published comb first; keep it when the instance's tight runs
     // happen to avoid the conflicting period offsets (see module docs).
-    let published: Vec<u32> = (0..m as u32)
-        .map(|v| comb_color(v, l1, delta1, delta2))
-        .collect();
-    let (verified, comparisons) = scheme_verifies_counted(comp, &published, delta1, delta2);
+    for (v, c) in colors.iter_mut().enumerate() {
+        *c = comb_color(v as u32, l1, delta1, delta2);
+    }
+    let mut reach1 = ws.take_colors(m, 0);
+    let (verified, comparisons) =
+        scheme_verifies_counted(comp, &colors, delta1, delta2, &mut reach1);
+    ws.recycle_colors(reach1);
     if metrics.is_enabled() {
         metrics.add(Counter::PaletteProbes, comparisons);
     }
     if verified {
-        (published, UnitScheme::PaperCombs, l1 * delta1 + delta2)
+        (colors, UnitScheme::PaperCombs, l1 * delta1 + delta2)
     } else {
         // Pair combs: provably legal on every unit interval graph.
         let step = delta1 + delta2;
-        let colors = (0..m as u32)
-            .map(|v| comb_color_step(v, l1, step, delta2))
-            .collect();
+        for (v, c) in colors.iter_mut().enumerate() {
+            *c = comb_color_step(v as u32, l1, step, delta2);
+        }
         (colors, UnitScheme::PairCombs, l1 * step + delta2)
     }
 }
@@ -178,12 +207,13 @@ fn scheme_verifies_counted(
     colors: &[u32],
     delta1: u32,
     delta2: u32,
+    reach1: &mut [u32],
 ) -> (bool, u64) {
     let rep = comp.as_interval();
     let m = comp.len() as u32;
+    debug_assert_eq!(reach1.len(), m as usize);
     let mut comparisons = 0u64;
     // reach1[v]: rightmost u with left(u) < right(v); nondecreasing in v.
-    let mut reach1 = vec![0u32; m as usize];
     let mut u = 0u32;
     for v in 0..m {
         if u < v {
@@ -439,7 +469,9 @@ mod tests {
             let g = rep.to_graph();
             let sep = SeparationVector::two(4, 2).unwrap();
             let colors: Vec<u32> = (0..20).map(|_| rng.gen_range(0..30)).collect();
-            let (fast, comparisons) = super::scheme_verifies_counted(&rep, &colors, 4, 2);
+            let mut reach1 = [0u32; 20];
+            let (fast, comparisons) =
+                super::scheme_verifies_counted(&rep, &colors, 4, 2, &mut reach1);
             assert!(comparisons >= 1);
             let slow = verify_labeling(&g, &sep, &colors).is_ok();
             assert_eq!(fast, slow);

@@ -9,9 +9,10 @@
 
 use crate::scenario::{CorridorNetwork, Station};
 use rand::Rng;
-use ssg_labeling::baseline::greedy_bfs_order;
-use ssg_labeling::interval::l1_coloring;
-use ssg_labeling::SeparationVector;
+use ssg_labeling::baseline::greedy_bfs_order_ws;
+use ssg_labeling::interval::l1_coloring_ws;
+use ssg_labeling::{SeparationVector, Workspace};
+use ssg_telemetry::Metrics;
 use std::collections::HashMap;
 
 /// Which assignment policy the simulation reruns each epoch.
@@ -65,7 +66,10 @@ pub struct DynamicsConfig {
 /// Simulates `epochs` steps of a corridor in which, per epoch, each station
 /// departs with probability `p_depart` and up to `arrivals_max` new
 /// stations appear at uniform positions. Channels are recomputed from
-/// scratch each epoch with `policy` at interference radius `t`.
+/// scratch each epoch with `policy` at interference radius `t` — "from
+/// scratch" meaning the *assignment*, not the allocations: one warm
+/// [`Workspace`] is held across all epochs, so every epoch after the first
+/// solves on recycled arenas.
 pub fn simulate_corridor<R: Rng>(cfg: DynamicsConfig, policy: Policy, rng: &mut R) -> ChurnReport {
     let DynamicsConfig {
         initial,
@@ -92,6 +96,8 @@ pub fn simulate_corridor<R: Rng>(cfg: DynamicsConfig, policy: Policy, rng: &mut 
         )
     };
     let mut fleet: Vec<(u64, Station)> = (0..initial).map(|_| new_station(rng)).collect();
+    let mut ws = Workspace::new();
+    let sep = SeparationVector::all_ones(t);
     let mut prev: HashMap<u64, u32> = HashMap::new();
     let mut spans = Vec::with_capacity(epochs);
     let mut churns = Vec::with_capacity(epochs);
@@ -112,8 +118,8 @@ pub fn simulate_corridor<R: Rng>(cfg: DynamicsConfig, policy: Policy, rng: &mut 
         // Recompute the assignment.
         let net = CorridorNetwork::from_stations(fleet.iter().map(|&(_, s)| s).collect());
         let channels = match policy {
-            Policy::OptimalL1 => net.l1_channels(t),
-            Policy::Greedy => net.greedy_channels(&SeparationVector::all_ones(t)),
+            Policy::OptimalL1 => net.l1_channels_ws(t, &mut ws),
+            Policy::Greedy => net.greedy_channels_ws(&sep, &mut ws),
         };
         let span = channels.iter().copied().max().unwrap_or(0);
         max_span = max_span.max(span);
@@ -162,14 +168,30 @@ impl CorridorNetwork {
     /// Channels in **station order** (the order the network was built
     /// from), for the optimal `L(1,...,1)` assignment.
     pub fn l1_channels(&self, t: u32) -> Vec<u32> {
-        let out = l1_coloring(self.representation(), t);
-        self.to_station_order(out.labeling.colors())
+        self.l1_channels_ws(t, &mut Workspace::new())
+    }
+
+    /// [`l1_channels`](Self::l1_channels) on a caller-held [`Workspace`],
+    /// for repeated solves (the dynamics epoch loop) on warm arenas.
+    pub fn l1_channels_ws(&self, t: u32, ws: &mut Workspace) -> Vec<u32> {
+        let out = l1_coloring_ws(self.representation(), t, ws, &Metrics::disabled());
+        let channels = self.to_station_order(out.labeling.colors());
+        ws.recycle(out.labeling);
+        channels
     }
 
     /// Channels in station order for the greedy baseline.
     pub fn greedy_channels(&self, sep: &SeparationVector) -> Vec<u32> {
-        let lab = greedy_bfs_order(self.graph(), sep);
-        self.to_station_order(lab.colors())
+        self.greedy_channels_ws(sep, &mut Workspace::new())
+    }
+
+    /// [`greedy_channels`](Self::greedy_channels) on a caller-held
+    /// [`Workspace`].
+    pub fn greedy_channels_ws(&self, sep: &SeparationVector, ws: &mut Workspace) -> Vec<u32> {
+        let lab = greedy_bfs_order_ws(self.graph(), sep, ws, &Metrics::disabled());
+        let channels = self.to_station_order(lab.colors());
+        ws.recycle(lab);
+        channels
     }
 
     /// Maps representation-ordered colors back to station order.
@@ -245,6 +267,21 @@ mod tests {
         // Same RNG stream => same fleets; optimal span <= greedy span.
         assert!(b.mean_span <= a.mean_span + 1e-9);
         assert_eq!(a.epochs, b.epochs);
+    }
+
+    #[test]
+    fn warm_workspace_channels_match_cold_solves() {
+        let mut rng = StdRng::seed_from_u64(134);
+        let nets: Vec<CorridorNetwork> = (0..3)
+            .map(|_| CorridorNetwork::generate(30, 1.0, 1.0, 4.0, &mut rng))
+            .collect();
+        let mut ws = Workspace::new();
+        for net in &nets {
+            assert_eq!(net.l1_channels_ws(2, &mut ws), net.l1_channels(2));
+            let sep = SeparationVector::all_ones(2);
+            assert_eq!(net.greedy_channels_ws(&sep, &mut ws), net.greedy_channels(&sep));
+        }
+        assert_eq!(ws.solve_count(), 6);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! itself never had.
 
 use rayon::prelude::*;
+use ssg_labeling::{Workspace, WorkspacePool};
 use ssg_telemetry::{Metrics, Phase};
 use std::io::Write;
 
@@ -88,6 +89,43 @@ where
                 .map(|&s| {
                     let _cell = metrics.time(Phase::Cell);
                     f(p, s)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// [`run_grid_with`] over a [`WorkspacePool`]: each cell additionally
+/// receives an exclusive warm [`Workspace`] checked out of `pool`, so
+/// repeated solves inside the sweep reuse arenas instead of reallocating.
+/// Steady state holds one workspace per concurrently running worker; after
+/// the run, `pool.total_solves() - pool.len()` solves were served warm.
+///
+/// Results are grouped exactly as [`run_grid`] groups them, and `f` must
+/// not depend on *which* pooled workspace it receives (every solver in
+/// `ssg-labeling` resets its scratch per solve, so this holds for free).
+pub fn run_grid_pooled<P, R, F>(
+    params: &[P],
+    seeds: &[u64],
+    pool: &WorkspacePool,
+    metrics: &Metrics,
+    f: F,
+) -> Vec<Vec<R>>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, u64, &mut Workspace) -> R + Sync,
+{
+    params
+        .par_iter()
+        .map(|p| {
+            seeds
+                .par_iter()
+                .map(|&s| {
+                    pool.with(|ws| {
+                        let _cell = metrics.time(Phase::Cell);
+                        f(p, s, ws)
+                    })
                 })
                 .collect()
         })
@@ -220,6 +258,46 @@ mod tests {
         let off = Metrics::disabled();
         run_grid_with(&params, &seeds, &off, f);
         assert_eq!(off.snapshot().phase_count(Phase::Cell), 0);
+    }
+
+    #[test]
+    fn pooled_grid_matches_plain_grid_and_reuses_workspaces() {
+        use crate::scenario::CorridorNetwork;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use ssg_labeling::solver::{default_registry, Problem};
+        use ssg_labeling::SeparationVector;
+
+        let params = vec![20usize, 35];
+        let seeds = vec![7u64, 8, 9];
+        let sep = SeparationVector::all_ones(2);
+        let solve = |&n: &usize, s: u64, ws: &mut Workspace| {
+            let mut rng = StdRng::seed_from_u64(s);
+            let net = CorridorNetwork::generate(n, 1.0, 1.0, 4.0, &mut rng);
+            let rep = net.representation();
+            let lab = default_registry().solve(
+                "interval_l1",
+                &Problem::interval(rep, &sep),
+                ws,
+                &Metrics::disabled(),
+            );
+            let span = lab.span();
+            ws.recycle(lab);
+            span
+        };
+        let pool = WorkspacePool::new();
+        let metrics = Metrics::enabled();
+        let pooled = run_grid_pooled(&params, &seeds, &pool, &metrics, solve);
+        let plain = run_grid(&params, &seeds, |p, s| {
+            solve(p, s, &mut Workspace::new())
+        });
+        assert_eq!(pooled, plain);
+        assert_eq!(metrics.snapshot().phase_count(Phase::Cell), 6);
+        // All six cells were served by the pool; the workspaces it retired
+        // account for every solve, and any worker that handled more than
+        // one cell did so on a warm arena.
+        assert!(!pool.is_empty());
+        assert_eq!(pool.total_solves(), 6);
     }
 
     #[test]

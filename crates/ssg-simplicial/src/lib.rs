@@ -18,10 +18,89 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use ssg_graph::scratch::BfsScratch;
 use ssg_graph::traversal::{bfs_distances_bounded_into, eccentricity, UNREACHABLE};
 use ssg_graph::{Graph, Vertex};
 use ssg_telemetry::{Counter, Metrics};
 use std::collections::VecDeque;
+
+/// Reusable scratch arena for [`peel_l1_coloring_ws`]: the color output
+/// pool, the active-prefix mask, the mex bitmap and the truncated-BFS
+/// buffers. A warm scratch re-runs the peel on a same-sized graph with
+/// zero heap allocation; the `Workspace` arena in `ssg-labeling` embeds
+/// one and threads it through the registry's Lemma-2 solver.
+#[derive(Debug, Default)]
+pub struct PeelScratch {
+    free: Vec<Vec<u32>>,
+    active: Vec<bool>,
+    forbidden: Vec<bool>,
+    bfs: BfsScratch,
+    solves: u64,
+    grow_events: u64,
+}
+
+impl PeelScratch {
+    /// An empty scratch; all buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the start of one solve. The second and later calls on the
+    /// same scratch record one [`Counter::WorkspaceReuses`] each: the
+    /// arena is warm and the solve amortizes its allocations.
+    pub fn begin_solve(&mut self, metrics: &Metrics) {
+        if self.solves > 0 && metrics.is_enabled() {
+            metrics.add(Counter::WorkspaceReuses, 1);
+        }
+        self.solves += 1;
+    }
+
+    /// Number of solves started on this scratch.
+    pub fn solve_count(&self) -> u64 {
+        self.solves
+    }
+
+    /// How many times a buffer had to grow beyond its capacity. Stable
+    /// across warm same-sized solves.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events + self.bfs.grow_events()
+    }
+
+    /// Sum of all buffer capacities in elements — equal footprints across
+    /// repeated same-sized solves certify zero reallocation.
+    pub fn capacity_footprint(&self) -> usize {
+        self.free.capacity()
+            + self.free.iter().map(Vec::capacity).sum::<usize>()
+            + self.active.capacity()
+            + self.forbidden.capacity()
+            + self.bfs.capacity_footprint()
+    }
+
+    /// A color buffer of length `n` filled with `u32::MAX`, drawn from the
+    /// free list when possible.
+    fn take_colors(&mut self, n: usize) -> Vec<u32> {
+        let mut v = match self.free.pop() {
+            Some(v) => v,
+            None => {
+                self.grow_events += 1;
+                Vec::new()
+            }
+        };
+        if v.capacity() < n {
+            self.grow_events += 1;
+        }
+        v.clear();
+        v.resize(n, u32::MAX);
+        v
+    }
+
+    /// Returns a color buffer (e.g. the output of a previous
+    /// [`peel_l1_coloring_ws`] call) to the free list for reuse.
+    pub fn recycle_colors(&mut self, mut colors: Vec<u32>) {
+        colors.clear();
+        self.free.push(colors);
+    }
+}
 
 /// Whether `x` is `t`-simplicial in `g`: all pairs in the distance-`t` ball
 /// of `x` are mutually within distance `t`. `O(|ball| * (n + m))`.
@@ -203,19 +282,48 @@ pub fn peel_l1_coloring_with(
     insertion: &[Vertex],
     metrics: &Metrics,
 ) -> (Vec<u32>, u32) {
+    peel_l1_coloring_ws(g, t, insertion, &mut PeelScratch::new(), metrics)
+}
+
+/// [`peel_l1_coloring_with`] on a caller-owned [`PeelScratch`]: repeated
+/// solves on same-sized graphs reuse every buffer (zero heap allocation
+/// once warm) and record [`Counter::WorkspaceReuses`]. Outputs and the
+/// other counters are bit-identical to [`peel_l1_coloring_with`]. Hand
+/// the returned color buffer back via [`PeelScratch::recycle_colors`] to
+/// keep the warm path allocation-free.
+pub fn peel_l1_coloring_ws(
+    g: &Graph,
+    t: u32,
+    insertion: &[Vertex],
+    ws: &mut PeelScratch,
+    metrics: &Metrics,
+) -> (Vec<u32>, u32) {
     assert!(t >= 1);
+    ws.begin_solve(metrics);
     let n = g.num_vertices();
     assert_eq!(
         insertion.len(),
         n,
         "insertion order must cover all vertices"
     );
-    let mut colors = vec![u32::MAX; n];
-    let mut active = vec![false; n];
+    let mut colors = ws.take_colors(n);
+    let PeelScratch {
+        active,
+        forbidden,
+        bfs,
+        grow_events,
+        ..
+    } = ws;
+    if active.capacity() < n {
+        *grow_events += 1;
+    }
+    active.clear();
+    active.resize(n, false);
+    if forbidden.capacity() < n + 1 {
+        *grow_events += 1;
+    }
+    let (dist, queue) = bfs.buffers(n);
     let mut span = 0u32;
-    let mut dist = vec![UNREACHABLE; n];
-    let mut queue: VecDeque<Vertex> = VecDeque::new();
-    let mut forbidden: Vec<bool> = Vec::new();
     let mut bfs_visits = 0u64;
     let mut mex_probes = 0u64;
     for &v in insertion {
@@ -443,5 +551,41 @@ mod tests {
     fn peel_rejects_short_orders() {
         let g = generators::path(3);
         peel_l1_coloring(&g, 1, &[0, 1]);
+    }
+
+    #[test]
+    fn warm_peel_scratch_is_bit_identical_and_allocation_free() {
+        let g = generators::path(40);
+        let order: Vec<Vertex> = (0..40).collect();
+        let baseline_metrics = Metrics::enabled();
+        let baseline = peel_l1_coloring_with(&g, 2, &order, &baseline_metrics);
+        let baseline_snap = baseline_metrics.snapshot();
+
+        let mut ws = PeelScratch::new();
+        // Cold solve: identical outputs and counters, no reuse recorded.
+        let cold_metrics = Metrics::enabled();
+        let cold = peel_l1_coloring_ws(&g, 2, &order, &mut ws, &cold_metrics);
+        assert_eq!(cold, baseline);
+        assert_eq!(cold_metrics.snapshot(), baseline_snap);
+        ws.recycle_colors(cold.0);
+        let footprint = ws.capacity_footprint();
+        let grows = ws.grow_events();
+
+        // Warm solves: same outputs/counters plus one WorkspaceReuses, and
+        // no buffer growth.
+        for _ in 0..3 {
+            let m = Metrics::enabled();
+            let warm = peel_l1_coloring_ws(&g, 2, &order, &mut ws, &m);
+            assert_eq!(warm.0, baseline.0);
+            assert_eq!(warm.1, baseline.1);
+            let snap = m.snapshot();
+            assert_eq!(snap.counter(Counter::WorkspaceReuses), 1);
+            for c in [Counter::PeelSteps, Counter::BfsNodeVisits, Counter::PaletteProbes] {
+                assert_eq!(snap.counter(c), baseline_snap.counter(c));
+            }
+            ws.recycle_colors(warm.0);
+            assert_eq!(ws.capacity_footprint(), footprint);
+            assert_eq!(ws.grow_events(), grows);
+        }
     }
 }

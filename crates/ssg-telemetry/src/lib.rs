@@ -66,15 +66,20 @@ pub enum Counter {
     /// Nodes expanded by exhaustive search (branch-and-bound, brute-force
     /// clique).
     SearchNodes,
+    /// Solves that reused an already-warm `Workspace` arena instead of
+    /// allocating fresh scratch state (recorded by `Workspace::begin_solve`
+    /// in `ssg-labeling` and the peel scratch in `ssg-simplicial`).
+    WorkspaceReuses,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 4] = [
+    pub const ALL: [Counter; 5] = [
         Counter::PeelSteps,
         Counter::PaletteProbes,
         Counter::BfsNodeVisits,
         Counter::SearchNodes,
+        Counter::WorkspaceReuses,
     ];
 
     /// Stable snake_case name used in JSON reports.
@@ -88,6 +93,7 @@ impl Counter {
             Counter::PaletteProbes => "palette_probes",
             Counter::BfsNodeVisits => "bfs_node_visits",
             Counter::SearchNodes => "search_nodes",
+            Counter::WorkspaceReuses => "workspace_reuses",
         }
     }
 
@@ -97,6 +103,7 @@ impl Counter {
             Counter::PaletteProbes => 1,
             Counter::BfsNodeVisits => 2,
             Counter::SearchNodes => 3,
+            Counter::WorkspaceReuses => 4,
         }
     }
 }
@@ -356,7 +363,13 @@ mod tests {
         let names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(
             names,
-            ["peel_steps", "palette_probes", "bfs_node_visits", "search_nodes"]
+            [
+                "peel_steps",
+                "palette_probes",
+                "bfs_node_visits",
+                "search_nodes",
+                "workspace_reuses"
+            ]
         );
         assert_eq!(Phase::Run.name(), "run");
         assert_eq!(Phase::Cell.name(), "cell");

@@ -11,6 +11,9 @@ cargo build --release --offline
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace --offline
 
+echo "==> cargo clippy --all-targets (-D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 

@@ -13,11 +13,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ssg_graph::generators::random_bounded_degree_tree;
 use ssg_intervals::gen::{corridor_unit_intervals, random_connected_intervals};
-use ssg_labeling::interval::{approx_delta1_coloring_with, l1_coloring_with};
-use ssg_labeling::tree::{
-    approx_delta1_coloring_with as tree_approx_with, l1_coloring_with as tree_l1_with,
-};
-use ssg_labeling::unit_interval::l_delta1_delta2_coloring_with;
+use ssg_labeling::solver::{default_registry, Problem};
+use ssg_labeling::{SeparationVector, Workspace};
 use ssg_telemetry::json::Json;
 use ssg_telemetry::{Counter, Metrics, Phase, Snapshot};
 use ssg_tree::RootedTree;
@@ -32,6 +29,11 @@ pub struct BenchConfig {
     pub reps: usize,
     /// RNG seed for the synthetic workloads.
     pub seed: u64,
+    /// Solves per repetition on one shared [`Workspace`]: the first is the
+    /// cold solve reported in `wall_ns`, the remaining `repeat - 1` reuse
+    /// the warm arena and are reported in `warm_wall_ns`. `1` (the
+    /// default) benches the cold path only.
+    pub repeat: usize,
 }
 
 impl Default for BenchConfig {
@@ -40,6 +42,7 @@ impl Default for BenchConfig {
             n: 4000,
             reps: 3,
             seed: 42,
+            repeat: 1,
         }
     }
 }
@@ -59,15 +62,21 @@ pub struct AlgorithmBench {
     pub n: usize,
     /// Largest color used by the produced labeling.
     pub span: u32,
-    /// Wall time of each repetition, in nanoseconds.
+    /// Wall time of each repetition's **cold** solve, in nanoseconds.
     pub wall_ns: Vec<u64>,
-    /// Telemetry totals of one repetition (identical across repetitions).
+    /// Wall time of every **warm** solve (`repeat - 1` per repetition, on
+    /// the repetition's already-warm workspace). Empty when `repeat == 1`.
+    pub warm_wall_ns: Vec<u64>,
+    /// Telemetry totals of one cold solve (identical across repetitions).
     pub counters: Snapshot,
+    /// Telemetry totals of one warm solve — the same work counters plus one
+    /// `workspace_reuses`. `None` when `repeat == 1`.
+    pub warm_counters: Option<Snapshot>,
 }
 
 impl AlgorithmBench {
     fn to_json(&self) -> Json {
-        Json::Object(vec![
+        let mut fields = vec![
             ("id".into(), Json::Str(self.id.into())),
             ("name".into(), Json::Str(self.name.into())),
             ("workload".into(), Json::Str(self.workload.into())),
@@ -90,8 +99,20 @@ impl AlgorithmBench {
                 "wall_ns_min".into(),
                 Json::U64(self.wall_ns.iter().copied().min().unwrap_or(0)),
             ),
-            ("counters".into(), self.counters.counters_json()),
-        ])
+        ];
+        if let Some(warm) = &self.warm_counters {
+            fields.push((
+                "warm_wall_ns".into(),
+                Json::Array(self.warm_wall_ns.iter().map(|&ns| Json::U64(ns)).collect()),
+            ));
+            fields.push((
+                "warm_wall_ns_min".into(),
+                Json::U64(self.warm_wall_ns.iter().copied().min().unwrap_or(0)),
+            ));
+            fields.push(("warm_counters".into(), warm.counters_json()));
+        }
+        fields.push(("counters".into(), self.counters.counters_json()));
+        Json::Object(fields)
     }
 }
 
@@ -107,20 +128,23 @@ pub struct BenchReport {
 impl BenchReport {
     /// Renders the report as a `"ssg-bench/v1"` JSON value.
     ///
-    /// Top-level keys, in order: `schema`, `config` (`n`, `reps`, `seed`),
-    /// `algorithms` (array of objects with `id`, `name`, `workload`,
-    /// `params`, `n`, `span`, `wall_ns`, `wall_ns_min`, `counters`).
+    /// Top-level keys, in order: `schema`, `config` (`n`, `reps`, `seed`,
+    /// plus `repeat` when > 1), `algorithms` (array of objects with `id`,
+    /// `name`, `workload`, `params`, `n`, `span`, `wall_ns`, `wall_ns_min`,
+    /// `counters`, plus `warm_wall_ns` / `warm_wall_ns_min` /
+    /// `warm_counters` when `repeat` > 1).
     pub fn to_json(&self) -> Json {
+        let mut config = vec![
+            ("n".into(), Json::U64(self.config.n as u64)),
+            ("reps".into(), Json::U64(self.config.reps as u64)),
+            ("seed".into(), Json::U64(self.config.seed)),
+        ];
+        if self.config.repeat > 1 {
+            config.push(("repeat".into(), Json::U64(self.config.repeat as u64)));
+        }
         Json::Object(vec![
             ("schema".into(), Json::Str("ssg-bench/v1".into())),
-            (
-                "config".into(),
-                Json::Object(vec![
-                    ("n".into(), Json::U64(self.config.n as u64)),
-                    ("reps".into(), Json::U64(self.config.reps as u64)),
-                    ("seed".into(), Json::U64(self.config.seed)),
-                ]),
-            ),
+            ("config".into(), Json::Object(config)),
             (
                 "algorithms".into(),
                 Json::Array(self.algorithms.iter().map(|a| a.to_json()).collect()),
@@ -128,19 +152,30 @@ impl BenchReport {
         ])
     }
 
-    /// Renders a human-readable table (the non-`--json` CLI output).
+    /// Renders a human-readable table (the non-`--json` CLI output). With
+    /// `repeat > 1` a `best warm` column compares the warm-workspace path
+    /// against the cold solve.
     pub fn to_text(&self) -> String {
+        let warm = self.config.repeat > 1;
         let mut out = format!(
-            "ssg bench: n={} reps={} seed={}\n",
+            "ssg bench: n={} reps={} seed={}",
             self.config.n, self.config.reps, self.config.seed
         );
+        if warm {
+            out.push_str(&format!(" repeat={}", self.config.repeat));
+        }
+        out.push('\n');
         out.push_str(
-            "id  algorithm                      span  best wall     peel_steps  palette_probes\n",
+            "id  algorithm                      span  best wall     peel_steps  palette_probes",
         );
+        if warm {
+            out.push_str("  best warm");
+        }
+        out.push('\n');
         for a in &self.algorithms {
             let best = a.wall_ns.iter().copied().min().unwrap_or(0);
             out.push_str(&format!(
-                "{:<3} {:<30} {:>5} {:>9.3} ms {:>12} {:>15}\n",
+                "{:<3} {:<30} {:>5} {:>9.3} ms {:>12} {:>15}",
                 a.id,
                 a.name,
                 a.span,
@@ -148,37 +183,60 @@ impl BenchReport {
                 a.counters.counter(Counter::PeelSteps),
                 a.counters.counter(Counter::PaletteProbes),
             ));
+            if warm {
+                let best_warm = a.warm_wall_ns.iter().copied().min().unwrap_or(0);
+                out.push_str(&format!(" {:>8.3} ms", best_warm as f64 / 1e6));
+            }
+            out.push('\n');
         }
         out
     }
 }
 
-/// Runs one algorithm `cfg.reps` times, each repetition on a fresh enabled
-/// [`Metrics`] handle timed under [`Phase::Run`].
-fn bench_one<F>(
+/// One timed solve through the registry on `ws`, on a fresh enabled
+/// [`Metrics`] handle under [`Phase::Run`]. Returns `(span, snapshot)`;
+/// the output buffer is recycled into `ws`.
+fn timed_solve(name: &str, problem: &Problem<'_>, ws: &mut Workspace) -> (u32, Snapshot) {
+    let metrics = Metrics::enabled();
+    let span;
+    {
+        let _run = metrics.time(Phase::Run);
+        let lab = default_registry().solve(name, problem, ws, &metrics);
+        span = lab.span();
+        ws.recycle(lab);
+    }
+    (span, metrics.snapshot())
+}
+
+/// Runs one algorithm `cfg.reps` times. Each repetition starts from a cold
+/// [`Workspace`] (that solve lands in `wall_ns`) and then reuses it for
+/// `cfg.repeat - 1` warm solves (landing in `warm_wall_ns`).
+fn bench_one(
     cfg: &BenchConfig,
     id: &'static str,
     name: &'static str,
     workload: &'static str,
     params: Vec<(&'static str, u64)>,
     n: usize,
-    mut run: F,
-) -> AlgorithmBench
-where
-    F: FnMut(&Metrics) -> u32,
-{
+    problem: &Problem<'_>,
+) -> AlgorithmBench {
     let mut wall_ns = Vec::with_capacity(cfg.reps);
+    let mut warm_wall_ns = Vec::new();
     let mut span = 0u32;
     let mut counters = Snapshot::default();
+    let mut warm_counters = None;
     for _ in 0..cfg.reps.max(1) {
-        let metrics = Metrics::enabled();
-        {
-            let _run = metrics.time(Phase::Run);
-            span = run(&metrics);
+        let mut ws = Workspace::new();
+        let (cold_span, cold_snap) = timed_solve(name, problem, &mut ws);
+        span = cold_span;
+        wall_ns.push(cold_snap.phase_ns(Phase::Run));
+        counters = cold_snap;
+        for _ in 1..cfg.repeat.max(1) {
+            let (warm_span, warm_snap) = timed_solve(name, problem, &mut ws);
+            debug_assert_eq!(warm_span, span, "warm solves must be bit-identical");
+            warm_wall_ns.push(warm_snap.phase_ns(Phase::Run));
+            warm_counters = Some(warm_snap);
         }
-        let snap = metrics.snapshot();
-        wall_ns.push(snap.phase_ns(Phase::Run));
-        counters = snap;
     }
     AlgorithmBench {
         id,
@@ -188,7 +246,9 @@ where
         n,
         span,
         wall_ns,
+        warm_wall_ns,
         counters,
+        warm_counters,
     }
 }
 
@@ -197,7 +257,9 @@ where
 ///
 /// Workloads: A1/A2 share a random connected interval graph, A3 uses a
 /// tight unit-interval corridor (the hardest case for Theorem 3), A4/A5
-/// share a random degree-bounded tree.
+/// share a random degree-bounded tree. Every solve is dispatched through
+/// [`default_registry`] by the algorithm's `name` — report rows are
+/// replayable as `registry.solve(name, problem, ws, metrics)`.
 pub fn run_benchmarks(cfg: &BenchConfig) -> BenchReport {
     let n = cfg.n.max(2);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -205,6 +267,10 @@ pub fn run_benchmarks(cfg: &BenchConfig) -> BenchReport {
     let unit_rep = corridor_unit_intervals(n, 4, &mut rng);
     let tree_graph = random_bounded_degree_tree(n, 4, &mut rng);
     let tree = RootedTree::bfs_canonical(&tree_graph, 0).expect("generator returns a tree");
+
+    let ones_t2 = SeparationVector::all_ones(2);
+    let d1_then_one = SeparationVector::delta1_then_ones(4, 2).expect("valid (4,1)");
+    let d1_d2 = SeparationVector::two(5, 2).expect("valid (5,2)");
 
     let algorithms = vec![
         bench_one(
@@ -214,7 +280,7 @@ pub fn run_benchmarks(cfg: &BenchConfig) -> BenchReport {
             "random connected interval graph",
             vec![("t", 2)],
             n,
-            |m| l1_coloring_with(&interval_rep, 2, m).labeling.span(),
+            &Problem::interval(&interval_rep, &ones_t2),
         ),
         bench_one(
             cfg,
@@ -223,11 +289,7 @@ pub fn run_benchmarks(cfg: &BenchConfig) -> BenchReport {
             "random connected interval graph",
             vec![("t", 2), ("delta1", 4)],
             n,
-            |m| {
-                approx_delta1_coloring_with(&interval_rep, 2, 4, m)
-                    .labeling
-                    .span()
-            },
+            &Problem::interval(&interval_rep, &d1_then_one),
         ),
         bench_one(
             cfg,
@@ -236,11 +298,7 @@ pub fn run_benchmarks(cfg: &BenchConfig) -> BenchReport {
             "tight unit-interval corridor (k=4)",
             vec![("delta1", 5), ("delta2", 2)],
             n,
-            |m| {
-                l_delta1_delta2_coloring_with(&unit_rep, 5, 2, m)
-                    .labeling
-                    .span()
-            },
+            &Problem::unit_interval(&unit_rep, &d1_d2),
         ),
         bench_one(
             cfg,
@@ -249,7 +307,7 @@ pub fn run_benchmarks(cfg: &BenchConfig) -> BenchReport {
             "random degree-<=4 tree",
             vec![("t", 2)],
             n,
-            |m| tree_l1_with(&tree, 2, m).labeling.span(),
+            &Problem::tree(&tree, &ones_t2),
         ),
         bench_one(
             cfg,
@@ -258,7 +316,7 @@ pub fn run_benchmarks(cfg: &BenchConfig) -> BenchReport {
             "random degree-<=4 tree",
             vec![("t", 2), ("delta1", 4)],
             n,
-            |m| tree_approx_with(&tree, 2, 4, m).labeling.span(),
+            &Problem::tree(&tree, &d1_then_one),
         ),
     ];
     BenchReport {
@@ -276,6 +334,7 @@ mod tests {
             n: 120,
             reps: 2,
             seed: 7,
+            repeat: 1,
         }
     }
 
@@ -323,6 +382,44 @@ mod tests {
         let text = report.to_text();
         for a in &report.algorithms {
             assert!(text.contains(a.name));
+        }
+        assert!(!text.contains("best warm"), "no warm column at repeat=1");
+    }
+
+    #[test]
+    fn repeat_reports_warm_path_separately() {
+        let cfg = BenchConfig {
+            repeat: 3,
+            ..small()
+        };
+        let report = run_benchmarks(&cfg);
+        for a in &report.algorithms {
+            assert_eq!(a.wall_ns.len(), 2, "{}: one cold solve per rep", a.id);
+            assert_eq!(a.warm_wall_ns.len(), 4, "{}: repeat-1 warm per rep", a.id);
+            let warm = a.warm_counters.as_ref().expect("warm snapshot");
+            assert_eq!(a.counters.counter(Counter::WorkspaceReuses), 0, "{}", a.id);
+            assert_eq!(warm.counter(Counter::WorkspaceReuses), 1, "{}", a.id);
+            // Warm solves redo exactly the cold solve's work.
+            for c in [Counter::PeelSteps, Counter::PaletteProbes, Counter::BfsNodeVisits] {
+                assert_eq!(
+                    warm.counter(c),
+                    a.counters.counter(c),
+                    "{} {}",
+                    a.id,
+                    c.name()
+                );
+            }
+        }
+        let text = report.to_text();
+        assert!(text.contains("best warm"));
+        assert!(text.contains("repeat=3"));
+        // Cold-only counters and spans are unchanged by repeating.
+        let base = run_benchmarks(&small());
+        for (x, y) in report.algorithms.iter().zip(&base.algorithms) {
+            assert_eq!(x.span, y.span, "{}", x.id);
+            for c in Counter::ALL {
+                assert_eq!(x.counters.counter(c), y.counters.counter(c), "{}", x.id);
+            }
         }
     }
 }

@@ -7,19 +7,28 @@
 //! ssg classify <file>                # certify the graph class
 //! ssg color <file> <d1[,d2,...]>     # auto-dispatch an L(δ...) coloring
 //! ssg churn [epochs] [seed]          # dynamic corridor churn demo
-//! ssg bench [--json] [--n N] [--reps R] [--seed S]
+//! ssg bench [--json] [--n N] [--reps R] [--seed S] [--repeat K]
 //!                                    # run A1-A5 with telemetry; --json
-//!                                    # emits an ssg-bench/v1 report
+//!                                    # emits an ssg-bench/v1 report;
+//!                                    # --repeat K>1 adds warm-workspace
+//!                                    # timings next to the cold solves
 //! ```
 //!
 //! Graph files: first line `n m`, then `m` lines `u v` (0-based).
+//!
+//! Every coloring command dispatches through the [`SolverRegistry`] with
+//! one [`Workspace`] held for the whole invocation.
+//!
+//! [`SolverRegistry`]: strongly_simplicial::labeling::SolverRegistry
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, Write};
 use strongly_simplicial::bench::{run_benchmarks, BenchConfig};
-use strongly_simplicial::labeling::auto::{auto_coloring, classify, Guarantee};
-use strongly_simplicial::labeling::{all_violations, SeparationVector};
+use strongly_simplicial::labeling::auto::Guarantee;
+use strongly_simplicial::labeling::solver::default_registry;
+use strongly_simplicial::labeling::{all_violations, SeparationVector, Workspace};
+use strongly_simplicial::telemetry::Metrics;
 use strongly_simplicial::netsim::{
     simulate_corridor, BackboneNetwork, CorridorNetwork, DynamicsConfig, Policy, VehicularNetwork,
 };
@@ -135,7 +144,7 @@ fn cmd_classify(args: &[String]) -> i32 {
                 "n={} m={} class={:?}",
                 g.num_vertices(),
                 g.num_edges(),
-                classify(&g)
+                default_registry().classify(&g)
             );
             0
         }
@@ -169,7 +178,8 @@ fn cmd_color(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let out = auto_coloring(&g, &sep);
+    let mut ws = Workspace::new();
+    let out = default_registry().auto_coloring(&g, &sep, &mut ws, &Metrics::disabled());
     let violations = all_violations(&g, &sep, out.labeling.colors());
     println!(
         "class={:?} algorithm=\"{}\" guarantee={} span={} channels={} violations={}",
@@ -227,8 +237,15 @@ fn cmd_bench(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--repeat" => match it.next().and_then(|a| a.parse().ok()) {
+                Some(k) if k >= 1 => cfg.repeat = k,
+                _ => {
+                    eprintln!("bench: --repeat needs an integer >= 1");
+                    return 2;
+                }
+            },
             other => {
-                eprintln!("bench: unknown flag '{other}' (usage: ssg bench [--json] [--n N] [--reps R] [--seed S])");
+                eprintln!("bench: unknown flag '{other}' (usage: ssg bench [--json] [--n N] [--reps R] [--seed S] [--repeat K])");
                 return 2;
             }
         }

@@ -57,11 +57,14 @@ pub mod prelude {
     pub use ssg_graph::{augmented_graph, Graph, Vertex};
     pub use ssg_intervals::{IntervalRepresentation, UnitIntervalRepresentation};
     pub use ssg_labeling::interval::{approx_delta1_coloring, l1_coloring as interval_l1_coloring};
+    pub use ssg_labeling::solver::{default_registry, Problem, ProblemInstance, Solver};
     pub use ssg_labeling::tree::{
         approx_delta1_coloring as tree_approx_delta1_coloring, l1_coloring as tree_l1_coloring,
     };
     pub use ssg_labeling::unit_interval::l_delta1_delta2_coloring;
-    pub use ssg_labeling::{verify_labeling, Labeling, SeparationVector};
+    pub use ssg_labeling::{
+        verify_labeling, Labeling, SeparationVector, SolverRegistry, Workspace, WorkspacePool,
+    };
     pub use ssg_simplicial::{is_strongly_simplicial, is_t_simplicial, peel_l1_coloring};
     pub use ssg_tree::RootedTree;
 }

@@ -22,6 +22,7 @@ fn synthetic_report() -> BenchReport {
             n: 12,
             reps: 2,
             seed: 9,
+            repeat: 1,
         },
         algorithms: vec![
             AlgorithmBench {
@@ -32,7 +33,9 @@ fn synthetic_report() -> BenchReport {
                 n: 12,
                 span: 4,
                 wall_ns: vec![1500, 1200],
+                warm_wall_ns: Vec::new(),
                 counters: m.snapshot(),
+                warm_counters: None,
             },
             AlgorithmBench {
                 id: "A4",
@@ -42,7 +45,9 @@ fn synthetic_report() -> BenchReport {
                 n: 12,
                 span: 6,
                 wall_ns: vec![2000, 2500],
+                warm_wall_ns: Vec::new(),
                 counters: Snapshot::default(),
+                warm_counters: None,
             },
         ],
     }
@@ -72,6 +77,7 @@ fn real_report_round_trips_through_json() {
         n: 60,
         reps: 2,
         seed: 3,
+        repeat: 2,
     };
     let report = run_benchmarks(&cfg);
     let text = report.to_json().render();
@@ -103,6 +109,26 @@ fn real_report_round_trips_through_json() {
                 c.name()
             );
         }
+        // repeat = 2: one warm solve per rep, reported separately from the
+        // cold path and carrying the reuse counter.
+        let warm = parsed.get("warm_wall_ns").unwrap().as_array().unwrap();
+        assert_eq!(warm.len(), cfg.reps * (cfg.repeat - 1));
+        let warm_counters = parsed.get("warm_counters").unwrap();
+        assert_eq!(
+            warm_counters
+                .get(Counter::WorkspaceReuses.name())
+                .unwrap()
+                .as_u64(),
+            Some(1),
+            "{}: warm solves run on a reused workspace",
+            original.id
+        );
+        assert_eq!(
+            counters.get(Counter::WorkspaceReuses.name()).unwrap().as_u64(),
+            Some(0),
+            "{}: cold solves never reuse",
+            original.id
+        );
     }
 }
 
