@@ -1,0 +1,118 @@
+//! The engine's core correctness contract: batch results are
+//! **bit-identical** to sequential [`SolverRegistry`] solves, at every
+//! worker count. Sharding, stealing, and workspace reuse must never
+//! change a single color.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssg_engine::{Engine, LabelRequest, RequestInstance, SolverHint};
+use ssg_graph::generators;
+use ssg_labeling::solver::Problem;
+use ssg_labeling::{Labeling, SeparationVector, SolverRegistry, Workspace};
+use ssg_telemetry::Metrics;
+use ssg_tree::RootedTree;
+
+/// A mixed bag of requests across every instance shape, seeded from one
+/// proptest-chosen u64 so runs are reproducible.
+fn build_requests(seed: u64, per_shape: usize) -> Vec<LabelRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reqs = Vec::new();
+    let mut id = 0u64;
+    for i in 0..per_shape {
+        let n = 6 + (i % 7) * 4;
+
+        let g = generators::random_tree(n, &mut rng);
+        let tree = RootedTree::bfs_canonical(&g, 0).unwrap();
+        reqs.push(
+            LabelRequest::new(id, RequestInstance::Tree(tree), SeparationVector::all_ones(2))
+                .solver("tree_l1"),
+        );
+        id += 1;
+
+        let unit = ssg_intervals::gen::random_connected_unit_intervals(n, 0.5, &mut rng);
+        reqs.push(
+            LabelRequest::new(
+                id,
+                RequestInstance::Interval(unit.as_interval().clone()),
+                SeparationVector::all_ones(2),
+            )
+            .solver("interval_l1"),
+        );
+        id += 1;
+
+        reqs.push(
+            LabelRequest::new(
+                id,
+                RequestInstance::UnitInterval(unit),
+                SeparationVector::two(3, 1).unwrap(),
+            )
+            .solver("unit_interval_l_delta1_delta2"),
+        );
+        id += 1;
+
+        let g = generators::random_connected(n, n + n / 2, &mut rng);
+        reqs.push(LabelRequest::new(
+            id,
+            RequestInstance::Graph(g),
+            SeparationVector::two(2, 1).unwrap(),
+        ));
+        id += 1;
+    }
+    reqs
+}
+
+/// The sequential reference: one registry, one warm workspace, same
+/// dispatch rules as the engine.
+fn sequential_reference(reqs: &[LabelRequest]) -> Vec<Labeling> {
+    let registry = SolverRegistry::with_paper_algorithms();
+    let mut ws = Workspace::new();
+    let m = Metrics::disabled();
+    reqs.iter()
+        .map(|req| match (&req.hint, &req.instance) {
+            (SolverHint::Named(name), RequestInstance::Tree(t)) => registry
+                .try_solve(name, &Problem::tree(t, &req.sep), &mut ws, &m)
+                .unwrap(),
+            (SolverHint::Named(name), RequestInstance::Interval(rep)) => registry
+                .try_solve(name, &Problem::interval(rep, &req.sep), &mut ws, &m)
+                .unwrap(),
+            (SolverHint::Named(name), RequestInstance::UnitInterval(rep)) => registry
+                .try_solve(name, &Problem::unit_interval(rep, &req.sep), &mut ws, &m)
+                .unwrap(),
+            (SolverHint::Named(name), RequestInstance::Graph(g)) => registry
+                .try_solve(name, &Problem::graph(g, &req.sep), &mut ws, &m)
+                .unwrap(),
+            (SolverHint::Auto, RequestInstance::Graph(g)) => {
+                registry.auto_coloring(g, &req.sep, &mut ws, &m).labeling
+            }
+            (SolverHint::Auto, _) => unreachable!("parity requests pin non-graph solvers"),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batches_match_sequential_solves_at_every_worker_count(seed in 0u64..u64::MAX) {
+        let requests = build_requests(seed, 3);
+        let expected = sequential_reference(&requests);
+        for workers in [1usize, 2, 8] {
+            let engine = Engine::builder().workers(workers).build();
+            let responses = engine.run_batch(requests.clone());
+            prop_assert_eq!(responses.len(), expected.len());
+            for (response, want) in responses.iter().zip(&expected) {
+                let out = response.result.as_ref().expect("parity solves never fail");
+                prop_assert_eq!(
+                    out.labeling.colors(),
+                    want.colors(),
+                    "workers={} batch_index={} solver={}",
+                    workers,
+                    response.batch_index,
+                    out.algorithm
+                );
+            }
+            engine.shutdown();
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! # ssg-error
+//!
+//! The one error type of the `ssg` workspace.
+//!
+//! Before this crate, every fallible surface had its own shape: `Option`
+//! returns for recognition failures, crate-local error enums for input
+//! validation, and `(i32, eprintln!)` pairs in the CLI. [`SsgError`]
+//! unifies them so that
+//!
+//! * library entry points return `Result<_, SsgError>`,
+//! * the batch engine (`ssg-engine`) reports per-request failures —
+//!   including isolated solver panics and missed deadlines — as values
+//!   instead of tearing the pool down, and
+//! * the CLI maps every variant to a process exit code in exactly one
+//!   place.
+//!
+//! Crate-local error types that predate this crate ([`SeparationError`],
+//! `IntervalError`, ...) stay as the precise per-domain diagnostics; their
+//! owning crates provide `From` conversions into [`SsgError`] so callers
+//! can `?` them into the unified type.
+//!
+//! [`SeparationError`]: https://docs.rs/ssg-labeling
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Duration;
+
+/// Every way an `ssg` operation can fail, across all workspace crates.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches must carry a
+/// wildcard arm, which lets future PRs add variants without a major bump.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsgError {
+    /// The caller invoked a command or API with malformed arguments
+    /// (unknown flag, missing operand, out-of-range value).
+    Usage(String),
+    /// An I/O operation on `path` failed.
+    Io {
+        /// The file or resource the operation touched.
+        path: String,
+        /// The underlying error, rendered.
+        message: String,
+    },
+    /// Structured input (a graph file, a request file, a JSON document)
+    /// did not parse.
+    Parse {
+        /// What was being parsed (file name, format name).
+        what: String,
+        /// Why it failed.
+        message: String,
+    },
+    /// A problem specification was invalid: a bad separation vector, an
+    /// inconsistent interval representation, an unsupported `(sep, class)`
+    /// combination.
+    Spec(String),
+    /// The input was not in the graph class an algorithm requires (a
+    /// non-forest fed to the forest solver, a graph with no umbrella
+    /// ordering fed to unit-interval recognition, a solver handed the
+    /// wrong [`Problem`] structure).
+    ///
+    /// [`Problem`]: https://docs.rs/ssg-labeling
+    ClassMismatch {
+        /// The class or instance structure the algorithm requires.
+        expected: &'static str,
+        /// What the input turned out to be.
+        found: String,
+    },
+    /// A solver was requested by a name no registry entry answers to.
+    UnknownSolver {
+        /// The requested name.
+        name: String,
+        /// The names the registry does know.
+        known: Vec<String>,
+    },
+    /// A request's deadline had already passed when a worker picked it up.
+    DeadlineExceeded {
+        /// How far past the deadline the request was dequeued.
+        missed_by: Duration,
+    },
+    /// A solver panicked while serving a request; the panic was isolated
+    /// to the request and the worker kept running.
+    WorkerPanic(String),
+    /// A fail-fast submission found every shard queue full.
+    QueueFull,
+    /// A submission arrived after the engine began draining for shutdown.
+    ShuttingDown,
+}
+
+impl SsgError {
+    /// Short stable machine-readable name of the variant, used in JSON
+    /// output (`ssg batch --format json`) and log lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SsgError::Usage(_) => "usage",
+            SsgError::Io { .. } => "io",
+            SsgError::Parse { .. } => "parse",
+            SsgError::Spec(_) => "spec",
+            SsgError::ClassMismatch { .. } => "class_mismatch",
+            SsgError::UnknownSolver { .. } => "unknown_solver",
+            SsgError::DeadlineExceeded { .. } => "deadline_exceeded",
+            SsgError::WorkerPanic(_) => "worker_panic",
+            SsgError::QueueFull => "queue_full",
+            SsgError::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Convenience constructor for [`SsgError::Parse`].
+    pub fn parse(what: impl Into<String>, message: impl Into<String>) -> Self {
+        SsgError::Parse {
+            what: what.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SsgError::Io`].
+    pub fn io(path: impl Into<String>, err: &std::io::Error) -> Self {
+        SsgError::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SsgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsgError::Usage(msg) => write!(f, "usage: {msg}"),
+            SsgError::Io { path, message } => write!(f, "{path}: {message}"),
+            SsgError::Parse { what, message } => write!(f, "parse {what}: {message}"),
+            SsgError::Spec(msg) => write!(f, "invalid specification: {msg}"),
+            SsgError::ClassMismatch { expected, found } => {
+                write!(f, "class mismatch: need {expected}, got {found}")
+            }
+            SsgError::UnknownSolver { name, known } => {
+                write!(f, "no solver named `{name}` (have {known:?})")
+            }
+            SsgError::DeadlineExceeded { missed_by } => {
+                write!(f, "deadline exceeded by {missed_by:?}")
+            }
+            SsgError::WorkerPanic(msg) => write!(f, "solver panicked: {msg}"),
+            SsgError::QueueFull => write!(f, "all shard queues full (fail-fast submit)"),
+            SsgError::ShuttingDown => write!(f, "engine is draining for shutdown"),
+        }
+    }
+}
+
+impl std::error::Error for SsgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display_are_stable() {
+        let cases: Vec<(SsgError, &str)> = vec![
+            (SsgError::Usage("bench: --n needs an integer".into()), "usage"),
+            (
+                SsgError::Io {
+                    path: "g.txt".into(),
+                    message: "not found".into(),
+                },
+                "io",
+            ),
+            (SsgError::parse("graph file", "bad n"), "parse"),
+            (SsgError::Spec("empty separation vector".into()), "spec"),
+            (
+                SsgError::ClassMismatch {
+                    expected: "forest",
+                    found: "graph with a cycle".into(),
+                },
+                "class_mismatch",
+            ),
+            (
+                SsgError::UnknownSolver {
+                    name: "nope".into(),
+                    known: vec!["interval_l1".into()],
+                },
+                "unknown_solver",
+            ),
+            (
+                SsgError::DeadlineExceeded {
+                    missed_by: Duration::from_millis(3),
+                },
+                "deadline_exceeded",
+            ),
+            (SsgError::WorkerPanic("boom".into()), "worker_panic"),
+            (SsgError::QueueFull, "queue_full"),
+            (SsgError::ShuttingDown, "shutting_down"),
+        ];
+        for (err, kind) in cases {
+            assert_eq!(err.kind(), kind);
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_constructor_renders_the_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err = SsgError::io("input.g", &io);
+        assert_eq!(err.to_string(), "input.g: gone");
+    }
+
+    #[test]
+    fn errors_are_comparable_and_cloneable() {
+        let a = SsgError::QueueFull;
+        assert_eq!(a.clone(), a);
+        assert_ne!(a, SsgError::ShuttingDown);
+    }
+}

@@ -4,6 +4,7 @@
 
 use crate::rep::IntervalRepresentation;
 use crate::unit::UnitIntervalRepresentation;
+use ssg_error::SsgError;
 use ssg_graph::recognition::{is_umbrella_order, proper_interval_order};
 use ssg_graph::{Graph, Vertex};
 
@@ -53,10 +54,29 @@ pub fn representation_from_umbrella(
 /// Recognizes a proper interval graph and returns `(umbrella order,
 /// representation)`. The representation's vertex `i` corresponds to
 /// `order[i]` in `g`.
-pub fn recognize_unit_interval(g: &Graph) -> Option<(Vec<Vertex>, UnitIntervalRepresentation)> {
-    let order = proper_interval_order(g)?;
-    let rep = representation_from_umbrella(g, &order)?;
-    Some((order, rep))
+///
+/// Inputs outside the class yield
+/// [`SsgError::ClassMismatch`] (this used to be an opaque `None`):
+///
+/// ```
+/// use ssg_graph::generators;
+/// use ssg_intervals::recognize::recognize_unit_interval;
+/// assert!(recognize_unit_interval(&generators::path(6)).is_ok());
+/// let err = recognize_unit_interval(&generators::cycle(6)).unwrap_err();
+/// assert_eq!(err.kind(), "class_mismatch");
+/// ```
+pub fn recognize_unit_interval(
+    g: &Graph,
+) -> Result<(Vec<Vertex>, UnitIntervalRepresentation), SsgError> {
+    let order = proper_interval_order(g).ok_or(SsgError::ClassMismatch {
+        expected: "proper interval graph",
+        found: "graph with no umbrella ordering".into(),
+    })?;
+    let rep = representation_from_umbrella(g, &order).ok_or(SsgError::ClassMismatch {
+        expected: "proper interval graph",
+        found: "graph whose candidate ordering failed certification".into(),
+    })?;
+    Ok((order, rep))
 }
 
 /// Checks that `rep`'s intersection graph equals `g` under the mapping
@@ -97,14 +117,21 @@ mod tests {
 
     #[test]
     fn recognizes_named_families() {
-        assert!(recognize_unit_interval(&generators::path(10)).is_some());
-        assert!(recognize_unit_interval(&generators::complete(7)).is_some());
+        assert!(recognize_unit_interval(&generators::path(10)).is_ok());
+        assert!(recognize_unit_interval(&generators::complete(7)).is_ok());
         // Power of a path is proper interval.
         let p2 = ssg_graph::augmented_graph(&generators::path(12), 3);
-        assert!(recognize_unit_interval(&p2).is_some());
-        // Claw and cycles are not.
-        assert!(recognize_unit_interval(&generators::star(4)).is_none());
-        assert!(recognize_unit_interval(&generators::cycle(6)).is_none());
+        assert!(recognize_unit_interval(&p2).is_ok());
+        // Claw and cycles are not — and the refusal names the class.
+        let err = recognize_unit_interval(&generators::star(4)).unwrap_err();
+        assert!(matches!(
+            err,
+            SsgError::ClassMismatch {
+                expected: "proper interval graph",
+                ..
+            }
+        ));
+        assert!(recognize_unit_interval(&generators::cycle(6)).is_err());
     }
 
     #[test]
@@ -120,6 +147,6 @@ mod tests {
         let (_, rep) = recognize_unit_interval(&g).expect("union of edges is proper interval");
         assert_eq!(rep.to_graph().num_edges(), 2);
         let g1 = ssg_graph::Graph::from_edges(1, &[]).unwrap();
-        assert!(recognize_unit_interval(&g1).is_some());
+        assert!(recognize_unit_interval(&g1).is_ok());
     }
 }

@@ -45,6 +45,12 @@ impl fmt::Display for IntervalError {
 
 impl std::error::Error for IntervalError {}
 
+impl From<IntervalError> for ssg_error::SsgError {
+    fn from(e: IntervalError) -> Self {
+        ssg_error::SsgError::Spec(e.to_string())
+    }
+}
+
 /// A normalized interval representation.
 ///
 /// Invariants (checked at construction):

@@ -47,6 +47,12 @@ impl std::fmt::Display for UnitIntervalError {
 
 impl std::error::Error for UnitIntervalError {}
 
+impl From<UnitIntervalError> for ssg_error::SsgError {
+    fn from(e: UnitIntervalError) -> Self {
+        ssg_error::SsgError::Spec(e.to_string())
+    }
+}
+
 impl From<IntervalError> for UnitIntervalError {
     fn from(e: IntervalError) -> Self {
         UnitIntervalError::Interval(e)

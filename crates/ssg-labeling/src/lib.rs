@@ -36,8 +36,9 @@ pub mod tree;
 pub mod unit_interval;
 pub mod workspace;
 
-pub use solver::{Problem, ProblemInstance, Solver, SolverRegistry};
+pub use solver::{InstanceKind, Problem, ProblemInstance, Solver, SolverRegistry};
 pub use spec::{
     all_violations, verify_labeling, Labeling, SeparationError, SeparationVector, Violation,
 };
+pub use ssg_error::SsgError;
 pub use workspace::{Workspace, WorkspacePool};

@@ -31,6 +31,7 @@ use crate::workspace::Workspace;
 use crate::{baseline, exact, interval, tree, unit_interval};
 use ssg_graph::ordering::{is_perfect_elimination_order, lex_bfs};
 use ssg_graph::recognition::{is_forest, is_tree, proper_interval_order};
+use ssg_error::SsgError;
 use ssg_graph::{Graph, Vertex};
 use ssg_intervals::recognize::recognize_unit_interval;
 use ssg_intervals::{IntervalRepresentation, UnitIntervalRepresentation};
@@ -41,6 +42,9 @@ use std::sync::OnceLock;
 /// The structure a [`Problem`] presents its instance in. Each solver
 /// documents which variants it accepts and panics on the others — feeding a
 /// solver the wrong structure is a caller bug, not a runtime condition.
+/// (Callers routing *untrusted* structure, like the batch engine, use
+/// [`SolverRegistry::try_solve`], which refuses mismatches with a
+/// [`SsgError::ClassMismatch`] instead of panicking.)
 #[derive(Debug, Clone, Copy)]
 pub enum ProblemInstance<'a> {
     /// A bare graph (greedy baselines, the Lemma-2 peel, forests, exact).
@@ -51,6 +55,44 @@ pub enum ProblemInstance<'a> {
     UnitInterval(&'a UnitIntervalRepresentation),
     /// A BFS-canonical rooted tree (A4, A5).
     Tree(&'a RootedTree),
+}
+
+/// The *shape* of a [`ProblemInstance`], without the borrowed payload:
+/// what a [`Solver`] declares it consumes via [`Solver::instance_kind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceKind {
+    /// A bare graph.
+    Graph,
+    /// An interval representation.
+    Interval,
+    /// A proper/unit interval representation.
+    UnitInterval,
+    /// A BFS-canonical rooted tree.
+    Tree,
+}
+
+impl InstanceKind {
+    /// Human-readable name used in mismatch diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            InstanceKind::Graph => "graph",
+            InstanceKind::Interval => "interval",
+            InstanceKind::UnitInterval => "unit-interval",
+            InstanceKind::Tree => "tree",
+        }
+    }
+}
+
+impl ProblemInstance<'_> {
+    /// The shape of this instance.
+    pub fn kind(&self) -> InstanceKind {
+        match self {
+            ProblemInstance::Graph(_) => InstanceKind::Graph,
+            ProblemInstance::Interval(_) => InstanceKind::Interval,
+            ProblemInstance::UnitInterval(_) => InstanceKind::UnitInterval,
+            ProblemInstance::Tree(_) => InstanceKind::Tree,
+        }
+    }
 }
 
 /// One channel-assignment instance: what to color and under which
@@ -109,6 +151,11 @@ pub trait Solver: Send + Sync {
     /// Stable identifier; doubles as the bench-report algorithm id.
     fn name(&self) -> &'static str;
 
+    /// The instance shape this solver consumes. [`SolverRegistry::try_solve`]
+    /// checks it before dispatch so mismatches surface as
+    /// [`SsgError::ClassMismatch`] instead of a panic.
+    fn instance_kind(&self) -> InstanceKind;
+
     /// Solves `problem` using `ws` for scratch space, recording telemetry
     /// on `m`. Panics when `problem.instance` is a structure this solver
     /// does not accept (see each solver's docs).
@@ -127,6 +174,10 @@ pub struct IntervalL1;
 impl Solver for IntervalL1 {
     fn name(&self) -> &'static str {
         "interval_l1"
+    }
+
+    fn instance_kind(&self) -> InstanceKind {
+        InstanceKind::Interval
     }
 
     fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
@@ -150,6 +201,10 @@ impl Solver for IntervalApproxDelta1 {
         "interval_approx_delta1"
     }
 
+    fn instance_kind(&self) -> InstanceKind {
+        InstanceKind::Interval
+    }
+
     fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
         match problem.instance {
             ProblemInstance::Interval(rep) => {
@@ -170,6 +225,10 @@ pub struct UnitIntervalLDelta1Delta2;
 impl Solver for UnitIntervalLDelta1Delta2 {
     fn name(&self) -> &'static str {
         "unit_interval_l_delta1_delta2"
+    }
+
+    fn instance_kind(&self) -> InstanceKind {
+        InstanceKind::UnitInterval
     }
 
     fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
@@ -199,6 +258,10 @@ impl Solver for TreeL1 {
         "tree_l1"
     }
 
+    fn instance_kind(&self) -> InstanceKind {
+        InstanceKind::Tree
+    }
+
     fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
         match problem.instance {
             ProblemInstance::Tree(t) => tree::l1_coloring_ws(t, problem.sep.t(), ws, m).labeling,
@@ -215,6 +278,10 @@ pub struct TreeApproxDelta1;
 impl Solver for TreeApproxDelta1 {
     fn name(&self) -> &'static str {
         "tree_approx_delta1"
+    }
+
+    fn instance_kind(&self) -> InstanceKind {
+        InstanceKind::Tree
     }
 
     fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
@@ -238,6 +305,10 @@ impl Solver for ForestL1 {
         "forest_l1"
     }
 
+    fn instance_kind(&self) -> InstanceKind {
+        InstanceKind::Graph
+    }
+
     fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
         match problem.instance {
             ProblemInstance::Graph(g) => tree::l1_coloring_forest_ws(g, problem.sep.t(), ws, m)
@@ -257,6 +328,10 @@ pub struct Lemma2Peel;
 impl Solver for Lemma2Peel {
     fn name(&self) -> &'static str {
         "lemma2_peel"
+    }
+
+    fn instance_kind(&self) -> InstanceKind {
+        InstanceKind::Graph
     }
 
     fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
@@ -283,6 +358,10 @@ impl Solver for ExactBranchAndBound {
         "exact_bb"
     }
 
+    fn instance_kind(&self) -> InstanceKind {
+        InstanceKind::Graph
+    }
+
     fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
         match problem.instance {
             ProblemInstance::Graph(g) => {
@@ -303,6 +382,10 @@ pub struct GreedyBfs;
 impl Solver for GreedyBfs {
     fn name(&self) -> &'static str {
         "greedy_bfs"
+    }
+
+    fn instance_kind(&self) -> InstanceKind {
+        InstanceKind::Graph
     }
 
     fn solve_with(&self, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
@@ -391,6 +474,35 @@ impl SolverRegistry {
         self.get(name)
             .unwrap_or_else(|| panic!("no solver named `{name}` (have {:?})", self.names()))
             .solve_with(problem, ws, m)
+    }
+
+    /// Fallible dispatch for callers routing *untrusted* names and
+    /// structures (the batch engine, the CLI): an unknown name becomes
+    /// [`SsgError::UnknownSolver`] and an instance shape the solver does
+    /// not accept becomes [`SsgError::ClassMismatch`] — both checked before
+    /// any solving starts. A solver's own internal panics (e.g. A3's
+    /// `t == 2` assertion) are *not* caught here; the engine isolates those
+    /// with `catch_unwind`.
+    pub fn try_solve(
+        &self,
+        name: &str,
+        problem: &Problem,
+        ws: &mut Workspace,
+        m: &Metrics,
+    ) -> Result<Labeling, SsgError> {
+        let solver = self.get(name).ok_or_else(|| SsgError::UnknownSolver {
+            name: name.to_string(),
+            known: self.names().iter().map(|s| s.to_string()).collect(),
+        })?;
+        let wants = solver.instance_kind();
+        let got = problem.instance.kind();
+        if wants != got {
+            return Err(SsgError::ClassMismatch {
+                expected: wants.name(),
+                found: format!("{} instance (solver `{name}`)", got.name()),
+            });
+        }
+        Ok(solver.solve_with(problem, ws, m))
     }
 
     /// Certifies the strongest class this library can exploit. Cost:
@@ -676,6 +788,31 @@ mod tests {
             let lab = r.solve(name, &Problem::graph(&g, &sep), &mut ws, &Metrics::disabled());
             verify_labeling(&g, &sep, lab.colors()).unwrap_or_else(|v| panic!("{name}: {v}"));
         }
+    }
+
+    #[test]
+    fn try_solve_reports_unknown_and_mismatched() {
+        let r = default_registry();
+        let mut ws = Workspace::new();
+        let g = generators::path(4);
+        let sep = SeparationVector::all_ones(1);
+        let problem = Problem::graph(&g, &sep);
+
+        let err = r
+            .try_solve("no_such_solver", &problem, &mut ws, &Metrics::disabled())
+            .unwrap_err();
+        assert!(matches!(&err, SsgError::UnknownSolver { name, known }
+            if name == "no_such_solver" && known.iter().any(|k| k == "tree_l1")));
+
+        let err = r
+            .try_solve("tree_l1", &problem, &mut ws, &Metrics::disabled())
+            .unwrap_err();
+        assert!(matches!(&err, SsgError::ClassMismatch { expected: "tree", .. }));
+
+        let lab = r
+            .try_solve("greedy_bfs", &problem, &mut ws, &Metrics::disabled())
+            .unwrap();
+        assert_eq!(lab.len(), 4);
     }
 
     #[test]

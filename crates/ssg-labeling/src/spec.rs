@@ -49,6 +49,12 @@ impl fmt::Display for SeparationError {
 
 impl std::error::Error for SeparationError {}
 
+impl From<SeparationError> for ssg_error::SsgError {
+    fn from(e: SeparationError) -> Self {
+        ssg_error::SsgError::Spec(e.to_string())
+    }
+}
+
 impl SeparationVector {
     /// Builds a validated separation vector.
     pub fn new(deltas: Vec<u32>) -> Result<Self, SeparationError> {

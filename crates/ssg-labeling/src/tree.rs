@@ -32,6 +32,7 @@
 use crate::palette::PaletteFamily;
 use crate::spec::Labeling;
 use crate::workspace::Workspace;
+use ssg_error::SsgError;
 use ssg_graph::Vertex;
 use ssg_telemetry::{Counter, Metrics};
 use ssg_tree::{for_each_in_up_neighborhood, tree_lambda_star, RootedTree};
@@ -304,9 +305,9 @@ pub struct ForestL1Output {
 }
 
 /// Optimal `L(1,...,1)` coloring of a **forest**: each component tree is
-/// colored by Figure 5 from a shared color pool. Returns `None` when `g` is
-/// not a forest.
-pub fn l1_coloring_forest(g: &ssg_graph::Graph, t: u32) -> Option<ForestL1Output> {
+/// colored by Figure 5 from a shared color pool. Non-forests yield
+/// [`SsgError::ClassMismatch`] (this used to be an opaque `None`).
+pub fn l1_coloring_forest(g: &ssg_graph::Graph, t: u32) -> Result<ForestL1Output, SsgError> {
     l1_coloring_forest_ws(g, t, &mut Workspace::new(), &Metrics::disabled())
 }
 
@@ -318,9 +319,12 @@ pub fn l1_coloring_forest_ws(
     t: u32,
     ws: &mut Workspace,
     metrics: &Metrics,
-) -> Option<ForestL1Output> {
+) -> Result<ForestL1Output, SsgError> {
     if !ssg_graph::recognition::is_forest(g) {
-        return None;
+        return Err(SsgError::ClassMismatch {
+            expected: "forest",
+            found: "graph with a cycle".into(),
+        });
     }
     ws.begin_solve(metrics);
     let mut colors = ws.take_colors(g.num_vertices(), 0);
@@ -336,7 +340,7 @@ pub fn l1_coloring_forest_ws(
         }
         ws.recycle(labeling);
     }
-    Some(ForestL1Output {
+    Ok(ForestL1Output {
         labeling: Labeling::new(colors),
         lambda_star: lambda,
     })
@@ -525,8 +529,15 @@ mod tests {
                 assert_eq!(out.lambda_star, expect, "t={t}");
             }
         }
-        // Non-forests are rejected.
-        assert!(l1_coloring_forest(&generators::cycle(5), 2).is_none());
+        // Non-forests are rejected with a class-mismatch error.
+        let err = l1_coloring_forest(&generators::cycle(5), 2).unwrap_err();
+        assert!(matches!(
+            err,
+            SsgError::ClassMismatch {
+                expected: "forest",
+                ..
+            }
+        ));
     }
 
     #[test]

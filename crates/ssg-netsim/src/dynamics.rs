@@ -43,6 +43,19 @@ pub struct ChurnReport {
 }
 
 /// Parameters of a dynamic corridor simulation.
+///
+/// Non-exhaustive builder-style config: start from [`DynamicsConfig::default`]
+/// and chain the field-named setters, so adding a parameter later is not a
+/// breaking change for downstream callers.
+///
+/// ```
+/// use ssg_netsim::dynamics::DynamicsConfig;
+///
+/// let cfg = DynamicsConfig::default().initial(30).epochs(12).p_depart(0.15);
+/// assert_eq!(cfg.initial, 30);
+/// assert_eq!(cfg.range_min, DynamicsConfig::default().range_min);
+/// ```
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynamicsConfig {
     /// Stations at epoch 0.
@@ -61,6 +74,105 @@ pub struct DynamicsConfig {
     pub range_max: f64,
     /// Interference radius for the `L(1,...,1)` separation.
     pub t: u32,
+}
+
+impl Default for DynamicsConfig {
+    /// A mid-sized corridor: 40 stations, 20 epochs, 10% churn pressure.
+    fn default() -> Self {
+        DynamicsConfig {
+            initial: 40,
+            epochs: 20,
+            p_depart: 0.1,
+            arrivals_max: 6,
+            corridor_len: 30.0,
+            range_min: 1.0,
+            range_max: 3.0,
+            t: 2,
+        }
+    }
+}
+
+impl DynamicsConfig {
+    /// All eight parameters at once — the pre-builder constructor shape.
+    #[deprecated(since = "0.1.0", note = "use DynamicsConfig::default() and the chained setters")]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        initial: usize,
+        epochs: usize,
+        p_depart: f64,
+        arrivals_max: usize,
+        corridor_len: f64,
+        range_min: f64,
+        range_max: f64,
+        t: u32,
+    ) -> Self {
+        DynamicsConfig {
+            initial,
+            epochs,
+            p_depart,
+            arrivals_max,
+            corridor_len,
+            range_min,
+            range_max,
+            t,
+        }
+    }
+
+    /// Sets the epoch-0 station count.
+    #[must_use]
+    pub fn initial(mut self, initial: usize) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Sets the number of epochs to simulate.
+    #[must_use]
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the per-epoch departure probability.
+    #[must_use]
+    pub fn p_depart(mut self, p_depart: f64) -> Self {
+        self.p_depart = p_depart;
+        self
+    }
+
+    /// Sets the per-epoch arrival cap.
+    #[must_use]
+    pub fn arrivals_max(mut self, arrivals_max: usize) -> Self {
+        self.arrivals_max = arrivals_max;
+        self
+    }
+
+    /// Sets the corridor length.
+    #[must_use]
+    pub fn corridor_len(mut self, corridor_len: f64) -> Self {
+        self.corridor_len = corridor_len;
+        self
+    }
+
+    /// Sets the minimum hearing radius.
+    #[must_use]
+    pub fn range_min(mut self, range_min: f64) -> Self {
+        self.range_min = range_min;
+        self
+    }
+
+    /// Sets the maximum hearing radius.
+    #[must_use]
+    pub fn range_max(mut self, range_max: f64) -> Self {
+        self.range_max = range_max;
+        self
+    }
+
+    /// Sets the interference radius `t`.
+    #[must_use]
+    pub fn t(mut self, t: u32) -> Self {
+        self.t = t;
+        self
+    }
 }
 
 /// Simulates `epochs` steps of a corridor in which, per epoch, each station
@@ -219,16 +331,15 @@ mod tests {
         corridor_len: f64,
         t: u32,
     ) -> DynamicsConfig {
-        DynamicsConfig {
-            initial,
-            epochs,
-            p_depart,
-            arrivals_max,
-            corridor_len,
-            range_min: 1.0,
-            range_max: 3.0,
-            t,
-        }
+        DynamicsConfig::default()
+            .initial(initial)
+            .epochs(epochs)
+            .p_depart(p_depart)
+            .arrivals_max(arrivals_max)
+            .corridor_len(corridor_len)
+            .range_min(1.0)
+            .range_max(3.0)
+            .t(t)
     }
 
     #[test]
@@ -288,16 +399,15 @@ mod tests {
     fn all_departures_keeps_simulation_alive() {
         let mut rng = StdRng::seed_from_u64(133);
         let rep = simulate_corridor(
-            DynamicsConfig {
-                initial: 5,
-                epochs: 8,
-                p_depart: 1.0,
-                arrivals_max: 0,
-                corridor_len: 10.0,
-                range_min: 1.0,
-                range_max: 2.0,
-                t: 1,
-            },
+            DynamicsConfig::default()
+                .initial(5)
+                .epochs(8)
+                .p_depart(1.0)
+                .arrivals_max(0)
+                .corridor_len(10.0)
+                .range_min(1.0)
+                .range_max(2.0)
+                .t(1),
             Policy::OptimalL1,
             &mut rng,
         );

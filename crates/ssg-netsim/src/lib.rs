@@ -21,6 +21,6 @@ pub mod sweep;
 pub use dynamics::{simulate_corridor, ChurnReport, DynamicsConfig, Policy};
 pub use scenario::{AssignmentReport, BackboneNetwork, CorridorNetwork, Station, VehicularNetwork};
 pub use sweep::{
-    run_grid, run_grid_pooled, run_grid_sequential, run_grid_with, to_markdown, write_csv,
-    ExperimentRow, Summary,
+    run_grid, run_grid_engine, run_grid_pooled, run_grid_sequential, run_grid_with, to_markdown,
+    write_csv, ExperimentRow, Summary,
 };

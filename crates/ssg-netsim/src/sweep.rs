@@ -132,6 +132,76 @@ where
         .collect()
 }
 
+/// [`run_grid_pooled`]'s twin routed through a running
+/// [`Engine`](ssg_engine::Engine): every `(param, seed)` cell is shipped to
+/// the engine's sharded workers via [`Engine::execute`](ssg_engine::Engine::execute),
+/// so sweeps share the engine's queues, stealing, backpressure, and
+/// per-worker warm workspace leases with the batch labeling traffic. Each
+/// cell is timed under [`Phase::Cell`] on `metrics`, exactly like
+/// [`run_grid_with`].
+///
+/// Unlike the rayon variants this requires `'static` captures (cells
+/// outlive the submitting stack frame), so parameters are cloned into
+/// their cells.
+///
+/// # Panics
+///
+/// Panics if a cell's closure panicked on a worker (the engine isolates
+/// the panic; this harness refuses to return a grid with holes) or if the
+/// engine is shutting down.
+pub fn run_grid_engine<P, R, F>(
+    params: &[P],
+    seeds: &[u64],
+    engine: &ssg_engine::Engine,
+    metrics: &Metrics,
+    f: F,
+) -> Vec<Vec<R>>
+where
+    P: Clone + Send + 'static,
+    R: Send + 'static,
+    F: Fn(&P, u64, &mut Workspace) -> R + Send + Sync + 'static,
+{
+    let f = std::sync::Arc::new(f);
+    let (tx, rx) = std::sync::mpsc::channel();
+    for (pi, p) in params.iter().enumerate() {
+        for (si, &s) in seeds.iter().enumerate() {
+            let f = std::sync::Arc::clone(&f);
+            let p = p.clone();
+            let tx = tx.clone();
+            let cell_metrics = metrics.clone();
+            engine
+                .execute(move |ws| {
+                    let _cell = cell_metrics.time(Phase::Cell);
+                    let _ = tx.send((pi, si, f(&p, s, ws)));
+                })
+                .expect("engine refused a sweep cell (shutting down?)");
+        }
+    }
+    drop(tx);
+    let mut grid: Vec<Vec<Option<R>>> = params
+        .iter()
+        .map(|_| seeds.iter().map(|_| None).collect())
+        .collect();
+    // The iterator ends once every cell has reported or dropped its sender
+    // (a panicked cell drops without sending — detected below).
+    for (pi, si, r) in rx {
+        grid[pi][si] = Some(r);
+    }
+    grid.into_iter()
+        .enumerate()
+        .map(|(pi, row)| {
+            row.into_iter()
+                .enumerate()
+                .map(|(si, cell)| {
+                    cell.unwrap_or_else(|| {
+                        panic!("sweep cell (param {pi}, seed index {si}) panicked on a worker")
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Sequential twin of [`run_grid`] — used to measure rayon's speedup in
 /// experiment E8 and as a fallback in single-threaded contexts.
 pub fn run_grid_sequential<P, R, F>(params: &[P], seeds: &[u64], f: F) -> Vec<Vec<R>>
@@ -298,6 +368,43 @@ mod tests {
         // one cell did so on a warm arena.
         assert!(!pool.is_empty());
         assert_eq!(pool.total_solves(), 6);
+    }
+
+    #[test]
+    fn engine_grid_matches_plain_grid() {
+        use crate::scenario::CorridorNetwork;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use ssg_labeling::solver::{default_registry, Problem};
+        use ssg_labeling::SeparationVector;
+
+        let params = vec![18usize, 28];
+        let seeds = vec![3u64, 4, 5];
+        fn solve(&n: &usize, s: u64, ws: &mut Workspace) -> u32 {
+            let mut rng = StdRng::seed_from_u64(s);
+            let net = CorridorNetwork::generate(n, 1.0, 1.0, 4.0, &mut rng);
+            let sep = SeparationVector::all_ones(2);
+            let lab = default_registry().solve(
+                "interval_l1",
+                &Problem::interval(net.representation(), &sep),
+                ws,
+                &Metrics::disabled(),
+            );
+            let span = lab.span();
+            ws.recycle(lab);
+            span
+        }
+        let engine = ssg_engine::Engine::builder().workers(2).build();
+        let metrics = Metrics::enabled();
+        let via_engine = run_grid_engine(&params, &seeds, &engine, &metrics, solve);
+        let plain = run_grid(&params, &seeds, |p, s| solve(p, s, &mut Workspace::new()));
+        assert_eq!(via_engine, plain);
+        assert_eq!(metrics.snapshot().phase_count(Phase::Cell), 6);
+        // A closure job counts as completed only after it returns, which
+        // can lag the result arriving on the channel — drain first.
+        engine.drain();
+        assert_eq!(engine.stats().completed, 6);
+        engine.shutdown();
     }
 
     #[test]

@@ -70,16 +70,36 @@ pub enum Counter {
     /// allocating fresh scratch state (recorded by `Workspace::begin_solve`
     /// in `ssg-labeling` and the peel scratch in `ssg-simplicial`).
     WorkspaceReuses,
+    /// Requests completed by `ssg-engine` workers (successes and
+    /// per-request failures alike) — the engine's throughput numerator.
+    EngineRequests,
+    /// Jobs an engine worker popped from *another* worker's shard queue
+    /// (work stealing).
+    EngineSteals,
+    /// Submissions that found their shard queue full and had to block (or
+    /// fail fast) — the engine's backpressure signal.
+    EngineBackpressureWaits,
+    /// Requests whose deadline had already passed when a worker dequeued
+    /// them; they were answered with an error instead of being solved.
+    EngineDeadlineMisses,
+    /// Solver panics isolated by an engine worker via `catch_unwind` and
+    /// converted into per-request errors.
+    EnginePanics,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 5] = [
+    pub const ALL: [Counter; 10] = [
         Counter::PeelSteps,
         Counter::PaletteProbes,
         Counter::BfsNodeVisits,
         Counter::SearchNodes,
         Counter::WorkspaceReuses,
+        Counter::EngineRequests,
+        Counter::EngineSteals,
+        Counter::EngineBackpressureWaits,
+        Counter::EngineDeadlineMisses,
+        Counter::EnginePanics,
     ];
 
     /// Stable snake_case name used in JSON reports.
@@ -94,6 +114,11 @@ impl Counter {
             Counter::BfsNodeVisits => "bfs_node_visits",
             Counter::SearchNodes => "search_nodes",
             Counter::WorkspaceReuses => "workspace_reuses",
+            Counter::EngineRequests => "engine_requests",
+            Counter::EngineSteals => "engine_steals",
+            Counter::EngineBackpressureWaits => "engine_backpressure_waits",
+            Counter::EngineDeadlineMisses => "engine_deadline_misses",
+            Counter::EnginePanics => "engine_panics",
         }
     }
 
@@ -104,6 +129,11 @@ impl Counter {
             Counter::BfsNodeVisits => 2,
             Counter::SearchNodes => 3,
             Counter::WorkspaceReuses => 4,
+            Counter::EngineRequests => 5,
+            Counter::EngineSteals => 6,
+            Counter::EngineBackpressureWaits => 7,
+            Counter::EngineDeadlineMisses => 8,
+            Counter::EnginePanics => 9,
         }
     }
 }
@@ -115,17 +145,20 @@ pub enum Phase {
     Run,
     /// One cell of a parameter-sweep grid (`ssg-netsim`).
     Cell,
+    /// One engine batch, submit-to-last-response (`ssg-engine`).
+    Batch,
 }
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 2] = [Phase::Run, Phase::Cell];
+    pub const ALL: [Phase; 3] = [Phase::Run, Phase::Cell, Phase::Batch];
 
     /// Stable snake_case name used in JSON reports.
     pub fn name(self) -> &'static str {
         match self {
             Phase::Run => "run",
             Phase::Cell => "cell",
+            Phase::Batch => "batch",
         }
     }
 
@@ -133,6 +166,7 @@ impl Phase {
         match self {
             Phase::Run => 0,
             Phase::Cell => 1,
+            Phase::Batch => 2,
         }
     }
 }
@@ -368,10 +402,16 @@ mod tests {
                 "palette_probes",
                 "bfs_node_visits",
                 "search_nodes",
-                "workspace_reuses"
+                "workspace_reuses",
+                "engine_requests",
+                "engine_steals",
+                "engine_backpressure_waits",
+                "engine_deadline_misses",
+                "engine_panics"
             ]
         );
         assert_eq!(Phase::Run.name(), "run");
         assert_eq!(Phase::Cell.name(), "cell");
+        assert_eq!(Phase::Batch.name(), "batch");
     }
 }

@@ -11,6 +11,9 @@ cargo build --release --offline
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace --offline
 
+echo "==> cargo test --release -p ssg-engine"
+cargo test -q --release -p ssg-engine --offline
+
 echo "==> cargo clippy --all-targets (-D warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -20,6 +20,19 @@ use ssg_telemetry::{Counter, Metrics, Phase, Snapshot};
 use ssg_tree::RootedTree;
 
 /// Configuration of one `ssg bench` run.
+///
+/// Non-exhaustive builder-style config: start from [`BenchConfig::default`]
+/// and chain the field-named setters, so future knobs are not breaking
+/// changes for downstream callers.
+///
+/// ```
+/// use strongly_simplicial::bench::BenchConfig;
+///
+/// let cfg = BenchConfig::default().n(500).reps(2);
+/// assert_eq!(cfg.n, 500);
+/// assert_eq!(cfg.seed, BenchConfig::default().seed);
+/// ```
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BenchConfig {
     /// Vertex count per workload.
@@ -44,6 +57,47 @@ impl Default for BenchConfig {
             seed: 42,
             repeat: 1,
         }
+    }
+}
+
+impl BenchConfig {
+    /// All four parameters at once — the pre-builder constructor shape.
+    #[deprecated(since = "0.1.0", note = "use BenchConfig::default() and the chained setters")]
+    pub fn new(n: usize, reps: usize, seed: u64, repeat: usize) -> Self {
+        BenchConfig {
+            n,
+            reps,
+            seed,
+            repeat,
+        }
+    }
+
+    /// Sets the vertex count per workload.
+    #[must_use]
+    pub fn n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Sets the timed repetitions per algorithm.
+    #[must_use]
+    pub fn reps(mut self, reps: usize) -> Self {
+        self.reps = reps;
+        self
+    }
+
+    /// Sets the workload RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the solves per repetition on one shared workspace.
+    #[must_use]
+    pub fn repeat(mut self, repeat: usize) -> Self {
+        self.repeat = repeat;
+        self
     }
 }
 
@@ -116,6 +170,76 @@ impl AlgorithmBench {
     }
 }
 
+/// One worker-count row of the engine scaling benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineBenchRow {
+    /// Worker threads the engine ran with.
+    pub workers: usize,
+    /// Wall time of the whole batch, in nanoseconds.
+    pub wall_ns: u64,
+    /// Requests per second (`requests / wall`).
+    pub requests_per_sec: f64,
+    /// Throughput relative to the 1-worker row.
+    pub speedup_vs_1: f64,
+    /// Jobs served off sibling shards during the run.
+    pub steals: u64,
+}
+
+/// The `ssg bench` engine section: one standard batch workload pushed
+/// through [`ssg_engine::Engine`] at increasing worker counts.
+#[derive(Debug, Clone)]
+pub struct EngineBench {
+    /// Human-readable workload description.
+    pub workload: &'static str,
+    /// Requests per batch.
+    pub requests: usize,
+    /// Vertex count of each request's instance.
+    pub request_n: usize,
+    /// `std::thread::available_parallelism()` on the benchmarking host —
+    /// the hardware ceiling any speedup claim must be read against.
+    pub available_parallelism: usize,
+    /// Whether every engine labeling was bit-identical to the sequential
+    /// registry solve (the engine's correctness contract).
+    pub spans_match_sequential: bool,
+    /// One row per worker count, in ascending worker order.
+    pub rows: Vec<EngineBenchRow>,
+}
+
+impl EngineBench {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("workload".into(), Json::Str(self.workload.into())),
+            ("requests".into(), Json::U64(self.requests as u64)),
+            ("request_n".into(), Json::U64(self.request_n as u64)),
+            (
+                "available_parallelism".into(),
+                Json::U64(self.available_parallelism as u64),
+            ),
+            (
+                "spans_match_sequential".into(),
+                Json::Bool(self.spans_match_sequential),
+            ),
+            (
+                "rows".into(),
+                Json::Array(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::Object(vec![
+                                ("workers".into(), Json::U64(r.workers as u64)),
+                                ("wall_ns".into(), Json::U64(r.wall_ns)),
+                                ("requests_per_sec".into(), Json::F64(r.requests_per_sec)),
+                                ("speedup_vs_1".into(), Json::F64(r.speedup_vs_1)),
+                                ("steals".into(), Json::U64(r.steals)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 /// A full `ssg bench` run: configuration plus one entry per algorithm.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -123,6 +247,9 @@ pub struct BenchReport {
     pub config: BenchConfig,
     /// Per-algorithm results, in paper order A1–A5.
     pub algorithms: Vec<AlgorithmBench>,
+    /// Engine batch-throughput scaling section (`None` for reports
+    /// produced before the engine existed).
+    pub engine: Option<EngineBench>,
 }
 
 impl BenchReport {
@@ -132,7 +259,8 @@ impl BenchReport {
     /// plus `repeat` when > 1), `algorithms` (array of objects with `id`,
     /// `name`, `workload`, `params`, `n`, `span`, `wall_ns`, `wall_ns_min`,
     /// `counters`, plus `warm_wall_ns` / `warm_wall_ns_min` /
-    /// `warm_counters` when `repeat` > 1).
+    /// `warm_counters` when `repeat` > 1), and `engine` (batch throughput
+    /// vs. worker count; present since the engine section was added).
     pub fn to_json(&self) -> Json {
         let mut config = vec![
             ("n".into(), Json::U64(self.config.n as u64)),
@@ -142,14 +270,18 @@ impl BenchReport {
         if self.config.repeat > 1 {
             config.push(("repeat".into(), Json::U64(self.config.repeat as u64)));
         }
-        Json::Object(vec![
+        let mut fields = vec![
             ("schema".into(), Json::Str("ssg-bench/v1".into())),
             ("config".into(), Json::Object(config)),
             (
                 "algorithms".into(),
                 Json::Array(self.algorithms.iter().map(|a| a.to_json()).collect()),
             ),
-        ])
+        ];
+        if let Some(engine) = &self.engine {
+            fields.push(("engine".into(), engine.to_json()));
+        }
+        Json::Object(fields)
     }
 
     /// Renders a human-readable table (the non-`--json` CLI output). With
@@ -188,6 +320,26 @@ impl BenchReport {
                 out.push_str(&format!(" {:>8.3} ms", best_warm as f64 / 1e6));
             }
             out.push('\n');
+        }
+        if let Some(engine) = &self.engine {
+            out.push_str(&format!(
+                "\nengine: {} ({} requests, n={}, host parallelism {})\n",
+                engine.workload, engine.requests, engine.request_n, engine.available_parallelism
+            ));
+            out.push_str("workers  batch wall   requests/s  speedup  steals\n");
+            for r in &engine.rows {
+                out.push_str(&format!(
+                    "{:>7} {:>9.3} ms {:>11.0} {:>7.2}x {:>7}\n",
+                    r.workers,
+                    r.wall_ns as f64 / 1e6,
+                    r.requests_per_sec,
+                    r.speedup_vs_1,
+                    r.steals
+                ));
+            }
+            if !engine.spans_match_sequential {
+                out.push_str("WARNING: engine spans diverged from sequential solves\n");
+            }
         }
         out
     }
@@ -249,6 +401,101 @@ fn bench_one(
         warm_wall_ns,
         counters,
         warm_counters,
+    }
+}
+
+/// Worker counts the engine section sweeps.
+const ENGINE_WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Batch size of the engine workload.
+const ENGINE_REQUESTS: usize = 64;
+
+/// Runs the standard corridor batch through [`ssg_engine::Engine`] at each
+/// worker count in 1, 2, 4, 8, verifying every labeling
+/// against a sequential registry solve. Scaling numbers are only as good
+/// as the host: `available_parallelism` records the hardware ceiling
+/// (on a single-core host every row sits near 1.0x by construction).
+pub fn run_engine_benchmark(cfg: &BenchConfig) -> EngineBench {
+    use ssg_engine::{Engine, LabelRequest, RequestInstance};
+
+    let request_n = (cfg.n / 16).clamp(32, 512);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x656e67);
+    let sep = SeparationVector::all_ones(2);
+    let reps: Vec<_> = (0..ENGINE_REQUESTS)
+        .map(|_| corridor_unit_intervals(request_n, 4, &mut rng))
+        .collect();
+
+    // Sequential reference spans on one warm workspace.
+    let mut ws = Workspace::new();
+    let sequential: Vec<Vec<u32>> = reps
+        .iter()
+        .map(|rep| {
+            let lab = default_registry().solve(
+                "interval_l1",
+                &Problem::interval(rep.as_interval(), &sep),
+                &mut ws,
+                &Metrics::disabled(),
+            );
+            let colors = lab.colors().to_vec();
+            ws.recycle(lab);
+            colors
+        })
+        .collect();
+
+    let make_batch = || -> Vec<LabelRequest> {
+        reps.iter()
+            .enumerate()
+            .map(|(i, rep)| {
+                LabelRequest::new(
+                    i as u64,
+                    RequestInstance::Interval(rep.as_interval().clone()),
+                    sep.clone(),
+                )
+                .solver("interval_l1")
+            })
+            .collect()
+    };
+
+    let mut spans_match = true;
+    let mut rows = Vec::with_capacity(ENGINE_WORKER_COUNTS.len());
+    let mut base_wall_ns = 0u64;
+    for workers in ENGINE_WORKER_COUNTS {
+        let engine = Engine::builder().workers(workers).build();
+        // One warm-up batch so thread spawn and arena growth are off the
+        // clock, then the timed batch.
+        let _ = engine.run_batch(make_batch());
+        let start = std::time::Instant::now();
+        let responses = engine.run_batch(make_batch());
+        let wall = start.elapsed();
+        for (response, want) in responses.iter().zip(&sequential) {
+            match &response.result {
+                Ok(out) if out.labeling.colors() == want.as_slice() => {}
+                _ => spans_match = false,
+            }
+        }
+        let steals = engine.stats().steals;
+        engine.shutdown();
+        let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        if workers == 1 {
+            base_wall_ns = wall_ns;
+        }
+        rows.push(EngineBenchRow {
+            workers,
+            wall_ns,
+            requests_per_sec: ENGINE_REQUESTS as f64 / wall.as_secs_f64().max(1e-12),
+            speedup_vs_1: base_wall_ns as f64 / wall_ns.max(1) as f64,
+            steals,
+        });
+    }
+    EngineBench {
+        workload: "corridor unit-interval batch via interval_l1",
+        requests: ENGINE_REQUESTS,
+        request_n,
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        spans_match_sequential: spans_match,
+        rows,
     }
 }
 
@@ -322,6 +569,7 @@ pub fn run_benchmarks(cfg: &BenchConfig) -> BenchReport {
     BenchReport {
         config: *cfg,
         algorithms,
+        engine: Some(run_engine_benchmark(cfg)),
     }
 }
 
@@ -330,12 +578,7 @@ mod tests {
     use super::*;
 
     fn small() -> BenchConfig {
-        BenchConfig {
-            n: 120,
-            reps: 2,
-            seed: 7,
-            repeat: 1,
-        }
+        BenchConfig::default().n(120).reps(2).seed(7).repeat(1)
     }
 
     #[test]
@@ -377,6 +620,28 @@ mod tests {
     }
 
     #[test]
+    fn engine_section_scales_and_matches_sequential() {
+        let bench = run_engine_benchmark(&small());
+        assert_eq!(bench.requests, ENGINE_REQUESTS);
+        assert!(bench.spans_match_sequential);
+        assert!(bench.available_parallelism >= 1);
+        let workers: Vec<usize> = bench.rows.iter().map(|r| r.workers).collect();
+        assert_eq!(workers, ENGINE_WORKER_COUNTS);
+        for row in &bench.rows {
+            assert!(row.wall_ns > 0, "workers={}", row.workers);
+            assert!(row.requests_per_sec > 0.0);
+            assert!(row.speedup_vs_1 > 0.0);
+        }
+        assert!((bench.rows[0].speedup_vs_1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deprecated_constructors_still_work() {
+        #![allow(deprecated)]
+        assert_eq!(BenchConfig::new(120, 2, 7, 1), small());
+    }
+
+    #[test]
     fn text_rendering_mentions_every_algorithm() {
         let report = run_benchmarks(&small());
         let text = report.to_text();
@@ -388,10 +653,7 @@ mod tests {
 
     #[test]
     fn repeat_reports_warm_path_separately() {
-        let cfg = BenchConfig {
-            repeat: 3,
-            ..small()
-        };
+        let cfg = small().repeat(3);
         let report = run_benchmarks(&cfg);
         for a in &report.algorithms {
             assert_eq!(a.wall_ns.len(), 2, "{}: one cold solve per rep", a.id);

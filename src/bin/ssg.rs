@@ -5,7 +5,11 @@
 //! ssg gen platoon  <n> <k> [seed]    # tight unit-interval platoon
 //! ssg gen backbone <n> [seed]        # random degree-4 tree
 //! ssg classify <file>                # certify the graph class
-//! ssg color <file> <d1[,d2,...]>     # auto-dispatch an L(δ...) coloring
+//! ssg color <file> <d1[,d2,...]> [--format text|json]
+//!                                    # auto-dispatch an L(δ...) coloring
+//! ssg batch <file.reqs> [--workers N] [--queue-cap N] [--fail-fast]
+//!           [--format text|json]     # run a request file through the
+//!                                    # sharded batch engine
 //! ssg churn [epochs] [seed]          # dynamic corridor churn demo
 //! ssg bench [--json] [--n N] [--reps R] [--seed S] [--repeat K]
 //!                                    # run A1-A5 with telemetry; --json
@@ -16,55 +20,175 @@
 //!
 //! Graph files: first line `n m`, then `m` lines `u v` (0-based).
 //!
-//! Every coloring command dispatches through the [`SolverRegistry`] with
-//! one [`Workspace`] held for the whole invocation.
+//! Request files (`ssg batch`): one request per line,
+//! `<workload> <n> <seed> <d1[,d2,...]> [solver=NAME] [deadline_ms=N]`
+//! with workload one of `corridor`, `platoon`, `backbone`, or
+//! `file:<path>` (for which `n` and `seed` are ignored). Blank lines and
+//! `#` comments are skipped.
+//!
+//! Every fallible command returns [`SsgError`]; [`exit_code`] maps each
+//! variant to a process exit code in exactly one place:
+//!
+//! | code | meaning                                          |
+//! |------|--------------------------------------------------|
+//! | 0    | success                                          |
+//! | 1    | I/O failure, or a coloring with violations       |
+//! | 2    | usage / parse / specification error              |
+//! | 3    | class mismatch or unknown solver                 |
+//! | 4    | deadline exceeded                                |
+//! | 5    | worker panic                                     |
+//! | 6    | queue full / engine shutting down                |
+//!
+//! Sequential coloring commands dispatch through the [`SolverRegistry`]
+//! with one [`Workspace`] held for the whole invocation; `ssg batch` goes
+//! through the sharded [`Engine`] instead.
 //!
 //! [`SolverRegistry`]: strongly_simplicial::labeling::SolverRegistry
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
 use strongly_simplicial::bench::{run_benchmarks, BenchConfig};
+use strongly_simplicial::engine::{Backpressure, Engine, LabelRequest, LabelResponse};
 use strongly_simplicial::labeling::auto::Guarantee;
 use strongly_simplicial::labeling::solver::default_registry;
 use strongly_simplicial::labeling::{all_violations, SeparationVector, Workspace};
-use strongly_simplicial::telemetry::Metrics;
 use strongly_simplicial::netsim::{
     simulate_corridor, BackboneNetwork, CorridorNetwork, DynamicsConfig, Policy, VehicularNetwork,
 };
 use strongly_simplicial::prelude::*;
+use strongly_simplicial::telemetry::json::Json;
+use strongly_simplicial::telemetry::Metrics;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let code = match args.first().map(String::as_str) {
-        Some("gen") => cmd_gen(&args[1..]),
-        Some("classify") => cmd_classify(&args[1..]),
-        Some("color") => cmd_color(&args[1..]),
-        Some("churn") => cmd_churn(&args[1..]),
-        Some("bench") => cmd_bench(&args[1..]),
-        _ => {
-            eprintln!("usage: ssg gen|classify|color|churn|bench ... (see --help in the README)");
-            2
+    let code = match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("ssg: {e}");
+            exit_code(&e)
         }
     };
     std::process::exit(code);
 }
 
-fn cmd_gen(args: &[String]) -> i32 {
-    let kind = match args.first() {
-        Some(k) => k.as_str(),
-        None => {
-            eprintln!("usage: ssg gen corridor|platoon|backbone <n> [...] [seed]");
-            return 2;
-        }
-    };
-    let n: usize = match args.get(1).and_then(|a| a.parse().ok()) {
-        Some(n) if n >= 1 => n,
-        _ => {
-            eprintln!("gen: need a positive vertex count");
-            return 2;
-        }
-    };
+/// Dispatches to the subcommand. `Ok` carries the exit code for
+/// non-error outcomes that still signal something (a coloring with
+/// violations exits 1); every failure funnels through [`exit_code`].
+fn run(args: &[String]) -> Result<i32, SsgError> {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("color") => cmd_color(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
+        Some("churn") => cmd_churn(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        _ => Err(SsgError::Usage(
+            "ssg gen|classify|color|batch|churn|bench ... (see the README)".into(),
+        )),
+    }
+}
+
+/// The one place an [`SsgError`] becomes a process exit code.
+fn exit_code(err: &SsgError) -> i32 {
+    match err {
+        SsgError::Io { .. } => 1,
+        SsgError::Usage(_) | SsgError::Parse { .. } | SsgError::Spec(_) => 2,
+        SsgError::ClassMismatch { .. } | SsgError::UnknownSolver { .. } => 3,
+        SsgError::DeadlineExceeded { .. } => 4,
+        SsgError::WorkerPanic(_) => 5,
+        SsgError::QueueFull | SsgError::ShuttingDown => 6,
+        // `SsgError` is #[non_exhaustive]; treat future variants as generic
+        // failures rather than silently reusing a specific code.
+        _ => 1,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared flag parsing
+// ---------------------------------------------------------------------------
+
+/// Output format shared by `color` and `batch` (`bench` keeps its
+/// historical `--json` switch).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
+
+/// Every subcommand funnels `--flag value` pairs through here so that
+/// "missing value" diagnostics read the same everywhere.
+fn flag_value<'a, I: Iterator<Item = &'a String>>(
+    cmd: &str,
+    flag: &str,
+    it: &mut I,
+) -> Result<&'a str, SsgError> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| SsgError::Usage(format!("{cmd}: {flag} needs a value")))
+}
+
+/// `--flag value` where the value must parse as `T`.
+fn parse_flag<'a, T, I>(cmd: &str, flag: &str, it: &mut I) -> Result<T, SsgError>
+where
+    T: std::str::FromStr,
+    I: Iterator<Item = &'a String>,
+{
+    let raw = flag_value(cmd, flag, it)?;
+    raw.parse()
+        .map_err(|_| SsgError::Usage(format!("{cmd}: {flag} got `{raw}`, expected a number")))
+}
+
+/// `--format text|json`.
+fn parse_format<'a, I: Iterator<Item = &'a String>>(
+    cmd: &str,
+    it: &mut I,
+) -> Result<OutputFormat, SsgError> {
+    match flag_value(cmd, "--format", it)? {
+        "text" => Ok(OutputFormat::Text),
+        "json" => Ok(OutputFormat::Json),
+        other => Err(SsgError::Usage(format!(
+            "{cmd}: --format must be `text` or `json`, got `{other}`"
+        ))),
+    }
+}
+
+/// A positional argument that must parse as `T`.
+fn parse_positional<T: std::str::FromStr>(
+    cmd: &str,
+    what: &str,
+    raw: Option<&String>,
+) -> Result<T, SsgError> {
+    let raw = raw.ok_or_else(|| SsgError::Usage(format!("{cmd}: missing {what}")))?;
+    raw.parse()
+        .map_err(|_| SsgError::Usage(format!("{cmd}: bad {what} `{raw}`")))
+}
+
+/// `d1[,d2,...]` → a validated separation vector.
+fn parse_separations(cmd: &str, spec: &str) -> Result<SeparationVector, SsgError> {
+    let deltas: Result<Vec<u32>, _> = spec.split(',').map(str::parse).collect();
+    let deltas =
+        deltas.map_err(|_| SsgError::Usage(format!("{cmd}: bad separation list `{spec}`")))?;
+    Ok(SeparationVector::new(deltas)?)
+}
+
+fn parse_seed(arg: Option<&String>) -> u64 {
+    arg.and_then(|a| a.parse().ok()).unwrap_or(42)
+}
+
+// ---------------------------------------------------------------------------
+// gen / classify
+// ---------------------------------------------------------------------------
+
+fn cmd_gen(args: &[String]) -> Result<i32, SsgError> {
+    let kind = args.first().map(String::as_str).ok_or_else(|| {
+        SsgError::Usage("ssg gen corridor|platoon|backbone <n> [...] [seed]".into())
+    })?;
+    let n: usize = parse_positional("gen", "vertex count", args.get(1))?;
+    if n < 1 {
+        return Err(SsgError::Usage("gen: need a positive vertex count".into()));
+    }
     let g = match kind {
         "corridor" => {
             let seed = parse_seed(args.get(2));
@@ -85,193 +209,418 @@ fn cmd_gen(args: &[String]) -> i32 {
             BackboneNetwork::generate(n, 4, &mut rng).graph().clone()
         }
         other => {
-            eprintln!("gen: unknown workload '{other}'");
-            return 2;
+            return Err(SsgError::Usage(format!("gen: unknown workload '{other}'")));
         }
     };
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     if writeln!(out, "{} {}", g.num_vertices(), g.num_edges()).is_err() {
-        return 0; // closed pipe
+        return Ok(0); // closed pipe
     }
     for (u, v) in g.edges() {
         if writeln!(out, "{u} {v}").is_err() {
-            return 0;
+            return Ok(0);
         }
     }
-    0
+    Ok(0)
 }
 
-fn parse_seed(arg: Option<&String>) -> u64 {
-    arg.and_then(|a| a.parse().ok()).unwrap_or(42)
-}
-
-fn read_graph(path: &str) -> Result<Graph, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+fn read_graph(path: &str) -> Result<Graph, SsgError> {
+    let file = std::fs::File::open(path).map_err(|e| SsgError::io(path, &e))?;
     let mut lines = BufReader::new(file).lines();
     let header = lines
         .next()
-        .ok_or("empty file")?
-        .map_err(|e| e.to_string())?;
+        .ok_or_else(|| SsgError::parse(path, "empty file"))?
+        .map_err(|e| SsgError::io(path, &e))?;
     let mut it = header.split_whitespace();
-    let n: usize = it.next().ok_or("missing n")?.parse().map_err(|_| "bad n")?;
-    let m: usize = it.next().ok_or("missing m")?.parse().map_err(|_| "bad m")?;
+    let n: usize = it
+        .next()
+        .ok_or_else(|| SsgError::parse(path, "missing n"))?
+        .parse()
+        .map_err(|_| SsgError::parse(path, "bad n"))?;
+    let m: usize = it
+        .next()
+        .ok_or_else(|| SsgError::parse(path, "missing m"))?
+        .parse()
+        .map_err(|_| SsgError::parse(path, "bad m"))?;
     let mut edges = Vec::with_capacity(m);
     for line in lines {
-        let line = line.map_err(|e| e.to_string())?;
+        let line = line.map_err(|e| SsgError::io(path, &e))?;
         if line.trim().is_empty() {
             continue;
         }
         let mut it = line.split_whitespace();
-        let u: u32 = it.next().ok_or("missing u")?.parse().map_err(|_| "bad u")?;
-        let v: u32 = it.next().ok_or("missing v")?.parse().map_err(|_| "bad v")?;
+        let u: u32 = it
+            .next()
+            .ok_or_else(|| SsgError::parse(path, "missing u"))?
+            .parse()
+            .map_err(|_| SsgError::parse(path, "bad u"))?;
+        let v: u32 = it
+            .next()
+            .ok_or_else(|| SsgError::parse(path, "missing v"))?
+            .parse()
+            .map_err(|_| SsgError::parse(path, "bad v"))?;
         edges.push((u, v));
     }
     if edges.len() != m {
-        return Err(format!("expected {m} edges, found {}", edges.len()));
+        return Err(SsgError::parse(
+            path,
+            format!("expected {m} edges, found {}", edges.len()),
+        ));
     }
-    Graph::from_edges(n, &edges).map_err(|e| e.to_string())
+    Graph::from_edges(n, &edges).map_err(|e| SsgError::parse(path, e.to_string()))
 }
 
-fn cmd_classify(args: &[String]) -> i32 {
-    let Some(path) = args.first() else {
-        eprintln!("usage: ssg classify <file>");
-        return 2;
-    };
-    match read_graph(path) {
-        Ok(g) => {
-            println!(
-                "n={} m={} class={:?}",
-                g.num_vertices(),
-                g.num_edges(),
-                default_registry().classify(&g)
-            );
-            0
-        }
-        Err(e) => {
-            eprintln!("classify: {e}");
-            1
-        }
-    }
-}
-
-fn cmd_color(args: &[String]) -> i32 {
-    let (Some(path), Some(sep_spec)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: ssg color <file> <d1[,d2,...]>");
-        return 2;
-    };
-    let deltas: Result<Vec<u32>, _> = sep_spec.split(',').map(str::parse).collect();
-    let sep = match deltas
-        .map_err(|_| "bad separations".to_string())
-        .and_then(|d| SeparationVector::new(d).map_err(|e| e.to_string()))
-    {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("color: {e}");
-            return 2;
-        }
-    };
-    let g = match read_graph(path) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("color: {e}");
-            return 1;
-        }
-    };
-    let mut ws = Workspace::new();
-    let out = default_registry().auto_coloring(&g, &sep, &mut ws, &Metrics::disabled());
-    let violations = all_violations(&g, &sep, out.labeling.colors());
+fn cmd_classify(args: &[String]) -> Result<i32, SsgError> {
+    let path = args
+        .first()
+        .ok_or_else(|| SsgError::Usage("ssg classify <file>".into()))?;
+    let g = read_graph(path)?;
     println!(
-        "class={:?} algorithm=\"{}\" guarantee={} span={} channels={} violations={}",
-        out.class,
-        out.algorithm,
-        match out.guarantee {
-            Guarantee::Optimal => "optimal".to_string(),
-            Guarantee::Approximation(f) => format!("{f}-approx"),
-            Guarantee::Heuristic => "heuristic".to_string(),
-        },
-        out.labeling.span(),
-        out.labeling.distinct_colors(),
-        violations.len()
+        "n={} m={} class={:?}",
+        g.num_vertices(),
+        g.num_edges(),
+        default_registry().classify(&g)
     );
-    let stdout = std::io::stdout();
-    let mut w = stdout.lock();
-    for (v, c) in out.labeling.colors().iter().enumerate() {
-        // A closed pipe (e.g. `| head`) is a normal way to stop reading.
-        if writeln!(w, "{v} {c}").is_err() {
-            break;
-        }
-    }
-    if violations.is_empty() {
-        0
-    } else {
-        1
+    Ok(0)
+}
+
+// ---------------------------------------------------------------------------
+// color
+// ---------------------------------------------------------------------------
+
+fn guarantee_str(g: &Guarantee) -> String {
+    match g {
+        Guarantee::Optimal => "optimal".to_string(),
+        Guarantee::Approximation(f) => format!("{f}-approx"),
+        Guarantee::Heuristic => "heuristic".to_string(),
     }
 }
 
-fn cmd_bench(args: &[String]) -> i32 {
-    let mut cfg = BenchConfig::default();
-    let mut json = false;
-    let mut it = args.iter();
+fn cmd_color(args: &[String]) -> Result<i32, SsgError> {
+    let usage = || SsgError::Usage("ssg color <file> <d1[,d2,...]> [--format text|json]".into());
+    let (path, sep_spec) = match (args.first(), args.get(1)) {
+        (Some(p), Some(s)) => (p, s),
+        _ => return Err(usage()),
+    };
+    let mut format = OutputFormat::Text;
+    let mut it = args[2..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--json" => json = true,
-            "--n" => match it.next().and_then(|a| a.parse().ok()) {
-                Some(n) if n >= 2 => cfg.n = n,
-                _ => {
-                    eprintln!("bench: --n needs an integer >= 2");
-                    return 2;
-                }
-            },
-            "--reps" => match it.next().and_then(|a| a.parse().ok()) {
-                Some(r) if r >= 1 => cfg.reps = r,
-                _ => {
-                    eprintln!("bench: --reps needs an integer >= 1");
-                    return 2;
-                }
-            },
-            "--seed" => match it.next().and_then(|a| a.parse().ok()) {
-                Some(s) => cfg.seed = s,
-                None => {
-                    eprintln!("bench: --seed needs an integer");
-                    return 2;
-                }
-            },
-            "--repeat" => match it.next().and_then(|a| a.parse().ok()) {
-                Some(k) if k >= 1 => cfg.repeat = k,
-                _ => {
-                    eprintln!("bench: --repeat needs an integer >= 1");
-                    return 2;
-                }
-            },
+            "--format" => format = parse_format("color", &mut it)?,
             other => {
-                eprintln!("bench: unknown flag '{other}' (usage: ssg bench [--json] [--n N] [--reps R] [--seed S] [--repeat K])");
-                return 2;
+                return Err(SsgError::Usage(format!("color: unknown flag '{other}'")));
             }
         }
     }
-    let report = run_benchmarks(&cfg);
-    if json {
-        print!("{}", report.to_json().render_pretty());
-    } else {
-        print!("{}", report.to_text());
+    let sep = parse_separations("color", sep_spec)?;
+    let g = read_graph(path)?;
+    let mut ws = Workspace::new();
+    let out = default_registry().auto_coloring(&g, &sep, &mut ws, &Metrics::disabled());
+    let violations = all_violations(&g, &sep, out.labeling.colors());
+    match format {
+        OutputFormat::Text => {
+            println!(
+                "class={:?} algorithm=\"{}\" guarantee={} span={} channels={} violations={}",
+                out.class,
+                out.algorithm,
+                guarantee_str(&out.guarantee),
+                out.labeling.span(),
+                out.labeling.distinct_colors(),
+                violations.len()
+            );
+            let stdout = std::io::stdout();
+            let mut w = stdout.lock();
+            for (v, c) in out.labeling.colors().iter().enumerate() {
+                // A closed pipe (e.g. `| head`) is a normal way to stop
+                // reading.
+                if writeln!(w, "{v} {c}").is_err() {
+                    break;
+                }
+            }
+        }
+        OutputFormat::Json => {
+            let doc = Json::Object(vec![
+                ("schema".into(), Json::Str("ssg-color/v1".into())),
+                ("class".into(), Json::Str(format!("{:?}", out.class))),
+                ("algorithm".into(), Json::Str(out.algorithm.to_string())),
+                ("guarantee".into(), Json::Str(guarantee_str(&out.guarantee))),
+                ("span".into(), Json::U64(u64::from(out.labeling.span()))),
+                (
+                    "channels".into(),
+                    Json::U64(out.labeling.distinct_colors() as u64),
+                ),
+                ("violations".into(), Json::U64(violations.len() as u64)),
+                (
+                    "colors".into(),
+                    Json::Array(
+                        out.labeling
+                            .colors()
+                            .iter()
+                            .map(|&c| Json::U64(u64::from(c)))
+                            .collect(),
+                    ),
+                ),
+            ]);
+            print!("{}", doc.render_pretty());
+        }
     }
-    0
+    Ok(if violations.is_empty() { 0 } else { 1 })
 }
 
-fn cmd_churn(args: &[String]) -> i32 {
+// ---------------------------------------------------------------------------
+// batch
+// ---------------------------------------------------------------------------
+
+/// Parses one request-file line (already trimmed, non-empty, not a
+/// comment) into a [`LabelRequest`] with `id = lineno`.
+fn parse_request_line(path: &str, lineno: usize, line: &str) -> Result<LabelRequest, SsgError> {
+    let mut fields = line.split_whitespace();
+    let ctx = format!("{path}:{lineno}");
+    let workload = fields
+        .next()
+        .ok_or_else(|| SsgError::parse(&ctx, "missing workload"))?;
+    let n: usize = fields
+        .next()
+        .ok_or_else(|| SsgError::parse(&ctx, "missing n"))?
+        .parse()
+        .map_err(|_| SsgError::parse(&ctx, "bad n"))?;
+    let seed: u64 = fields
+        .next()
+        .ok_or_else(|| SsgError::parse(&ctx, "missing seed"))?
+        .parse()
+        .map_err(|_| SsgError::parse(&ctx, "bad seed"))?;
+    let sep_spec = fields
+        .next()
+        .ok_or_else(|| SsgError::parse(&ctx, "missing separation list"))?;
+    let sep = parse_separations(&ctx, sep_spec)?;
+
+    let instance = if let Some(file) = workload.strip_prefix("file:") {
+        RequestInstance::Graph(read_graph(file)?)
+    } else {
+        if n < 1 {
+            return Err(SsgError::parse(&ctx, "need a positive vertex count"));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        match workload {
+            "corridor" => RequestInstance::Interval(
+                CorridorNetwork::generate(n, 1.0, 1.0, 5.0, &mut rng)
+                    .representation()
+                    .clone(),
+            ),
+            "platoon" => RequestInstance::UnitInterval(
+                VehicularNetwork::platoon(n, 4, &mut rng)
+                    .representation()
+                    .clone(),
+            ),
+            "backbone" => {
+                RequestInstance::Tree(BackboneNetwork::generate(n, 4, &mut rng).tree().clone())
+            }
+            other => {
+                return Err(SsgError::parse(
+                    &ctx,
+                    format!("unknown workload `{other}` (corridor|platoon|backbone|file:<path>)"),
+                ));
+            }
+        }
+    };
+
+    let mut req = LabelRequest::new(lineno as u64, instance, sep);
+    for opt in fields {
+        if let Some(name) = opt.strip_prefix("solver=") {
+            req = req.solver(name);
+        } else if let Some(ms) = opt.strip_prefix("deadline_ms=") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| SsgError::parse(&ctx, format!("bad deadline `{opt}`")))?;
+            req = req.timeout(Duration::from_millis(ms));
+        } else {
+            return Err(SsgError::parse(&ctx, format!("unknown option `{opt}`")));
+        }
+    }
+    Ok(req)
+}
+
+/// Reads a whole `.reqs` file; `#` comments and blank lines are skipped.
+fn read_requests(path: &str) -> Result<Vec<LabelRequest>, SsgError> {
+    let file = std::fs::File::open(path).map_err(|e| SsgError::io(path, &e))?;
+    let mut requests = Vec::new();
+    for (idx, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| SsgError::io(path, &e))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        requests.push(parse_request_line(path, idx + 1, trimmed)?);
+    }
+    if requests.is_empty() {
+        return Err(SsgError::parse(path, "no requests in file"));
+    }
+    Ok(requests)
+}
+
+fn response_to_json(r: &LabelResponse) -> Json {
+    let mut obj = vec![
+        ("id".into(), Json::U64(r.id)),
+        ("batch_index".into(), Json::U64(r.batch_index as u64)),
+        ("worker".into(), Json::U64(r.worker as u64)),
+        ("ok".into(), Json::Bool(r.result.is_ok())),
+    ];
+    match &r.result {
+        Ok(out) => {
+            obj.push(("algorithm".into(), Json::Str(out.algorithm.clone())));
+            obj.push(("span".into(), Json::U64(u64::from(out.labeling.span()))));
+            obj.push((
+                "channels".into(),
+                Json::U64(out.labeling.distinct_colors() as u64),
+            ));
+            obj.push(("wall_ns".into(), Json::U64(out.wall.as_nanos() as u64)));
+        }
+        Err(e) => {
+            obj.push((
+                "error".into(),
+                Json::Object(vec![
+                    ("kind".into(), Json::Str(e.kind().into())),
+                    ("message".into(), Json::Str(e.to_string())),
+                ]),
+            ));
+        }
+    }
+    Json::Object(obj)
+}
+
+fn cmd_batch(args: &[String]) -> Result<i32, SsgError> {
+    let path = args.first().ok_or_else(|| {
+        SsgError::Usage(
+            "ssg batch <file.reqs> [--workers N] [--queue-cap N] [--fail-fast] [--format text|json]"
+                .into(),
+        )
+    })?;
+    let mut workers: Option<usize> = None;
+    let mut queue_cap: Option<usize> = None;
+    let mut backpressure = Backpressure::Block;
+    let mut format = OutputFormat::Text;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let w: usize = parse_flag("batch", "--workers", &mut it)?;
+                if w < 1 {
+                    return Err(SsgError::Usage("batch: --workers needs >= 1".into()));
+                }
+                workers = Some(w);
+            }
+            "--queue-cap" => {
+                let c: usize = parse_flag("batch", "--queue-cap", &mut it)?;
+                if c < 1 {
+                    return Err(SsgError::Usage("batch: --queue-cap needs >= 1".into()));
+                }
+                queue_cap = Some(c);
+            }
+            "--fail-fast" => backpressure = Backpressure::FailFast,
+            "--format" => format = parse_format("batch", &mut it)?,
+            other => {
+                return Err(SsgError::Usage(format!("batch: unknown flag '{other}'")));
+            }
+        }
+    }
+
+    let requests = read_requests(path)?;
+    let total = requests.len();
+    let mut builder = Engine::builder().backpressure(backpressure);
+    if let Some(w) = workers {
+        builder = builder.workers(w);
+    }
+    if let Some(c) = queue_cap {
+        builder = builder.queue_capacity(c);
+    }
+    let engine = builder.build();
+    let worker_count = engine.workers();
+    let responses = engine.run_batch(requests);
+    let stats = engine.stats();
+    engine.shutdown();
+
+    let first_error = responses
+        .iter()
+        .find_map(|r| r.result.as_ref().err())
+        .cloned();
+    let failed = responses.iter().filter(|r| r.result.is_err()).count();
+
+    match format {
+        OutputFormat::Text => {
+            for r in &responses {
+                match &r.result {
+                    Ok(out) => println!(
+                        "req {}: ok algorithm=\"{}\" span={} channels={} wall_us={} worker={}",
+                        r.id,
+                        out.algorithm,
+                        out.labeling.span(),
+                        out.labeling.distinct_colors(),
+                        out.wall.as_micros(),
+                        r.worker
+                    ),
+                    Err(e) => println!("req {}: error kind={} {e}", r.id, e.kind()),
+                }
+            }
+            println!(
+                "# workers={worker_count} requests={total} failed={failed} steals={} \
+                 backpressure_waits={} deadline_misses={} panics={}",
+                stats.steals, stats.backpressure_waits, stats.deadline_misses, stats.panics
+            );
+        }
+        OutputFormat::Json => {
+            let doc = Json::Object(vec![
+                ("schema".into(), Json::Str("ssg-batch/v1".into())),
+                ("workers".into(), Json::U64(worker_count as u64)),
+                ("requests".into(), Json::U64(total as u64)),
+                ("failed".into(), Json::U64(failed as u64)),
+                (
+                    "stats".into(),
+                    Json::Object(vec![
+                        ("submitted".into(), Json::U64(stats.submitted)),
+                        ("completed".into(), Json::U64(stats.completed)),
+                        ("steals".into(), Json::U64(stats.steals)),
+                        (
+                            "backpressure_waits".into(),
+                            Json::U64(stats.backpressure_waits),
+                        ),
+                        (
+                            "deadline_misses".into(),
+                            Json::U64(stats.deadline_misses),
+                        ),
+                        ("panics".into(), Json::U64(stats.panics)),
+                    ]),
+                ),
+                (
+                    "responses".into(),
+                    Json::Array(responses.iter().map(response_to_json).collect()),
+                ),
+            ]);
+            print!("{}", doc.render_pretty());
+        }
+    }
+
+    // Per-request failures are values; the process exit code reports the
+    // first one through the same single map as top-level errors.
+    Ok(first_error.as_ref().map_or(0, exit_code))
+}
+
+// ---------------------------------------------------------------------------
+// churn / bench
+// ---------------------------------------------------------------------------
+
+fn cmd_churn(args: &[String]) -> Result<i32, SsgError> {
     let epochs: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(50);
     let seed = parse_seed(args.get(1));
-    let cfg = DynamicsConfig {
-        initial: 100,
-        epochs,
-        p_depart: 0.08,
-        arrivals_max: 10,
-        corridor_len: 60.0,
-        range_min: 1.0,
-        range_max: 4.0,
-        t: 2,
-    };
+    let cfg = DynamicsConfig::default()
+        .initial(100)
+        .epochs(epochs)
+        .p_depart(0.08)
+        .arrivals_max(10)
+        .corridor_len(60.0)
+        .range_min(1.0)
+        .range_max(4.0)
+        .t(2);
     for policy in [Policy::OptimalL1, Policy::Greedy] {
         let mut rng = StdRng::seed_from_u64(seed);
         let rep = simulate_corridor(cfg, policy, &mut rng);
@@ -285,5 +634,55 @@ fn cmd_churn(args: &[String]) -> i32 {
             rep.total_retunes
         );
     }
-    0
+    Ok(0)
+}
+
+fn cmd_bench(args: &[String]) -> Result<i32, SsgError> {
+    let mut cfg = BenchConfig::default();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--n" => {
+                let n: usize = parse_flag("bench", "--n", &mut it)?;
+                if n < 2 {
+                    return Err(SsgError::Usage("bench: --n needs an integer >= 2".into()));
+                }
+                cfg = cfg.n(n);
+            }
+            "--reps" => {
+                let r: usize = parse_flag("bench", "--reps", &mut it)?;
+                if r < 1 {
+                    return Err(SsgError::Usage("bench: --reps needs an integer >= 1".into()));
+                }
+                cfg = cfg.reps(r);
+            }
+            "--seed" => {
+                let s: u64 = parse_flag("bench", "--seed", &mut it)?;
+                cfg = cfg.seed(s);
+            }
+            "--repeat" => {
+                let k: usize = parse_flag("bench", "--repeat", &mut it)?;
+                if k < 1 {
+                    return Err(SsgError::Usage(
+                        "bench: --repeat needs an integer >= 1".into(),
+                    ));
+                }
+                cfg = cfg.repeat(k);
+            }
+            other => {
+                return Err(SsgError::Usage(format!(
+                    "bench: unknown flag '{other}' (usage: ssg bench [--json] [--n N] [--reps R] [--seed S] [--repeat K])"
+                )));
+            }
+        }
+    }
+    let report = run_benchmarks(&cfg);
+    if json {
+        print!("{}", report.to_json().render_pretty());
+    } else {
+        print!("{}", report.to_text());
+    }
+    Ok(0)
 }

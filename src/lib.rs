@@ -18,6 +18,10 @@
 //!   peeling solver.
 //! * [`labeling`] — the paper's algorithms A1–A5 plus exact oracles and
 //!   baselines.
+//! * [`engine`] — the sharded batch labeling engine (bounded work-stealing
+//!   queues, workspace leases, panic isolation, deadlines).
+//! * [`error`] — the unified [`SsgError`](error::SsgError) every public
+//!   fallible entry point returns.
 //! * [`netsim`] — synthetic wireless workloads and the rayon-parallel
 //!   experiment harness.
 //! * [`telemetry`] — zero-dependency work counters, phase timers and the
@@ -41,6 +45,8 @@
 //! assert!(verify_labeling(&g, &SeparationVector::all_ones(2), out.labeling.colors()).is_ok());
 //! ```
 
+pub use ssg_engine as engine;
+pub use ssg_error as error;
 pub use ssg_graph as graph;
 pub use ssg_intervals as intervals;
 pub use ssg_labeling as labeling;
@@ -54,6 +60,8 @@ pub mod bench;
 /// Convenient glob-import surface covering the most common types and entry
 /// points from every crate.
 pub mod prelude {
+    pub use ssg_engine::{Backpressure, Engine, LabelRequest, LabelResponse, RequestInstance};
+    pub use ssg_error::SsgError;
     pub use ssg_graph::{augmented_graph, Graph, Vertex};
     pub use ssg_intervals::{IntervalRepresentation, UnitIntervalRepresentation};
     pub use ssg_labeling::interval::{approx_delta1_coloring, l1_coloring as interval_l1_coloring};

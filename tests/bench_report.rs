@@ -18,12 +18,7 @@ fn synthetic_report() -> BenchReport {
     m.add(Counter::PaletteProbes, 34);
     m.add(Counter::BfsNodeVisits, 5);
     BenchReport {
-        config: BenchConfig {
-            n: 12,
-            reps: 2,
-            seed: 9,
-            repeat: 1,
-        },
+        config: BenchConfig::default().n(12).reps(2).seed(9).repeat(1),
         algorithms: vec![
             AlgorithmBench {
                 id: "A1",
@@ -50,6 +45,7 @@ fn synthetic_report() -> BenchReport {
                 warm_counters: None,
             },
         ],
+        engine: None,
     }
 }
 
@@ -73,12 +69,7 @@ fn golden_file_matches_rendered_schema() {
 
 #[test]
 fn real_report_round_trips_through_json() {
-    let cfg = BenchConfig {
-        n: 60,
-        reps: 2,
-        seed: 3,
-        repeat: 2,
-    };
+    let cfg = BenchConfig::default().n(60).reps(2).seed(3).repeat(2);
     let report = run_benchmarks(&cfg);
     let text = report.to_json().render();
     let value = parse(&text).expect("bench report must be valid JSON");
@@ -128,6 +119,26 @@ fn real_report_round_trips_through_json() {
             Some(0),
             "{}: cold solves never reuse",
             original.id
+        );
+    }
+
+    // The engine scaling section rides along on every real run.
+    let engine = value.get("engine").unwrap();
+    let expected = report.engine.as_ref().unwrap();
+    assert_eq!(
+        engine.get("requests").unwrap().as_u64(),
+        Some(expected.requests as u64)
+    );
+    let rows = engine.get("rows").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), expected.rows.len());
+    for (parsed, original) in rows.iter().zip(&expected.rows) {
+        assert_eq!(
+            parsed.get("workers").unwrap().as_u64(),
+            Some(original.workers as u64)
+        );
+        assert_eq!(
+            parsed.get("wall_ns").unwrap().as_u64(),
+            Some(original.wall_ns)
         );
     }
 }

@@ -126,6 +126,93 @@ fn bench_emits_text_and_json_reports() {
 }
 
 #[test]
+fn color_emits_json_on_request() {
+    let out = ssg().args(["gen", "corridor", "15", "9"]).output().unwrap();
+    assert!(out.status.success());
+    let dir = std::env::temp_dir().join("ssg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corridor.g");
+    std::fs::write(&path, &out.stdout).unwrap();
+
+    let out = ssg()
+        .args(["color", path.to_str().unwrap(), "1,1", "--format", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"schema\": \"ssg-color/v1\""), "{json}");
+    assert!(json.contains("\"violations\": 0"), "{json}");
+    assert!(json.contains("\"colors\""), "{json}");
+
+    // Unknown format values are usage errors (exit 2).
+    let out = ssg()
+        .args(["color", path.to_str().unwrap(), "1,1", "--format", "xml"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn batch_routes_request_files_through_the_engine() {
+    let dir = std::env::temp_dir().join("ssg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let reqs = dir.join("demo.reqs");
+    std::fs::write(
+        &reqs,
+        "# three workloads, one per paper class\n\
+         corridor 40 1 1\n\
+         platoon 30 2 3,1 solver=unit_interval_l_delta1_delta2\n\
+         \n\
+         backbone 25 3 1,1 deadline_ms=60000\n",
+    )
+    .unwrap();
+
+    let out = ssg()
+        .args(["batch", reqs.to_str().unwrap(), "--workers", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("req 2: ok"), "{text}");
+    assert!(text.contains("algorithm=\"tree_l1\""), "{text}");
+    assert!(text.contains("failed=0"), "{text}");
+
+    let out = ssg()
+        .args(["batch", reqs.to_str().unwrap(), "--format", "json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"schema\": \"ssg-batch/v1\""), "{json}");
+    assert!(json.contains("\"completed\": 3"), "{json}");
+}
+
+#[test]
+fn batch_maps_per_request_errors_to_exit_codes() {
+    let dir = std::env::temp_dir().join("ssg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // An unknown solver is reported per-request and exits 3.
+    let reqs = dir.join("badsolver.reqs");
+    std::fs::write(&reqs, "corridor 10 1 1 solver=nope\n").unwrap();
+    let out = ssg().args(["batch", reqs.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("kind=unknown_solver"), "{text}");
+
+    // A missing request file is an I/O error (exit 1); a malformed line is
+    // a parse error (exit 2); a bad flag is a usage error (exit 2).
+    let out = ssg().args(["batch", "/nonexistent.reqs"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let reqs = dir.join("malformed.reqs");
+    std::fs::write(&reqs, "corridor ten 1 1\n").unwrap();
+    let out = ssg().args(["batch", reqs.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = ssg().args(["batch", "x.reqs", "--frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn churn_prints_both_policies() {
     let out = ssg().args(["churn", "5", "3"]).output().unwrap();
     assert!(out.status.success());
