@@ -1,0 +1,77 @@
+//! E13 — CSR graph core: end-to-end cost of the flat-layout pipeline on the
+//! PR-3 bench workloads.
+//!
+//! Three angles on the refactor:
+//!
+//! * `power_graph` — building `A_{G,t}` straight into CSR (counting-free
+//!   append of sorted per-vertex slices, no intermediate `Vec<Vec<_>>`).
+//! * `build` — `GraphBuilder` (sweep → count → fill → dedup) from a raw
+//!   edge list, the path every generator, parser and netsim rebuild takes.
+//! * `solve` — cold and warm A1/A4 solves through the registry, whose BFS
+//!   and peel inner loops now walk contiguous `neighbors(v)` slices.
+//!
+//! Compare against the committed E11/E12 numbers: the solve timings must be
+//! no slower than the PR-3 baseline (acceptance gate for the CSR refactor).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssg_bench::{interval_workload, tree_workload};
+use ssg_graph::{augmented_graph, GraphBuilder};
+use ssg_labeling::solver::{default_registry, Problem};
+use ssg_labeling::{SeparationVector, Workspace};
+use ssg_telemetry::Metrics;
+
+fn bench_csr_core(c: &mut Criterion) {
+    let n = 4_000usize;
+    let interval = interval_workload(n, 0xE13);
+    let tree = tree_workload(n, 4, 0xE13);
+    let graph = interval.to_graph();
+    let edges: Vec<(u32, u32)> = graph.edges().collect();
+    let ones = SeparationVector::all_ones(2);
+    let registry = default_registry();
+    let metrics = Metrics::disabled();
+
+    let mut group = c.benchmark_group("E13/csr_core");
+    group.sample_size(10);
+
+    for t in [2u32, 3] {
+        group.bench_with_input(BenchmarkId::new("power_graph", t), &t, |b, &t| {
+            b.iter(|| augmented_graph(black_box(&graph), t))
+        });
+    }
+
+    group.bench_with_input(BenchmarkId::new("build", "interval_edges"), &edges, |b, edges| {
+        b.iter(|| {
+            let mut builder = GraphBuilder::with_capacity(n, edges.len());
+            builder.add_edges(edges.iter().copied());
+            builder.build().unwrap()
+        })
+    });
+
+    let problems: Vec<(&str, Problem<'_>)> = vec![
+        ("interval_l1", Problem::interval(&interval, &ones)),
+        ("tree_l1", Problem::tree(&tree, &ones)),
+    ];
+    for (name, problem) in &problems {
+        group.bench_with_input(BenchmarkId::new("solve_cold", name), problem, |b, p| {
+            b.iter(|| {
+                let mut ws = Workspace::new();
+                registry.solve(name, p, &mut ws, &metrics)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("solve_warm", name), problem, |b, p| {
+            let mut ws = Workspace::new();
+            let first = registry.solve(name, p, &mut ws, &metrics);
+            ws.recycle(first);
+            b.iter(|| {
+                let lab = registry.solve(name, p, &mut ws, &metrics);
+                let span = lab.span();
+                ws.recycle(lab);
+                span
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_csr_core);
+criterion_main!(benches);

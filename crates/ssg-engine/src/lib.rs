@@ -862,6 +862,41 @@ mod tests {
     }
 
     #[test]
+    fn batch_accepts_builder_constructed_graphs() {
+        // Requests carrying graphs assembled edge-by-edge through the public
+        // `GraphBuilder` must route and solve identically to generator-made
+        // instances: the engine only ever sees finished CSR graphs.
+        let engine = Engine::builder().workers(2).build();
+        let reqs: Vec<LabelRequest> = (0..8u64)
+            .map(|id| {
+                let n = 5 + id as usize;
+                let mut b = ssg_graph::GraphBuilder::with_capacity(n, n - 1);
+                for v in 1..n as u32 {
+                    b.add_edge(v - 1, v);
+                }
+                LabelRequest::new(id, RequestInstance::Graph(b.build().unwrap()), sep2())
+            })
+            .collect();
+        let via_builder = engine.run_batch(reqs);
+        let generated: Vec<LabelRequest> = (0..8u64)
+            .map(|id| {
+                LabelRequest::new(
+                    id,
+                    RequestInstance::Graph(generators::path(5 + id as usize)),
+                    sep2(),
+                )
+            })
+            .collect();
+        let via_generator = engine.run_batch(generated);
+        for (a, b) in via_builder.iter().zip(&via_generator) {
+            let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(a.labeling.colors(), b.labeling.colors());
+            assert_eq!(a.algorithm, b.algorithm);
+        }
+        engine.shutdown();
+    }
+
+    #[test]
     fn named_hint_routes_and_rejects() {
         let engine = Engine::builder().workers(1).build();
         let ok = LabelRequest::new(0, RequestInstance::Graph(generators::cycle(8)), sep2())

@@ -1,0 +1,278 @@
+//! Explicit construction phase for the immutable CSR [`Graph`].
+//!
+//! Every graph in the workspace is born here: the generators, the interval
+//! sweep (`ssg-intervals`), the netsim topology churn and the CLI parsers
+//! all accumulate edges into a [`GraphBuilder`] and then [`build`] once.
+//! Splitting construction from the finished graph keeps [`Graph`] free of
+//! mutation paths — `neighbors(v)` is always a sorted contiguous
+//! `&[Vertex]` slice into one flat buffer, with no intermediate
+//! `Vec<Vec<_>>` at any point of the pipeline.
+//!
+//! The build performs the full normalization contract in two flat passes
+//! (degree count, then cursor fill) followed by a per-list sort/dedup:
+//! duplicate edges (in either orientation) merge, self-loops and
+//! out-of-range endpoints error, and vertex/edge counts that would
+//! overflow the `u32` CSR offsets are rejected up front instead of
+//! truncating silently.
+//!
+//! [`build`]: GraphBuilder::build
+
+use crate::graph::{Graph, GraphError, Vertex};
+use ssg_telemetry::{Counter, Metrics};
+
+/// Accumulates an undirected edge list and materializes the CSR [`Graph`].
+///
+/// `add_edge` is infallible so generator loops stay tight; the first
+/// invalid edge is remembered and surfaced by [`GraphBuilder::build`].
+///
+/// ```
+/// use ssg_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1);
+/// b.add_edge(2, 1);
+/// b.add_edge(1, 0); // duplicate orientation, merged
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(Vertex, Vertex)>,
+    error: Option<GraphError>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices with no edges yet.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// [`new`](Self::new) with room for `m` edges pre-reserved.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+            error: None,
+        }
+    }
+
+    /// Declared vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Edge records accumulated so far (duplicates not yet merged).
+    pub fn edge_records(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Records the undirected edge `uv`. Self-loops and out-of-range
+    /// endpoints are remembered as the build error instead of panicking,
+    /// so parser loops can defer all error handling to [`build`].
+    ///
+    /// [`build`]: Self::build
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex) {
+        if self.error.is_some() {
+            return;
+        }
+        if u == v {
+            self.error = Some(GraphError::SelfLoop { vertex: u });
+            return;
+        }
+        if (u as usize) >= self.n || (v as usize) >= self.n {
+            self.error = Some(GraphError::VertexOutOfRange {
+                edge: (u, v),
+                n: self.n,
+            });
+            return;
+        }
+        self.edges.push((u, v));
+    }
+
+    /// [`add_edge`](Self::add_edge) over an iterator of pairs.
+    pub fn add_edges(&mut self, edges: impl IntoIterator<Item = (Vertex, Vertex)>) {
+        for (u, v) in edges {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Materializes the immutable CSR graph: degree-count pass, cursor
+    /// fill pass, then per-list sort + dedup in place. Consumes the
+    /// builder; the finished [`Graph`] cannot be mutated.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        self.build_with(&Metrics::disabled())
+    }
+
+    /// [`build`](Self::build) with telemetry: records one
+    /// [`Counter::GraphCsrBuilds`] for the materialized graph.
+    pub fn build_with(self, metrics: &Metrics) -> Result<Graph, GraphError> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        let n = self.n;
+        check_csr_bounds(n, self.edges.len().saturating_mul(2))?;
+        // Pass 1: count both directions of every edge.
+        let mut deg = vec![0u32; n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        // Pass 2: fill each vertex's segment through a cursor sweep.
+        let mut targets = vec![0 as Vertex; acc as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(u, v) in &self.edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort each adjacency list and deduplicate in place, compacting
+        // the flat buffer as segments shrink.
+        let mut write = 0usize;
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0u32);
+        let mut scratch: Vec<Vertex> = Vec::new();
+        for v in 0..n {
+            let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
+            scratch.clear();
+            scratch.extend_from_slice(&targets[s..e]);
+            scratch.sort_unstable();
+            scratch.dedup();
+            // write <= s always holds, so this never overwrites unread data.
+            for (i, &t) in scratch.iter().enumerate() {
+                targets[write + i] = t;
+            }
+            write += scratch.len();
+            new_offsets.push(write as u32);
+        }
+        targets.truncate(write);
+        if metrics.is_enabled() {
+            metrics.add(Counter::GraphCsrBuilds, 1);
+        }
+        Ok(Graph::from_csr_parts(new_offsets, targets))
+    }
+}
+
+/// Guards the `u32` CSR offset representation: vertex ids must fit in a
+/// [`Vertex`] and the directed edge records (2 per undirected edge, before
+/// dedup) must be addressable by a `u32` offset. Factored out of the build
+/// so the bound is testable without materializing multi-gigabyte inputs.
+pub(crate) fn check_csr_bounds(n: usize, directed_records: usize) -> Result<(), GraphError> {
+    if n > u32::MAX as usize || directed_records > u32::MAX as usize {
+        return Err(GraphError::TooLarge {
+            vertices: n,
+            directed_edges: directed_records,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_empty_graph() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        let g = GraphBuilder::new(3).build().unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.neighbors(1), &[] as &[Vertex]);
+    }
+
+    #[test]
+    fn merges_duplicates_across_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edges([(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(b.edge_records(), 4);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn rejects_self_loop_at_build() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(2, 2);
+        b.add_edge(1, 2); // ignored after the first error
+        assert_eq!(b.build(), Err(GraphError::SelfLoop { vertex: 2 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_at_build() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+        assert_eq!(
+            b.build(),
+            Err(GraphError::VertexOutOfRange { edge: (0, 5), n: 2 })
+        );
+    }
+
+    #[test]
+    fn first_error_wins() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 9);
+        b.add_edge(1, 1);
+        assert_eq!(
+            b.build(),
+            Err(GraphError::VertexOutOfRange { edge: (0, 9), n: 2 })
+        );
+    }
+
+    #[test]
+    fn overflow_guard_rejects_huge_counts() {
+        assert!(check_csr_bounds(u32::MAX as usize, 0).is_ok());
+        assert_eq!(
+            check_csr_bounds(u32::MAX as usize + 1, 0),
+            Err(GraphError::TooLarge {
+                vertices: u32::MAX as usize + 1,
+                directed_edges: 0,
+            })
+        );
+        assert!(check_csr_bounds(10, u32::MAX as usize).is_ok());
+        assert!(check_csr_bounds(10, u32::MAX as usize + 1).is_err());
+        // A vertex count over the ceiling fails the build itself, even
+        // with no edges to allocate.
+        assert!(matches!(
+            GraphBuilder::new(u32::MAX as usize + 1).build(),
+            Err(GraphError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn build_with_records_csr_build_counter() {
+        let m = Metrics::enabled();
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.build_with(&m).unwrap();
+        assert_eq!(m.snapshot().counter(Counter::GraphCsrBuilds), 1);
+        // Failed builds record nothing.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1);
+        assert!(b.build_with(&m).is_err());
+        assert_eq!(m.snapshot().counter(Counter::GraphCsrBuilds), 1);
+    }
+
+    #[test]
+    fn with_capacity_reserves() {
+        let b = GraphBuilder::with_capacity(4, 16);
+        assert!(b.edges.capacity() >= 16);
+        assert_eq!(b.num_vertices(), 4);
+    }
+}

@@ -1,50 +1,61 @@
 //! Deterministic and random graph generators used by tests, examples and the
 //! benchmark workloads.
 
+use crate::builder::GraphBuilder;
 use crate::graph::{Graph, Vertex};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Path `P_n`: vertices `0..n` in a line.
 pub fn path(n: usize) -> Graph {
-    let edges: Vec<_> = (1..n as Vertex).map(|i| (i - 1, i)).collect();
-    Graph::from_edges(n, &edges).expect("path edges are valid")
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n as Vertex {
+        b.add_edge(i - 1, i);
+    }
+    b.build().expect("path edges are valid")
 }
 
 /// Cycle `C_n` (requires `n >= 3`).
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle requires n >= 3");
-    let mut edges: Vec<_> = (1..n as Vertex).map(|i| (i - 1, i)).collect();
-    edges.push((n as Vertex - 1, 0));
-    Graph::from_edges(n, &edges).expect("cycle edges are valid")
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for i in 1..n as Vertex {
+        b.add_edge(i - 1, i);
+    }
+    b.add_edge(n as Vertex - 1, 0);
+    b.build().expect("cycle edges are valid")
 }
 
 /// Star `K_{1,n-1}`: vertex 0 adjacent to all others.
 pub fn star(n: usize) -> Graph {
     assert!(n >= 1);
-    let edges: Vec<_> = (1..n as Vertex).map(|i| (0, i)).collect();
-    Graph::from_edges(n, &edges).expect("star edges are valid")
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for i in 1..n as Vertex {
+        b.add_edge(0, i);
+    }
+    b.build().expect("star edges are valid")
 }
 
 /// Complete graph `K_n`.
 pub fn complete(n: usize) -> Graph {
-    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
     for u in 0..n as Vertex {
         for v in (u + 1)..n as Vertex {
-            edges.push((u, v));
+            b.add_edge(u, v);
         }
     }
-    Graph::from_edges(n, &edges).expect("complete edges are valid")
+    b.build().expect("complete edges are valid")
 }
 
 /// Complete `k`-ary tree with `n` vertices in BFS numbering: vertex `v >= 1`
 /// has parent `(v - 1) / k`.
 pub fn kary_tree(n: usize, k: usize) -> Graph {
     assert!(k >= 1);
-    let edges: Vec<_> = (1..n as Vertex)
-        .map(|v| ((v - 1) / k as Vertex, v))
-        .collect();
-    Graph::from_edges(n, &edges).expect("k-ary tree edges are valid")
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as Vertex {
+        b.add_edge((v - 1) / k as Vertex, v);
+    }
+    b.build().expect("k-ary tree edges are valid")
 }
 
 /// Caterpillar: a spine path of `spine` vertices, with `legs` pendant leaves
@@ -52,35 +63,35 @@ pub fn kary_tree(n: usize, k: usize) -> Graph {
 pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     assert!(spine >= 1);
     let n = spine * (1 + legs);
-    let mut edges = Vec::with_capacity(n - 1);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
     for s in 1..spine as Vertex {
-        edges.push((s - 1, s));
+        b.add_edge(s - 1, s);
     }
     let mut next = spine as Vertex;
     for s in 0..spine as Vertex {
         for _ in 0..legs {
-            edges.push((s, next));
+            b.add_edge(s, next);
             next += 1;
         }
     }
-    Graph::from_edges(n, &edges).expect("caterpillar edges are valid")
+    b.build().expect("caterpillar edges are valid")
 }
 
 /// Spider: `legs` paths of length `leg_len` glued at a center vertex 0.
 /// Total `1 + legs * leg_len` vertices.
 pub fn spider(legs: usize, leg_len: usize) -> Graph {
     let n = 1 + legs * leg_len;
-    let mut edges = Vec::with_capacity(n - 1);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
     let mut next = 1 as Vertex;
     for _ in 0..legs {
         let mut prev = 0 as Vertex;
         for _ in 0..leg_len {
-            edges.push((prev, next));
+            b.add_edge(prev, next);
             prev = next;
             next += 1;
         }
     }
-    Graph::from_edges(n, &edges).expect("spider edges are valid")
+    b.build().expect("spider edges are valid")
 }
 
 /// Uniformly random labelled tree on `n` vertices via a random Prüfer
@@ -130,13 +141,13 @@ pub fn prufer_to_edges(n: usize, prufer: &[Vertex]) -> Vec<(Vertex, Vertex)> {
 /// neighbors. Produces BFS-friendly shallow trees for stress tests.
 pub fn random_bounded_degree_tree<R: Rng>(n: usize, max_degree: usize, rng: &mut R) -> Graph {
     assert!(n >= 1 && max_degree >= 2);
-    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
     let mut deg = vec![0usize; n];
     let mut eligible: Vec<Vertex> = vec![0];
     for v in 1..n as Vertex {
         let idx = rng.gen_range(0..eligible.len());
         let parent = eligible[idx];
-        edges.push((parent, v));
+        b.add_edge(parent, v);
         deg[parent as usize] += 1;
         deg[v as usize] = 1;
         if deg[parent as usize] >= max_degree {
@@ -146,7 +157,7 @@ pub fn random_bounded_degree_tree<R: Rng>(n: usize, max_degree: usize, rng: &mut
             eligible.push(v);
         }
     }
-    Graph::from_edges(n, &edges).expect("grown tree edges are valid")
+    b.build().expect("grown tree edges are valid")
 }
 
 /// Random connected graph `G(n, m)`: a uniform random spanning tree plus
@@ -175,15 +186,15 @@ pub fn random_connected<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
 
 /// Erdős–Rényi `G(n, p)`; possibly disconnected.
 pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
-    let mut edges = Vec::new();
+    let mut b = GraphBuilder::new(n);
     for u in 0..n as Vertex {
         for v in (u + 1)..n as Vertex {
             if rng.gen_bool(p) {
-                edges.push((u, v));
+                b.add_edge(u, v);
             }
         }
     }
-    Graph::from_edges(n, &edges).expect("gnp edges are valid")
+    b.build().expect("gnp edges are valid")
 }
 
 /// Relabels the graph's vertices by a uniformly random permutation and
@@ -193,14 +204,9 @@ pub fn shuffle_labels<R: Rng>(g: &Graph, rng: &mut R) -> (Graph, Vec<Vertex>) {
     let n = g.num_vertices();
     let mut perm: Vec<Vertex> = (0..n as Vertex).collect();
     perm.shuffle(rng);
-    let edges: Vec<(Vertex, Vertex)> = g
-        .edges()
-        .map(|(u, v)| (perm[u as usize], perm[v as usize]))
-        .collect();
-    (
-        Graph::from_edges(n, &edges).expect("permuted edges are valid"),
-        perm,
-    )
+    let mut b = GraphBuilder::with_capacity(n, g.num_edges());
+    b.add_edges(g.edges().map(|(u, v)| (perm[u as usize], perm[v as usize])));
+    (b.build().expect("permuted edges are valid"), perm)
 }
 
 #[cfg(test)]

@@ -42,6 +42,14 @@ pub enum GraphError {
         /// The vertex with the loop.
         vertex: Vertex,
     },
+    /// The vertex or directed-edge count would overflow the `u32` CSR
+    /// offsets ([`crate::GraphBuilder`]'s representation guard).
+    TooLarge {
+        /// The declared vertex count.
+        vertices: usize,
+        /// Directed edge records (2 per undirected edge, before dedup).
+        directed_edges: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -55,6 +63,14 @@ impl fmt::Display for GraphError {
                 )
             }
             GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+            GraphError::TooLarge {
+                vertices,
+                directed_edges,
+            } => write!(
+                f,
+                "graph too large for u32 CSR offsets \
+                 ({vertices} vertices, {directed_edges} directed edge records)"
+            ),
         }
     }
 }
@@ -75,85 +91,36 @@ impl Graph {
     /// assert!(Graph::from_edges(2, &[(0, 0)]).is_err());
     /// ```
     pub fn from_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Result<Self, GraphError> {
-        for &(u, v) in edges {
-            if u == v {
-                return Err(GraphError::SelfLoop { vertex: u });
-            }
-            if (u as usize) >= n || (v as usize) >= n {
-                return Err(GraphError::VertexOutOfRange { edge: (u, v), n });
-            }
-        }
-        // Count both directions, then fill via a cursor sweep.
-        let mut deg = vec![0u32; n];
-        for &(u, v) in edges {
-            deg[u as usize] += 1;
-            deg[v as usize] += 1;
-        }
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0u32;
-        offsets.push(0);
-        for d in &deg {
-            acc += d;
-            offsets.push(acc);
-        }
-        let mut targets = vec![0 as Vertex; acc as usize];
-        let mut cursor: Vec<u32> = offsets[..n].to_vec();
-        for &(u, v) in edges {
-            targets[cursor[u as usize] as usize] = v;
-            cursor[u as usize] += 1;
-            targets[cursor[v as usize] as usize] = u;
-            cursor[v as usize] += 1;
-        }
-        // Sort each adjacency list and deduplicate in place.
-        let mut write = 0usize;
-        let mut new_offsets = Vec::with_capacity(n + 1);
-        new_offsets.push(0u32);
-        let mut scratch: Vec<Vertex> = Vec::new();
-        for v in 0..n {
-            let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
-            scratch.clear();
-            scratch.extend_from_slice(&targets[s..e]);
-            scratch.sort_unstable();
-            scratch.dedup();
-            // write <= s always holds, so this never overwrites unread data.
-            for (i, &t) in scratch.iter().enumerate() {
-                targets[write + i] = t;
-            }
-            write += scratch.len();
-            new_offsets.push(write as u32);
-        }
-        targets.truncate(write);
-        let num_edges = write / 2;
-        Ok(Graph {
-            offsets: new_offsets,
-            targets,
-            num_edges,
-        })
+        let mut builder = crate::GraphBuilder::with_capacity(n, edges.len());
+        builder.add_edges(edges.iter().copied());
+        builder.build()
     }
 
-    /// Builds a graph from an adjacency-list description (used by generators
-    /// that already produce clean sorted lists). Lists must be symmetric,
-    /// sorted, loop-free and duplicate-free; this is checked in debug builds.
-    pub(crate) fn from_sorted_adjacency(adj: Vec<Vec<Vertex>>) -> Self {
-        let n = adj.len();
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0u32);
-        let total: usize = adj.iter().map(|a| a.len()).sum();
-        let mut targets = Vec::with_capacity(total);
-        for (v, list) in adj.iter().enumerate() {
-            debug_assert!(
-                list.windows(2).all(|w| w[0] < w[1]),
-                "unsorted/duplicated list"
-            );
-            debug_assert!(list.iter().all(|&u| u as usize != v), "self-loop");
-            targets.extend_from_slice(list);
-            offsets.push(targets.len() as u32);
-        }
+    /// Adopts already-normalized CSR arrays: `offsets` must have length
+    /// `n + 1` starting at 0, and every `offsets[v]..offsets[v+1]` segment
+    /// of `targets` must be a sorted, duplicate-free, loop-free adjacency
+    /// list whose union is symmetric. Checked in debug builds; used by
+    /// [`crate::GraphBuilder`] and the direct power-graph emission, which
+    /// produce segments satisfying the contract by construction.
+    pub(crate) fn from_csr_parts(offsets: Vec<u32>, targets: Vec<Vertex>) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0, "bad offset base");
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets regress");
+        let num_edges = targets.len() / 2;
         let g = Graph {
             offsets,
             targets,
-            num_edges: total / 2,
+            num_edges,
         };
+        #[cfg(debug_assertions)]
+        for v in 0..g.num_vertices() as Vertex {
+            let list = g.neighbors(v);
+            debug_assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "unsorted/duplicated list at {v}"
+            );
+            debug_assert!(list.iter().all(|&u| u != v), "self-loop at {v}");
+        }
         debug_assert!(g.check_symmetric(), "asymmetric adjacency");
         g
     }
@@ -227,26 +194,49 @@ impl Graph {
                 order.push(v);
             }
         }
-        let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); order.len()];
+        // Counting pass: surviving degree of each kept vertex.
+        let mut offsets = Vec::with_capacity(order.len() + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &old in &order {
+            for &w in self.neighbors(old) {
+                if new_id[w as usize] != u32::MAX {
+                    acc += 1;
+                }
+            }
+            offsets.push(acc);
+        }
+        // Fill pass straight into the flat buffer; the renumbering is not
+        // monotone in old ids, so each segment is sorted in place after.
+        let mut targets = Vec::with_capacity(acc as usize);
         for (ni, &old) in order.iter().enumerate() {
             for &w in self.neighbors(old) {
                 let nw = new_id[w as usize];
                 if nw != u32::MAX {
-                    adj[ni].push(nw);
+                    targets.push(nw);
                 }
             }
-            adj[ni].sort_unstable();
+            targets[offsets[ni] as usize..offsets[ni + 1] as usize].sort_unstable();
         }
-        (Graph::from_sorted_adjacency(adj), order)
+        (Graph::from_csr_parts(offsets, targets), order)
     }
 
     /// Complement within vertex set (useful only for small graphs in tests).
     pub fn complement(&self) -> Graph {
         let n = self.num_vertices();
-        let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+        // Counting pass is closed-form: every vertex misses n-1-deg others.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for v in 0..n as Vertex {
+            acc += (n - 1 - self.degree(v)) as u32;
+            offsets.push(acc);
+        }
+        // Fill pass merges against the (sorted) neighbor slice, emitting
+        // non-neighbors in ascending order — segments are born sorted.
+        let mut targets = Vec::with_capacity(acc as usize);
         for u in 0..n as Vertex {
-            let nb = self.neighbors(u);
-            let mut it = nb.iter().peekable();
+            let mut it = self.neighbors(u).iter().peekable();
             for v in 0..n as Vertex {
                 if v == u {
                     continue;
@@ -259,11 +249,18 @@ impl Graph {
                     }
                 }
                 if it.peek().map(|&&w| w) != Some(v) {
-                    adj[u as usize].push(v);
+                    targets.push(v);
                 }
             }
         }
-        Graph::from_sorted_adjacency(adj)
+        Graph::from_csr_parts(offsets, targets)
+    }
+
+    /// Sum of the CSR buffer capacities, in elements — the graph-side
+    /// counterpart of the `Workspace::capacity_footprint` tally, used to
+    /// assert that holding a graph across warm solves allocates nothing.
+    pub fn capacity_footprint(&self) -> usize {
+        self.offsets.capacity() + self.targets.capacity()
     }
 }
 

@@ -10,11 +10,15 @@
 //! and benchmarks.
 //!
 //! Everything downstream (`ssg-intervals`, `ssg-tree`, `ssg-simplicial`,
-//! `ssg-labeling`, `ssg-netsim`) builds on [`Graph`].
+//! `ssg-labeling`, `ssg-netsim`) builds on [`Graph`]. Construction is an
+//! explicit phase: edges accumulate in a [`GraphBuilder`], and the finished
+//! [`Graph`] is immutable flat CSR — `neighbors(v)` is always a sorted
+//! contiguous `&[Vertex]` slice.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod generators;
 pub mod graph;
 pub mod ordering;
@@ -23,6 +27,7 @@ pub mod recognition;
 pub mod scratch;
 pub mod traversal;
 
+pub use builder::GraphBuilder;
 pub use graph::{Graph, GraphError, Vertex};
 pub use scratch::BfsScratch;
 pub use power::augmented_graph;

@@ -26,29 +26,43 @@ pub fn augmented_graph(g: &Graph, t: u32) -> Graph {
 }
 
 /// [`augmented_graph`] with telemetry: records one
-/// [`Counter::BfsNodeVisits`] per vertex dequeued across the `n` truncated
-/// BFS runs.
+/// [`Counter::BfsNodeVisits`] and one [`Counter::NeighborScans`] per vertex
+/// dequeued across the `n` truncated BFS runs (every dequeue scans exactly
+/// one contiguous neighbor slice), plus one [`Counter::GraphCsrBuilds`] for
+/// the emitted power graph.
+///
+/// The power graph is emitted straight into flat CSR arrays: each source's
+/// ball lands in the `targets` buffer in one append sweep (`dist` rows are
+/// scanned in vertex order, so every segment is born sorted), with no
+/// intermediate per-vertex adjacency lists.
 pub fn augmented_graph_with(g: &Graph, t: u32, metrics: &Metrics) -> Graph {
     assert!(t >= 1, "augmented graph requires t >= 1");
     let n = g.num_vertices();
-    let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+    let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+    offsets.push(0);
+    let mut targets: Vec<Vertex> = Vec::new();
     let mut dist = vec![UNREACHABLE; n];
     let mut queue = VecDeque::new();
     let mut visits = 0u64;
     for v in 0..n as Vertex {
         visits += bfs_distances_bounded_into(g, v, t, &mut dist, &mut queue);
-        let list = &mut adj[v as usize];
         for (w, &d) in dist.iter().enumerate() {
             if d != UNREACHABLE && d > 0 {
-                list.push(w as Vertex);
+                targets.push(w as Vertex);
             }
         }
-        // dist rows are produced in vertex order, so each list is sorted.
+        assert!(
+            targets.len() <= u32::MAX as usize,
+            "power graph overflows u32 CSR offsets (n = {n}, t = {t})"
+        );
+        offsets.push(targets.len() as u32);
     }
     if metrics.is_enabled() {
         metrics.add(Counter::BfsNodeVisits, visits);
+        metrics.add(Counter::NeighborScans, visits);
+        metrics.add(Counter::GraphCsrBuilds, 1);
     }
-    Graph::from_sorted_adjacency(adj)
+    Graph::from_csr_parts(offsets, targets)
 }
 
 /// Size of the largest clique in `A_{G,t}` **assuming it is computed by the

@@ -147,7 +147,9 @@ pub fn truncated_apsp(g: &Graph, radius: u32) -> Vec<Vec<u32>> {
 }
 
 /// [`truncated_apsp`] with telemetry: records one
-/// [`Counter::BfsNodeVisits`] per vertex dequeued across all `n` sources.
+/// [`Counter::BfsNodeVisits`] and one [`Counter::NeighborScans`] per vertex
+/// dequeued across all `n` sources — each dequeue walks exactly one
+/// contiguous CSR neighbor slice.
 pub fn truncated_apsp_with(g: &Graph, radius: u32, metrics: &Metrics) -> Vec<Vec<u32>> {
     let n = g.num_vertices();
     let mut rows = Vec::with_capacity(n);
@@ -160,6 +162,7 @@ pub fn truncated_apsp_with(g: &Graph, radius: u32, metrics: &Metrics) -> Vec<Vec
     }
     if metrics.is_enabled() {
         metrics.add(Counter::BfsNodeVisits, visits);
+        metrics.add(Counter::NeighborScans, visits);
     }
     rows
 }

@@ -6,17 +6,78 @@
 
 use proptest::prelude::*;
 use ssg_graph::traversal::{bfs_distances, connected_components, truncated_apsp, UNREACHABLE};
-use ssg_graph::{augmented_graph, Graph};
+use ssg_graph::{augmented_graph, Graph, GraphBuilder, Vertex};
+use std::collections::VecDeque;
 
 /// Arbitrary edge list over up to 16 vertices (dense enough to exercise
 /// duplicate merging, sparse enough to brute-force).
-fn arb_graph() -> impl Strategy<Value = Graph> {
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (2usize..16).prop_flat_map(|n| {
         prop::collection::vec((0..n as u32, 0..n as u32), 0..40).prop_map(move |mut edges| {
             edges.retain(|&(u, v)| u != v);
-            Graph::from_edges(n, &edges).expect("filtered edges are valid")
+            (n, edges)
         })
     })
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    arb_edges().prop_map(|(n, edges)| {
+        Graph::from_edges(n, &edges).expect("filtered edges are valid")
+    })
+}
+
+/// Test-only reference build: the `Vec<Vec<Vertex>>` adjacency-list layout
+/// the CSR core replaced. Kept here (and only here) so the flat layout can
+/// be checked against the naive one on arbitrary inputs.
+fn legacy_adjacency(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<Vertex>> {
+    let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    adj
+}
+
+/// BFS visit order (dequeue order) over a `Vec<Vec<Vertex>>` adjacency.
+fn legacy_bfs_order(adj: &[Vec<Vertex>], src: Vertex) -> Vec<Vertex> {
+    let mut seen = vec![false; adj.len()];
+    let mut queue = VecDeque::new();
+    let mut order = Vec::new();
+    seen[src as usize] = true;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in &adj[v as usize] {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// BFS visit order over the CSR graph, mirroring `legacy_bfs_order`.
+fn csr_bfs_order(g: &Graph, src: Vertex) -> Vec<Vertex> {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    let mut order = Vec::new();
+    seen[src as usize] = true;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in g.neighbors(v) {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order
 }
 
 proptest! {
@@ -41,6 +102,62 @@ proptest! {
         }
         let m = (0..n).map(|u| g.degree(u as u32)).sum::<usize>() / 2;
         prop_assert_eq!(m, g.num_edges());
+    }
+
+    #[test]
+    fn builder_matches_legacy_adjacency(input in arb_edges()) {
+        let (n, edges) = input;
+        let adj = legacy_adjacency(n, &edges);
+        let mut builder = GraphBuilder::new(n);
+        builder.add_edges(edges.iter().copied());
+        let g = builder.build().expect("filtered edges are valid");
+        for v in 0..n as u32 {
+            prop_assert_eq!(g.degree(v), adj[v as usize].len(), "degree of {}", v);
+            prop_assert_eq!(g.neighbors(v), adj[v as usize].as_slice(), "slice of {}", v);
+            let mut sorted = g.neighbors(v).to_vec();
+            sorted.sort_unstable();
+            prop_assert_eq!(g.neighbors(v), sorted.as_slice(), "neighbors of {} sorted", v);
+        }
+    }
+
+    #[test]
+    fn bfs_visit_order_matches_legacy(input in arb_edges(), s in 0u32..16) {
+        let (n, edges) = input;
+        let adj = legacy_adjacency(n, &edges);
+        let g = Graph::from_edges(n, &edges).expect("filtered edges are valid");
+        let src = s % n as u32;
+        prop_assert_eq!(csr_bfs_order(&g, src), legacy_bfs_order(&adj, src));
+    }
+
+    #[test]
+    fn power_graph_edges_match_legacy_bfs(input in arb_edges(), t in 1u32..5) {
+        let (n, edges) = input;
+        // Reference t-th power from the legacy adjacency: u ~ v iff a BFS on
+        // the Vec<Vec> layout puts them within distance t.
+        let adj = legacy_adjacency(n, &edges);
+        let g = Graph::from_edges(n, &edges).expect("filtered edges are valid");
+        let a = augmented_graph(&g, t);
+        for u in 0..n as u32 {
+            let mut dist = vec![u32::MAX; n];
+            let mut queue = VecDeque::new();
+            dist[u as usize] = 0;
+            queue.push_back(u);
+            while let Some(v) = queue.pop_front() {
+                if dist[v as usize] >= t {
+                    continue;
+                }
+                for &w in &adj[v as usize] {
+                    if dist[w as usize] == u32::MAX {
+                        dist[w as usize] = dist[v as usize] + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            let expect: Vec<Vertex> = (0..n as u32)
+                .filter(|&v| v != u && dist[v as usize] != u32::MAX)
+                .collect();
+            prop_assert_eq!(a.neighbors(u), expect.as_slice(), "u={} t={}", u, t);
+        }
     }
 
     #[test]

@@ -244,18 +244,20 @@ impl IntervalRepresentation {
 
     /// Builds the intersection graph via a left-to-right sweep: when an
     /// interval opens it is connected to every currently open interval.
-    /// `O(n + m)`.
+    /// Edges stream straight into a [`GraphBuilder`] — no intermediate
+    /// adjacency lists. `O(n + m)`.
+    ///
+    /// [`GraphBuilder`]: ssg_graph::GraphBuilder
     pub fn to_graph(&self) -> Graph {
         let n = self.len();
-        let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+        let mut builder = ssg_graph::GraphBuilder::new(n);
         let mut open: Vec<Vertex> = Vec::new();
         let mut pos_in_open = vec![usize::MAX; n];
         for &ev in &self.events {
             match ev {
                 Endpoint::Left(v) => {
                     for &u in &open {
-                        adj[u as usize].push(v);
-                        adj[v as usize].push(u);
+                        builder.add_edge(u, v);
                     }
                     pos_in_open[v as usize] = open.len();
                     open.push(v);
@@ -269,25 +271,7 @@ impl IntervalRepresentation {
                 }
             }
         }
-        for list in &mut adj {
-            list.sort_unstable();
-        }
-        Graph::from_edges(
-            n,
-            &adj.iter()
-                .enumerate()
-                .flat_map(|(u, list)| {
-                    list.iter().filter_map(move |&v| {
-                        if (u as Vertex) < v {
-                            Some((u as Vertex, v))
-                        } else {
-                            None
-                        }
-                    })
-                })
-                .collect::<Vec<_>>(),
-        )
-        .expect("sweep produces valid edges")
+        builder.build().expect("sweep produces valid edges")
     }
 
     /// Checks that this representation realizes exactly the edge set of `g`

@@ -9,7 +9,7 @@ use crate::workspace::{ensure_bool, Workspace};
 use ssg_graph::scratch::BfsScratch;
 use ssg_graph::traversal::{bfs_distances_bounded_into, UNREACHABLE};
 use ssg_graph::{Graph, Vertex};
-use ssg_telemetry::Metrics;
+use ssg_telemetry::{Counter, Metrics};
 
 /// Greedy first-fit `L(δ1,...,δt)` labeling: processes vertices in the given
 /// order (or `0..n` when `order` is `None`) and assigns each the smallest
@@ -25,7 +25,9 @@ pub fn greedy_first_fit(g: &Graph, sep: &SeparationVector, order: Option<&[Verte
 /// BFS scratch, and forbidden-color bitmap draw from the arena, and solves
 /// after the first record one
 /// [`Counter::WorkspaceReuses`](ssg_telemetry::Counter) on
-/// `metrics`.
+/// `metrics`. One [`Counter::NeighborScans`] is recorded per vertex the
+/// truncated BFS dequeues — every dequeue walks one contiguous CSR
+/// neighbor slice.
 pub fn greedy_first_fit_ws(
     g: &Graph,
     sep: &SeparationVector,
@@ -46,7 +48,7 @@ pub fn greedy_first_fit_ws(
     match order {
         Some(o) => {
             assert_eq!(o.len(), n, "order must cover all vertices");
-            greedy_core(g, sep, o, &mut colors, bfs, forbidden, grow_events);
+            greedy_core(g, sep, o, &mut colors, bfs, forbidden, grow_events, metrics);
         }
         None => {
             if order_buf.capacity() < n {
@@ -54,7 +56,7 @@ pub fn greedy_first_fit_ws(
             }
             order_buf.clear();
             order_buf.extend(0..n as Vertex);
-            greedy_core(g, sep, order_buf, &mut colors, bfs, forbidden, grow_events);
+            greedy_core(g, sep, order_buf, &mut colors, bfs, forbidden, grow_events, metrics);
         }
     }
     Labeling::new(colors)
@@ -111,12 +113,13 @@ pub fn greedy_bfs_order_ws(
             }
         }
     }
-    greedy_core(g, sep, order, &mut colors, bfs, forbidden, grow_events);
+    greedy_core(g, sep, order, &mut colors, bfs, forbidden, grow_events, metrics);
     Labeling::new(colors)
 }
 
 /// The first-fit sweep over an explicit vertex order, writing into
 /// caller-provided buffers (the borrow-split halves of a [`Workspace`]).
+#[allow(clippy::too_many_arguments)]
 fn greedy_core(
     g: &Graph,
     sep: &SeparationVector,
@@ -125,12 +128,14 @@ fn greedy_core(
     bfs: &mut BfsScratch,
     forbidden: &mut Vec<bool>,
     grow_events: &mut u64,
+    metrics: &Metrics,
 ) {
     let t = sep.t();
     let (dist, queue) = bfs.buffers(g.num_vertices());
     forbidden.clear();
+    let mut scans = 0u64;
     for &v in order {
-        bfs_distances_bounded_into(g, v, t, dist, queue);
+        scans += bfs_distances_bounded_into(g, v, t, dist, queue);
         forbidden.clear();
         for (u, &d) in dist.iter().enumerate() {
             if d == UNREACHABLE || d == 0 {
@@ -158,6 +163,9 @@ fn greedy_core(
             .position(|&b| !b)
             .unwrap_or(forbidden.len()) as u32;
         colors[v as usize] = c;
+    }
+    if metrics.is_enabled() {
+        metrics.add(Counter::NeighborScans, scans);
     }
 }
 

@@ -315,6 +315,31 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
+    fn corridor_graph_round_trips_through_builder() {
+        // The conflict graph cached by `from_stations` comes out of the
+        // interval sweep's `GraphBuilder`; rebuilding it from its own CSR
+        // neighbor slices must reproduce it exactly, and the flat layout
+        // must report a real arena footprint for churn accounting.
+        let mut rng = StdRng::seed_from_u64(95);
+        let net = CorridorNetwork::generate(40, 1.0, 1.0, 4.0, &mut rng);
+        let g = net.graph();
+        let mut builder = ssg_graph::GraphBuilder::with_capacity(g.num_vertices(), g.num_edges());
+        for v in g.vertices() {
+            for &w in g.neighbors(v) {
+                if v < w {
+                    builder.add_edge(v, w);
+                }
+            }
+        }
+        let rebuilt = builder.build().unwrap();
+        assert_eq!(rebuilt.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            assert_eq!(rebuilt.neighbors(v), g.neighbors(v), "v={v}");
+        }
+        assert!(g.capacity_footprint() >= g.num_vertices() + 2 * g.num_edges());
+    }
+
+    #[test]
     fn corridor_assignments_verify_and_bound() {
         let mut rng = StdRng::seed_from_u64(90);
         let net = CorridorNetwork::generate(80, 1.0, 1.0, 4.0, &mut rng);

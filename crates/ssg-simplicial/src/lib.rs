@@ -273,9 +273,11 @@ pub fn peel_l1_coloring(g: &Graph, t: u32, insertion: &[Vertex]) -> (Vec<u32>, u
 }
 
 /// [`peel_l1_coloring`] with telemetry: records one [`Counter::PeelSteps`]
-/// per inserted vertex, one [`Counter::BfsNodeVisits`] per vertex dequeued
-/// by the prefix-restricted BFS runs, and one [`Counter::PaletteProbes`]
-/// per slot examined by the minimum-excludant color scan.
+/// per inserted vertex, one [`Counter::BfsNodeVisits`] and one
+/// [`Counter::NeighborScans`] per vertex dequeued by the prefix-restricted
+/// BFS runs (each dequeue walks one contiguous CSR neighbor slice), and one
+/// [`Counter::PaletteProbes`] per slot examined by the minimum-excludant
+/// color scan.
 pub fn peel_l1_coloring_with(
     g: &Graph,
     t: u32,
@@ -364,6 +366,7 @@ pub fn peel_l1_coloring_ws(
     if metrics.is_enabled() {
         metrics.add(Counter::PeelSteps, n as u64);
         metrics.add(Counter::BfsNodeVisits, bfs_visits);
+        metrics.add(Counter::NeighborScans, bfs_visits);
         metrics.add(Counter::PaletteProbes, mex_probes);
     }
     (colors, span)

@@ -85,11 +85,19 @@ pub enum Counter {
     /// Solver panics isolated by an engine worker via `catch_unwind` and
     /// converted into per-request errors.
     EnginePanics,
+    /// CSR graphs materialized (`GraphBuilder::build`, direct power-graph
+    /// emission, induced subgraphs) — the construction-side cost of the
+    /// flat adjacency layout.
+    GraphCsrBuilds,
+    /// Contiguous neighbor-slice scans (`Graph::neighbors` walks) performed
+    /// by instrumented hot paths — the access-side work unit of the CSR
+    /// layout, one per dequeued BFS vertex or per peeled-vertex scan.
+    NeighborScans,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 12] = [
         Counter::PeelSteps,
         Counter::PaletteProbes,
         Counter::BfsNodeVisits,
@@ -100,6 +108,8 @@ impl Counter {
         Counter::EngineBackpressureWaits,
         Counter::EngineDeadlineMisses,
         Counter::EnginePanics,
+        Counter::GraphCsrBuilds,
+        Counter::NeighborScans,
     ];
 
     /// Stable snake_case name used in JSON reports.
@@ -119,6 +129,8 @@ impl Counter {
             Counter::EngineBackpressureWaits => "engine_backpressure_waits",
             Counter::EngineDeadlineMisses => "engine_deadline_misses",
             Counter::EnginePanics => "engine_panics",
+            Counter::GraphCsrBuilds => "graph_csr_builds",
+            Counter::NeighborScans => "neighbor_scans",
         }
     }
 
@@ -134,6 +146,8 @@ impl Counter {
             Counter::EngineBackpressureWaits => 7,
             Counter::EngineDeadlineMisses => 8,
             Counter::EnginePanics => 9,
+            Counter::GraphCsrBuilds => 10,
+            Counter::NeighborScans => 11,
         }
     }
 }
@@ -407,7 +421,9 @@ mod tests {
                 "engine_steals",
                 "engine_backpressure_waits",
                 "engine_deadline_misses",
-                "engine_panics"
+                "engine_panics",
+                "graph_csr_builds",
+                "neighbor_scans"
             ]
         );
         assert_eq!(Phase::Run.name(), "run");

@@ -260,12 +260,28 @@ impl RootedTree {
         self.level[v as usize]
     }
 
-    /// Children of `v` in left-to-right order.
+    /// Children of `v` in left-to-right order, as a contiguous slice of the
+    /// children CSR (`child_off`/`child_buf` mirror the flat layout of
+    /// `ssg_graph::Graph`).
     #[inline]
     pub fn children(&self, v: Vertex) -> &[Vertex] {
         let s = self.child_off[v as usize] as usize;
         let e = self.child_off[v as usize + 1] as usize;
         &self.child_buf[s..e]
+    }
+
+    /// Sum of all backing buffer capacities, in elements — the tree-side
+    /// counterpart of `Graph::capacity_footprint`, used by churn tests to
+    /// certify that holding a tree across epochs allocates nothing new.
+    pub fn capacity_footprint(&self) -> usize {
+        self.parent.capacity()
+            + self.level.capacity()
+            + self.child_off.capacity()
+            + self.child_buf.capacity()
+            + self.level_start.capacity()
+            + self.tin.capacity()
+            + self.tout.capacity()
+            + self.original.capacity()
     }
 
     /// The contiguous vertex range of level `l` (empty when `l > height`).

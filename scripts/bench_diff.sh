@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Regression gate for the labeling benchmark: rerun `ssg bench` with the
+# exact config the committed baseline was recorded with, and fail on any
+# span drift (see `diff_against_baseline` in src/bench.rs — wall times and
+# counters are deliberately not compared).
+#
+# Usage: scripts/bench_diff.sh [baseline.json]   (default: BENCH_labeling.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_labeling.json}"
+if [ ! -f "$BASELINE" ]; then
+    echo "bench_diff: baseline '$BASELINE' not found" >&2
+    exit 2
+fi
+
+# Pull n/reps/seed out of the baseline so the rerun is comparable. The
+# grep/sed pair keys on the first occurrence of each field, which in an
+# ssg-bench/v1 document is the config block.
+field() {
+    grep -o "\"$1\": [0-9]*" "$BASELINE" | head -n 1 | sed 's/[^0-9]*//'
+}
+N="$(field n)"
+REPS="$(field reps)"
+SEED="$(field seed)"
+if [ -z "$N" ] || [ -z "$REPS" ] || [ -z "$SEED" ]; then
+    echo "bench_diff: could not read config from '$BASELINE'" >&2
+    exit 2
+fi
+
+echo "==> cargo build --release (ssg)"
+cargo build --release --offline --bin ssg
+
+echo "==> ssg bench --n $N --reps $REPS --seed $SEED --compare $BASELINE"
+exec ./target/release/ssg bench --n "$N" --reps "$REPS" --seed "$SEED" --compare "$BASELINE"

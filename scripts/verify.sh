@@ -5,6 +5,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> forbid(unsafe_code) present in every crate root"
+for root in src/lib.rs crates/*/src/lib.rs; do
+    if ! grep -q '^#!\[forbid(unsafe_code)\]$' "$root"; then
+        echo "missing #![forbid(unsafe_code)] in $root" >&2
+        exit 1
+    fi
+done
+
 echo "==> cargo build --release"
 cargo build --release --offline
 

@@ -345,6 +345,114 @@ impl BenchReport {
     }
 }
 
+/// Result of diffing a fresh [`BenchReport`] against a committed baseline
+/// report (see `BENCH_labeling.json` and `scripts/bench_diff.sh`).
+///
+/// Only *deterministic* quantities are compared — per-algorithm spans and
+/// the instance sizes they were measured on. Wall times and counters are
+/// machine- or schema-sensitive and deliberately excluded, so a clean diff
+/// means "same answers", not "same speed".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineDiff {
+    /// Algorithm rows successfully matched against the baseline.
+    pub checked: usize,
+    /// Human-readable descriptions of every drift found (empty when clean).
+    pub drifts: Vec<String>,
+}
+
+impl BaselineDiff {
+    /// Whether the fresh report agrees with the baseline on every row.
+    pub fn is_clean(&self) -> bool {
+        self.drifts.is_empty()
+    }
+
+    /// One-paragraph summary suitable for CLI output.
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            format!("baseline compare: {} algorithm rows match\n", self.checked)
+        } else {
+            let mut out = format!(
+                "baseline compare: {} drift(s) across {} row(s):\n",
+                self.drifts.len(),
+                self.checked
+            );
+            for d in &self.drifts {
+                out.push_str("  ");
+                out.push_str(d);
+                out.push('\n');
+            }
+            out
+        }
+    }
+}
+
+/// Diffs `report` against a parsed `ssg-bench/v1` baseline document.
+///
+/// Returns `Err` when the baseline is structurally unusable (wrong schema,
+/// missing sections, or a config mismatch that makes spans incomparable);
+/// returns `Ok` with a [`BaselineDiff`] otherwise. Span disagreement on any
+/// algorithm row, or a row present on one side only, is a drift.
+pub fn diff_against_baseline(report: &BenchReport, baseline: &Json) -> Result<BaselineDiff, String> {
+    match baseline.get("schema").and_then(Json::as_str) {
+        Some("ssg-bench/v1") => {}
+        Some(other) => return Err(format!("baseline schema is '{other}', expected 'ssg-bench/v1'")),
+        None => return Err("baseline has no 'schema' key".into()),
+    }
+    let cfg = baseline
+        .get("config")
+        .ok_or_else(|| "baseline has no 'config' section".to_string())?;
+    for (key, fresh) in [
+        ("n", report.config.n as u64),
+        ("reps", report.config.reps as u64),
+        ("seed", report.config.seed),
+    ] {
+        let base = cfg
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("baseline config is missing '{key}'"))?;
+        if base != fresh {
+            return Err(format!(
+                "config mismatch on '{key}': baseline {base}, this run {fresh} \
+                 (rerun with matching --n/--reps/--seed)"
+            ));
+        }
+    }
+    let rows = baseline
+        .get("algorithms")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "baseline has no 'algorithms' array".to_string())?;
+    let mut drifts = Vec::new();
+    let mut checked = 0usize;
+    let mut base_ids: Vec<&str> = Vec::new();
+    for row in rows {
+        let id = row
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "baseline algorithm row has no 'id'".to_string())?;
+        base_ids.push(id);
+        let Some(fresh) = report.algorithms.iter().find(|a| a.id == id) else {
+            drifts.push(format!("{id}: present in baseline, absent from this run"));
+            continue;
+        };
+        checked += 1;
+        for (key, got) in [("span", fresh.span as u64), ("n", fresh.n as u64)] {
+            let want = row
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("baseline row {id} has no '{key}'"))?;
+            if want != got {
+                drifts.push(format!("{id}: {key} {got} != baseline {want}"));
+            }
+        }
+    }
+    for a in &report.algorithms {
+        if !base_ids.contains(&a.id) {
+            drifts.push(format!("{}: present in this run, absent from baseline", a.id));
+        }
+    }
+    Ok(BaselineDiff { checked, drifts })
+}
+
 /// One timed solve through the registry on `ws`, on a fresh enabled
 /// [`Metrics`] handle under [`Phase::Run`]. Returns `(span, snapshot)`;
 /// the output buffer is recycled into `ws`.
@@ -617,6 +725,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn baseline_diff_is_clean_against_own_rendering() {
+        let report = run_benchmarks(&small());
+        let rendered = report.to_json().render_pretty();
+        let baseline = Json::parse(&rendered).unwrap();
+        let diff = diff_against_baseline(&report, &baseline).unwrap();
+        assert!(diff.is_clean(), "{}", diff.render());
+        assert_eq!(diff.checked, 5);
+        assert!(diff.render().contains("5 algorithm rows match"));
+    }
+
+    #[test]
+    fn baseline_diff_flags_span_drift_and_missing_rows() {
+        let report = run_benchmarks(&small());
+        let mut doctored = report.clone();
+        doctored.algorithms[0].span += 1;
+        doctored.algorithms.pop();
+        let baseline = Json::parse(&doctored.to_json().render_pretty()).unwrap();
+        let diff = diff_against_baseline(&report, &baseline).unwrap();
+        assert_eq!(diff.drifts.len(), 2, "{:?}", diff.drifts);
+        assert!(diff.drifts[0].contains("A1: span"));
+        assert!(diff.drifts[1].contains("A5"));
+        assert!(!diff.is_clean());
+    }
+
+    #[test]
+    fn baseline_diff_rejects_unusable_baselines() {
+        let report = run_benchmarks(&small());
+        let err = diff_against_baseline(&report, &Json::parse("{}").unwrap()).unwrap_err();
+        assert!(err.contains("schema"));
+        let other_seed = run_benchmarks(&BenchConfig::default().n(120).reps(2).seed(8));
+        let baseline = Json::parse(&other_seed.to_json().render_pretty()).unwrap();
+        let err = diff_against_baseline(&report, &baseline).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
     }
 
     #[test]

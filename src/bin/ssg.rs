@@ -12,10 +12,14 @@
 //!                                    # sharded batch engine
 //! ssg churn [epochs] [seed]          # dynamic corridor churn demo
 //! ssg bench [--json] [--n N] [--reps R] [--seed S] [--repeat K]
+//!           [--compare BASELINE.json]
 //!                                    # run A1-A5 with telemetry; --json
 //!                                    # emits an ssg-bench/v1 report;
 //!                                    # --repeat K>1 adds warm-workspace
-//!                                    # timings next to the cold solves
+//!                                    # timings next to the cold solves;
+//!                                    # --compare diffs spans against a
+//!                                    # committed report and exits 1 on
+//!                                    # any drift
 //! ```
 //!
 //! Graph files: first line `n m`, then `m` lines `u v` (0-based).
@@ -49,7 +53,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, Write};
 use std::time::Duration;
-use strongly_simplicial::bench::{run_benchmarks, BenchConfig};
+use strongly_simplicial::bench::{diff_against_baseline, run_benchmarks, BenchConfig};
 use strongly_simplicial::engine::{Backpressure, Engine, LabelRequest, LabelResponse};
 use strongly_simplicial::labeling::auto::Guarantee;
 use strongly_simplicial::labeling::solver::default_registry;
@@ -243,7 +247,9 @@ fn read_graph(path: &str) -> Result<Graph, SsgError> {
         .ok_or_else(|| SsgError::parse(path, "missing m"))?
         .parse()
         .map_err(|_| SsgError::parse(path, "bad m"))?;
-    let mut edges = Vec::with_capacity(m);
+    // Stream straight into the CSR builder: no intermediate edge Vec, and
+    // bad endpoints surface once at `build()` with the offending edge.
+    let mut builder = GraphBuilder::with_capacity(n, m);
     for line in lines {
         let line = line.map_err(|e| SsgError::io(path, &e))?;
         if line.trim().is_empty() {
@@ -260,15 +266,15 @@ fn read_graph(path: &str) -> Result<Graph, SsgError> {
             .ok_or_else(|| SsgError::parse(path, "missing v"))?
             .parse()
             .map_err(|_| SsgError::parse(path, "bad v"))?;
-        edges.push((u, v));
+        builder.add_edge(u, v);
     }
-    if edges.len() != m {
+    if builder.edge_records() != m {
         return Err(SsgError::parse(
             path,
-            format!("expected {m} edges, found {}", edges.len()),
+            format!("expected {m} edges, found {}", builder.edge_records()),
         ));
     }
-    Graph::from_edges(n, &edges).map_err(|e| SsgError::parse(path, e.to_string()))
+    builder.build().map_err(|e| SsgError::parse(path, e.to_string()))
 }
 
 fn cmd_classify(args: &[String]) -> Result<i32, SsgError> {
@@ -640,10 +646,17 @@ fn cmd_churn(args: &[String]) -> Result<i32, SsgError> {
 fn cmd_bench(args: &[String]) -> Result<i32, SsgError> {
     let mut cfg = BenchConfig::default();
     let mut json = false;
+    let mut compare: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--compare" => {
+                let path = it.next().ok_or_else(|| {
+                    SsgError::Usage("bench: --compare needs a baseline JSON path".into())
+                })?;
+                compare = Some(path.clone());
+            }
             "--n" => {
                 let n: usize = parse_flag("bench", "--n", &mut it)?;
                 if n < 2 {
@@ -673,7 +686,7 @@ fn cmd_bench(args: &[String]) -> Result<i32, SsgError> {
             }
             other => {
                 return Err(SsgError::Usage(format!(
-                    "bench: unknown flag '{other}' (usage: ssg bench [--json] [--n N] [--reps R] [--seed S] [--repeat K])"
+                    "bench: unknown flag '{other}' (usage: ssg bench [--json] [--n N] [--reps R] [--seed S] [--repeat K] [--compare BASELINE.json])"
                 )));
             }
         }
@@ -683,6 +696,17 @@ fn cmd_bench(args: &[String]) -> Result<i32, SsgError> {
         print!("{}", report.to_json().render_pretty());
     } else {
         print!("{}", report.to_text());
+    }
+    if let Some(path) = compare {
+        let text = std::fs::read_to_string(&path).map_err(|e| SsgError::io(&path, &e))?;
+        let baseline = Json::parse(&text)
+            .map_err(|e| SsgError::parse(&path, format!("not valid JSON: {e}")))?;
+        let diff = diff_against_baseline(&report, &baseline)
+            .map_err(|e| SsgError::parse(&path, e))?;
+        print!("{}", diff.render());
+        if !diff.is_clean() {
+            return Ok(1);
+        }
     }
     Ok(0)
 }

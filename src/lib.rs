@@ -45,6 +45,8 @@
 //! assert!(verify_labeling(&g, &SeparationVector::all_ones(2), out.labeling.colors()).is_ok());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ssg_engine as engine;
 pub use ssg_error as error;
 pub use ssg_graph as graph;
@@ -62,7 +64,7 @@ pub mod bench;
 pub mod prelude {
     pub use ssg_engine::{Backpressure, Engine, LabelRequest, LabelResponse, RequestInstance};
     pub use ssg_error::SsgError;
-    pub use ssg_graph::{augmented_graph, Graph, Vertex};
+    pub use ssg_graph::{augmented_graph, Graph, GraphBuilder, Vertex};
     pub use ssg_intervals::{IntervalRepresentation, UnitIntervalRepresentation};
     pub use ssg_labeling::interval::{approx_delta1_coloring, l1_coloring as interval_l1_coloring};
     pub use ssg_labeling::solver::{default_registry, Problem, ProblemInstance, Solver};
