@@ -11,12 +11,16 @@
 //!
 //! `seed_api` and `disabled` must be within noise of each other (they run
 //! the identical code); `enabled` bounds the cost of actually recording.
+//!
+//! A fourth group measures the raw tracing primitives (`span`, `span_hist`,
+//! `observe_ns`) per call: the disabled variants must stay at branch-test
+//! cost, the enabled/tracing variants bound what one observation costs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ssg_bench::{interval_workload, tree_workload};
 use ssg_labeling::interval::{l1_coloring, l1_coloring_with};
 use ssg_labeling::tree::l1_coloring_with as tree_l1_with;
-use ssg_telemetry::Metrics;
+use ssg_telemetry::{Hist, Metrics};
 
 fn bench_interval_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("E11/interval_l1_telemetry");
@@ -57,5 +61,33 @@ fn bench_tree_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_interval_overhead, bench_tree_overhead);
+fn bench_span_hist_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11/span_hist_primitives");
+    let disabled = Metrics::disabled();
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| black_box(disabled.span_hist("bench.noop", Hist::SolverSolve)))
+    });
+    group.bench_function("observe_disabled", |b| {
+        b.iter(|| disabled.observe_ns(Hist::SolverSolve, black_box(1)))
+    });
+    let enabled = Metrics::enabled();
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| black_box(enabled.span_hist("bench.noop", Hist::SolverSolve)))
+    });
+    group.bench_function("observe_enabled", |b| {
+        b.iter(|| enabled.observe_ns(Hist::SolverSolve, black_box(1)))
+    });
+    let tracing = Metrics::with_tracing(4096);
+    group.bench_function("span_tracing", |b| {
+        b.iter(|| black_box(tracing.span("bench.noop")))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interval_overhead,
+    bench_tree_overhead,
+    bench_span_hist_primitives
+);
 criterion_main!(benches);

@@ -68,7 +68,7 @@ use ssg_graph::Graph;
 use ssg_intervals::{IntervalRepresentation, UnitIntervalRepresentation};
 use ssg_labeling::solver::Problem;
 use ssg_labeling::{Labeling, SeparationVector, SolverRegistry, Workspace, WorkspacePool};
-use ssg_telemetry::{Counter, Metrics, Phase};
+use ssg_telemetry::{Counter, Gauge, Hist, Metrics, Phase};
 use ssg_tree::RootedTree;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -240,6 +240,10 @@ enum Job {
         // not 288 bytes of inline SeparationVector + hint strings.
         req: Box<LabelRequest>,
         tx: Sender<LabelResponse>,
+        // Submission timestamp feeding the queue-wait and end-to-end
+        // latency histograms; `None` when telemetry is disabled so the
+        // fast path never reads the clock.
+        enqueued_at: Option<Instant>,
     },
     Task(Box<dyn FnOnce(&mut Workspace) + Send>),
 }
@@ -269,6 +273,9 @@ struct Inner {
     in_flight: AtomicUsize,
     drain_lock: Mutex<()>,
     drained: Condvar,
+    // Jobs currently sitting in shard queues, mirrored outside the shard
+    // locks so gauge sampling is two atomic loads, not a lock sweep.
+    queued: AtomicUsize,
     next_shard: AtomicUsize,
     next_seq: AtomicUsize,
     registry: Arc<SolverRegistry>,
@@ -372,6 +379,7 @@ impl EngineBuilder {
             in_flight: AtomicUsize::new(0),
             drain_lock: Mutex::new(()),
             drained: Condvar::new(),
+            queued: AtomicUsize::new(0),
             next_shard: AtomicUsize::new(0),
             next_seq: AtomicUsize::new(0),
             registry: self
@@ -474,11 +482,15 @@ impl Engine {
         req: LabelRequest,
         tx: &Sender<LabelResponse>,
     ) -> Result<(), SsgError> {
+        let id = req.id;
+        let enqueued_at = self.inner.metrics.is_enabled().then(Instant::now);
         self.inner.push_job(Job::Label {
             seq,
             req: Box::new(req),
             tx: tx.clone(),
+            enqueued_at,
         })?;
+        self.inner.metrics.event_for(id, "engine.enqueue");
         self.inner.metrics.add(Counter::EngineRequests, 1);
         self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -571,6 +583,7 @@ impl Inner {
             let mut q = shard.jobs.lock().expect("engine shard poisoned");
             if q.len() < self.capacity {
                 self.in_flight.fetch_add(1, Ordering::AcqRel);
+                self.queued.fetch_add(1, Ordering::Relaxed);
                 q.push_back(job);
                 drop(q);
                 shard.not_empty.notify_one();
@@ -587,6 +600,9 @@ impl Inner {
                         return Err(SsgError::ShuttingDown);
                     }
                     self.metrics.add(Counter::EngineBackpressureWaits, 1);
+                    if let Job::Label { req, .. } = &job {
+                        self.metrics.event_for(req.id, "engine.backpressure_wait");
+                    }
                     self.stats
                         .backpressure_waits
                         .fetch_add(1, Ordering::Relaxed);
@@ -597,6 +613,7 @@ impl Inner {
                     q = guard;
                 }
                 self.in_flight.fetch_add(1, Ordering::AcqRel);
+                self.queued.fetch_add(1, Ordering::Relaxed);
                 q.push_back(job);
                 drop(q);
                 shard.not_empty.notify_one();
@@ -615,6 +632,7 @@ impl Inner {
                 let mut q = self.shards[me].jobs.lock().expect("engine shard poisoned");
                 if let Some(job) = q.pop_front() {
                     drop(q);
+                    self.queued.fetch_sub(1, Ordering::Relaxed);
                     self.shards[me].not_full.notify_one();
                     return Some(job);
                 }
@@ -627,8 +645,12 @@ impl Inner {
                     .expect("engine shard poisoned");
                 if let Some(job) = q.pop_back() {
                     drop(q);
+                    self.queued.fetch_sub(1, Ordering::Relaxed);
                     self.shards[victim].not_full.notify_one();
                     self.metrics.add(Counter::EngineSteals, 1);
+                    if let Job::Label { req, .. } = &job {
+                        self.metrics.event_for(req.id, "engine.steal");
+                    }
                     self.stats.steals.fetch_add(1, Ordering::Relaxed);
                     return Some(job);
                 }
@@ -686,6 +708,7 @@ impl Inner {
             let now = Instant::now();
             if now > deadline {
                 self.metrics.add(Counter::EngineDeadlineMisses, 1);
+                self.metrics.incident(id, "engine.deadline_miss");
                 self.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
                 return LabelResponse {
                     id,
@@ -698,7 +721,10 @@ impl Inner {
             }
         }
         let start = Instant::now();
-        let solved = catch_unwind(AssertUnwindSafe(|| self.dispatch(&req, ws)));
+        let solved = {
+            let _span = self.metrics.span("engine.solve");
+            catch_unwind(AssertUnwindSafe(|| self.dispatch(&req, ws)))
+        };
         let wall = start.elapsed();
         let result = match solved {
             Ok(r) => r.map(|(labeling, algorithm)| LabelOutcome {
@@ -708,6 +734,7 @@ impl Inner {
             }),
             Err(payload) => {
                 self.record_panic(ws);
+                self.metrics.incident(id, "engine.panic");
                 Err(SsgError::WorkerPanic(panic_message(payload)))
             }
         };
@@ -795,15 +822,34 @@ fn no_auto_route(shape: &str, sep: &SeparationVector) -> SsgError {
 }
 
 fn worker_loop(inner: &Inner, me: usize, ws: &mut Workspace) {
+    let m = &inner.metrics;
     while let Some(job) = inner.next_job(me) {
+        if m.is_enabled() {
+            m.gauge_set(Gauge::QueueDepth, inner.queued.load(Ordering::Relaxed) as u64);
+            m.gauge_set(Gauge::InFlight, inner.in_flight.load(Ordering::Acquire) as u64);
+        }
         match job {
-            Job::Label { seq, req, tx } => {
+            Job::Label {
+                seq,
+                req,
+                tx,
+                enqueued_at,
+            } => {
+                let _scope = m.trace_scope(req.id);
+                if let Some(t0) = enqueued_at {
+                    m.observe(Hist::QueueWait, t0.elapsed());
+                }
+                m.event("engine.dequeue");
                 let response = inner.solve_one(me, seq, *req, ws);
                 // Count the completion before the send: once the caller has
                 // received every response (run_batch), stats() must already
                 // show them all as completed.
                 inner.complete_job();
+                m.event("engine.reply");
                 let _ = tx.send(response);
+                if let Some(t0) = enqueued_at {
+                    m.observe(Hist::RequestLatency, t0.elapsed());
+                }
             }
             Job::Task(f) => {
                 if catch_unwind(AssertUnwindSafe(|| f(ws))).is_err() {
@@ -931,6 +977,91 @@ mod tests {
     fn rand_rng() -> impl rand::Rng {
         use rand::SeedableRng;
         rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn batch_records_latency_histograms_and_span_chain() {
+        let m = Metrics::with_tracing(4096);
+        let engine = Engine::builder().workers(2).metrics(m.clone()).build();
+        let reqs: Vec<LabelRequest> = (0..8u64)
+            .map(|id| {
+                LabelRequest::new(
+                    id,
+                    RequestInstance::Graph(generators::path(6 + id as usize)),
+                    sep2(),
+                )
+            })
+            .collect();
+        let responses = engine.run_batch(reqs);
+        assert!(responses.iter().all(|r| r.result.is_ok()));
+        let snap = m.snapshot();
+        // Every request shows up in queue-wait, end-to-end, and per-solver
+        // latency distributions.
+        assert_eq!(snap.hist(Hist::QueueWait).count(), 8);
+        assert_eq!(snap.hist(Hist::RequestLatency).count(), 8);
+        assert!(snap.hist(Hist::SolverSolve).count() >= 8);
+        // Queue wait is bounded above by end-to-end latency.
+        assert!(snap.hist(Hist::QueueWait).max() <= snap.hist(Hist::RequestLatency).max());
+        // Worker loops sampled the gauges.
+        assert!(snap.gauge_max(Gauge::InFlight) >= 1);
+        // One request's full chain: enqueue -> dequeue -> solve span -> reply.
+        let rec = m.recorder().unwrap();
+        let names: Vec<&str> = rec.events_for(3).iter().map(|e| e.name).collect();
+        for expected in ["engine.enqueue", "engine.dequeue", "engine.solve", "engine.reply"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn deadline_miss_records_an_incident_with_the_request_chain() {
+        let m = Metrics::with_tracing(4096);
+        let engine = Engine::builder().workers(1).metrics(m.clone()).build();
+        let expired = LabelRequest::new(
+            99,
+            RequestInstance::Graph(generators::path(64)),
+            sep2(),
+        )
+        .deadline(Instant::now() - Duration::from_millis(10));
+        let responses = engine.run_batch(vec![expired]);
+        assert!(matches!(
+            responses[0].result,
+            Err(SsgError::DeadlineExceeded { .. })
+        ));
+        let rec = m.recorder().unwrap();
+        assert_eq!(rec.incident_count(), 1);
+        let events = rec.events_for(99);
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"engine.enqueue"), "{names:?}");
+        assert!(names.contains(&"engine.deadline_miss"), "{names:?}");
+        let miss = events.iter().find(|e| e.name == "engine.deadline_miss").unwrap();
+        assert_eq!(miss.kind, ssg_telemetry::EventKind::Incident);
+        // The dump carries the chain in schema form too.
+        let dump = rec.to_json().render();
+        assert!(dump.contains("\"ssg-trace/v1\""), "{dump}");
+        assert!(dump.contains("engine.deadline_miss"), "{dump}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn solver_panic_records_an_incident() {
+        let m = Metrics::with_tracing(1024);
+        let engine = Engine::builder().workers(1).metrics(m.clone()).build();
+        // A3 asserts t == 2, so a t=3 vector panics inside the solver.
+        let sep3 = SeparationVector::new(vec![2, 1, 1]).unwrap();
+        let mut rng = rand_rng();
+        let src = ssg_intervals::gen::random_connected_unit_intervals(10, 0.5, &mut rng);
+        let req = LabelRequest::new(7, RequestInstance::UnitInterval(src), sep3)
+            .solver("unit_interval_l_delta1_delta2");
+        let responses = engine.run_batch(vec![req]);
+        assert!(matches!(responses[0].result, Err(SsgError::WorkerPanic(_))));
+        let rec = m.recorder().unwrap();
+        assert_eq!(rec.incident_count(), 1);
+        assert!(rec
+            .events_for(7)
+            .iter()
+            .any(|e| e.name == "engine.panic"));
+        engine.shutdown();
     }
 
     #[test]

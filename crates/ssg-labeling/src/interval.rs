@@ -91,6 +91,7 @@ pub(crate) fn l1_inner(
         };
     }
     if rep.is_connected() {
+        let _span = metrics.span("interval.sweep");
         let mut colors = ws.take_colors(n, u32::MAX);
         let lambda = l1_connected(rep, t, ws, &mut colors, metrics);
         return IntervalL1Output {
@@ -98,6 +99,7 @@ pub(crate) fn l1_inner(
             lambda_star: lambda,
         };
     }
+    let _span = metrics.span("interval.components");
     let mut colors = ws.take_colors(n, 0);
     let mut lambda = 0u32;
     for (comp, verts) in rep.components() {
@@ -274,24 +276,31 @@ pub fn approx_delta1_coloring_ws(
             upper_bound: 0,
         };
     }
-    let sub = l1_inner(rep, t, ws, metrics);
-    let lambda_t = sub.lambda_star;
-    ws.recycle(sub.labeling);
-    let sub = l1_inner(rep, 1, ws, metrics);
-    let lambda_1 = sub.lambda_star;
-    ws.recycle(sub.labeling);
+    let (lambda_t, lambda_1) = {
+        let _span = metrics.span("interval.lambda_bounds");
+        let sub = l1_inner(rep, t, ws, metrics);
+        let lambda_t = sub.lambda_star;
+        ws.recycle(sub.labeling);
+        let sub = l1_inner(rep, 1, ws, metrics);
+        let lambda_1 = sub.lambda_star;
+        ws.recycle(sub.labeling);
+        (lambda_t, lambda_1)
+    };
     let upper_bound = lambda_t + 2 * (delta1 - 1) * lambda_1;
     let mut colors = ws.take_colors(n, 0);
-    if rep.is_connected() {
-        approx_connected(rep, t, delta1, upper_bound, ws, &mut colors, metrics);
-    } else {
-        for (comp, verts) in rep.components() {
-            let mut cc = ws.take_colors(comp.len(), u32::MAX);
-            approx_connected(&comp, t, delta1, upper_bound, ws, &mut cc, metrics);
-            for (i, &v) in verts.iter().enumerate() {
-                colors[v as usize] = cc[i];
+    {
+        let _span = metrics.span("interval.approx_sweep");
+        if rep.is_connected() {
+            approx_connected(rep, t, delta1, upper_bound, ws, &mut colors, metrics);
+        } else {
+            for (comp, verts) in rep.components() {
+                let mut cc = ws.take_colors(comp.len(), u32::MAX);
+                approx_connected(&comp, t, delta1, upper_bound, ws, &mut cc, metrics);
+                for (i, &v) in verts.iter().enumerate() {
+                    colors[v as usize] = cc[i];
+                }
+                ws.recycle_colors(cc);
             }
-            ws.recycle_colors(cc);
         }
     }
     IntervalApproxOutput {

@@ -35,7 +35,7 @@ use ssg_error::SsgError;
 use ssg_graph::{Graph, Vertex};
 use ssg_intervals::recognize::recognize_unit_interval;
 use ssg_intervals::{IntervalRepresentation, UnitIntervalRepresentation};
-use ssg_telemetry::Metrics;
+use ssg_telemetry::{Hist, Metrics};
 use ssg_tree::RootedTree;
 use std::sync::OnceLock;
 
@@ -471,9 +471,10 @@ impl SolverRegistry {
         ws: &mut Workspace,
         m: &Metrics,
     ) -> Labeling {
-        self.get(name)
-            .unwrap_or_else(|| panic!("no solver named `{name}` (have {:?})", self.names()))
-            .solve_with(problem, ws, m)
+        let solver = self
+            .get(name)
+            .unwrap_or_else(|| panic!("no solver named `{name}` (have {:?})", self.names()));
+        dispatch(solver, problem, ws, m)
     }
 
     /// Fallible dispatch for callers routing *untrusted* names and
@@ -490,6 +491,7 @@ impl SolverRegistry {
         ws: &mut Workspace,
         m: &Metrics,
     ) -> Result<Labeling, SsgError> {
+        let _span = m.span("registry.try_solve");
         let solver = self.get(name).ok_or_else(|| SsgError::UnknownSolver {
             name: name.to_string(),
             known: self.names().iter().map(|s| s.to_string()).collect(),
@@ -502,7 +504,7 @@ impl SolverRegistry {
                 found: format!("{} instance (solver `{name}`)", got.name()),
             });
         }
-        Ok(solver.solve_with(problem, ws, m))
+        Ok(dispatch(solver, problem, ws, m))
     }
 
     /// Certifies the strongest class this library can exploit. Cost:
@@ -668,6 +670,14 @@ impl SolverRegistry {
     }
 }
 
+/// Every registry solve funnels through here: the span is named after the
+/// solver (so trace dumps show which of A1–A5 ran) and its duration feeds
+/// the per-solver latency histogram.
+fn dispatch(solver: &dyn Solver, problem: &Problem, ws: &mut Workspace, m: &Metrics) -> Labeling {
+    let _span = m.span_hist(solver.name(), Hist::SolverSolve);
+    solver.solve_with(problem, ws, m)
+}
+
 /// The process-wide registry of paper algorithms, built once on first use.
 /// Dispatch sites that do not need custom solvers share this instance.
 pub fn default_registry() -> &'static SolverRegistry {
@@ -813,6 +823,76 @@ mod tests {
             .try_solve("greedy_bfs", &problem, &mut ws, &Metrics::disabled())
             .unwrap();
         assert_eq!(lab.len(), 4);
+    }
+
+    #[test]
+    fn dispatch_records_solver_latency_and_spans() {
+        use ssg_telemetry::Hist;
+        let mut rng = StdRng::seed_from_u64(123);
+        let r = default_registry();
+        let mut ws = Workspace::new();
+        let m = ssg_telemetry::Metrics::with_tracing(256);
+        let g = generators::random_connected(20, 30, &mut rng);
+        let sep = SeparationVector::all_ones(1);
+        let _scope = m.trace_scope(77);
+        r.try_solve("greedy_bfs", &Problem::graph(&g, &sep), &mut ws, &m)
+            .unwrap();
+        // Every registry solve lands in the per-solver histogram...
+        assert_eq!(m.snapshot().hist(Hist::SolverSolve).count(), 1);
+        // ...and the trace shows the dispatch chain under the request id.
+        let events = m.recorder().unwrap().events_for(77);
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"registry.try_solve"), "{names:?}");
+        assert!(names.contains(&"greedy_bfs"), "{names:?}");
+        let outer = events.iter().find(|e| e.name == "registry.try_solve").unwrap();
+        let inner = events.iter().find(|e| e.name == "greedy_bfs").unwrap();
+        assert_eq!(inner.parent_id, outer.span_id);
+
+        // Errors still close the try_solve span cleanly.
+        assert!(r
+            .try_solve("no_such_solver", &Problem::graph(&g, &sep), &mut ws, &m)
+            .is_err());
+        assert_eq!(m.snapshot().hist(Hist::SolverSolve).count(), 1);
+    }
+
+    #[test]
+    fn a1_a5_phase_spans_appear_in_traces() {
+        let mut rng = StdRng::seed_from_u64(124);
+        let r = default_registry();
+        let mut ws = Workspace::new();
+        let m = ssg_telemetry::Metrics::with_tracing(1024);
+
+        let src = ssg_intervals::gen::random_connected_unit_intervals(25, 0.5, &mut rng);
+        let sep = SeparationVector::all_ones(2);
+        r.solve("interval_l1", &Problem::interval(src.as_interval(), &sep), &mut ws, &m);
+        let sep_d1 = SeparationVector::two(3, 1).unwrap();
+        r.solve(
+            "interval_approx_delta1",
+            &Problem::interval(src.as_interval(), &sep_d1),
+            &mut ws,
+            &m,
+        );
+        let sep2 = SeparationVector::two(4, 2).unwrap();
+        r.solve(
+            "unit_interval_l_delta1_delta2",
+            &Problem::unit_interval(&src, &sep2),
+            &mut ws,
+            &m,
+        );
+        let g = generators::random_tree(30, &mut rng);
+        let tree = RootedTree::bfs_canonical(&g, 0).unwrap();
+        r.solve("tree_l1", &Problem::tree(&tree, &sep), &mut ws, &m);
+
+        let names: Vec<&str> = m.recorder().unwrap().events().iter().map(|e| e.name).collect();
+        for expected in [
+            "interval.sweep",
+            "interval.lambda_bounds",
+            "interval.approx_sweep",
+            "unit_interval.components",
+            "tree.color_levels",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub fn l1_coloring_ws(
     metrics: &Metrics,
 ) -> TreeL1Output {
     ws.begin_solve(metrics);
+    let _span = metrics.span("tree.color_levels");
     let (labeling, lambda_star) = color_tree(tree, t, 1, ws, metrics);
     TreeL1Output {
         labeling,
@@ -119,6 +120,7 @@ pub fn approx_delta1_coloring_ws(
 ) -> TreeApproxOutput {
     assert!(delta1 >= 1);
     ws.begin_solve(metrics);
+    let _span = metrics.span("tree.color_levels");
     let (labeling, lambda_star) = color_tree(tree, t, delta1, ws, metrics);
     TreeApproxOutput {
         labeling,

@@ -113,6 +113,7 @@ pub fn l_delta1_delta2_coloring_ws(
             schemes: Vec::new(),
         };
     }
+    let _span = metrics.span("unit_interval.components");
     let mut colors = ws.take_colors(n, 0);
     let mut schemes = Vec::new();
     let mut bound = 0u32;

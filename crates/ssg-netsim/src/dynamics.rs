@@ -12,8 +12,10 @@ use rand::Rng;
 use ssg_labeling::baseline::greedy_bfs_order_ws;
 use ssg_labeling::interval::l1_coloring_ws;
 use ssg_labeling::{SeparationVector, Workspace};
-use ssg_telemetry::Metrics;
+use ssg_telemetry::hist::{HistSnapshot, Histogram};
+use ssg_telemetry::{Hist, Metrics};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Which assignment policy the simulation reruns each epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +42,10 @@ pub struct ChurnReport {
     pub total_retunes: usize,
     /// Mean station count per epoch.
     pub mean_stations: f64,
+    /// Distribution of per-epoch solve times in nanoseconds (one
+    /// observation per epoch), for tail-latency reporting: `ssg churn`
+    /// prints its p50/p90/p99/max.
+    pub epoch_solve: HistSnapshot,
 }
 
 /// Parameters of a dynamic corridor simulation.
@@ -183,6 +189,19 @@ impl DynamicsConfig {
 /// [`Workspace`] is held across all epochs, so every epoch after the first
 /// solves on recycled arenas.
 pub fn simulate_corridor<R: Rng>(cfg: DynamicsConfig, policy: Policy, rng: &mut R) -> ChurnReport {
+    simulate_corridor_with(cfg, policy, rng, &Metrics::disabled())
+}
+
+/// [`simulate_corridor`] with a telemetry handle: each epoch runs under a
+/// `netsim.epoch` span, and every epoch's solve time is rolled into both
+/// the returned report's [`ChurnReport::epoch_solve`] histogram and the
+/// handle's [`Hist::SolverSolve`] distribution.
+pub fn simulate_corridor_with<R: Rng>(
+    cfg: DynamicsConfig,
+    policy: Policy,
+    rng: &mut R,
+    metrics: &Metrics,
+) -> ChurnReport {
     let DynamicsConfig {
         initial,
         epochs,
@@ -216,7 +235,9 @@ pub fn simulate_corridor<R: Rng>(cfg: DynamicsConfig, policy: Policy, rng: &mut 
     let mut sizes = Vec::with_capacity(epochs);
     let mut total_retunes = 0usize;
     let mut max_span = 0u32;
+    let epoch_hist = Histogram::new();
     for _ in 0..epochs {
+        let _epoch_span = metrics.span("netsim.epoch");
         // Departures and arrivals.
         fleet.retain(|_| !rng.gen_bool(p_depart));
         let arrivals = rng.gen_range(0..=arrivals_max);
@@ -229,10 +250,14 @@ pub fn simulate_corridor<R: Rng>(cfg: DynamicsConfig, policy: Policy, rng: &mut 
         sizes.push(fleet.len() as f64);
         // Recompute the assignment.
         let net = CorridorNetwork::from_stations(fleet.iter().map(|&(_, s)| s).collect());
+        let solve_start = Instant::now();
         let channels = match policy {
-            Policy::OptimalL1 => net.l1_channels_ws(t, &mut ws),
-            Policy::Greedy => net.greedy_channels_ws(&sep, &mut ws),
+            Policy::OptimalL1 => net.l1_channels_with(t, &mut ws, metrics),
+            Policy::Greedy => net.greedy_channels_with(&sep, &mut ws, metrics),
         };
+        let solve_ns = u64::try_from(solve_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        epoch_hist.record(solve_ns);
+        metrics.observe_ns(Hist::SolverSolve, solve_ns);
         let span = channels.iter().copied().max().unwrap_or(0);
         max_span = max_span.max(span);
         spans.push(span as f64);
@@ -265,6 +290,7 @@ pub fn simulate_corridor<R: Rng>(cfg: DynamicsConfig, policy: Policy, rng: &mut 
         mean_churn: mean(&churns),
         total_retunes,
         mean_stations: mean(&sizes),
+        epoch_solve: epoch_hist.snapshot(),
     }
 }
 
@@ -286,7 +312,13 @@ impl CorridorNetwork {
     /// [`l1_channels`](Self::l1_channels) on a caller-held [`Workspace`],
     /// for repeated solves (the dynamics epoch loop) on warm arenas.
     pub fn l1_channels_ws(&self, t: u32, ws: &mut Workspace) -> Vec<u32> {
-        let out = l1_coloring_ws(self.representation(), t, ws, &Metrics::disabled());
+        self.l1_channels_with(t, ws, &Metrics::disabled())
+    }
+
+    /// [`l1_channels_ws`](Self::l1_channels_ws) with a telemetry handle, so
+    /// the solver's phase spans land in the caller's trace.
+    pub fn l1_channels_with(&self, t: u32, ws: &mut Workspace, metrics: &Metrics) -> Vec<u32> {
+        let out = l1_coloring_ws(self.representation(), t, ws, metrics);
         let channels = self.to_station_order(out.labeling.colors());
         ws.recycle(out.labeling);
         channels
@@ -300,7 +332,18 @@ impl CorridorNetwork {
     /// [`greedy_channels`](Self::greedy_channels) on a caller-held
     /// [`Workspace`].
     pub fn greedy_channels_ws(&self, sep: &SeparationVector, ws: &mut Workspace) -> Vec<u32> {
-        let lab = greedy_bfs_order_ws(self.graph(), sep, ws, &Metrics::disabled());
+        self.greedy_channels_with(sep, ws, &Metrics::disabled())
+    }
+
+    /// [`greedy_channels_ws`](Self::greedy_channels_ws) with a telemetry
+    /// handle, so the solver's phase spans land in the caller's trace.
+    pub fn greedy_channels_with(
+        &self,
+        sep: &SeparationVector,
+        ws: &mut Workspace,
+        metrics: &Metrics,
+    ) -> Vec<u32> {
+        let lab = greedy_bfs_order_ws(self.graph(), sep, ws, metrics);
         let channels = self.to_station_order(lab.colors());
         ws.recycle(lab);
         channels
@@ -393,6 +436,46 @@ mod tests {
             assert_eq!(net.greedy_channels_ws(&sep, &mut ws), net.greedy_channels(&sep));
         }
         assert_eq!(ws.solve_count(), 6);
+    }
+
+    #[test]
+    fn epoch_solve_histogram_covers_every_epoch() {
+        let mut rng = StdRng::seed_from_u64(135);
+        let metrics = Metrics::with_tracing(256);
+        let rep = simulate_corridor_with(
+            cfg(30, 15, 0.1, 5, 25.0, 2),
+            Policy::OptimalL1,
+            &mut rng,
+            &metrics,
+        );
+        assert_eq!(rep.epoch_solve.count(), 15, "one observation per epoch");
+        assert!(rep.epoch_solve.max() >= rep.epoch_solve.p50());
+        // The same observations roll up into the handle's solver histogram.
+        let snap = metrics.snapshot();
+        assert!(snap.hist(Hist::SolverSolve).count() >= 15);
+        // Each epoch ran under a `netsim.epoch` span, and the solver's own
+        // phase spans nest inside it.
+        let recorder = metrics.recorder().expect("tracing handle has a recorder");
+        let events = recorder.events();
+        let epochs = events.iter().filter(|e| e.name == "netsim.epoch").count();
+        assert_eq!(epochs, 15);
+        assert!(events.iter().any(|e| e.name.starts_with("interval.")));
+    }
+
+    #[test]
+    fn disabled_metrics_report_matches_instrumented_run() {
+        let mut rng = StdRng::seed_from_u64(136);
+        let a = simulate_corridor(cfg(25, 10, 0.2, 4, 20.0, 2), Policy::Greedy, &mut rng);
+        let mut rng = StdRng::seed_from_u64(136);
+        let b = simulate_corridor_with(
+            cfg(25, 10, 0.2, 4, 20.0, 2),
+            Policy::Greedy,
+            &mut rng,
+            &Metrics::enabled(),
+        );
+        assert_eq!(a.mean_span, b.mean_span);
+        assert_eq!(a.total_retunes, b.total_retunes);
+        assert_eq!(a.epoch_solve.count(), b.epoch_solve.count());
     }
 
     #[test]

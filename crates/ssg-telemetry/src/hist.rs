@@ -1,0 +1,335 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! A [`Histogram`] is a set of power-of-two buckets over `u64` nanosecond
+//! (or any other unit) values: bucket `i` counts observations `v` with
+//! `2^(i-1) <= v < 2^i` (bucket 0 counts `v == 0`), and the last bucket is
+//! an overflow sink. Recording is one `leading_zeros` plus three relaxed
+//! atomic adds — cheap enough for per-request hot paths — and quantiles are
+//! answered from a [`HistSnapshot`] by walking the cumulative counts, so
+//! p50/p90/p99 are exact to within one power of two (the classic
+//! HdrHistogram trade-off, collapsed to its simplest std-only form).
+//!
+//! ```
+//! use ssg_telemetry::hist::Histogram;
+//!
+//! let h = Histogram::new();
+//! for v in [100u64, 200, 400, 800, 100_000] {
+//!     h.record(v);
+//! }
+//! let snap = h.snapshot();
+//! assert_eq!(snap.count(), 5);
+//! assert_eq!(snap.max(), 100_000);
+//! assert!(snap.p50() >= 200 && snap.p50() <= 512);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+/// Number of log2 buckets. Bucket `NUM_BUCKETS - 1` is the overflow sink,
+/// so values up to `2^(NUM_BUCKETS-2)` (~9.1 minutes in nanoseconds) are
+/// resolved to within a factor of two and anything slower still counts.
+pub const NUM_BUCKETS: usize = 40;
+
+/// Bucket index for a value: 0 for 0, otherwise `floor(log2(v)) + 1`,
+/// clamped into the overflow bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the overflow sink).
+/// Quantile queries report this bound, so they never understate a latency.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= NUM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A thread-safe fixed-bucket log2 histogram. Shareable by reference
+/// across threads; all updates are relaxed atomics.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A plain-data copy of the current state.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut snap = HistSnapshot::default();
+        for (i, b) in self.buckets.iter().enumerate() {
+            snap.buckets[i] = b.load(Ordering::Relaxed);
+        }
+        snap.count = self.count.load(Ordering::Relaxed);
+        snap.sum = self.sum.load(Ordering::Relaxed);
+        snap.max = self.max.load(Ordering::Relaxed);
+        snap
+    }
+}
+
+/// Plain-data copy of a [`Histogram`], with quantile and rendering helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating only at `u64` wraparound).
+    pub sum: u64,
+    /// Largest observed value (exact, unlike the bucketed quantiles).
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest observed value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, reported as the upper bound
+    /// of the bucket holding that rank (never understates; exact to within
+    /// a factor of two). The overflow bucket reports the observed max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i >= NUM_BUCKETS - 1 {
+                    self.max
+                } else {
+                    bucket_upper_bound(i).min(self.max)
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`quantile`](Self::quantile) for resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Adds another snapshot's observations into this one (`max` takes the
+    /// larger side). Used to roll per-solve histograms up into a report.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Summary object used by the `ssg-bench/v2` `histograms` section:
+    /// `{"count", "p50", "p90", "p99", "max", "mean"}` (all in the recorded
+    /// unit, nanoseconds throughout this workspace).
+    pub fn summary_json(&self) -> Json {
+        Json::Object(vec![
+            ("count".into(), Json::U64(self.count)),
+            ("p50".into(), Json::U64(self.p50())),
+            ("p90".into(), Json::U64(self.p90())),
+            ("p99".into(), Json::U64(self.p99())),
+            ("max".into(), Json::U64(self.max)),
+            ("mean".into(), Json::F64(self.mean())),
+        ])
+    }
+
+    /// Appends Prometheus text-exposition lines for this histogram under
+    /// `name` (cumulative `_bucket{le="..."}` lines over the non-empty
+    /// prefix, then `_sum` and `_count`).
+    pub fn write_prometheus(&self, out: &mut String, name: &str) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        let last_nonzero = self
+            .buckets
+            .iter()
+            .rposition(|&c| c != 0)
+            .unwrap_or(0)
+            .min(NUM_BUCKETS - 2);
+        for i in 0..=last_nonzero {
+            cumulative += self.buckets[i];
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                bucket_upper_bound(i)
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.count);
+        let _ = writeln!(out, "{name}_sum {}", self.sum);
+        let _ = writeln!(out, "{name}_count {}", self.count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_value_within_2x() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max(), 1000);
+        // True p50 = 500; bucketed answer is the bound of its bucket.
+        assert!(s.p50() >= 500 && s.p50() < 1024, "{}", s.p50());
+        assert!(s.p99() >= 990 && s.p99() <= 1000, "{}", s.p99());
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_zero_histograms() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+        let h = Histogram::new();
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.p50(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_observed_max() {
+        let h = Histogram::new();
+        h.record(u64::MAX / 2);
+        let s = h.snapshot();
+        assert_eq!(s.p99(), u64::MAX / 2);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Histogram::new();
+        a.record(10);
+        a.record(20);
+        let b = Histogram::new();
+        b.record(1_000_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.max(), 1_000_000);
+        assert_eq!(m.sum, 1_000_030);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative() {
+        let h = Histogram::new();
+        h.record(1);
+        h.record(2);
+        h.record(2);
+        let mut out = String::new();
+        h.snapshot().write_prometheus(&mut out, "ssg_test_ns");
+        assert!(out.contains("# TYPE ssg_test_ns histogram"), "{out}");
+        assert!(out.contains("ssg_test_ns_bucket{le=\"1\"} 1"), "{out}");
+        assert!(out.contains("ssg_test_ns_bucket{le=\"3\"} 3"), "{out}");
+        assert!(out.contains("ssg_test_ns_bucket{le=\"+Inf\"} 3"), "{out}");
+        assert!(out.contains("ssg_test_ns_sum 5"), "{out}");
+        assert!(out.contains("ssg_test_ns_count 3"), "{out}");
+    }
+
+    #[test]
+    fn summary_json_has_the_advertised_keys() {
+        let h = Histogram::new();
+        h.record(7);
+        let json = h.snapshot().summary_json().render();
+        for key in ["count", "p50", "p90", "p99", "max", "mean"] {
+            assert!(json.contains(&format!("\"{key}\"")), "{json}");
+        }
+    }
+}

@@ -59,6 +59,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         let value = p.value()?;
         p.skip_ws();
@@ -266,9 +267,15 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting depth [`Json::parse`] accepts. The parser is
+/// recursive-descent, so unbounded nesting would overflow the stack on
+/// adversarial input; real `ssg` reports nest four or five levels deep.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -276,6 +283,15 @@ impl Parser<'_> {
         ParseError {
             offset: self.pos,
             message: message.to_string(),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            Err(self.err("too deeply nested"))
+        } else {
+            Ok(())
         }
     }
 
@@ -402,11 +418,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.bytes.get(self.pos) == Some(&b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Array(items));
         }
         loop {
@@ -416,6 +434,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -424,11 +443,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.bytes.get(self.pos) == Some(&b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Object(pairs));
         }
         loop {
@@ -442,6 +463,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Object(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -538,6 +560,79 @@ mod tests {
         }
         let err = Json::parse("[1, oops]").unwrap_err();
         assert!(err.to_string().contains("byte"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_truncated_input() {
+        for bad in [
+            "",
+            "   ",
+            "{\"a\": ",
+            "{\"a\": 1,",
+            "[1, 2",
+            "[[1], ",
+            "\"half",
+            "{\"key",
+            "tru",
+            "nul",
+            "-",
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.offset <= bad.len(), "{bad:?}: offset out of range");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_escapes() {
+        for bad in [
+            r#""\x""#,          // unknown escape
+            r#""\u12""#,        // short \u
+            r#""\u12zz""#,      // non-hex \u
+            r#""\uD800""#,      // lone surrogate -> not a char
+            "\"\\",             // escape at end of input
+            r#"{"k\q": 1}"#,    // bad escape inside an object key
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(
+                err.message.contains("escape") || err.message.contains("string"),
+                "{bad:?} gave unexpected message: {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_deep_nesting_without_overflowing() {
+        let deep_ok = format!("{}0{}", "[".repeat(MAX_PARSE_DEPTH), "]".repeat(MAX_PARSE_DEPTH));
+        assert!(Json::parse(&deep_ok).is_ok());
+        // One level past the limit fails cleanly (no stack overflow) for
+        // arrays, objects, and a mix of both.
+        let too_deep = format!("{}0{}", "[".repeat(MAX_PARSE_DEPTH + 1), "]".repeat(MAX_PARSE_DEPTH + 1));
+        let err = Json::parse(&too_deep).unwrap_err();
+        assert!(err.message.contains("nested"), "{err}");
+        let bomb = "[".repeat(100_000);
+        assert!(Json::parse(&bomb).is_err());
+        let obj_bomb = "{\"k\":".repeat(100_000);
+        let err = Json::parse(&obj_bomb).unwrap_err();
+        assert!(err.message.contains("nested"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        for bad in ["{} {}", "1 2", "[1] x", "null,", "\"a\" \"b\"", "{}]"] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.message.contains("trailing"), "{bad:?} gave: {}", err.message);
+        }
+        // Trailing whitespace is fine.
+        assert!(Json::parse("{}  \n").is_ok());
+    }
+
+    #[test]
+    fn parse_error_offsets_point_at_the_problem() {
+        let err = Json::parse("[1, oops]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        let err = Json::parse("{}x").unwrap_err();
+        assert_eq!(err.offset, 2);
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //!   environment has no network, so no `serde_json`), used by the `ssg
 //!   bench --json` report and anything else that wants machine-readable
 //!   output.
+//! * [`hist`] — fixed-bucket log2 latency [`Histogram`]s behind the
+//!   [`Hist`] catalog (per-solver solve time, engine queue wait,
+//!   end-to-end request latency), answering p50/p90/p99/max from a
+//!   [`Snapshot`].
+//! * [`trace`] — tracing spans with parent links and per-request trace
+//!   ids ([`Metrics::span`], [`Metrics::trace_scope`]) feeding a bounded
+//!   [`FlightRecorder`] ring ([`Metrics::with_tracing`]) that can be
+//!   dumped as JSON after a deadline miss or panic.
 //!
 //! # Example
 //!
@@ -43,7 +51,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hist;
 pub mod json;
+pub mod trace;
+
+pub use hist::{HistSnapshot, Histogram};
+pub use trace::{EventKind, FlightRecorder, SpanEvent, SpanGuard, TraceScope};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -185,14 +198,85 @@ impl Phase {
     }
 }
 
+/// Latency histograms recorded by [`Metrics::observe`] and
+/// [`Metrics::span_hist`]. All values are nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hist {
+    /// One solver dispatch (`SolverRegistry::{solve, try_solve}` around
+    /// `Solver::solve_with`), whichever of A1–A5 ran.
+    SolverSolve,
+    /// Engine queue wait: submit (`enqueue`) to worker dequeue.
+    QueueWait,
+    /// End-to-end engine request latency: submit to reply sent.
+    RequestLatency,
+}
+
+impl Hist {
+    /// Every histogram, in report order.
+    pub const ALL: [Hist; 3] = [Hist::SolverSolve, Hist::QueueWait, Hist::RequestLatency];
+
+    /// Stable snake_case name used in JSON reports and Prometheus output
+    /// (unit suffix `_ns` is added by the renderers).
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::SolverSolve => "solver_solve",
+            Hist::QueueWait => "queue_wait",
+            Hist::RequestLatency => "request_latency",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Hist::SolverSolve => 0,
+            Hist::QueueWait => 1,
+            Hist::RequestLatency => 2,
+        }
+    }
+}
+
+/// Point-in-time gauges sampled by the engine worker loops. A gauge keeps
+/// its latest sampled value and the maximum ever sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gauge {
+    /// Jobs sitting in shard queues (sampled per worker-loop iteration).
+    QueueDepth,
+    /// Requests admitted but not yet answered.
+    InFlight,
+}
+
+impl Gauge {
+    /// Every gauge, in report order.
+    pub const ALL: [Gauge; 2] = [Gauge::QueueDepth, Gauge::InFlight];
+
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::QueueDepth => "queue_depth",
+            Gauge::InFlight => "in_flight",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Gauge::QueueDepth => 0,
+            Gauge::InFlight => 1,
+        }
+    }
+}
+
 const NUM_COUNTERS: usize = Counter::ALL.len();
 const NUM_PHASES: usize = Phase::ALL.len();
+const NUM_HISTS: usize = Hist::ALL.len();
+const NUM_GAUGES: usize = Gauge::ALL.len();
 
 #[derive(Debug, Default)]
 struct Inner {
     counters: [AtomicU64; NUM_COUNTERS],
     phase_ns: [AtomicU64; NUM_PHASES],
     phase_count: [AtomicU64; NUM_PHASES],
+    hists: [Histogram; NUM_HISTS],
+    gauge_last: [AtomicU64; NUM_GAUGES],
+    gauge_max: [AtomicU64; NUM_GAUGES],
 }
 
 /// A cheap, cloneable, thread-safe telemetry handle.
@@ -214,13 +298,16 @@ struct Inner {
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
     inner: Option<Arc<Inner>>,
+    pub(crate) recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Metrics {
-    /// A recording handle.
+    /// A recording handle (counters, timers, histograms, gauges — but no
+    /// flight recorder; see [`Metrics::with_tracing`] for that).
     pub fn enabled() -> Metrics {
         Metrics {
             inner: Some(Arc::new(Inner::default())),
+            recorder: None,
         }
     }
 
@@ -230,7 +317,10 @@ impl Metrics {
     /// code that never asks for telemetry pays only a handful of dead
     /// branches (see `bench_telemetry_overhead` in `ssg-bench`).
     pub fn disabled() -> Metrics {
-        Metrics { inner: None }
+        Metrics {
+            inner: None,
+            recorder: None,
+        }
     }
 
     /// Whether this handle records anything.
@@ -274,6 +364,34 @@ impl Metrics {
         }
     }
 
+    /// Records one observation into a latency histogram (no-op when
+    /// disabled).
+    #[inline]
+    pub fn observe(&self, hist: Hist, elapsed: Duration) {
+        if let Some(inner) = &self.inner {
+            let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            inner.hists[hist.index()].record(ns);
+        }
+    }
+
+    /// Records a raw nanosecond observation into a latency histogram.
+    #[inline]
+    pub fn observe_ns(&self, hist: Hist, ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.hists[hist.index()].record(ns);
+        }
+    }
+
+    /// Samples a gauge: stores `value` as the latest reading and folds it
+    /// into the gauge's running maximum (no-op when disabled).
+    #[inline]
+    pub fn gauge_set(&self, gauge: Gauge, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.gauge_last[gauge.index()].store(value, Ordering::Relaxed);
+            inner.gauge_max[gauge.index()].fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
     /// A plain-data copy of the current totals (all zeros when disabled).
     pub fn snapshot(&self) -> Snapshot {
         let mut snap = Snapshot::default();
@@ -285,6 +403,13 @@ impl Metrics {
                 snap.phase_ns[p.index()] = inner.phase_ns[p.index()].load(Ordering::Relaxed);
                 snap.phase_count[p.index()] =
                     inner.phase_count[p.index()].load(Ordering::Relaxed);
+            }
+            for h in Hist::ALL {
+                snap.hists[h.index()] = inner.hists[h.index()].snapshot();
+            }
+            for g in Gauge::ALL {
+                snap.gauge_last[g.index()] = inner.gauge_last[g.index()].load(Ordering::Relaxed);
+                snap.gauge_max[g.index()] = inner.gauge_max[g.index()].load(Ordering::Relaxed);
             }
         }
         snap
@@ -324,6 +449,9 @@ pub struct Snapshot {
     counters: [u64; NUM_COUNTERS],
     phase_ns: [u64; NUM_PHASES],
     phase_count: [u64; NUM_PHASES],
+    hists: [HistSnapshot; NUM_HISTS],
+    gauge_last: [u64; NUM_GAUGES],
+    gauge_max: [u64; NUM_GAUGES],
 }
 
 impl Snapshot {
@@ -358,6 +486,80 @@ impl Snapshot {
                 .map(|&c| (c.name().to_string(), json::Json::U64(self.counter(c))))
                 .collect(),
         )
+    }
+
+    /// The latency histogram recorded for `hist`.
+    pub fn hist(&self, hist: Hist) -> HistSnapshot {
+        self.hists[hist.index()]
+    }
+
+    /// The latest sampled value of `gauge`.
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.gauge_last[gauge.index()]
+    }
+
+    /// The maximum value ever sampled for `gauge`.
+    pub fn gauge_max(&self, gauge: Gauge) -> u64 {
+        self.gauge_max[gauge.index()]
+    }
+
+    /// The histograms as a JSON object keyed by [`Hist::name`], each value
+    /// a [`HistSnapshot::summary_json`] summary (nanoseconds).
+    ///
+    /// ```
+    /// use ssg_telemetry::{Hist, Metrics};
+    /// use std::time::Duration;
+    /// let m = Metrics::enabled();
+    /// m.observe(Hist::QueueWait, Duration::from_micros(5));
+    /// let json = m.snapshot().histograms_json().render();
+    /// assert!(json.contains("\"queue_wait\""));
+    /// assert!(json.contains("\"p99\""));
+    /// ```
+    pub fn histograms_json(&self) -> json::Json {
+        json::Json::Object(
+            Hist::ALL
+                .iter()
+                .map(|&h| (h.name().to_string(), self.hist(h).summary_json()))
+                .collect(),
+        )
+    }
+
+    /// Prometheus text exposition of everything in the snapshot, with
+    /// every metric name prefixed by `prefix` (e.g. `"ssg"`): counters as
+    /// `_total` counters, phases as `_ns_total`/`_count_total` pairs,
+    /// histograms as cumulative `le`-bucketed histograms in nanoseconds,
+    /// and gauges as current/`_max` gauge pairs.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for c in Counter::ALL {
+            let name = c.name();
+            let _ = writeln!(out, "# TYPE {prefix}_{name}_total counter");
+            let _ = writeln!(out, "{prefix}_{name}_total {}", self.counter(c));
+        }
+        for p in Phase::ALL {
+            let name = p.name();
+            let _ = writeln!(out, "# TYPE {prefix}_phase_{name}_ns_total counter");
+            let _ = writeln!(out, "{prefix}_phase_{name}_ns_total {}", self.phase_ns(p));
+            let _ = writeln!(out, "# TYPE {prefix}_phase_{name}_count_total counter");
+            let _ = writeln!(
+                out,
+                "{prefix}_phase_{name}_count_total {}",
+                self.phase_count(p)
+            );
+        }
+        for h in Hist::ALL {
+            self.hist(h)
+                .write_prometheus(&mut out, &format!("{prefix}_{}_ns", h.name()));
+        }
+        for g in Gauge::ALL {
+            let name = g.name();
+            let _ = writeln!(out, "# TYPE {prefix}_{name} gauge");
+            let _ = writeln!(out, "{prefix}_{name} {}", self.gauge(g));
+            let _ = writeln!(out, "# TYPE {prefix}_{name}_max gauge");
+            let _ = writeln!(out, "{prefix}_{name}_max {}", self.gauge_max(g));
+        }
+        out
     }
 }
 
@@ -429,5 +631,63 @@ mod tests {
         assert_eq!(Phase::Run.name(), "run");
         assert_eq!(Phase::Cell.name(), "cell");
         assert_eq!(Phase::Batch.name(), "batch");
+        let hist_names: Vec<&str> = Hist::ALL.iter().map(|h| h.name()).collect();
+        assert_eq!(hist_names, ["solver_solve", "queue_wait", "request_latency"]);
+        let gauge_names: Vec<&str> = Gauge::ALL.iter().map(|g| g.name()).collect();
+        assert_eq!(gauge_names, ["queue_depth", "in_flight"]);
+    }
+
+    #[test]
+    fn histograms_and_gauges_record_and_snapshot() {
+        let m = Metrics::enabled();
+        m.observe(Hist::SolverSolve, Duration::from_nanos(900));
+        m.observe_ns(Hist::SolverSolve, 100);
+        m.gauge_set(Gauge::QueueDepth, 5);
+        m.gauge_set(Gauge::QueueDepth, 2);
+        let snap = m.snapshot();
+        assert_eq!(snap.hist(Hist::SolverSolve).count(), 2);
+        assert_eq!(snap.hist(Hist::SolverSolve).max(), 900);
+        assert_eq!(snap.hist(Hist::QueueWait).count(), 0);
+        assert_eq!(snap.gauge(Gauge::QueueDepth), 2);
+        assert_eq!(snap.gauge_max(Gauge::QueueDepth), 5);
+    }
+
+    #[test]
+    fn disabled_handle_ignores_histograms_and_gauges() {
+        let m = Metrics::disabled();
+        m.observe(Hist::RequestLatency, Duration::from_secs(1));
+        m.observe_ns(Hist::QueueWait, 7);
+        m.gauge_set(Gauge::InFlight, 3);
+        assert_eq!(m.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_the_catalog() {
+        let m = Metrics::enabled();
+        m.add(Counter::EngineRequests, 4);
+        m.record_duration(Phase::Batch, Duration::from_nanos(250));
+        m.observe_ns(Hist::RequestLatency, 1000);
+        m.gauge_set(Gauge::InFlight, 2);
+        let text = m.snapshot().to_prometheus("ssg");
+        assert!(text.contains("ssg_engine_requests_total 4"), "{text}");
+        assert!(text.contains("ssg_phase_batch_ns_total 250"), "{text}");
+        assert!(text.contains("ssg_phase_batch_count_total 1"), "{text}");
+        assert!(
+            text.contains("# TYPE ssg_request_latency_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ssg_request_latency_ns_bucket{le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("ssg_in_flight 2"), "{text}");
+        assert!(text.contains("ssg_in_flight_max 2"), "{text}");
+        // Every line is either a comment or `name value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed exposition line: {line}"
+            );
+        }
     }
 }

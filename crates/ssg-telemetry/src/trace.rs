@@ -1,0 +1,505 @@
+//! Tracing spans and the bounded flight recorder.
+//!
+//! A [`SpanEvent`] is one timed region (or instantaneous event) tagged with
+//! a *trace id* — the engine uses the request id, so every event a request
+//! touched can be pulled back out of the ring with
+//! [`FlightRecorder::events_for`] after a deadline miss or panic. Parent
+//! links are maintained per thread: [`Metrics::span`] pushes onto a
+//! thread-local stack, so nested guards reconstruct the call tree without
+//! any caller plumbing.
+//!
+//! The [`FlightRecorder`] itself is a mutexed ring of the last `capacity`
+//! events (std-only; the mutex is held only for a push/pop). When the ring
+//! is full the oldest event is dropped and counted, so a dump always says
+//! how much history it lost.
+//!
+//! ```
+//! use ssg_telemetry::Metrics;
+//!
+//! let m = Metrics::with_tracing(64);
+//! {
+//!     let _scope = m.trace_scope(7);
+//!     let _outer = m.span("request");
+//!     let _inner = m.span("solve");
+//! } // guards record on drop, innermost first
+//! let rec = m.recorder().unwrap();
+//! let events = rec.events_for(7);
+//! assert_eq!(events.len(), 2);
+//! // The inner span's parent is the outer span.
+//! let outer = events.iter().find(|e| e.name == "request").unwrap();
+//! let inner = events.iter().find(|e| e.name == "solve").unwrap();
+//! assert_eq!(inner.parent_id, outer.span_id);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::{Hist, Metrics};
+
+/// What a [`SpanEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A timed region (`start_ns..end_ns`).
+    Span,
+    /// An instantaneous marker (`start_ns == end_ns`), e.g. `enqueue`.
+    Event,
+    /// An instantaneous marker for a failure worth dumping the ring over
+    /// (deadline miss, panic). Incidents are also counted on the recorder.
+    Incident,
+}
+
+impl EventKind {
+    /// Stable name used in trace dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Event => "event",
+            EventKind::Incident => "incident",
+        }
+    }
+}
+
+/// One recorded span or event. Timestamps are nanoseconds since the
+/// owning recorder's creation ([`FlightRecorder::now_ns`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Request/trace this event belongs to (0 = untraced background work).
+    pub trace_id: u64,
+    /// Unique id of this span within the recorder (0 for plain events).
+    pub span_id: u64,
+    /// `span_id` of the enclosing span on the same thread (0 = root).
+    pub parent_id: u64,
+    /// Static label, e.g. `"registry.try_solve"` or `"engine.dequeue"`.
+    pub name: &'static str,
+    /// Span, event, or incident.
+    pub kind: EventKind,
+    /// Start timestamp (recorder-relative nanoseconds).
+    pub start_ns: u64,
+    /// End timestamp; equals `start_ns` for instantaneous kinds.
+    pub end_ns: u64,
+}
+
+impl SpanEvent {
+    /// The event as a JSON object (one element of a trace dump).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("trace_id".into(), Json::U64(self.trace_id)),
+            ("span_id".into(), Json::U64(self.span_id)),
+            ("parent_id".into(), Json::U64(self.parent_id)),
+            ("name".into(), Json::Str(self.name.to_string())),
+            ("kind".into(), Json::Str(self.kind.name().to_string())),
+            ("start_ns".into(), Json::U64(self.start_ns)),
+            ("end_ns".into(), Json::U64(self.end_ns)),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<SpanEvent>,
+    dropped: u64,
+}
+
+/// Bounded ring of the last N [`SpanEvent`]s, shared by all clones of a
+/// [`Metrics`] handle created with [`Metrics::with_tracing`].
+#[derive(Debug)]
+pub struct FlightRecorder {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<Ring>,
+    next_span_id: AtomicU64,
+    incidents: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring::default()),
+            next_span_id: AtomicU64::new(1),
+            incidents: AtomicU64::new(0),
+        }
+    }
+
+    /// Nanoseconds since this recorder was created — the timestamp base
+    /// for every event it holds.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Allocates a fresh span id (never 0).
+    pub fn next_span_id(&self) -> u64 {
+        self.next_span_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn record(&self, event: SpanEvent) {
+        let mut ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event);
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let ring = self.ring.lock().unwrap_or_else(|p| p.into_inner());
+        ring.events.iter().copied().collect()
+    }
+
+    /// Retained events for one trace id, oldest first — the "full span
+    /// chain" of a request (up to ring capacity).
+    pub fn events_for(&self, trace_id: u64) -> Vec<SpanEvent> {
+        self.events()
+            .into_iter()
+            .filter(|e| e.trace_id == trace_id)
+            .collect()
+    }
+
+    /// How many events have been evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .dropped
+    }
+
+    /// How many [`EventKind::Incident`] events have been recorded.
+    pub fn incident_count(&self) -> u64 {
+        self.incidents.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_incident(&self) {
+        self.incidents.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The full dump: `{"schema": "ssg-trace/v1", "capacity", "dropped",
+    /// "incidents", "events": [...]}` with events oldest first.
+    pub fn to_json(&self) -> Json {
+        let events = self.events();
+        Json::Object(vec![
+            ("schema".into(), Json::Str("ssg-trace/v1".into())),
+            (
+                "capacity".into(),
+                Json::U64(u64::try_from(self.capacity).unwrap_or(u64::MAX)),
+            ),
+            ("dropped".into(), Json::U64(self.dropped())),
+            ("incidents".into(), Json::U64(self.incident_count())),
+            (
+                "events".into(),
+                Json::Array(events.iter().map(SpanEvent::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct TraceState {
+    trace_id: u64,
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static TRACE: RefCell<TraceState> = RefCell::new(TraceState::default());
+}
+
+impl Metrics {
+    /// An enabled handle that also carries a [`FlightRecorder`] keeping
+    /// the last `capacity` span events. Clones share both.
+    pub fn with_tracing(capacity: usize) -> Metrics {
+        let mut m = Metrics::enabled();
+        m.recorder = Some(Arc::new(FlightRecorder::new(capacity)));
+        m
+    }
+
+    /// The flight recorder, if this handle was built with
+    /// [`Metrics::with_tracing`].
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Opens a timed span named `name`. The span records to the flight
+    /// recorder (tagged with the thread's current trace id and parent
+    /// span) when the guard drops. On a handle without a recorder the
+    /// guard only reads the clock if a histogram was requested via
+    /// [`Metrics::span_hist`]; on a disabled handle it is fully inert.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.span_inner(name, None)
+    }
+
+    /// Like [`Metrics::span`], but also records the span's duration into
+    /// `hist` when the guard drops (histograms work even without a
+    /// recorder attached).
+    #[inline]
+    pub fn span_hist(&self, name: &'static str, hist: Hist) -> SpanGuard<'_> {
+        self.span_inner(name, Some(hist))
+    }
+
+    fn span_inner(&self, name: &'static str, hist: Option<Hist>) -> SpanGuard<'_> {
+        // Fully inert unless something downstream will consume the timing.
+        let wants_hist = hist.is_some() && self.inner.is_some();
+        let traced = self.recorder.is_some();
+        if !wants_hist && !traced {
+            return SpanGuard {
+                metrics: self,
+                name,
+                hist: None,
+                start: None,
+                traced: false,
+                trace_id: 0,
+                span_id: 0,
+                parent_id: 0,
+                start_ns: 0,
+            };
+        }
+        let (trace_id, span_id, parent_id, start_ns) = match &self.recorder {
+            Some(rec) => {
+                let span_id = rec.next_span_id();
+                let (trace_id, parent_id) = TRACE.with(|t| {
+                    let mut t = t.borrow_mut();
+                    let parent = t.stack.last().copied().unwrap_or(0);
+                    t.stack.push(span_id);
+                    (t.trace_id, parent)
+                });
+                (trace_id, span_id, parent_id, rec.now_ns())
+            }
+            None => (0, 0, 0, 0),
+        };
+        SpanGuard {
+            metrics: self,
+            name,
+            hist: if wants_hist { hist } else { None },
+            start: Some(Instant::now()),
+            traced,
+            trace_id,
+            span_id,
+            parent_id,
+            start_ns,
+        }
+    }
+
+    /// Sets the thread's current trace id (usually a request id) until the
+    /// returned guard drops; spans opened inside are tagged with it.
+    /// Inert on a handle without a recorder.
+    pub fn trace_scope(&self, trace_id: u64) -> TraceScope {
+        if self.recorder.is_none() {
+            return TraceScope { prev: 0, active: false };
+        }
+        let prev = TRACE.with(|t| {
+            let mut t = t.borrow_mut();
+            std::mem::replace(&mut t.trace_id, trace_id)
+        });
+        TraceScope { prev, active: true }
+    }
+
+    /// Records an instantaneous event under the thread's current trace id.
+    pub fn event(&self, name: &'static str) {
+        if self.recorder.is_some() {
+            let trace_id = TRACE.with(|t| t.borrow().trace_id);
+            self.event_for(trace_id, name);
+        }
+    }
+
+    /// Records an instantaneous event tagged with an explicit trace id —
+    /// used where the observing thread is not the request's thread (e.g.
+    /// `enqueue` happens on the submitter, `steal` on the thief).
+    pub fn event_for(&self, trace_id: u64, name: &'static str) {
+        if let Some(rec) = &self.recorder {
+            let now = rec.now_ns();
+            rec.record(SpanEvent {
+                trace_id,
+                span_id: 0,
+                parent_id: 0,
+                name,
+                kind: EventKind::Event,
+                start_ns: now,
+                end_ns: now,
+            });
+        }
+    }
+
+    /// Records an [`EventKind::Incident`] for `trace_id` and bumps the
+    /// recorder's incident count — the trigger for auto-dumping the ring.
+    pub fn incident(&self, trace_id: u64, name: &'static str) {
+        if let Some(rec) = &self.recorder {
+            let now = rec.now_ns();
+            rec.note_incident();
+            rec.record(SpanEvent {
+                trace_id,
+                span_id: 0,
+                parent_id: 0,
+                name,
+                kind: EventKind::Incident,
+                start_ns: now,
+                end_ns: now,
+            });
+        }
+    }
+}
+
+/// Drop guard returned by [`Metrics::span`] / [`Metrics::span_hist`].
+#[must_use = "dropping the span guard immediately closes the span"]
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    metrics: &'a Metrics,
+    name: &'static str,
+    hist: Option<Hist>,
+    start: Option<Instant>,
+    traced: bool,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    start_ns: u64,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        if let Some(h) = self.hist {
+            self.metrics.observe(h, start.elapsed());
+        }
+        if self.traced {
+            if let Some(rec) = &self.metrics.recorder {
+                TRACE.with(|t| {
+                    t.borrow_mut().stack.pop();
+                });
+                rec.record(SpanEvent {
+                    trace_id: self.trace_id,
+                    span_id: self.span_id,
+                    parent_id: self.parent_id,
+                    name: self.name,
+                    kind: EventKind::Span,
+                    start_ns: self.start_ns,
+                    end_ns: rec.now_ns(),
+                });
+            }
+        }
+    }
+}
+
+/// Drop guard returned by [`Metrics::trace_scope`]; restores the thread's
+/// previous trace id.
+#[must_use = "dropping the scope guard immediately restores the previous trace id"]
+#[derive(Debug)]
+pub struct TraceScope {
+    prev: u64,
+    active: bool,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if self.active {
+            TRACE.with(|t| {
+                t.borrow_mut().trace_id = self.prev;
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_link_parents_and_tag_trace_ids() {
+        let m = Metrics::with_tracing(16);
+        {
+            let _scope = m.trace_scope(42);
+            let _a = m.span("outer");
+            {
+                let _b = m.span("inner");
+            }
+        }
+        let rec = m.recorder().unwrap();
+        let events = rec.events_for(42);
+        assert_eq!(events.len(), 2);
+        // Inner closes first, so it is recorded first.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "outer");
+        assert_eq!(events[0].parent_id, events[1].span_id);
+        assert_eq!(events[1].parent_id, 0);
+        assert!(events.iter().all(|e| e.kind == EventKind::Span));
+        assert!(events.iter().all(|e| e.end_ns >= e.start_ns));
+    }
+
+    #[test]
+    fn trace_scope_restores_previous_id() {
+        let m = Metrics::with_tracing(16);
+        {
+            let _outer = m.trace_scope(1);
+            {
+                let _inner = m.trace_scope(2);
+                m.event("in_inner");
+            }
+            m.event("in_outer");
+        }
+        m.event("outside");
+        let rec = m.recorder().unwrap();
+        assert_eq!(rec.events_for(2)[0].name, "in_inner");
+        assert_eq!(rec.events_for(1)[0].name, "in_outer");
+        assert_eq!(rec.events_for(0)[0].name, "outside");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let m = Metrics::with_tracing(4);
+        for _ in 0..10 {
+            m.event_for(1, "tick");
+        }
+        let rec = m.recorder().unwrap();
+        assert_eq!(rec.events().len(), 4);
+        assert_eq!(rec.dropped(), 6);
+        let dump = rec.to_json().render();
+        assert!(dump.contains("\"schema\":\"ssg-trace/v1\""), "{dump}");
+        assert!(dump.contains("\"dropped\":6"), "{dump}");
+    }
+
+    #[test]
+    fn incidents_are_counted_and_kinded() {
+        let m = Metrics::with_tracing(8);
+        m.incident(9, "deadline_miss");
+        let rec = m.recorder().unwrap();
+        assert_eq!(rec.incident_count(), 1);
+        let ev = rec.events_for(9);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].kind, EventKind::Incident);
+        assert_eq!(ev[0].name, "deadline_miss");
+    }
+
+    #[test]
+    fn handles_without_recorder_are_inert() {
+        let off = Metrics::disabled();
+        {
+            let _s = off.span("nope");
+            let _t = off.trace_scope(5);
+            off.event("nope");
+            off.incident(5, "nope");
+        }
+        assert!(off.recorder().is_none());
+
+        // Enabled-but-untraced: spans don't record events, but span_hist
+        // still feeds the histogram.
+        let on = Metrics::enabled();
+        {
+            let _s = on.span_hist("solve", Hist::SolverSolve);
+        }
+        assert!(on.recorder().is_none());
+        assert_eq!(on.snapshot().hist(Hist::SolverSolve).count(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let m = Metrics::with_tracing(8);
+        let c = m.clone();
+        c.event_for(3, "from_clone");
+        assert_eq!(m.recorder().unwrap().events_for(3).len(), 1);
+    }
+}

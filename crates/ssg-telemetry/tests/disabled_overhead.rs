@@ -1,0 +1,71 @@
+//! The disabled-telemetry contract, as tests rather than benchmarks: a
+//! [`Metrics::disabled()`] handle must record nothing and cost (near)
+//! nothing. The companion criterion bench (`ssg-bench`, E11) measures the
+//! same paths precisely; these assertions are the cheap always-on gate.
+
+use ssg_telemetry::{Gauge, Hist, Metrics};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Operations per timing run — large enough to swamp `Instant` resolution,
+/// small enough to keep the test fast.
+const OPS: usize = 200_000;
+
+/// Minimum wall time over several runs of `OPS` span+observe pairs: the
+/// minimum filters scheduler noise, which only ever adds time.
+fn min_run_ns(m: &Metrics) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for i in 0..OPS {
+            let _g = black_box(m.span_hist("overhead.test", Hist::SolverSolve));
+            m.observe_ns(Hist::QueueWait, black_box(i as u64));
+        }
+        best = best.min(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    best
+}
+
+#[test]
+fn disabled_handles_record_nothing() {
+    let m = Metrics::disabled();
+    {
+        let _g = m.span_hist("overhead.test", Hist::SolverSolve);
+        let _e = m.span("overhead.inner");
+        m.observe_ns(Hist::QueueWait, 123);
+        m.gauge_set(Gauge::QueueDepth, 7);
+        m.event("overhead.event");
+    }
+    let snap = m.snapshot();
+    for h in Hist::ALL {
+        assert_eq!(snap.hist(h).count(), 0, "{}", h.name());
+    }
+    for g in Gauge::ALL {
+        assert_eq!(snap.gauge(g), 0, "{}", g.name());
+        assert_eq!(snap.gauge_max(g), 0, "{}", g.name());
+    }
+    assert!(m.recorder().is_none(), "disabled handles carry no recorder");
+}
+
+#[test]
+fn disabled_span_and_observe_are_near_zero_cost() {
+    let disabled = min_run_ns(&Metrics::disabled());
+    let per_op = disabled as f64 / OPS as f64;
+    // The disabled path is two `Option` tests and no clock read. 250 ns/op
+    // is ~two orders of magnitude above its real cost — generous enough to
+    // hold on a loaded CI box in a debug build, tight enough to catch an
+    // accidental `Instant::now()` or allocation sneaking into the fast
+    // path.
+    assert!(
+        per_op < 250.0,
+        "disabled span+observe cost {per_op:.1} ns/op, expected near-zero"
+    );
+    // Sanity on the measurement itself: the enabled path does strictly more
+    // work (two clock reads plus atomics), so the disabled minimum must not
+    // come out slower than the enabled minimum beyond noise.
+    let enabled = min_run_ns(&Metrics::enabled());
+    assert!(
+        disabled <= enabled.saturating_mul(2).saturating_add(1_000_000),
+        "disabled ({disabled} ns) should never cost more than enabled ({enabled} ns)"
+    );
+}

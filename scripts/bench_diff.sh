@@ -17,7 +17,7 @@ fi
 
 # Pull n/reps/seed out of the baseline so the rerun is comparable. The
 # grep/sed pair keys on the first occurrence of each field, which in an
-# ssg-bench/v1 document is the config block.
+# ssg-bench/v1 or /v2 document is the config block.
 field() {
     grep -o "\"$1\": [0-9]*" "$BASELINE" | head -n 1 | sed 's/[^0-9]*//'
 }

@@ -22,6 +22,9 @@ cargo test -q --workspace --offline
 echo "==> cargo test --release -p ssg-engine"
 cargo test -q --release -p ssg-engine --offline
 
+echo "==> scripts/bench_diff.sh (span drift vs BENCH_labeling.json)"
+sh scripts/bench_diff.sh
+
 echo "==> cargo clippy --all-targets (-D warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

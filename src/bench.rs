@@ -2,12 +2,16 @@
 //! deterministic synthetic workloads with telemetry enabled and builds a
 //! machine-readable run report.
 //!
-//! The report's JSON schema is `"ssg-bench/v1"` (see
-//! [`BenchReport::to_json`] and EXPERIMENTS.md). Work counters are pure
+//! The report's JSON schema is `"ssg-bench/v2"` (see
+//! [`BenchReport::to_json`] and EXPERIMENTS.md): v2 adds a top-level
+//! `histograms` section with log2-bucket latency summaries (per-algorithm
+//! solve time, engine queue wait, end-to-end request latency).
+//! [`diff_against_baseline`] still accepts `"ssg-bench/v1"` baselines — the
+//! quantities it compares exist in both. Work counters are pure
 //! functions of `(n, seed)`, so fixed-config runs reproduce them
-//! bit-for-bit; wall times are environment-dependent and belong to the
-//! committed `BENCH_labeling.json` baseline only as an order-of-magnitude
-//! record.
+//! bit-for-bit; wall times and histogram quantiles are
+//! environment-dependent and belong to the committed
+//! `BENCH_labeling.json` baseline only as an order-of-magnitude record.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,7 +20,7 @@ use ssg_intervals::gen::{corridor_unit_intervals, random_connected_intervals};
 use ssg_labeling::solver::{default_registry, Problem};
 use ssg_labeling::{SeparationVector, Workspace};
 use ssg_telemetry::json::Json;
-use ssg_telemetry::{Counter, Metrics, Phase, Snapshot};
+use ssg_telemetry::{Counter, Hist, HistSnapshot, Metrics, Phase, Snapshot};
 use ssg_tree::RootedTree;
 
 /// Configuration of one `ssg bench` run.
@@ -126,6 +130,9 @@ pub struct AlgorithmBench {
     /// Telemetry totals of one warm solve — the same work counters plus one
     /// `workspace_reuses`. `None` when `repeat == 1`.
     pub warm_counters: Option<Snapshot>,
+    /// Solve-time distribution merged over every solve this row ran (cold
+    /// and warm), as recorded by the registry's `solver_solve` histogram.
+    pub solve_hist: HistSnapshot,
 }
 
 impl AlgorithmBench {
@@ -203,6 +210,12 @@ pub struct EngineBench {
     pub spans_match_sequential: bool,
     /// One row per worker count, in ascending worker order.
     pub rows: Vec<EngineBenchRow>,
+    /// Queue-wait distribution (enqueue to dequeue, nanoseconds) aggregated
+    /// over every batch the sweep ran, warm-up batches included.
+    pub queue_wait: HistSnapshot,
+    /// End-to-end request latency distribution (enqueue through reply,
+    /// nanoseconds) over the same batches.
+    pub request_latency: HistSnapshot,
 }
 
 impl EngineBench {
@@ -253,14 +266,17 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Renders the report as a `"ssg-bench/v1"` JSON value.
+    /// Renders the report as a `"ssg-bench/v2"` JSON value.
     ///
     /// Top-level keys, in order: `schema`, `config` (`n`, `reps`, `seed`,
     /// plus `repeat` when > 1), `algorithms` (array of objects with `id`,
     /// `name`, `workload`, `params`, `n`, `span`, `wall_ns`, `wall_ns_min`,
     /// `counters`, plus `warm_wall_ns` / `warm_wall_ns_min` /
-    /// `warm_counters` when `repeat` > 1), and `engine` (batch throughput
-    /// vs. worker count; present since the engine section was added).
+    /// `warm_counters` when `repeat` > 1), `histograms` (new in v2:
+    /// `solver_solve` keyed by algorithm id, plus `queue_wait` and
+    /// `request_latency` when the engine section ran; each summary has
+    /// `count`/`p50`/`p90`/`p99`/`max`/`mean` in nanoseconds), and `engine`
+    /// (batch throughput vs. worker count).
     pub fn to_json(&self) -> Json {
         let mut config = vec![
             ("n".into(), Json::U64(self.config.n as u64)),
@@ -270,13 +286,27 @@ impl BenchReport {
         if self.config.repeat > 1 {
             config.push(("repeat".into(), Json::U64(self.config.repeat as u64)));
         }
+        let solver_solve: Vec<(String, Json)> = self
+            .algorithms
+            .iter()
+            .map(|a| (a.id.to_string(), a.solve_hist.summary_json()))
+            .collect();
+        let mut histograms = vec![("solver_solve".into(), Json::Object(solver_solve))];
+        if let Some(engine) = &self.engine {
+            histograms.push(("queue_wait".into(), engine.queue_wait.summary_json()));
+            histograms.push((
+                "request_latency".into(),
+                engine.request_latency.summary_json(),
+            ));
+        }
         let mut fields = vec![
-            ("schema".into(), Json::Str("ssg-bench/v1".into())),
+            ("schema".into(), Json::Str("ssg-bench/v2".into())),
             ("config".into(), Json::Object(config)),
             (
                 "algorithms".into(),
                 Json::Array(self.algorithms.iter().map(|a| a.to_json()).collect()),
             ),
+            ("histograms".into(), Json::Object(histograms)),
         ];
         if let Some(engine) = &self.engine {
             fields.push(("engine".into(), engine.to_json()));
@@ -337,6 +367,13 @@ impl BenchReport {
                     r.steals
                 ));
             }
+            out.push_str(&format!(
+                "latency (ns): queue wait p50={} p99={}  end-to-end p50={} p99={}\n",
+                engine.queue_wait.p50(),
+                engine.queue_wait.p99(),
+                engine.request_latency.p50(),
+                engine.request_latency.p99(),
+            ));
             if !engine.spans_match_sequential {
                 out.push_str("WARNING: engine spans diverged from sequential solves\n");
             }
@@ -386,7 +423,9 @@ impl BaselineDiff {
     }
 }
 
-/// Diffs `report` against a parsed `ssg-bench/v1` baseline document.
+/// Diffs `report` against a parsed `ssg-bench/v1` **or** `ssg-bench/v2`
+/// baseline document — every quantity the diff compares exists in both
+/// schemas, so a pre-histogram baseline stays usable.
 ///
 /// Returns `Err` when the baseline is structurally unusable (wrong schema,
 /// missing sections, or a config mismatch that makes spans incomparable);
@@ -394,8 +433,12 @@ impl BaselineDiff {
 /// algorithm row, or a row present on one side only, is a drift.
 pub fn diff_against_baseline(report: &BenchReport, baseline: &Json) -> Result<BaselineDiff, String> {
     match baseline.get("schema").and_then(Json::as_str) {
-        Some("ssg-bench/v1") => {}
-        Some(other) => return Err(format!("baseline schema is '{other}', expected 'ssg-bench/v1'")),
+        Some("ssg-bench/v1" | "ssg-bench/v2") => {}
+        Some(other) => {
+            return Err(format!(
+                "baseline schema is '{other}', expected 'ssg-bench/v1' or 'ssg-bench/v2'"
+            ))
+        }
         None => return Err("baseline has no 'schema' key".into()),
     }
     let cfg = baseline
@@ -485,16 +528,19 @@ fn bench_one(
     let mut span = 0u32;
     let mut counters = Snapshot::default();
     let mut warm_counters = None;
+    let mut solve_hist = HistSnapshot::default();
     for _ in 0..cfg.reps.max(1) {
         let mut ws = Workspace::new();
         let (cold_span, cold_snap) = timed_solve(name, problem, &mut ws);
         span = cold_span;
         wall_ns.push(cold_snap.phase_ns(Phase::Run));
+        solve_hist.merge(&cold_snap.hist(Hist::SolverSolve));
         counters = cold_snap;
         for _ in 1..cfg.repeat.max(1) {
             let (warm_span, warm_snap) = timed_solve(name, problem, &mut ws);
             debug_assert_eq!(warm_span, span, "warm solves must be bit-identical");
             warm_wall_ns.push(warm_snap.phase_ns(Phase::Run));
+            solve_hist.merge(&warm_snap.hist(Hist::SolverSolve));
             warm_counters = Some(warm_snap);
         }
     }
@@ -509,6 +555,7 @@ fn bench_one(
         warm_wall_ns,
         counters,
         warm_counters,
+        solve_hist,
     }
 }
 
@@ -567,8 +614,14 @@ pub fn run_engine_benchmark(cfg: &BenchConfig) -> EngineBench {
     let mut spans_match = true;
     let mut rows = Vec::with_capacity(ENGINE_WORKER_COUNTS.len());
     let mut base_wall_ns = 0u64;
+    // One shared handle across the whole sweep: queue-wait and end-to-end
+    // latency distributions aggregate every batch (warm-up included).
+    let metrics = Metrics::enabled();
     for workers in ENGINE_WORKER_COUNTS {
-        let engine = Engine::builder().workers(workers).build();
+        let engine = Engine::builder()
+            .workers(workers)
+            .metrics(metrics.clone())
+            .build();
         // One warm-up batch so thread spawn and arena growth are off the
         // clock, then the timed batch.
         let _ = engine.run_batch(make_batch());
@@ -595,6 +648,7 @@ pub fn run_engine_benchmark(cfg: &BenchConfig) -> EngineBench {
             steals,
         });
     }
+    let snap = metrics.snapshot();
     EngineBench {
         workload: "corridor unit-interval batch via interval_l1",
         requests: ENGINE_REQUESTS,
@@ -604,6 +658,8 @@ pub fn run_engine_benchmark(cfg: &BenchConfig) -> EngineBench {
             .unwrap_or(1),
         spans_match_sequential: spans_match,
         rows,
+        queue_wait: snap.hist(Hist::QueueWait),
+        request_latency: snap.hist(Hist::RequestLatency),
     }
 }
 
@@ -761,6 +817,49 @@ mod tests {
         let baseline = Json::parse(&other_seed.to_json().render_pretty()).unwrap();
         let err = diff_against_baseline(&report, &baseline).unwrap_err();
         assert!(err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn report_json_has_v2_schema_and_histograms() {
+        let report = run_benchmarks(&small());
+        let doc = Json::parse(&report.to_json().render_pretty()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("ssg-bench/v2"));
+        let hists = doc.get("histograms").expect("v2 has a histograms section");
+        let solver = hists.get("solver_solve").expect("per-algorithm summaries");
+        for id in ["A1", "A2", "A3", "A4", "A5"] {
+            let row = solver.get(id).unwrap_or_else(|| panic!("{id} summary"));
+            for key in ["count", "p50", "p90", "p99", "max", "mean"] {
+                assert!(row.get(key).is_some(), "{id} missing {key}");
+            }
+            // One cold solve per repetition lands in the histogram.
+            assert_eq!(row.get("count").and_then(Json::as_u64), Some(2), "{id}");
+        }
+        for section in ["queue_wait", "request_latency"] {
+            let count = hists
+                .get(section)
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("{section} summary"));
+            // Warm-up + timed batch at each of the four worker counts.
+            assert_eq!(count, 8 * ENGINE_REQUESTS as u64, "{section}");
+        }
+    }
+
+    #[test]
+    fn baseline_diff_accepts_v1_baselines() {
+        let report = run_benchmarks(&small());
+        let v1 = report
+            .to_json()
+            .render_pretty()
+            .replace("ssg-bench/v2", "ssg-bench/v1");
+        let diff = diff_against_baseline(&report, &Json::parse(&v1).unwrap()).unwrap();
+        assert!(diff.is_clean(), "{}", diff.render());
+        let v3 = report
+            .to_json()
+            .render_pretty()
+            .replace("ssg-bench/v2", "ssg-bench/v3");
+        let err = diff_against_baseline(&report, &Json::parse(&v3).unwrap()).unwrap_err();
+        assert!(err.contains("ssg-bench/v3"), "{err}");
     }
 
     #[test]

@@ -5,21 +5,33 @@
 //! ssg gen platoon  <n> <k> [seed]    # tight unit-interval platoon
 //! ssg gen backbone <n> [seed]        # random degree-4 tree
 //! ssg classify <file>                # certify the graph class
-//! ssg color <file> <d1[,d2,...]> [--format text|json]
-//!                                    # auto-dispatch an L(δ...) coloring
+//! ssg color <file> <d1[,d2,...]> [--format text|json] [--trace]
+//!                                    # auto-dispatch an L(δ...) coloring;
+//!                                    # --trace prints the span log to
+//!                                    # stderr
 //! ssg batch <file.reqs> [--workers N] [--queue-cap N] [--fail-fast]
-//!           [--format text|json]     # run a request file through the
-//!                                    # sharded batch engine
-//! ssg churn [epochs] [seed]          # dynamic corridor churn demo
+//!           [--format text|json] [--trace] [--trace-dump <path>]
+//!                                    # run a request file through the
+//!                                    # sharded batch engine; batch always
+//!                                    # records a flight recorder: --trace
+//!                                    # prints its span log, --trace-dump
+//!                                    # writes its JSON to <path>, and any
+//!                                    # deadline miss or worker panic
+//!                                    # auto-dumps to <file.reqs>.trace.json
+//! ssg churn [epochs] [seed]          # dynamic corridor churn demo with
+//!                                    # per-epoch solve-time percentiles
+//! ssg metrics [--n N] [--seed S]     # run a standard workload and print
+//!                                    # Prometheus text exposition
 //! ssg bench [--json] [--n N] [--reps R] [--seed S] [--repeat K]
 //!           [--compare BASELINE.json]
 //!                                    # run A1-A5 with telemetry; --json
-//!                                    # emits an ssg-bench/v1 report;
+//!                                    # emits an ssg-bench/v2 report
+//!                                    # (latency histograms included);
 //!                                    # --repeat K>1 adds warm-workspace
 //!                                    # timings next to the cold solves;
 //!                                    # --compare diffs spans against a
-//!                                    # committed report and exits 1 on
-//!                                    # any drift
+//!                                    # committed v1 or v2 report and
+//!                                    # exits 1 on any drift
 //! ```
 //!
 //! Graph files: first line `n m`, then `m` lines `u v` (0-based).
@@ -56,14 +68,14 @@ use std::time::Duration;
 use strongly_simplicial::bench::{diff_against_baseline, run_benchmarks, BenchConfig};
 use strongly_simplicial::engine::{Backpressure, Engine, LabelRequest, LabelResponse};
 use strongly_simplicial::labeling::auto::Guarantee;
-use strongly_simplicial::labeling::solver::default_registry;
+use strongly_simplicial::labeling::solver::{default_registry, Problem};
 use strongly_simplicial::labeling::{all_violations, SeparationVector, Workspace};
 use strongly_simplicial::netsim::{
     simulate_corridor, BackboneNetwork, CorridorNetwork, DynamicsConfig, Policy, VehicularNetwork,
 };
 use strongly_simplicial::prelude::*;
 use strongly_simplicial::telemetry::json::Json;
-use strongly_simplicial::telemetry::Metrics;
+use strongly_simplicial::telemetry::{FlightRecorder, Metrics};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,9 +99,10 @@ fn run(args: &[String]) -> Result<i32, SsgError> {
         Some("color") => cmd_color(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("churn") => cmd_churn(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => Err(SsgError::Usage(
-            "ssg gen|classify|color|batch|churn|bench ... (see the README)".into(),
+            "ssg gen|classify|color|batch|churn|metrics|bench ... (see the README)".into(),
         )),
     }
 }
@@ -303,17 +316,45 @@ fn guarantee_str(g: &Guarantee) -> String {
     }
 }
 
+/// Prints a flight recorder's span log to stderr, one line per event, so
+/// `--trace` composes with both text and JSON stdout formats.
+fn print_trace(recorder: &FlightRecorder) {
+    let events = recorder.events();
+    eprintln!(
+        "trace: {} event(s), {} dropped, {} incident(s)",
+        events.len(),
+        recorder.dropped(),
+        recorder.incident_count()
+    );
+    for e in &events {
+        eprintln!(
+            "trace: [req {:>3}] {:<8} {:<30} span={} parent={} start={}ns dur={}ns",
+            e.trace_id,
+            e.kind.name(),
+            e.name,
+            e.span_id,
+            e.parent_id,
+            e.start_ns,
+            e.end_ns.saturating_sub(e.start_ns)
+        );
+    }
+}
+
 fn cmd_color(args: &[String]) -> Result<i32, SsgError> {
-    let usage = || SsgError::Usage("ssg color <file> <d1[,d2,...]> [--format text|json]".into());
+    let usage = || {
+        SsgError::Usage("ssg color <file> <d1[,d2,...]> [--format text|json] [--trace]".into())
+    };
     let (path, sep_spec) = match (args.first(), args.get(1)) {
         (Some(p), Some(s)) => (p, s),
         _ => return Err(usage()),
     };
     let mut format = OutputFormat::Text;
+    let mut trace = false;
     let mut it = args[2..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--format" => format = parse_format("color", &mut it)?,
+            "--trace" => trace = true,
             other => {
                 return Err(SsgError::Usage(format!("color: unknown flag '{other}'")));
             }
@@ -322,7 +363,15 @@ fn cmd_color(args: &[String]) -> Result<i32, SsgError> {
     let sep = parse_separations("color", sep_spec)?;
     let g = read_graph(path)?;
     let mut ws = Workspace::new();
-    let out = default_registry().auto_coloring(&g, &sep, &mut ws, &Metrics::disabled());
+    let metrics = if trace {
+        Metrics::with_tracing(4096)
+    } else {
+        Metrics::disabled()
+    };
+    let out = default_registry().auto_coloring(&g, &sep, &mut ws, &metrics);
+    if let Some(recorder) = metrics.recorder() {
+        print_trace(recorder);
+    }
     let violations = all_violations(&g, &sep, out.labeling.colors());
     match format {
         OutputFormat::Text => {
@@ -495,10 +544,16 @@ fn response_to_json(r: &LabelResponse) -> Json {
     Json::Object(obj)
 }
 
+/// Span-event capacity of the `ssg batch` flight recorder: enough for the
+/// full chains of a few thousand requests before the ring starts dropping
+/// the oldest events.
+const BATCH_RECORDER_CAPACITY: usize = 16 * 1024;
+
 fn cmd_batch(args: &[String]) -> Result<i32, SsgError> {
     let path = args.first().ok_or_else(|| {
         SsgError::Usage(
-            "ssg batch <file.reqs> [--workers N] [--queue-cap N] [--fail-fast] [--format text|json]"
+            "ssg batch <file.reqs> [--workers N] [--queue-cap N] [--fail-fast] \
+             [--format text|json] [--trace] [--trace-dump <path>]"
                 .into(),
         )
     })?;
@@ -506,6 +561,8 @@ fn cmd_batch(args: &[String]) -> Result<i32, SsgError> {
     let mut queue_cap: Option<usize> = None;
     let mut backpressure = Backpressure::Block;
     let mut format = OutputFormat::Text;
+    let mut trace = false;
+    let mut trace_dump: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -525,6 +582,10 @@ fn cmd_batch(args: &[String]) -> Result<i32, SsgError> {
             }
             "--fail-fast" => backpressure = Backpressure::FailFast,
             "--format" => format = parse_format("batch", &mut it)?,
+            "--trace" => trace = true,
+            "--trace-dump" => {
+                trace_dump = Some(flag_value("batch", "--trace-dump", &mut it)?.to_string());
+            }
             other => {
                 return Err(SsgError::Usage(format!("batch: unknown flag '{other}'")));
             }
@@ -533,7 +594,13 @@ fn cmd_batch(args: &[String]) -> Result<i32, SsgError> {
 
     let requests = read_requests(path)?;
     let total = requests.len();
-    let mut builder = Engine::builder().backpressure(backpressure);
+    // Batch always flies with the recorder on: a deadline miss or panic in
+    // the field is exactly when the span chain is worth having, and the
+    // per-request cost is dwarfed by the solve itself.
+    let metrics = Metrics::with_tracing(BATCH_RECORDER_CAPACITY);
+    let mut builder = Engine::builder()
+        .backpressure(backpressure)
+        .metrics(metrics.clone());
     if let Some(w) = workers {
         builder = builder.workers(w);
     }
@@ -606,6 +673,25 @@ fn cmd_batch(args: &[String]) -> Result<i32, SsgError> {
         }
     }
 
+    if let Some(recorder) = metrics.recorder() {
+        if trace {
+            print_trace(recorder);
+        }
+        let incidents = recorder.incident_count();
+        // An explicit --trace-dump always writes; a deadline miss or worker
+        // panic auto-dumps next to the request file so the evidence
+        // survives the process.
+        let dump_to = trace_dump.or_else(|| (incidents > 0).then(|| format!("{path}.trace.json")));
+        if let Some(dump_path) = dump_to {
+            std::fs::write(&dump_path, recorder.to_json().render_pretty())
+                .map_err(|e| SsgError::io(&dump_path, &e))?;
+            eprintln!(
+                "trace: wrote flight-recorder dump ({} incident(s)) to {dump_path}",
+                incidents
+            );
+        }
+    }
+
     // Per-request failures are values; the process exit code reports the
     // first one through the same single map as top-level errors.
     Ok(first_error.as_ref().map_or(0, exit_code))
@@ -639,7 +725,89 @@ fn cmd_churn(args: &[String]) -> Result<i32, SsgError> {
             rep.mean_churn * 100.0,
             rep.total_retunes
         );
+        println!(
+            "  epoch solve: p50={:.1}us p90={:.1}us p99={:.1}us max={:.1}us",
+            rep.epoch_solve.p50() as f64 / 1e3,
+            rep.epoch_solve.p90() as f64 / 1e3,
+            rep.epoch_solve.p99() as f64 / 1e3,
+            rep.epoch_solve.max() as f64 / 1e3,
+        );
     }
+    Ok(0)
+}
+
+/// `ssg metrics`: runs all five registry algorithms plus a small engine
+/// batch on one enabled [`Metrics`] handle, then prints the snapshot in
+/// Prometheus text exposition format — every counter, phase timer, latency
+/// histogram, and gauge the stack records, ready to scrape or diff.
+fn cmd_metrics(args: &[String]) -> Result<i32, SsgError> {
+    let mut n: usize = 256;
+    let mut seed: u64 = 42;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--n" => {
+                n = parse_flag("metrics", "--n", &mut it)?;
+                if n < 2 {
+                    return Err(SsgError::Usage("metrics: --n needs an integer >= 2".into()));
+                }
+            }
+            "--seed" => seed = parse_flag("metrics", "--seed", &mut it)?,
+            other => {
+                return Err(SsgError::Usage(format!(
+                    "metrics: unknown flag '{other}' (usage: ssg metrics [--n N] [--seed S])"
+                )));
+            }
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let corridor = CorridorNetwork::generate(n, 1.0, 1.0, 5.0, &mut rng);
+    let platoon = VehicularNetwork::platoon(n, 4, &mut rng);
+    let backbone = BackboneNetwork::generate(n, 4, &mut rng);
+    let ones = SeparationVector::all_ones(2);
+    let d1_one = SeparationVector::delta1_then_ones(4, 2)?;
+    let d1_d2 = SeparationVector::two(5, 2)?;
+
+    let metrics = Metrics::enabled();
+    let registry = default_registry();
+    let mut ws = Workspace::new();
+    let problems = [
+        ("interval_l1", Problem::interval(corridor.representation(), &ones)),
+        (
+            "interval_approx_delta1",
+            Problem::interval(corridor.representation(), &d1_one),
+        ),
+        (
+            "unit_interval_l_delta1_delta2",
+            Problem::unit_interval(platoon.representation(), &d1_d2),
+        ),
+        ("tree_l1", Problem::tree(backbone.tree(), &ones)),
+        ("tree_approx_delta1", Problem::tree(backbone.tree(), &d1_one)),
+    ];
+    for (name, problem) in &problems {
+        let lab = registry.solve(name, problem, &mut ws, &metrics);
+        ws.recycle(lab);
+    }
+    // A small engine batch populates queue-wait, end-to-end latency, and
+    // the queue-depth / in-flight gauges.
+    let engine = Engine::builder()
+        .workers(2)
+        .metrics(metrics.clone())
+        .build();
+    let batch: Vec<LabelRequest> = (0..16)
+        .map(|i| {
+            LabelRequest::new(
+                i,
+                RequestInstance::Interval(corridor.representation().clone()),
+                ones.clone(),
+            )
+            .solver("interval_l1")
+        })
+        .collect();
+    let _ = engine.run_batch(batch);
+    engine.shutdown();
+
+    print!("{}", metrics.snapshot().to_prometheus("ssg"));
     Ok(0)
 }
 

@@ -24,10 +24,11 @@
 //!   fallible entry point returns.
 //! * [`netsim`] — synthetic wireless workloads and the rayon-parallel
 //!   experiment harness.
-//! * [`telemetry`] — zero-dependency work counters, phase timers and the
-//!   hand-rolled JSON writer behind `ssg bench --json`.
+//! * [`telemetry`] — zero-dependency work counters, phase timers, latency
+//!   histograms, tracing spans, the flight recorder, and the hand-rolled
+//!   JSON writer behind `ssg bench --json`.
 //! * [`bench`](mod@bench) — the `ssg bench` harness producing
-//!   `ssg-bench/v1` reports over the five paper algorithms.
+//!   `ssg-bench/v2` reports over the five paper algorithms.
 //!
 //! ## Quickstart
 //!

@@ -1,4 +1,4 @@
-//! Schema tests for the `ssg-bench/v1` run report.
+//! Schema tests for the `ssg-bench/v2` run report.
 //!
 //! * A **golden-file** test pins the rendered JSON of a fixed synthetic
 //!   report byte-for-byte against `tests/golden/bench_report.json`, so any
@@ -8,7 +8,16 @@
 //!   emitted document is valid JSON carrying the advertised fields.
 
 use strongly_simplicial::bench::{run_benchmarks, AlgorithmBench, BenchConfig, BenchReport};
-use strongly_simplicial::telemetry::{Counter, Metrics, Snapshot};
+use strongly_simplicial::telemetry::{Counter, HistSnapshot, Histogram, Metrics, Snapshot};
+
+/// A deterministic solve-time distribution from fixed observations.
+fn fixed_hist(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
 
 /// A synthetic report with fixed numbers (no timing, no RNG) for the golden
 /// comparison.
@@ -31,6 +40,7 @@ fn synthetic_report() -> BenchReport {
                 warm_wall_ns: Vec::new(),
                 counters: m.snapshot(),
                 warm_counters: None,
+                solve_hist: fixed_hist(&[1500, 1200]),
             },
             AlgorithmBench {
                 id: "A4",
@@ -43,6 +53,7 @@ fn synthetic_report() -> BenchReport {
                 warm_wall_ns: Vec::new(),
                 counters: Snapshot::default(),
                 warm_counters: None,
+                solve_hist: fixed_hist(&[2000, 2500]),
             },
         ],
         engine: None,
@@ -62,7 +73,7 @@ fn golden_file_matches_rendered_schema() {
     let golden = include_str!("golden/bench_report.json");
     assert_eq!(
         rendered, golden,
-        "ssg-bench/v1 schema drifted; if intentional, update \
+        "ssg-bench/v2 schema drifted; if intentional, update \
          tests/golden/bench_report.json and bump the schema version"
     );
 }
@@ -74,7 +85,7 @@ fn real_report_round_trips_through_json() {
     let text = report.to_json().render();
     let value = parse(&text).expect("bench report must be valid JSON");
 
-    assert_eq!(value.get("schema").unwrap().as_str(), Some("ssg-bench/v1"));
+    assert_eq!(value.get("schema").unwrap().as_str(), Some("ssg-bench/v2"));
     let config = value.get("config").unwrap();
     assert_eq!(config.get("n").unwrap().as_u64(), Some(60));
     assert_eq!(config.get("reps").unwrap().as_u64(), Some(2));
@@ -120,6 +131,34 @@ fn real_report_round_trips_through_json() {
             "{}: cold solves never reuse",
             original.id
         );
+    }
+
+    // v2: latency-histogram summaries for every algorithm plus the engine's
+    // queue-wait and end-to-end distributions.
+    let histograms = value.get("histograms").unwrap();
+    let solver = histograms.get("solver_solve").unwrap();
+    for original in &report.algorithms {
+        let row = solver.get(original.id).unwrap();
+        assert_eq!(
+            row.get("count").unwrap().as_u64(),
+            Some(original.solve_hist.count()),
+            "{}",
+            original.id
+        );
+        assert_eq!(
+            row.get("p99").unwrap().as_u64(),
+            Some(original.solve_hist.p99()),
+            "{}",
+            original.id
+        );
+    }
+    for section in ["queue_wait", "request_latency"] {
+        let count = histograms
+            .get(section)
+            .and_then(|s| s.get("count"))
+            .and_then(|c| c.as_u64())
+            .unwrap();
+        assert!(count > 0, "{section} must carry observations");
     }
 
     // The engine scaling section rides along on every real run.

@@ -115,8 +115,12 @@ fn bench_emits_text_and_json_reports() {
     assert!(out.status.success());
     let json = String::from_utf8(out.stdout).unwrap();
     assert!(json.starts_with('{') && json.ends_with("}\n"), "{json}");
-    assert!(json.contains("\"schema\": \"ssg-bench/v1\""), "{json}");
+    assert!(json.contains("\"schema\": \"ssg-bench/v2\""), "{json}");
     assert!(json.contains("\"palette_probes\""), "{json}");
+    assert!(json.contains("\"histograms\""), "{json}");
+    for section in ["\"solver_solve\"", "\"queue_wait\"", "\"request_latency\"", "\"p99\""] {
+        assert!(json.contains(section), "missing {section} in {json}");
+    }
 
     // Bad flags are usage errors.
     let out = ssg().args(["bench", "--n", "1"]).output().unwrap();
@@ -219,4 +223,99 @@ fn churn_prints_both_policies() {
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("OptimalL1:"));
     assert!(text.contains("Greedy:"));
+    // Per-epoch solve-time percentiles ride along for each policy.
+    assert_eq!(text.matches("epoch solve: p50=").count(), 2, "{text}");
+    assert!(text.contains("p99="), "{text}");
+}
+
+#[test]
+fn metrics_prints_prometheus_exposition() {
+    let out = ssg().args(["metrics", "--n", "64", "--seed", "3"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "# TYPE ssg_peel_steps_total counter",
+        "# TYPE ssg_solver_solve_ns histogram",
+        "ssg_queue_wait_ns_bucket{le=\"+Inf\"}",
+        "ssg_request_latency_ns_count",
+        "# TYPE ssg_queue_depth gauge",
+        "ssg_in_flight_max",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+    // Bad flags are usage errors.
+    let out = ssg().args(["metrics", "--frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn color_trace_prints_span_log_to_stderr() {
+    let out = ssg().args(["gen", "platoon", "20", "3", "8"]).output().unwrap();
+    assert!(out.status.success());
+    let dir = std::env::temp_dir().join("ssg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.g");
+    std::fs::write(&path, &out.stdout).unwrap();
+
+    let out = ssg()
+        .args(["color", path.to_str().unwrap(), "2,1", "--trace"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // stdout keeps the normal coloring output; the span log goes to stderr.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("violations=0"), "{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("trace:"), "{stderr}");
+    assert!(stderr.contains("span"), "{stderr}");
+}
+
+#[test]
+fn batch_trace_dump_writes_flight_recorder_json() {
+    let dir = std::env::temp_dir().join("ssg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let reqs = dir.join("tracedump.reqs");
+    std::fs::write(&reqs, "corridor 30 1 1\nplatoon 25 2 3,1\n").unwrap();
+    let dump = dir.join("tracedump.json");
+    let _ = std::fs::remove_file(&dump);
+
+    let out = ssg()
+        .args([
+            "batch",
+            reqs.to_str().unwrap(),
+            "--trace-dump",
+            dump.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = std::fs::read_to_string(&dump).expect("--trace-dump writes the file");
+    assert!(text.contains("\"schema\": \"ssg-trace/v1\""), "{text}");
+    for name in ["engine.enqueue", "engine.dequeue", "engine.solve", "engine.reply"] {
+        assert!(text.contains(name), "missing {name} in dump");
+    }
+}
+
+#[test]
+fn batch_deadline_miss_auto_dumps_the_span_chain() {
+    let dir = std::env::temp_dir().join("ssg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let reqs = dir.join("deadline.reqs");
+    std::fs::write(&reqs, "corridor 2000 1 1 deadline_ms=0\n").unwrap();
+    let dump = dir.join("deadline.reqs.trace.json");
+    let _ = std::fs::remove_file(&dump);
+
+    let out = ssg()
+        .args(["batch", reqs.to_str().unwrap(), "--workers", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "deadline miss exits 4");
+    let text = std::fs::read_to_string(&dump)
+        .expect("a deadline miss auto-dumps next to the request file");
+    assert!(text.contains("\"incidents\": 1"), "{text}");
+    // The missed request's chain is in the dump: it was enqueued, dequeued,
+    // and flagged as an incident rather than solved.
+    assert!(text.contains("engine.enqueue"), "{text}");
+    assert!(text.contains("engine.dequeue"), "{text}");
+    assert!(text.contains("engine.deadline_miss"), "{text}");
 }
