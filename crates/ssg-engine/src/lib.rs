@@ -438,6 +438,30 @@ impl Engine {
         self.handles.len()
     }
 
+    /// The telemetry handle this engine records on — the ingress hook the
+    /// network front door (`ssg-net`) uses to render `/metrics` from the
+    /// same counters, histograms, and gauges the workers feed.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Whether the engine still accepts submissions (`false` once a drain
+    /// or shutdown has begun). Acceptors can poll this to refuse new
+    /// network work while in-flight requests finish.
+    pub fn is_accepting(&self) -> bool {
+        self.inner.accepting.load(Ordering::Acquire)
+    }
+
+    /// Drain hook: stop accepting new submissions without blocking or
+    /// joining workers. In-flight and queued jobs still complete; pair with
+    /// [`Engine::drain`] to wait for them. Idempotent.
+    pub fn begin_drain(&self) {
+        self.inner.accepting.store(false, Ordering::Release);
+        for shard in &self.inner.shards {
+            shard.not_full.notify_all();
+        }
+    }
+
     /// Solves a whole batch and returns one response per request, ordered
     /// by [`LabelResponse::batch_index`] (i.e. input order). Requests the
     /// engine refuses to accept (fail-fast queue full, shutdown racing)

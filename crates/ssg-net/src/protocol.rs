@@ -1,0 +1,642 @@
+//! The `ssg-proto/1` wire protocol: grammar, parser, and encoders.
+//!
+//! The normative specification lives in the repository's `PROTOCOL.md`;
+//! this module is its executable counterpart. Requests are single
+//! newline-terminated ASCII lines:
+//!
+//! ```text
+//! LABEL <workload> <n> <seed> <d1[,d2,...]> [solver=NAME] [deadline_ms=N]
+//! PING
+//! QUIT
+//! SHUTDOWN
+//! ```
+//!
+//! and responses are single lines starting with `OK`, `ERR`, `PONG`, or
+//! `BYE`. Every `ERR` line carries the [`SsgError::kind`] of the failure as
+//! its machine-readable code, so the wire error table is exactly the
+//! workspace error table (and therefore exactly the CLI exit-code table).
+//!
+//! [`LineReader`] is the framing layer both the server and the load
+//! generator read through: it yields complete lines, survives read
+//! timeouts without losing partial input, and discards oversized frames
+//! ([`MAX_LINE_BYTES`]) in constant memory instead of buffering them.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssg_engine::{LabelOutcome, LabelRequest, RequestInstance};
+use ssg_error::SsgError;
+use ssg_labeling::SeparationVector;
+use ssg_netsim::{BackboneNetwork, CorridorNetwork, VehicularNetwork};
+use std::io::Read;
+
+/// Protocol name + major version, reported in docs and the HTTP reply
+/// schema. Incompatible grammar changes bump the `/1`.
+pub const PROTOCOL_VERSION: &str = "ssg-proto/1";
+
+/// Upper bound on one *request* line in bytes, excluding the terminating
+/// newline. Longer request lines are discarded through their newline and
+/// answered with `ERR parse ...` — the connection survives, and server
+/// memory stays bounded. Response lines (`OK` with `n` labels) are exempt.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Upper bound on the `n` operand of a `LABEL` request: one request may
+/// ask for at most this many stations, keeping per-request server work and
+/// reply size bounded.
+pub const MAX_REQUEST_N: usize = 65_536;
+
+/// The synthetic workloads a `LABEL` request can name. These are the same
+/// generators the `ssg batch` request files use; the wire protocol
+/// deliberately has no `file:` form (a network peer must not be able to
+/// read server-side paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Interval stations along a corridor (`CorridorNetwork`).
+    Corridor,
+    /// Unit-interval vehicle platoon (`VehicularNetwork::platoon`).
+    Platoon,
+    /// Random degree-bounded tree backbone (`BackboneNetwork`).
+    Backbone,
+}
+
+impl Workload {
+    /// The lowercase wire token.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Corridor => "corridor",
+            Workload::Platoon => "platoon",
+            Workload::Backbone => "backbone",
+        }
+    }
+
+    /// Parses a wire token (`corridor` / `platoon` / `backbone`).
+    pub fn parse(token: &str) -> Option<Workload> {
+        match token {
+            "corridor" => Some(Workload::Corridor),
+            "platoon" => Some(Workload::Platoon),
+            "backbone" => Some(Workload::Backbone),
+            _ => None,
+        }
+    }
+}
+
+/// The payload of a `LABEL` request: which instance to generate and how to
+/// label it. [`LabelSpec::render`] and [`parse_request`] are inverses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelSpec {
+    /// Synthetic workload family.
+    pub workload: Workload,
+    /// Number of stations (1 ..= [`MAX_REQUEST_N`]).
+    pub n: usize,
+    /// Generator seed; a fixed `(workload, n, seed)` triple names one
+    /// reproducible instance.
+    pub seed: u64,
+    /// The separation vector to enforce.
+    pub sep: SeparationVector,
+    /// Optional named solver (`solver=NAME`); auto-dispatch otherwise.
+    pub solver: Option<String>,
+    /// Optional per-request deadline in milliseconds from server receipt
+    /// (`deadline_ms=N`).
+    pub deadline_ms: Option<u64>,
+}
+
+impl LabelSpec {
+    /// Materializes the owned engine request for this spec. The instance is
+    /// generated server-side from `(workload, n, seed)`; the deadline is
+    /// *not* applied here (the server clocks it from receipt — see
+    /// `Server`).
+    pub fn to_request(&self, id: u64) -> LabelRequest {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let instance = match self.workload {
+            Workload::Corridor => RequestInstance::Interval(
+                CorridorNetwork::generate(self.n, 1.0, 1.0, 5.0, &mut rng)
+                    .representation()
+                    .clone(),
+            ),
+            Workload::Platoon => RequestInstance::UnitInterval(
+                VehicularNetwork::platoon(self.n, 4, &mut rng)
+                    .representation()
+                    .clone(),
+            ),
+            Workload::Backbone => RequestInstance::Tree(
+                BackboneNetwork::generate(self.n, 4, &mut rng).tree().clone(),
+            ),
+        };
+        let mut req = LabelRequest::new(id, instance, self.sep.clone());
+        if let Some(name) = &self.solver {
+            req = req.solver(name.clone());
+        }
+        req
+    }
+
+    /// The wire line for this spec (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "LABEL {} {} {} {}",
+            self.workload.name(),
+            self.n,
+            self.seed,
+            render_seps(&self.sep)
+        );
+        if let Some(name) = &self.solver {
+            line.push_str(" solver=");
+            line.push_str(name);
+        }
+        if let Some(ms) = self.deadline_ms {
+            line.push_str(" deadline_ms=");
+            line.push_str(&ms.to_string());
+        }
+        line
+    }
+}
+
+/// `d1,d2,...` — the wire form of a separation vector.
+pub fn render_seps(sep: &SeparationVector) -> String {
+    sep.deltas()
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `LABEL ...` — generate and label an instance.
+    Label(LabelSpec),
+    /// `PING` — liveness probe, answered with `PONG`.
+    Ping,
+    /// `QUIT` — close this connection (`BYE`, then EOF).
+    Quit,
+    /// `SHUTDOWN` — ask the server to drain and stop (loopback peers only).
+    Shutdown,
+}
+
+/// Parses `d1[,d2,...]` into a validated separation vector.
+fn parse_seps(spec: &str) -> Result<SeparationVector, SsgError> {
+    let deltas: Result<Vec<u32>, _> = spec.split(',').map(str::parse).collect();
+    let deltas = deltas
+        .map_err(|_| SsgError::parse("request", format!("bad separation list `{spec}`")))?;
+    Ok(SeparationVector::new(deltas)?)
+}
+
+/// Parses one request line (newline already stripped).
+///
+/// ```
+/// use ssg_net::protocol::{parse_request, Request, Workload};
+/// let req = parse_request("LABEL corridor 40 7 2,1 deadline_ms=250").unwrap();
+/// match req {
+///     Request::Label(spec) => {
+///         assert_eq!(spec.workload, Workload::Corridor);
+///         assert_eq!(spec.n, 40);
+///         assert_eq!(spec.deadline_ms, Some(250));
+///     }
+///     _ => panic!("expected a LABEL request"),
+/// }
+/// assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+/// assert!(parse_request("NOPE").is_err());
+/// ```
+pub fn parse_request(line: &str) -> Result<Request, SsgError> {
+    let mut fields = line.split_whitespace();
+    let verb = fields
+        .next()
+        .ok_or_else(|| SsgError::parse("request", "empty request line"))?;
+    match verb {
+        "PING" | "QUIT" | "SHUTDOWN" => {
+            if fields.next().is_some() {
+                return Err(SsgError::parse(
+                    "request",
+                    format!("{verb} takes no operands"),
+                ));
+            }
+            Ok(match verb {
+                "PING" => Request::Ping,
+                "QUIT" => Request::Quit,
+                _ => Request::Shutdown,
+            })
+        }
+        "LABEL" => {
+            let workload_token = fields
+                .next()
+                .ok_or_else(|| SsgError::parse("request", "LABEL: missing workload"))?;
+            let workload = Workload::parse(workload_token).ok_or_else(|| {
+                SsgError::parse(
+                    "request",
+                    format!("unknown workload `{workload_token}` (corridor|platoon|backbone)"),
+                )
+            })?;
+            let n: usize = fields
+                .next()
+                .ok_or_else(|| SsgError::parse("request", "LABEL: missing n"))?
+                .parse()
+                .map_err(|_| SsgError::parse("request", "LABEL: bad n"))?;
+            if !(1..=MAX_REQUEST_N).contains(&n) {
+                return Err(SsgError::parse(
+                    "request",
+                    format!("LABEL: n must be in 1..={MAX_REQUEST_N}"),
+                ));
+            }
+            let seed: u64 = fields
+                .next()
+                .ok_or_else(|| SsgError::parse("request", "LABEL: missing seed"))?
+                .parse()
+                .map_err(|_| SsgError::parse("request", "LABEL: bad seed"))?;
+            let sep_spec = fields
+                .next()
+                .ok_or_else(|| SsgError::parse("request", "LABEL: missing separation list"))?;
+            let sep = parse_seps(sep_spec)?;
+            let mut spec = LabelSpec {
+                workload,
+                n,
+                seed,
+                sep,
+                solver: None,
+                deadline_ms: None,
+            };
+            for opt in fields {
+                if let Some(name) = opt.strip_prefix("solver=") {
+                    if name.is_empty() {
+                        return Err(SsgError::parse("request", "LABEL: empty solver name"));
+                    }
+                    spec.solver = Some(name.to_string());
+                } else if let Some(ms) = opt.strip_prefix("deadline_ms=") {
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| SsgError::parse("request", "LABEL: bad deadline_ms"))?;
+                    spec.deadline_ms = Some(ms);
+                } else {
+                    return Err(SsgError::parse(
+                        "request",
+                        format!("LABEL: unknown option `{opt}`"),
+                    ));
+                }
+            }
+            Ok(Request::Label(spec))
+        }
+        other => Err(SsgError::parse(
+            "request",
+            format!("unknown verb `{other}` (LABEL|PING|QUIT|SHUTDOWN)"),
+        )),
+    }
+}
+
+/// One parsed response line (the client side of the protocol).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `OK <span> <labels...>` — the labeling, one channel per vertex.
+    Ok {
+        /// The span (largest channel) of the labeling.
+        span: u32,
+        /// Channel per vertex, in instance vertex order.
+        colors: Vec<u32>,
+    },
+    /// `ERR <code> <message>` — a reified failure; `code` is
+    /// [`SsgError::kind`].
+    Err {
+        /// Machine-readable failure code.
+        code: String,
+        /// Human-readable detail (may be empty).
+        message: String,
+    },
+    /// `PONG` — answer to `PING`.
+    Pong,
+    /// `BYE` — answer to `QUIT`/`SHUTDOWN`; the connection closes next.
+    Bye,
+}
+
+/// Renders the success line for a solved request (no trailing newline).
+pub fn render_ok(outcome: &LabelOutcome) -> String {
+    let colors = outcome.labeling.colors();
+    let mut line = String::with_capacity(8 + colors.len() * 4);
+    line.push_str("OK ");
+    line.push_str(&outcome.labeling.span().to_string());
+    for &c in colors {
+        line.push(' ');
+        line.push_str(&c.to_string());
+    }
+    line
+}
+
+/// Renders the failure line for an error (no trailing newline). The
+/// message is flattened to one line.
+pub fn render_err(err: &SsgError) -> String {
+    let message: String = err
+        .to_string()
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    format!("ERR {} {message}", err.kind())
+}
+
+/// Parses one response line (newline already stripped).
+///
+/// ```
+/// use ssg_net::protocol::{parse_response, Response};
+/// assert_eq!(
+///     parse_response("OK 4 0 2 4").unwrap(),
+///     Response::Ok { span: 4, colors: vec![0, 2, 4] }
+/// );
+/// assert_eq!(parse_response("PONG").unwrap(), Response::Pong);
+/// match parse_response("ERR queue_full all shard queues full").unwrap() {
+///     Response::Err { code, .. } => assert_eq!(code, "queue_full"),
+///     _ => panic!("expected ERR"),
+/// }
+/// ```
+pub fn parse_response(line: &str) -> Result<Response, SsgError> {
+    let mut fields = line.split_whitespace();
+    match fields.next() {
+        Some("OK") => {
+            let span: u32 = fields
+                .next()
+                .ok_or_else(|| SsgError::parse("response", "OK: missing span"))?
+                .parse()
+                .map_err(|_| SsgError::parse("response", "OK: bad span"))?;
+            let colors: Result<Vec<u32>, _> = fields.map(str::parse).collect();
+            let colors =
+                colors.map_err(|_| SsgError::parse("response", "OK: bad label list"))?;
+            Ok(Response::Ok { span, colors })
+        }
+        Some("ERR") => {
+            let code = fields
+                .next()
+                .ok_or_else(|| SsgError::parse("response", "ERR: missing code"))?
+                .to_string();
+            let rest = fields.collect::<Vec<_>>().join(" ");
+            Ok(Response::Err {
+                code,
+                message: rest,
+            })
+        }
+        Some("PONG") => Ok(Response::Pong),
+        Some("BYE") => Ok(Response::Bye),
+        Some(other) => Err(SsgError::parse(
+            "response",
+            format!("unknown status `{other}`"),
+        )),
+        None => Err(SsgError::parse("response", "empty response line")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// What [`LineReader::next_line`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineEvent {
+    /// A complete line; the trailing `\n` (and an optional `\r` before it)
+    /// is stripped. Non-UTF-8 bytes are replaced, so downstream parsing
+    /// always sees a `String` (and rejects the garbled verb).
+    Line(String),
+    /// A line exceeded the reader's byte bound. Its bytes were discarded
+    /// through the terminating newline — constant memory, and the stream is
+    /// positioned at the next line.
+    Overlong,
+    /// The underlying read timed out (`WouldBlock`/`TimedOut`). Any
+    /// partially read line is retained; call again to continue it.
+    TimedOut,
+    /// End of stream. An unterminated trailing fragment is discarded, as
+    /// the protocol requires newline-terminated requests.
+    Eof,
+}
+
+/// A bounded incremental line reader over any [`Read`].
+///
+/// This is the only framing layer in the protocol: both the server (for
+/// requests and HTTP headers) and the load generator (for responses) pull
+/// lines through it. Its memory use is bounded by `max_line` plus one fixed
+/// 4 KiB chunk regardless of peer behavior.
+///
+/// ```
+/// use ssg_net::protocol::{LineEvent, LineReader};
+/// let mut r = LineReader::new(std::io::Cursor::new(b"PING\r\nQUIT\ntail".to_vec()), 64);
+/// assert_eq!(r.next_line().unwrap(), LineEvent::Line("PING".into()));
+/// assert_eq!(r.next_line().unwrap(), LineEvent::Line("QUIT".into()));
+/// // The unterminated trailing fragment is not a request.
+/// assert_eq!(r.next_line().unwrap(), LineEvent::Eof);
+/// ```
+#[derive(Debug)]
+pub struct LineReader<R> {
+    inner: R,
+    pending: Vec<u8>,
+    cursor: usize,
+    line: Vec<u8>,
+    discarding: bool,
+    max_line: usize,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps `inner`, bounding complete lines at `max_line` bytes.
+    pub fn new(inner: R, max_line: usize) -> Self {
+        LineReader {
+            inner,
+            pending: Vec::with_capacity(4096),
+            cursor: 0,
+            line: Vec::new(),
+            discarding: false,
+            max_line,
+        }
+    }
+
+    /// Bytes currently held by the reader (partial line + unconsumed
+    /// chunk). Bounded by `max_line` plus one 4 KiB chunk no matter what
+    /// the peer sends; the fuzz tests assert this.
+    pub fn buffered_bytes(&self) -> usize {
+        self.line.len() + (self.pending.len() - self.cursor)
+    }
+
+    /// Reads until one of the [`LineEvent`]s occurs. `Err` is returned only
+    /// for I/O errors other than timeouts; timeouts are [`LineEvent::TimedOut`]
+    /// so callers can poll a shutdown flag between reads.
+    pub fn next_line(&mut self) -> std::io::Result<LineEvent> {
+        loop {
+            while self.cursor < self.pending.len() {
+                let b = self.pending[self.cursor];
+                self.cursor += 1;
+                if b == b'\n' {
+                    if self.discarding {
+                        self.discarding = false;
+                        return Ok(LineEvent::Overlong);
+                    }
+                    let mut l = std::mem::take(&mut self.line);
+                    if l.last() == Some(&b'\r') {
+                        l.pop();
+                    }
+                    return Ok(LineEvent::Line(String::from_utf8_lossy(&l).into_owned()));
+                }
+                if !self.discarding {
+                    self.line.push(b);
+                    if self.line.len() > self.max_line {
+                        self.discarding = true;
+                        self.line.clear();
+                        self.line.shrink_to(self.max_line.min(4096));
+                    }
+                }
+            }
+            self.pending.clear();
+            self.cursor = 0;
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => return Ok(LineEvent::Eof),
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(LineEvent::TimedOut)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads exactly `want` raw bytes (an HTTP body), consuming buffered
+    /// bytes first. Timeouts are retried while `keep_going()` returns true;
+    /// once it goes false, a `TimedOut` error is returned.
+    pub fn read_exact_body(
+        &mut self,
+        want: usize,
+        keep_going: impl Fn() -> bool,
+    ) -> std::io::Result<Vec<u8>> {
+        let mut body = Vec::with_capacity(want);
+        let buffered = (self.pending.len() - self.cursor).min(want);
+        body.extend_from_slice(&self.pending[self.cursor..self.cursor + buffered]);
+        self.cursor += buffered;
+        let mut chunk = [0u8; 4096];
+        while body.len() < want {
+            let cap = (want - body.len()).min(chunk.len());
+            match self.inner.read(&mut chunk[..cap]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "body truncated",
+                    ))
+                }
+                Ok(n) => body.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if !keep_going() {
+                        return Err(e);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn label_line_round_trips() {
+        let spec = LabelSpec {
+            workload: Workload::Platoon,
+            n: 120,
+            seed: 9,
+            sep: SeparationVector::two(3, 1).unwrap(),
+            solver: Some("unit_interval_l_delta1_delta2".into()),
+            deadline_ms: Some(500),
+        };
+        let line = spec.render();
+        assert_eq!(
+            line,
+            "LABEL platoon 120 9 3,1 solver=unit_interval_l_delta1_delta2 deadline_ms=500"
+        );
+        assert_eq!(parse_request(&line).unwrap(), Request::Label(spec));
+    }
+
+    #[test]
+    fn request_errors_are_parse_kind() {
+        for bad in [
+            "",
+            "LABEL",
+            "LABEL corridor",
+            "LABEL corridor 10",
+            "LABEL corridor 10 1",
+            "LABEL corridor 0 1 1",
+            "LABEL corridor ten 1 1",
+            "LABEL mesh 10 1 1",
+            "LABEL corridor 10 1 1,2",
+            "LABEL corridor 10 1 2,1 frobnicate=3",
+            "LABEL corridor 10 1 2,1 solver=",
+            "PING extra",
+            "label corridor 10 1 1",
+            "FROB",
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert!(
+                matches!(err, SsgError::Parse { .. } | SsgError::Spec(_)),
+                "{bad:?} -> {err:?}"
+            );
+        }
+        // n over the bound is refused before any generation happens.
+        let err = parse_request(&format!("LABEL corridor {} 1 1", MAX_REQUEST_N + 1)).unwrap_err();
+        assert!(matches!(err, SsgError::Parse { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        assert_eq!(
+            parse_response("OK 6 0 3 6 0").unwrap(),
+            Response::Ok {
+                span: 6,
+                colors: vec![0, 3, 6, 0]
+            }
+        );
+        assert_eq!(parse_response("BYE").unwrap(), Response::Bye);
+        let rendered = render_err(&SsgError::QueueFull);
+        match parse_response(&rendered).unwrap() {
+            Response::Err { code, message } => {
+                assert_eq!(code, "queue_full");
+                assert!(message.contains("full"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_reader_strips_cr_and_bounds_lines() {
+        let input = format!("PING\r\n{}\nQUIT\n", "X".repeat(100));
+        let mut r = LineReader::new(Cursor::new(input.into_bytes()), 16);
+        assert_eq!(r.next_line().unwrap(), LineEvent::Line("PING".into()));
+        assert_eq!(r.next_line().unwrap(), LineEvent::Overlong);
+        assert_eq!(r.next_line().unwrap(), LineEvent::Line("QUIT".into()));
+        assert_eq!(r.next_line().unwrap(), LineEvent::Eof);
+    }
+
+    #[test]
+    fn read_exact_body_pulls_buffered_bytes_first() {
+        let mut r = LineReader::new(Cursor::new(b"HEAD\nbody-bytes".to_vec()), 64);
+        assert_eq!(r.next_line().unwrap(), LineEvent::Line("HEAD".into()));
+        let body = r.read_exact_body(10, || true).unwrap();
+        assert_eq!(&body, b"body-bytes");
+        assert!(r.read_exact_body(1, || true).is_err(), "EOF is an error");
+    }
+
+    #[test]
+    fn to_request_generates_the_named_instance() {
+        let spec = LabelSpec {
+            workload: Workload::Backbone,
+            n: 25,
+            seed: 3,
+            sep: SeparationVector::all_ones(2),
+            solver: None,
+            deadline_ms: None,
+        };
+        let req = spec.to_request(7);
+        assert_eq!(req.id, 7);
+        assert_eq!(req.instance.num_vertices(), 25);
+        assert!(matches!(req.instance, RequestInstance::Tree(_)));
+    }
+}

@@ -1,0 +1,176 @@
+//! Fuzz-style property tests for the `ssg-proto/1` parser and framing
+//! layer: arbitrary bytes, truncated lines, oversized frames, and
+//! interleaved pipelined requests must never panic, and the
+//! [`LineReader`]'s memory must stay bounded no matter what a peer sends.
+
+use proptest::prelude::*;
+use ssg_labeling::SeparationVector;
+use ssg_net::protocol::{
+    parse_request, parse_response, LabelSpec, LineEvent, LineReader, Request, Workload,
+};
+use std::io::Read;
+
+/// A `Read` that hands out its data in fixed-size chunks, modelling a
+/// peer whose writes land in arbitrary TCP segment boundaries.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A strategy for syntactically valid `LABEL` lines (as `LabelSpec`s).
+fn label_spec_strategy() -> impl Strategy<Value = LabelSpec> {
+    (
+        0usize..3,
+        (1usize..200, 0u64..1000, 1u32..6, 1u32..6),
+    )
+        .prop_map(|(w, (n, seed, d1, d2))| LabelSpec {
+            workload: [Workload::Corridor, Workload::Platoon, Workload::Backbone][w],
+            n,
+            seed,
+            sep: SeparationVector::two(d1.max(d2), d1.min(d2).max(1))
+                .expect("constructed non-increasing"),
+            solver: None,
+            deadline_ms: if seed % 3 == 0 { Some(seed) } else { None },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes through both parsers: never a panic, always a
+    /// clean `Ok`/`Err`.
+    #[test]
+    fn arbitrary_lines_never_panic(bytes in prop::collection::vec(0u8..=255, 0..200)) {
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_request(&line);
+        let _ = parse_response(&line);
+    }
+
+    /// Every strict prefix of a valid request line parses to an error or
+    /// a (shorter) valid request — truncation can't panic or hang.
+    #[test]
+    fn truncated_requests_never_panic(spec in label_spec_strategy(), cut in 0usize..80) {
+        let line = spec.render();
+        let cut = cut.min(line.len());
+        // Respect char boundaries (the grammar is ASCII, but be safe).
+        let prefix: String = line.chars().take(cut).collect();
+        let _ = parse_request(&prefix);
+        if cut == line.len() {
+            prop_assert_eq!(parse_request(&prefix).unwrap(), Request::Label(spec));
+        }
+    }
+
+    /// Pipelined valid requests survive arbitrary TCP segmentation: every
+    /// line comes back intact and round-trips through the parser.
+    #[test]
+    fn pipelined_requests_survive_chunking(
+        specs in prop::collection::vec(label_spec_strategy(), 1..8),
+        chunk in 1usize..40,
+    ) {
+        let mut wire = Vec::new();
+        for spec in &specs {
+            wire.extend_from_slice(spec.render().as_bytes());
+            wire.push(b'\n');
+        }
+        let mut reader = LineReader::new(
+            ChunkedReader { data: wire, pos: 0, chunk },
+            64 * 1024,
+        );
+        let mut parsed = Vec::new();
+        loop {
+            match reader.next_line().expect("in-memory reads cannot fail") {
+                LineEvent::Line(line) => {
+                    parsed.push(parse_request(&line).expect("rendered lines parse"));
+                }
+                LineEvent::Eof => break,
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        prop_assert_eq!(parsed.len(), specs.len());
+        for (req, spec) in parsed.into_iter().zip(specs) {
+            prop_assert_eq!(req, Request::Label(spec));
+        }
+    }
+
+    /// Oversized frames are reported as `Overlong`, the stream recovers
+    /// at the next line, and the reader's buffered bytes stay bounded by
+    /// `max_line` plus one read chunk throughout.
+    #[test]
+    fn oversized_frames_bounded_memory(
+        oversize in 1usize..100_000,
+        max_line in 8usize..128,
+        chunk in 1usize..100,
+    ) {
+        let big = oversize + max_line; // strictly over the bound
+        let mut wire = vec![b'X'; big];
+        wire.push(b'\n');
+        wire.extend_from_slice(b"PING\n");
+        let mut reader = LineReader::new(
+            ChunkedReader { data: wire, pos: 0, chunk },
+            max_line,
+        );
+        let mut events = Vec::new();
+        loop {
+            let event = reader.next_line().expect("in-memory reads cannot fail");
+            prop_assert!(
+                reader.buffered_bytes() <= max_line + 4096,
+                "reader buffered {} bytes with max_line {}",
+                reader.buffered_bytes(),
+                max_line
+            );
+            match event {
+                LineEvent::Eof => break,
+                other => events.push(other),
+            }
+        }
+        prop_assert_eq!(
+            events,
+            vec![LineEvent::Overlong, LineEvent::Line("PING".into())]
+        );
+    }
+
+    /// Interleaving garbage between valid requests neither kills the
+    /// framing nor leaks into neighboring lines.
+    #[test]
+    fn garbage_between_requests_is_isolated(
+        garbage in prop::collection::vec(0u8..=255, 0..60),
+        spec in label_spec_strategy(),
+    ) {
+        // Newlines inside the garbage just make more (broken) lines.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"PING\n");
+        wire.extend_from_slice(&garbage);
+        wire.push(b'\n');
+        wire.extend_from_slice(spec.render().as_bytes());
+        wire.push(b'\n');
+        let mut reader = LineReader::new(
+            ChunkedReader { data: wire, pos: 0, chunk: 7 },
+            64 * 1024,
+        );
+        let mut lines = Vec::new();
+        loop {
+            match reader.next_line().expect("in-memory reads cannot fail") {
+                LineEvent::Line(line) => lines.push(line),
+                LineEvent::Eof => break,
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        // First and last lines are exactly what was framed, regardless of
+        // what the garbage in between parsed to.
+        prop_assert_eq!(lines.first().map(String::as_str), Some("PING"));
+        prop_assert_eq!(parse_request(lines.last().unwrap()).unwrap(), Request::Label(spec));
+        for middle in &lines[1..lines.len() - 1] {
+            let _ = parse_request(middle); // must not panic
+        }
+    }
+}

@@ -106,11 +106,24 @@ pub enum Counter {
     /// by instrumented hot paths — the access-side work unit of the CSR
     /// layout, one per dequeued BFS vertex or per peeled-vertex scan.
     NeighborScans,
+    /// TCP connections accepted by the `ssg-net` front door (line-protocol
+    /// and HTTP alike; connections refused at `--max-conns` not included).
+    NetConnections,
+    /// Line-protocol requests received by the network front door (every
+    /// parsed-or-rejected request line, plus each HTTP `POST /label`).
+    NetRequests,
+    /// HTTP/1.1 requests served on the sniffed front-door port
+    /// (`POST /label`, `GET /metrics`, `GET /healthz`, and 404s).
+    NetHttpRequests,
+    /// Request lines or HTTP requests the front door answered with a
+    /// protocol-level `ERR` / 4xx (malformed grammar, oversized frames,
+    /// unsupported verbs) — the wire-format health signal.
+    NetProtocolErrors,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 16] = [
         Counter::PeelSteps,
         Counter::PaletteProbes,
         Counter::BfsNodeVisits,
@@ -123,6 +136,10 @@ impl Counter {
         Counter::EnginePanics,
         Counter::GraphCsrBuilds,
         Counter::NeighborScans,
+        Counter::NetConnections,
+        Counter::NetRequests,
+        Counter::NetHttpRequests,
+        Counter::NetProtocolErrors,
     ];
 
     /// Stable snake_case name used in JSON reports.
@@ -144,6 +161,10 @@ impl Counter {
             Counter::EnginePanics => "engine_panics",
             Counter::GraphCsrBuilds => "graph_csr_builds",
             Counter::NeighborScans => "neighbor_scans",
+            Counter::NetConnections => "net_connections",
+            Counter::NetRequests => "net_requests",
+            Counter::NetHttpRequests => "net_http_requests",
+            Counter::NetProtocolErrors => "net_protocol_errors",
         }
     }
 
@@ -161,6 +182,10 @@ impl Counter {
             Counter::EnginePanics => 9,
             Counter::GraphCsrBuilds => 10,
             Counter::NeighborScans => 11,
+            Counter::NetConnections => 12,
+            Counter::NetRequests => 13,
+            Counter::NetHttpRequests => 14,
+            Counter::NetProtocolErrors => 15,
         }
     }
 }
@@ -174,11 +199,14 @@ pub enum Phase {
     Cell,
     /// One engine batch, submit-to-last-response (`ssg-engine`).
     Batch,
+    /// One network request served by the `ssg-net` front door, read-to-reply
+    /// on the connection thread (line protocol and HTTP `POST /label`).
+    Serve,
 }
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 3] = [Phase::Run, Phase::Cell, Phase::Batch];
+    pub const ALL: [Phase; 4] = [Phase::Run, Phase::Cell, Phase::Batch, Phase::Serve];
 
     /// Stable snake_case name used in JSON reports.
     pub fn name(self) -> &'static str {
@@ -186,6 +214,7 @@ impl Phase {
             Phase::Run => "run",
             Phase::Cell => "cell",
             Phase::Batch => "batch",
+            Phase::Serve => "serve",
         }
     }
 
@@ -194,6 +223,7 @@ impl Phase {
             Phase::Run => 0,
             Phase::Cell => 1,
             Phase::Batch => 2,
+            Phase::Serve => 3,
         }
     }
 }
@@ -625,12 +655,17 @@ mod tests {
                 "engine_deadline_misses",
                 "engine_panics",
                 "graph_csr_builds",
-                "neighbor_scans"
+                "neighbor_scans",
+                "net_connections",
+                "net_requests",
+                "net_http_requests",
+                "net_protocol_errors"
             ]
         );
         assert_eq!(Phase::Run.name(), "run");
         assert_eq!(Phase::Cell.name(), "cell");
         assert_eq!(Phase::Batch.name(), "batch");
+        assert_eq!(Phase::Serve.name(), "serve");
         let hist_names: Vec<&str> = Hist::ALL.iter().map(|h| h.name()).collect();
         assert_eq!(hist_names, ["solver_solve", "queue_wait", "request_latency"]);
         let gauge_names: Vec<&str> = Gauge::ALL.iter().map(|g| g.name()).collect();

@@ -25,6 +25,33 @@ cargo test -q --release -p ssg-engine --offline
 echo "==> scripts/bench_diff.sh (span drift vs BENCH_labeling.json)"
 sh scripts/bench_diff.sh
 
+echo "==> serve/loadgen smoke (ephemeral port, 50 rps x 2s, drain)"
+SMOKE_DIR=$(mktemp -d)
+./target/release/ssg serve --addr 127.0.0.1:0 --workers 2 \
+    > "$SMOKE_DIR/serve.out" &
+SERVE_PID=$!
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's/^ssg-serve: listening on //p' "$SMOKE_DIR/serve.out")
+    [ -n "$ADDR" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve never announced its address" >&2; exit 1; }
+HEALTH=$(./target/release/ssg fetch "$ADDR" /healthz)
+[ "$HEALTH" = "ok" ] || { echo "unexpected /healthz body: $HEALTH" >&2; exit 1; }
+./target/release/ssg loadgen --addr "$ADDR" --rps 50 --duration 2 --n 64
+METRICS=$(./target/release/ssg fetch "$ADDR" /metrics)
+case "$METRICS" in
+    *ssg_net_requests_total*) ;;
+    *) echo "/metrics missing ssg_net_requests_total" >&2; exit 1 ;;
+esac
+./target/release/ssg loadgen --addr "$ADDR" --rps 10 --duration 1 --n 16 --drain \
+    > /dev/null
+wait "$SERVE_PID" || { echo "serve exited non-zero" >&2; exit 1; }
+rm -rf "$SMOKE_DIR"
+
 echo "==> cargo clippy --all-targets (-D warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

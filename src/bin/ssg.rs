@@ -32,6 +32,29 @@
 //!                                    # --compare diffs spans against a
 //!                                    # committed v1 or v2 report and
 //!                                    # exits 1 on any drift
+//! ssg serve [--addr A] [--workers N] [--queue-cap N]
+//!           [--backpressure block|failfast] [--deadline-ms N]
+//!           [--max-conns N] [--duration SECS] [--trace-dump PATH]
+//!                                    # TCP front door: ssg-proto/1 line
+//!                                    # protocol + HTTP (/healthz,
+//!                                    # /metrics, POST /label) on one
+//!                                    # port; see PROTOCOL.md. Stops on
+//!                                    # a loopback SHUTDOWN verb or when
+//!                                    # --duration elapses; any incident
+//!                                    # auto-dumps the flight recorder
+//! ssg loadgen [--addr A] [--rps R] [--duration SECS] [--conns C]
+//!             [--workload corridor|platoon|backbone] [--n N] [--seed S]
+//!             [--sep d1[,d2,...]] [--solver NAME] [--deadline-ms N]
+//!             [--timeout-ms N] [--drain] [--json]
+//!                                    # open-loop load against a serve:
+//!                                    # fixed-schedule arrivals (no
+//!                                    # coordinated omission); reports
+//!                                    # achieved RPS + latency tail;
+//!                                    # --json emits ssg-load/v1;
+//!                                    # --drain sends SHUTDOWN after
+//! ssg fetch <addr> <path>            # one HTTP GET against a serve,
+//!                                    # body to stdout (exit 1 on
+//!                                    # non-200) — curl for scripts
 //! ```
 //!
 //! Graph files: first line `n m`, then `m` lines `u v` (0-based).
@@ -101,8 +124,12 @@ fn run(args: &[String]) -> Result<i32, SsgError> {
         Some("churn") => cmd_churn(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("fetch") => cmd_fetch(&args[1..]),
         _ => Err(SsgError::Usage(
-            "ssg gen|classify|color|batch|churn|metrics|bench ... (see the README)".into(),
+            "ssg gen|classify|color|batch|churn|metrics|bench|serve|loadgen|fetch ... (see the README)"
+                .into(),
         )),
     }
 }
@@ -807,7 +834,9 @@ fn cmd_metrics(args: &[String]) -> Result<i32, SsgError> {
     let _ = engine.run_batch(batch);
     engine.shutdown();
 
-    print!("{}", metrics.snapshot().to_prometheus("ssg"));
+    // Same renderer the `GET /metrics` endpoint uses — one function, two
+    // callers, so the CLI and the scrape endpoint can never drift.
+    print!("{}", strongly_simplicial::net::prometheus_text(&metrics));
     Ok(0)
 }
 
@@ -877,4 +906,236 @@ fn cmd_bench(args: &[String]) -> Result<i32, SsgError> {
         }
     }
     Ok(0)
+}
+
+// ---------------------------------------------------------------------------
+// serve / loadgen / fetch
+// ---------------------------------------------------------------------------
+
+/// Span-event capacity of the `ssg serve` flight recorder: sized for the
+/// request chains of a sustained network run before the ring recycles.
+const SERVE_RECORDER_CAPACITY: usize = 16 * 1024;
+
+fn cmd_serve(args: &[String]) -> Result<i32, SsgError> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut duration: Option<Duration> = None;
+    let mut trace_dump: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = flag_value("serve", "--addr", &mut it)?.to_string(),
+            "--workers" => {
+                let w: usize = parse_flag("serve", "--workers", &mut it)?;
+                if w < 1 {
+                    return Err(SsgError::Usage("serve: --workers needs >= 1".into()));
+                }
+                cfg.workers = w;
+            }
+            "--queue-cap" => {
+                let c: usize = parse_flag("serve", "--queue-cap", &mut it)?;
+                if c < 1 {
+                    return Err(SsgError::Usage("serve: --queue-cap needs >= 1".into()));
+                }
+                cfg.queue_capacity = c;
+            }
+            "--backpressure" => match flag_value("serve", "--backpressure", &mut it)? {
+                "block" => cfg.backpressure = Backpressure::Block,
+                "failfast" => cfg.backpressure = Backpressure::FailFast,
+                other => {
+                    return Err(SsgError::Usage(format!(
+                        "serve: --backpressure must be `block` or `failfast`, got `{other}`"
+                    )));
+                }
+            },
+            "--deadline-ms" => {
+                let ms: u64 = parse_flag("serve", "--deadline-ms", &mut it)?;
+                cfg.default_deadline = Some(Duration::from_millis(ms));
+            }
+            "--max-conns" => {
+                let m: usize = parse_flag("serve", "--max-conns", &mut it)?;
+                if m < 1 {
+                    return Err(SsgError::Usage("serve: --max-conns needs >= 1".into()));
+                }
+                cfg.max_conns = m;
+            }
+            "--duration" => {
+                let secs: f64 = parse_flag("serve", "--duration", &mut it)?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(SsgError::Usage("serve: --duration needs > 0 seconds".into()));
+                }
+                duration = Some(Duration::from_secs_f64(secs));
+            }
+            "--trace-dump" => {
+                trace_dump = Some(flag_value("serve", "--trace-dump", &mut it)?.to_string());
+            }
+            other => {
+                return Err(SsgError::Usage(format!("serve: unknown flag '{other}'")));
+            }
+        }
+    }
+
+    // Serve always flies with the recorder on: a deadline miss or panic
+    // under live traffic is exactly when the span chain matters.
+    let metrics = Metrics::with_tracing(SERVE_RECORDER_CAPACITY);
+    cfg.metrics = metrics.clone();
+    let server = Server::bind(addr.as_str(), cfg)?;
+    // Scripts parse this line to learn the ephemeral port; flush so it is
+    // visible before the first request lands.
+    println!("ssg-serve: listening on {}", server.local_addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| SsgError::io("stdout", &e))?;
+
+    let dump_path = trace_dump.unwrap_or_else(|| "ssg-serve.trace.json".to_string());
+    let started = std::time::Instant::now();
+    let mut dumped: u64 = 0;
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        // Any incident (deadline miss, worker panic) auto-dumps the flight
+        // recorder while the evidence is still in the ring.
+        if let Some(recorder) = metrics.recorder() {
+            let incidents = recorder.incident_count();
+            if incidents > dumped {
+                std::fs::write(&dump_path, recorder.to_json().render_pretty())
+                    .map_err(|e| SsgError::io(&dump_path, &e))?;
+                eprintln!(
+                    "ssg-serve: wrote flight-recorder dump ({incidents} incident(s)) to {dump_path}"
+                );
+                dumped = incidents;
+            }
+        }
+        if server.shutdown_requested() {
+            eprintln!("ssg-serve: shutdown requested, draining");
+            break;
+        }
+        if let Some(d) = duration {
+            if started.elapsed() >= d {
+                eprintln!("ssg-serve: --duration elapsed, draining");
+                break;
+            }
+        }
+    }
+    let stats = server.shutdown();
+    println!(
+        "ssg-serve: drained; submitted={} completed={} deadline_misses={} panics={}",
+        stats.submitted, stats.completed, stats.deadline_misses, stats.panics
+    );
+    Ok(0)
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<i32, SsgError> {
+    let mut cfg = LoadgenConfig::default();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = flag_value("loadgen", "--addr", &mut it)?.to_string(),
+            "--rps" => cfg.rps = parse_flag("loadgen", "--rps", &mut it)?,
+            "--duration" => {
+                let secs: f64 = parse_flag("loadgen", "--duration", &mut it)?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(SsgError::Usage(
+                        "loadgen: --duration needs > 0 seconds".into(),
+                    ));
+                }
+                cfg.duration = Duration::from_secs_f64(secs);
+            }
+            "--conns" => {
+                let c: usize = parse_flag("loadgen", "--conns", &mut it)?;
+                if c < 1 {
+                    return Err(SsgError::Usage("loadgen: --conns needs >= 1".into()));
+                }
+                cfg.conns = c;
+            }
+            "--workload" => {
+                let token = flag_value("loadgen", "--workload", &mut it)?;
+                cfg.spec.workload = strongly_simplicial::net::Workload::parse(token)
+                    .ok_or_else(|| {
+                        SsgError::Usage(format!(
+                            "loadgen: unknown workload `{token}` (corridor|platoon|backbone)"
+                        ))
+                    })?;
+            }
+            "--n" => {
+                let n: usize = parse_flag("loadgen", "--n", &mut it)?;
+                if n < 1 {
+                    return Err(SsgError::Usage("loadgen: --n needs >= 1".into()));
+                }
+                cfg.spec.n = n;
+            }
+            "--seed" => cfg.spec.seed = parse_flag("loadgen", "--seed", &mut it)?,
+            "--sep" => {
+                let spec = flag_value("loadgen", "--sep", &mut it)?;
+                cfg.spec.sep = parse_separations("loadgen", spec)?;
+            }
+            "--solver" => {
+                cfg.spec.solver = Some(flag_value("loadgen", "--solver", &mut it)?.to_string());
+            }
+            "--deadline-ms" => {
+                cfg.spec.deadline_ms = Some(parse_flag("loadgen", "--deadline-ms", &mut it)?);
+            }
+            "--timeout-ms" => {
+                let ms: u64 = parse_flag("loadgen", "--timeout-ms", &mut it)?;
+                cfg.timeout = Duration::from_millis(ms);
+            }
+            "--drain" => cfg.drain = true,
+            "--json" => json = true,
+            other => {
+                return Err(SsgError::Usage(format!("loadgen: unknown flag '{other}'")));
+            }
+        }
+    }
+    let report = run_loadgen(&cfg)?;
+    if json {
+        print!("{}", report.to_json().render_pretty());
+    } else {
+        print!("{}", report.to_text());
+    }
+    // A run that couldn't speak the protocol, or never completed anything,
+    // failed even if the report printed.
+    Ok(if report.protocol_errors > 0 || (report.ok + report.server_errors) == 0 {
+        1
+    } else {
+        0
+    })
+}
+
+/// `ssg fetch <addr> <path>` — one `HTTP GET` against a front door, body
+/// to stdout. The hermetic substitute for `curl` in scripts/verify.sh.
+fn cmd_fetch(args: &[String]) -> Result<i32, SsgError> {
+    let usage = || SsgError::Usage("ssg fetch <addr> <path>".into());
+    let (addr, path) = match (args.first(), args.get(1)) {
+        (Some(a), Some(p)) if args.len() == 2 => (a.as_str(), p.as_str()),
+        _ => return Err(usage()),
+    };
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| SsgError::io(addr, &e))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| SsgError::io(addr, &e))?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| SsgError::io(addr, &e))?;
+    let mut raw = Vec::new();
+    std::io::Read::read_to_end(&mut stream, &mut raw).map_err(|e| SsgError::io(addr, &e))?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| SsgError::parse(addr, "malformed HTTP response (no header break)"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| SsgError::parse(addr, format!("bad status line `{status_line}`")))?;
+    print!("{body}");
+    if status == 200 {
+        Ok(0)
+    } else {
+        eprintln!("fetch: {addr}{path} answered {status_line}");
+        Ok(1)
+    }
 }

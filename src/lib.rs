@@ -22,6 +22,9 @@
 //!   queues, workspace leases, panic isolation, deadlines).
 //! * [`error`] — the unified [`SsgError`](error::SsgError) every public
 //!   fallible entry point returns.
+//! * [`net`] — the TCP front door (`ssg serve`): the `ssg-proto/1` line
+//!   protocol plus minimal HTTP/1.1 on one sniffed port, and the
+//!   open-loop `ssg loadgen` load generator (see `PROTOCOL.md`).
 //! * [`netsim`] — synthetic wireless workloads and the rayon-parallel
 //!   experiment harness.
 //! * [`telemetry`] — zero-dependency work counters, phase timers, latency
@@ -53,6 +56,7 @@ pub use ssg_error as error;
 pub use ssg_graph as graph;
 pub use ssg_intervals as intervals;
 pub use ssg_labeling as labeling;
+pub use ssg_net as net;
 pub use ssg_netsim as netsim;
 pub use ssg_simplicial as simplicial;
 pub use ssg_telemetry as telemetry;
@@ -76,6 +80,7 @@ pub mod prelude {
     pub use ssg_labeling::{
         verify_labeling, Labeling, SeparationVector, SolverRegistry, Workspace, WorkspacePool,
     };
+    pub use ssg_net::{run_loadgen, LoadgenConfig, Server, ServerConfig};
     pub use ssg_simplicial::{is_strongly_simplicial, is_t_simplicial, peel_l1_coloring};
     pub use ssg_tree::RootedTree;
 }

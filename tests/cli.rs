@@ -319,3 +319,102 @@ fn batch_deadline_miss_auto_dumps_the_span_chain() {
     assert!(text.contains("engine.dequeue"), "{text}");
     assert!(text.contains("engine.deadline_miss"), "{text}");
 }
+
+#[test]
+fn serve_loadgen_fetch_session() {
+    use std::io::{BufRead, BufReader, Read};
+    use std::process::Stdio;
+
+    let dir = std::env::temp_dir().join("ssg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("serve.trace.json");
+    let _ = std::fs::remove_file(&dump);
+
+    // Start a server on an ephemeral port and parse the address from its
+    // announce line, exactly as scripts/verify.sh does.
+    let mut serve = ssg()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--trace-dump",
+            dump.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve starts");
+    let mut serve_out = BufReader::new(serve.stdout.take().unwrap());
+    let mut announce = String::new();
+    serve_out.read_line(&mut announce).unwrap();
+    let addr = announce
+        .trim()
+        .strip_prefix("ssg-serve: listening on ")
+        .expect("announce line")
+        .to_string();
+
+    // GET /healthz through the hermetic curl substitute.
+    let out = ssg().args(["fetch", &addr, "/healthz"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), "ok\n");
+
+    // A short open-loop run; a 0ms deadline on every request forces
+    // deadline misses, which must auto-dump the serve flight recorder.
+    let out = ssg()
+        .args([
+            "loadgen", "--addr", &addr, "--rps", "40", "--duration", "1",
+            "--n", "32", "--deadline-ms", "0", "--json",
+        ])
+        .output()
+        .unwrap();
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"schema\": \"ssg-load/v1\""), "{json}");
+    assert!(json.contains("\"deadline_exceeded\""), "{json}");
+
+    // A clean run at the same rate: everything OK, exit 0, latency
+    // percentiles from real sockets.
+    let out = ssg()
+        .args([
+            "loadgen", "--addr", &addr, "--rps", "40", "--duration", "1",
+            "--n", "32", "--drain",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("protocol-err 0"), "{text}");
+    assert!(text.contains("p99"), "{text}");
+
+    // --drain sent SHUTDOWN; the server exits 0 on its own.
+    let status = serve.wait().expect("serve exits");
+    assert!(status.success());
+    let mut tail = String::new();
+    serve_out.read_to_string(&mut tail).unwrap();
+    assert!(tail.contains("ssg-serve: drained;"), "{tail}");
+
+    // The deadline misses from the first run auto-dumped the recorder.
+    let trace = std::fs::read_to_string(&dump).expect("incident auto-dump exists");
+    assert!(trace.contains("\"schema\": \"ssg-trace/v1\""), "{trace}");
+    assert!(trace.contains("engine.deadline_miss"), "{trace}");
+}
+
+#[test]
+fn loadgen_and_fetch_fail_cleanly_without_a_server() {
+    // A connection refused is an I/O error: exit 1, no panic, no hang.
+    let out = ssg()
+        .args(["loadgen", "--addr", "127.0.0.1:1", "--rps", "10", "--duration", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let out = ssg().args(["fetch", "127.0.0.1:1", "/healthz"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // Bad flags are usage errors (exit 2).
+    let out = ssg().args(["serve", "--frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = ssg().args(["loadgen", "--rps", "nope"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = ssg().args(["fetch", "onlyonearg"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
