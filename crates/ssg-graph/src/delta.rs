@@ -1,0 +1,677 @@
+//! Delta-aware CSR patching: [`GraphDelta`], [`Graph::apply_delta`], the
+//! from-scratch [`GraphBuilder::rebuild_region`] oracle, and the
+//! dirty-region closure used by incremental recoloring.
+//!
+//! The netsim epoch loop used to rebuild the whole CSR graph per epoch even
+//! when only a handful of stations moved. A [`GraphDelta`] names exactly
+//! what changed — trailing vertices removed, new vertices appended, edges
+//! removed and added (an *interval slide* is just its old edges removed
+//! plus its new edges added) — and [`Graph::apply_delta`] merges the patch
+//! into the existing CSR arrays in one linear pass over reusable
+//! [`DeltaScratch`] buffers, so the steady-state epoch cost is
+//! `O(n + churn)` memory traffic with **zero** heap allocation after
+//! warm-up, versus a full sort-and-dedup rebuild.
+//!
+//! Vertex removal is *trailing only* (`remove_vertices` drops the highest
+//! ids): survivors keep their ids, so colors, witnesses and scratch indexed
+//! by vertex stay valid without a renumbering map. Callers that need
+//! arbitrary removal (netsim's slot table) keep a free-list and express
+//! "vertex departed" as removing its incident edges, leaving an isolated
+//! tombstone slot for the next arrival to reuse.
+//!
+//! [`dirty_region_into`] computes the multi-source bounded-BFS closure of a
+//! seed set — for `L(δ1,…,δt)` labelings the constraints reach `t` hops, so
+//! the vertices whose colors a delta can affect are exactly the seeds'
+//! distance-≤`t` ball (distance-≤2 in the paper's `L(2,1)`/`L(1,1)` cases).
+
+use crate::builder::check_csr_bounds;
+use crate::graph::{Graph, GraphError, Vertex};
+use crate::scratch::BfsScratch;
+use crate::GraphBuilder;
+use ssg_telemetry::{Counter, Metrics};
+use std::collections::HashSet;
+
+/// A batch of mutations applied atomically to a [`Graph`].
+///
+/// Semantics, in order: the edges in `remove_edges` are deleted (they must
+/// exist), the **last** `remove_vertices` vertices are dropped together
+/// with any remaining incident edges, `add_vertices` fresh isolated
+/// vertices are appended, and the edges in `add_edges` are inserted
+/// (duplicates of surviving edges merge silently, matching
+/// [`GraphBuilder`]'s normalization). Edge endpoints in `remove_edges` use
+/// old ids; `add_edges` use new ids (survivors keep their ids, appended
+/// vertices follow).
+///
+/// ```
+/// use ssg_graph::{DeltaScratch, Graph, GraphDelta};
+///
+/// let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// let mut delta = GraphDelta::new();
+/// delta.remove_edge(1, 2);
+/// delta.add_vertices += 1;
+/// delta.add_edge(0, 3);
+/// g.apply_delta(&delta, &mut DeltaScratch::new()).unwrap();
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.neighbors(0), &[1, 3]);
+/// assert_eq!(g.neighbors(2), &[] as &[u32]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Fresh isolated vertices appended after removals.
+    pub add_vertices: usize,
+    /// Trailing vertices dropped (highest ids first); their remaining
+    /// incident edges go with them.
+    pub remove_vertices: usize,
+    /// Edges inserted, in new ids. Self-loops are rejected; duplicates
+    /// (of each other or of surviving edges) merge.
+    pub add_edges: Vec<(Vertex, Vertex)>,
+    /// Edges deleted, in old ids. Each must exist in the base graph.
+    pub remove_edges: Vec<(Vertex, Vertex)>,
+}
+
+impl GraphDelta {
+    /// An empty delta (applies as a no-op).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether applying this delta would change nothing.
+    pub fn is_empty(&self) -> bool {
+        self.add_vertices == 0
+            && self.remove_vertices == 0
+            && self.add_edges.is_empty()
+            && self.remove_edges.is_empty()
+    }
+
+    /// Records an edge insertion (new ids).
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex) {
+        self.add_edges.push((u, v));
+    }
+
+    /// Records an edge deletion (old ids).
+    pub fn remove_edge(&mut self, u: Vertex, v: Vertex) {
+        self.remove_edges.push((u, v));
+    }
+
+    /// Clears the delta for reuse without dropping its buffers.
+    pub fn clear(&mut self) {
+        self.add_vertices = 0;
+        self.remove_vertices = 0;
+        self.add_edges.clear();
+        self.remove_edges.clear();
+    }
+
+    /// Seed set for the *removal* closure, in old ids: the surviving
+    /// endpoints of every removed edge plus the surviving old neighbors of
+    /// every removed vertex. Removals only relax `L(δ1,…,δt)` constraints,
+    /// so these seeds never need recoloring — but a cached clique witness
+    /// whose ball intersects their distance-≤`t` closure **on the old
+    /// graph** may have lost its lower bound. Sorted and deduplicated.
+    ///
+    /// # Panics
+    /// If the delta's removals do not fit `old` (caught earlier by
+    /// [`Graph::apply_delta`]'s validation in normal use).
+    pub fn removal_seeds(&self, old: &Graph) -> Vec<Vertex> {
+        let n = old.num_vertices();
+        assert!(self.remove_vertices <= n, "delta removals exceed graph");
+        let cutoff = (n - self.remove_vertices) as Vertex;
+        let mut seeds = Vec::new();
+        for &(u, v) in &self.remove_edges {
+            if u < cutoff {
+                seeds.push(u);
+            }
+            if v < cutoff {
+                seeds.push(v);
+            }
+        }
+        for w in cutoff..n as Vertex {
+            seeds.extend(old.neighbors(w).iter().copied().filter(|&x| x < cutoff));
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        seeds
+    }
+
+    /// Seed set for the *addition* closure, in new ids: every endpoint of
+    /// an added edge plus every appended vertex. Any constraint a delta
+    /// can tighten involves a path through an added edge, so the vertices
+    /// that may need new colors are exactly this set's distance-≤`t`
+    /// closure **on the patched graph** (see [`dirty_region_into`]).
+    /// Sorted and deduplicated.
+    pub fn addition_seeds(&self, old_n: usize) -> Vec<Vertex> {
+        assert!(self.remove_vertices <= old_n, "delta removals exceed graph");
+        let cutoff = old_n - self.remove_vertices;
+        let mut seeds = Vec::new();
+        for &(u, v) in &self.add_edges {
+            seeds.push(u);
+            seeds.push(v);
+        }
+        seeds.extend(cutoff as Vertex..(cutoff + self.add_vertices) as Vertex);
+        seeds.sort_unstable();
+        seeds.dedup();
+        seeds
+    }
+}
+
+/// Reusable buffers for [`Graph::apply_delta`]: the replacement CSR arrays
+/// plus the sorted directed patch records. After the first application the
+/// outgoing graph's old buffers become next epoch's scratch (they are
+/// swapped, not dropped), so a warm steady state allocates nothing — the
+/// same contract [`BfsScratch`] and the `Workspace` arenas keep, asserted
+/// the same way via [`grow_events`](Self::grow_events) and
+/// [`capacity_footprint`](Self::capacity_footprint).
+#[derive(Debug, Default)]
+pub struct DeltaScratch {
+    offsets: Vec<u32>,
+    targets: Vec<Vertex>,
+    /// Directed removal records (2 per undirected edge), sorted.
+    rm: Vec<(Vertex, Vertex)>,
+    /// Directed addition records (2 per undirected edge), sorted + deduped.
+    add: Vec<(Vertex, Vertex)>,
+    grow_events: u64,
+}
+
+impl DeltaScratch {
+    /// An empty scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many times a buffer had to grow. Stable across warm same-sized
+    /// applications.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    /// Sum of buffer capacities in elements, for allocation tallies.
+    pub fn capacity_footprint(&self) -> usize {
+        self.offsets.capacity() + self.targets.capacity() + self.rm.capacity() + self.add.capacity()
+    }
+
+    fn prepare(&mut self, delta: &GraphDelta, new_n: usize, max_targets: usize) {
+        if self.offsets.capacity() < new_n + 1
+            || self.targets.capacity() < max_targets
+            || self.rm.capacity() < delta.remove_edges.len() * 2
+            || self.add.capacity() < delta.add_edges.len() * 2
+        {
+            self.grow_events += 1;
+        }
+        self.offsets.clear();
+        self.targets.clear();
+        self.targets.reserve(max_targets);
+        self.rm.clear();
+        for &(u, v) in &delta.remove_edges {
+            self.rm.push((u, v));
+            self.rm.push((v, u));
+        }
+        self.rm.sort_unstable();
+        self.rm.dedup();
+        self.add.clear();
+        for &(u, v) in &delta.add_edges {
+            self.add.push((u, v));
+            self.add.push((v, u));
+        }
+        self.add.sort_unstable();
+        self.add.dedup();
+    }
+}
+
+/// Checks a delta against its base graph and returns
+/// `(survivor cutoff, new vertex count)`. Shared by the in-place patch and
+/// the rebuild oracle so both reject exactly the same inputs.
+fn validate_delta(g: &Graph, delta: &GraphDelta) -> Result<(usize, usize), GraphError> {
+    let n = g.num_vertices();
+    if delta.remove_vertices > n {
+        return Err(GraphError::TooManyRemovals {
+            removing: delta.remove_vertices,
+            n,
+        });
+    }
+    let cutoff = n - delta.remove_vertices;
+    let new_n = cutoff + delta.add_vertices;
+    for &(u, v) in &delta.remove_edges {
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        if (u as usize) >= n || (v as usize) >= n {
+            return Err(GraphError::VertexOutOfRange { edge: (u, v), n });
+        }
+        if !g.has_edge(u, v) {
+            return Err(GraphError::MissingEdge { edge: (u, v) });
+        }
+    }
+    for &(u, v) in &delta.add_edges {
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        if (u as usize) >= new_n || (v as usize) >= new_n {
+            return Err(GraphError::VertexOutOfRange {
+                edge: (u, v),
+                n: new_n,
+            });
+        }
+    }
+    check_csr_bounds(
+        new_n,
+        (g.num_edges() + delta.add_edges.len()).saturating_mul(2),
+    )?;
+    Ok((cutoff, new_n))
+}
+
+impl Graph {
+    /// Applies `delta` in place through one linear merge pass over
+    /// `scratch`, without re-sorting the surviving adjacency.
+    ///
+    /// On error the graph is untouched (validation happens before any
+    /// mutation). See [`GraphDelta`] for the mutation semantics and
+    /// [`GraphBuilder::rebuild_region`] for the from-scratch reference this
+    /// is property-tested against.
+    pub fn apply_delta(
+        &mut self,
+        delta: &GraphDelta,
+        scratch: &mut DeltaScratch,
+    ) -> Result<(), GraphError> {
+        self.apply_delta_with(delta, scratch, &Metrics::disabled())
+    }
+
+    /// [`apply_delta`](Self::apply_delta) with telemetry: records one
+    /// [`Counter::DeltaApplied`] per successful patch.
+    pub fn apply_delta_with(
+        &mut self,
+        delta: &GraphDelta,
+        scratch: &mut DeltaScratch,
+        metrics: &Metrics,
+    ) -> Result<(), GraphError> {
+        let (cutoff, new_n) = validate_delta(self, delta)?;
+        let old_n = self.num_vertices();
+        let cutoff = cutoff as Vertex;
+        let max_targets = self.num_edges() * 2 + delta.add_edges.len() * 2;
+        scratch.prepare(delta, new_n, max_targets);
+        let (old_offsets, old_targets) = self.csr_parts();
+        // With no trailing vertex removals the surviving adjacency of a
+        // record-free vertex is its old list verbatim, so whole untouched
+        // *runs* of vertices bulk-copy as one targets memcpy plus shifted
+        // offsets. Under sparse churn the per-vertex merge then runs only
+        // on the handful of record-bearing vertices.
+        let bulk_runs = delta.remove_vertices == 0;
+        let (mut ri, mut ai) = (0usize, 0usize);
+        scratch.offsets.push(0);
+        let mut v: Vertex = 0;
+        while (v as usize) < new_n {
+            let rm_here = ri < scratch.rm.len() && scratch.rm[ri].0 == v;
+            let add_here = ai < scratch.add.len() && scratch.add[ai].0 == v;
+            if bulk_runs && !rm_here && !add_here {
+                let next_rm = scratch.rm.get(ri).map_or(Vertex::MAX, |r| r.0);
+                let next_add = scratch.add.get(ai).map_or(Vertex::MAX, |r| r.0);
+                let next = (next_rm.min(next_add) as usize).min(new_n);
+                // Copy the run's old adjacency wholesale; vertices past the
+                // old end are this delta's isolated newcomers.
+                let run_end = next.min(old_n).max(v as usize);
+                if (v as usize) < old_n {
+                    let s = old_offsets[v as usize] as usize;
+                    let e = old_offsets[run_end] as usize;
+                    let shift = scratch.targets.len() as i64 - s as i64;
+                    scratch.targets.extend_from_slice(&old_targets[s..e]);
+                    scratch
+                        .offsets
+                        .extend(old_offsets[v as usize + 1..=run_end].iter().map(
+                            |&o| (o as i64 + shift) as u32,
+                        ));
+                }
+                for _ in run_end..next {
+                    scratch.offsets.push(scratch.targets.len() as u32);
+                }
+                v = next as Vertex;
+                continue;
+            }
+            // The sorted directed records for this source vertex.
+            let rs = ri;
+            while ri < scratch.rm.len() && scratch.rm[ri].0 == v {
+                ri += 1;
+            }
+            let rm_v = &scratch.rm[rs..ri];
+            let as_ = ai;
+            while ai < scratch.add.len() && scratch.add[ai].0 == v {
+                ai += 1;
+            }
+            let add_v = &scratch.add[as_..ai];
+            // Merge the filtered old list with the additions; both sides
+            // are sorted, so the output segment is born sorted.
+            let old: &[Vertex] = if v < cutoff {
+                let s = old_offsets[v as usize] as usize;
+                let e = old_offsets[v as usize + 1] as usize;
+                &old_targets[s..e]
+            } else {
+                &[]
+            };
+            let (mut k, mut j) = (0usize, 0usize);
+            for &d in old {
+                if d >= cutoff {
+                    continue; // edge into a removed vertex
+                }
+                while j < add_v.len() && add_v[j].1 < d {
+                    scratch.targets.push(add_v[j].1);
+                    j += 1;
+                }
+                let added_too = j < add_v.len() && add_v[j].1 == d;
+                if added_too {
+                    j += 1;
+                }
+                while k < rm_v.len() && rm_v[k].1 < d {
+                    k += 1;
+                }
+                if k < rm_v.len() && rm_v[k].1 == d {
+                    k += 1;
+                    if !added_too {
+                        continue; // removed and not re-added
+                    }
+                }
+                scratch.targets.push(d);
+            }
+            while j < add_v.len() {
+                scratch.targets.push(add_v[j].1);
+                j += 1;
+            }
+            scratch.offsets.push(scratch.targets.len() as u32);
+            v += 1;
+        }
+        debug_assert_eq!(ai, scratch.add.len(), "unconsumed addition records");
+        debug_assert_eq!(scratch.offsets.len(), new_n + 1, "one offset per vertex");
+        self.swap_csr_parts(&mut scratch.offsets, &mut scratch.targets);
+        if metrics.is_enabled() {
+            metrics.add(Counter::DeltaApplied, 1);
+        }
+        Ok(())
+    }
+}
+
+impl GraphBuilder {
+    /// From-scratch reference for [`Graph::apply_delta`]: materializes the
+    /// mutated edge set through the normal two-pass builder pipeline.
+    /// Accepts and rejects exactly the same `(base, delta)` inputs as the
+    /// in-place patch — the proptests in `tests/props.rs` hold the two
+    /// paths bit-identical. Useful on its own when a caller wants the
+    /// patched graph without giving up the base.
+    pub fn rebuild_region(base: &Graph, delta: &GraphDelta) -> Result<Graph, GraphError> {
+        let (cutoff, new_n) = validate_delta(base, delta)?;
+        let cutoff = cutoff as Vertex;
+        let removed: HashSet<(Vertex, Vertex)> = delta
+            .remove_edges
+            .iter()
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        let mut b = GraphBuilder::with_capacity(new_n, base.num_edges() + delta.add_edges.len());
+        for (u, v) in base.edges() {
+            if v >= cutoff || u >= cutoff || removed.contains(&(u, v)) {
+                continue;
+            }
+            b.add_edge(u, v);
+        }
+        b.add_edges(delta.add_edges.iter().copied());
+        b.build()
+    }
+}
+
+/// Multi-source bounded BFS closure: fills `out` with every vertex within
+/// distance `radius` of any seed (the seeds themselves included), sorted
+/// ascending. Returns the number of vertices visited (`out.len()` as
+/// `u64`). Duplicate seeds are fine; out-of-range seeds panic.
+///
+/// This is the dirty-region rule for incremental `L(δ1,…,δt)` recoloring:
+/// with `seeds` the addition seeds of a delta ([`GraphDelta::addition_seeds`])
+/// and `radius = t`, every constraint the delta can newly violate lies
+/// inside `out` — any ≤`t`-hop path between a newly-conflicting pair passes
+/// through an added edge, putting both endpoints within `t` of a seed.
+pub fn dirty_region_into(
+    g: &Graph,
+    seeds: &[Vertex],
+    radius: u32,
+    scratch: &mut BfsScratch,
+    out: &mut Vec<Vertex>,
+) -> u64 {
+    let (dist, queue) = scratch.buffers(g.num_vertices());
+    out.clear();
+    for &s in seeds {
+        if dist[s as usize] == crate::UNREACHABLE {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        out.push(v);
+        let dv = dist[v as usize];
+        if dv >= radius {
+            continue;
+        }
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == crate::UNREACHABLE {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.len() as u64
+}
+
+/// Allocating convenience wrapper around [`dirty_region_into`].
+pub fn dirty_region(g: &Graph, seeds: &[Vertex], radius: u32) -> Vec<Vertex> {
+    let mut out = Vec::new();
+    dirty_region_into(g, seeds, radius, &mut BfsScratch::new(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let mut g = path(5);
+        let before = g.clone();
+        g.apply_delta(&GraphDelta::new(), &mut DeltaScratch::new())
+            .unwrap();
+        assert_eq!(g, before);
+        assert_eq!(
+            GraphBuilder::rebuild_region(&before, &GraphDelta::new()).unwrap(),
+            before
+        );
+    }
+
+    #[test]
+    fn adds_and_removes_edges() {
+        let mut g = path(4);
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(1, 2);
+        delta.add_edge(0, 3);
+        delta.add_edge(3, 0); // duplicate orientation, merged
+        g.apply_delta(&delta, &mut DeltaScratch::new()).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.has_edge(1, 2));
+        assert!(g.has_edge(0, 3));
+        assert_eq!(g.neighbors(0), &[1, 3]);
+    }
+
+    #[test]
+    fn removes_trailing_vertices_with_incident_edges() {
+        let mut g = Graph::from_edges(5, &[(0, 1), (1, 4), (2, 4), (3, 4), (2, 3)]).unwrap();
+        let delta = GraphDelta {
+            remove_vertices: 2,
+            ..GraphDelta::default()
+        };
+        g.apply_delta(&delta, &mut DeltaScratch::new()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[] as &[Vertex]);
+    }
+
+    #[test]
+    fn remove_last_vertex_of_one() {
+        let mut g = Graph::from_edges(1, &[]).unwrap();
+        let delta = GraphDelta {
+            remove_vertices: 1,
+            ..GraphDelta::default()
+        };
+        g.apply_delta(&delta, &mut DeltaScratch::new()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn appends_vertices_and_wires_them() {
+        let mut g = path(3);
+        let mut delta = GraphDelta::new();
+        delta.add_vertices = 2;
+        delta.add_edge(3, 4);
+        delta.add_edge(0, 4);
+        g.apply_delta(&delta, &mut DeltaScratch::new()).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.neighbors(4), &[0, 3]);
+        assert_eq!(g.neighbors(0), &[1, 4]);
+    }
+
+    #[test]
+    fn remove_then_readd_same_edge_keeps_it() {
+        let mut g = path(3);
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(0, 1);
+        delta.add_edge(1, 0);
+        g.apply_delta(&delta, &mut DeltaScratch::new()).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn add_edge_duplicating_existing_merges() {
+        let mut g = path(3);
+        let mut delta = GraphDelta::new();
+        delta.add_edge(0, 1);
+        g.apply_delta(&delta, &mut DeltaScratch::new()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn rejects_missing_edge_and_leaves_graph_untouched() {
+        let mut g = path(3);
+        let before = g.clone();
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(0, 2);
+        assert_eq!(
+            g.apply_delta(&delta, &mut DeltaScratch::new()),
+            Err(GraphError::MissingEdge { edge: (0, 2) })
+        );
+        assert_eq!(g, before);
+        assert_eq!(
+            GraphBuilder::rebuild_region(&before, &delta),
+            Err(GraphError::MissingEdge { edge: (0, 2) })
+        );
+    }
+
+    #[test]
+    fn rejects_too_many_removals() {
+        let mut g = path(3);
+        let delta = GraphDelta {
+            remove_vertices: 4,
+            ..GraphDelta::default()
+        };
+        assert_eq!(
+            g.apply_delta(&delta, &mut DeltaScratch::new()),
+            Err(GraphError::TooManyRemovals { removing: 4, n: 3 })
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop_and_out_of_range_adds() {
+        let mut g = path(3);
+        let mut delta = GraphDelta::new();
+        delta.add_edge(1, 1);
+        assert_eq!(
+            g.apply_delta(&delta, &mut DeltaScratch::new()),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        );
+        let mut delta = GraphDelta::new();
+        delta.remove_vertices = 1;
+        delta.add_edge(0, 2); // 2 was just removed; new n is 2
+        assert_eq!(
+            g.apply_delta(&delta, &mut DeltaScratch::new()),
+            Err(GraphError::VertexOutOfRange { edge: (0, 2), n: 2 })
+        );
+    }
+
+    #[test]
+    fn warm_scratch_does_not_regrow() {
+        let mut scratch = DeltaScratch::new();
+        let mut g = path(6);
+        let cycle = |g: &mut Graph, scratch: &mut DeltaScratch| {
+            for i in 0..10u32 {
+                let mut d = GraphDelta::new();
+                let (u, v) = (i % 6, (i + 3) % 6);
+                if g.has_edge(u, v) {
+                    d.remove_edge(u, v);
+                } else {
+                    d.add_edge(u, v);
+                }
+                g.apply_delta(&d, scratch).unwrap();
+            }
+        };
+        // Warm-up: the graph's buffers and the scratch ping-pong on every
+        // apply, so capacities stabilize after one full cycle.
+        cycle(&mut g, &mut scratch);
+        let grows = scratch.grow_events();
+        let footprint = scratch.capacity_footprint() + g.capacity_footprint();
+        cycle(&mut g, &mut scratch);
+        assert_eq!(scratch.grow_events(), grows);
+        assert_eq!(
+            scratch.capacity_footprint() + g.capacity_footprint(),
+            footprint
+        );
+    }
+
+    #[test]
+    fn apply_delta_with_records_counter() {
+        let m = Metrics::enabled();
+        let mut g = path(3);
+        let mut delta = GraphDelta::new();
+        delta.add_edge(0, 2);
+        g.apply_delta_with(&delta, &mut DeltaScratch::new(), &m)
+            .unwrap();
+        assert_eq!(m.snapshot().counter(Counter::DeltaApplied), 1);
+        // Failed applications record nothing.
+        let mut bad = GraphDelta::new();
+        bad.remove_edge(0, 9);
+        assert!(g.apply_delta_with(&bad, &mut DeltaScratch::new(), &m).is_err());
+        assert_eq!(m.snapshot().counter(Counter::DeltaApplied), 1);
+    }
+
+    #[test]
+    fn seeds_cover_touched_survivors() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let mut delta = GraphDelta::new();
+        delta.remove_edge(0, 1);
+        delta.remove_vertices = 1; // drops vertex 4 and edge (3, 4)
+        delta.add_vertices = 1; // new vertex takes id 4
+        delta.add_edge(2, 4);
+        assert_eq!(delta.removal_seeds(&g), vec![0, 1, 3]);
+        assert_eq!(delta.addition_seeds(g.num_vertices()), vec![2, 4]);
+    }
+
+    #[test]
+    fn dirty_region_is_bounded_ball_union() {
+        let g = path(10);
+        let region = dirty_region(&g, &[2, 7], 1);
+        assert_eq!(region, vec![1, 2, 3, 6, 7, 8]);
+        let region = dirty_region(&g, &[0], 2);
+        assert_eq!(region, vec![0, 1, 2]);
+        assert_eq!(dirty_region(&g, &[], 3), Vec::<Vertex>::new());
+        // Overlapping balls count each vertex once.
+        let region = dirty_region(&g, &[4, 5], 2);
+        assert_eq!(region, vec![2, 3, 4, 5, 6, 7]);
+    }
+}

@@ -50,6 +50,20 @@ pub enum GraphError {
         /// Directed edge records (2 per undirected edge, before dedup).
         directed_edges: usize,
     },
+    /// A [`crate::GraphDelta`] asked to remove an edge the graph does not
+    /// have.
+    MissingEdge {
+        /// The absent edge.
+        edge: (Vertex, Vertex),
+    },
+    /// A [`crate::GraphDelta`] asked to remove more vertices than the graph
+    /// has.
+    TooManyRemovals {
+        /// How many trailing vertices the delta removes.
+        removing: usize,
+        /// The graph's vertex count.
+        n: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -71,6 +85,12 @@ impl fmt::Display for GraphError {
                 "graph too large for u32 CSR offsets \
                  ({vertices} vertices, {directed_edges} directed edge records)"
             ),
+            GraphError::MissingEdge { edge } => {
+                write!(f, "delta removes absent edge ({}, {})", edge.0, edge.1)
+            }
+            GraphError::TooManyRemovals { removing, n } => {
+                write!(f, "delta removes {removing} vertices from a graph of {n}")
+            }
         }
     }
 }
@@ -103,26 +123,57 @@ impl Graph {
     /// [`crate::GraphBuilder`] and the direct power-graph emission, which
     /// produce segments satisfying the contract by construction.
     pub(crate) fn from_csr_parts(offsets: Vec<u32>, targets: Vec<Vertex>) -> Self {
-        debug_assert!(!offsets.is_empty() && offsets[0] == 0, "bad offset base");
-        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
-        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets regress");
         let num_edges = targets.len() / 2;
         let g = Graph {
             offsets,
             targets,
             num_edges,
         };
+        g.debug_check_invariants();
+        g
+    }
+
+    /// Swaps the CSR buffers with freshly-built replacements (used by
+    /// `Graph::apply_delta`, which merges into scratch buffers and then
+    /// swaps, so the old buffers become next epoch's scratch). The incoming
+    /// buffers must satisfy the [`from_csr_parts`](Self::from_csr_parts)
+    /// contract; checked in debug builds.
+    /// Read-only view of the raw CSR arrays, for the delta patcher's
+    /// bulk-copy fast path over untouched vertex runs.
+    pub(crate) fn csr_parts(&self) -> (&[u32], &[Vertex]) {
+        (&self.offsets, &self.targets)
+    }
+
+    pub(crate) fn swap_csr_parts(&mut self, offsets: &mut Vec<u32>, targets: &mut Vec<Vertex>) {
+        std::mem::swap(&mut self.offsets, offsets);
+        std::mem::swap(&mut self.targets, targets);
+        self.num_edges = self.targets.len() / 2;
+        self.debug_check_invariants();
+    }
+
+    /// The normalization contract every CSR producer must uphold, asserted
+    /// in debug builds only: zero-based monotone offsets, sorted
+    /// duplicate-free loop-free adjacency lists, symmetric edge set.
+    fn debug_check_invariants(&self) {
+        debug_assert!(
+            !self.offsets.is_empty() && self.offsets[0] == 0,
+            "bad offset base"
+        );
+        debug_assert_eq!(*self.offsets.last().unwrap() as usize, self.targets.len());
+        debug_assert!(
+            self.offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets regress"
+        );
         #[cfg(debug_assertions)]
-        for v in 0..g.num_vertices() as Vertex {
-            let list = g.neighbors(v);
+        for v in 0..self.num_vertices() as Vertex {
+            let list = self.neighbors(v);
             debug_assert!(
                 list.windows(2).all(|w| w[0] < w[1]),
                 "unsorted/duplicated list at {v}"
             );
             debug_assert!(list.iter().all(|&u| u != v), "self-loop at {v}");
         }
-        debug_assert!(g.check_symmetric(), "asymmetric adjacency");
-        g
+        debug_assert!(self.check_symmetric(), "asymmetric adjacency");
     }
 
     fn check_symmetric(&self) -> bool {

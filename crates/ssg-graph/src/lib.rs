@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod delta;
 pub mod generators;
 pub mod graph;
 pub mod ordering;
@@ -28,6 +29,7 @@ pub mod scratch;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
+pub use delta::{dirty_region, dirty_region_into, DeltaScratch, GraphDelta};
 pub use graph::{Graph, GraphError, Vertex};
 pub use scratch::BfsScratch;
 pub use power::augmented_graph;

@@ -237,6 +237,101 @@ proptest! {
         }
     }
 
+    /// `Graph::apply_delta` must be bit-identical to a from-scratch
+    /// `GraphBuilder` rebuild of the patched edge list: same degrees, same
+    /// sorted neighbor slices, same BFS visit order. Covers empty deltas,
+    /// trailing vertex removals down to and including the last vertex,
+    /// edge churn over survivors, and appended vertices wired both to old
+    /// vertices and to each other.
+    #[test]
+    fn apply_delta_matches_from_scratch_rebuild(
+        input in arb_edges(),
+        rm_v in 0usize..4,
+        add_v in 0usize..4,
+        rm_mask in prop::collection::vec(any::<bool>(), 40),
+        raw_adds in prop::collection::vec((0u32..64, 0u32..64), 0..8),
+    ) {
+        let (n, edges) = input;
+        let g_old = Graph::from_edges(n, &edges).expect("filtered edges are valid");
+        let rm_v = rm_v.min(n);
+        let cutoff = (n - rm_v) as u32;
+        let new_n = cutoff as usize + add_v;
+        let mut delta = ssg_graph::GraphDelta::new();
+        delta.remove_vertices = rm_v;
+        delta.add_vertices = add_v;
+        let mut k = 0;
+        for (u, v) in g_old.edges() {
+            if u < cutoff && v < cutoff {
+                if rm_mask[k % rm_mask.len()] {
+                    delta.remove_edge(u, v);
+                }
+                k += 1;
+            }
+        }
+        if new_n >= 2 {
+            for &(a, b) in &raw_adds {
+                let (a, b) = (a % new_n as u32, b % new_n as u32);
+                if a != b {
+                    delta.add_edge(a, b);
+                }
+            }
+        }
+        // Reference: replay the surviving + added edge list through the
+        // legacy Vec<Vec> adjacency AND a fresh GraphBuilder.
+        let removed: std::collections::HashSet<(u32, u32)> = delta
+            .remove_edges
+            .iter()
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        let mut new_edges: Vec<(u32, u32)> = g_old
+            .edges()
+            .filter(|&(u, v)| u < cutoff && v < cutoff && !removed.contains(&(u.min(v), u.max(v))))
+            .collect();
+        new_edges.extend(delta.add_edges.iter().copied());
+        let adj = legacy_adjacency(new_n, &new_edges);
+        let rebuilt = Graph::from_edges(new_n, &new_edges).expect("patched edges are valid");
+
+        let mut g = g_old.clone();
+        let mut scratch = ssg_graph::DeltaScratch::new();
+        g.apply_delta(&delta, &mut scratch).expect("valid delta");
+        prop_assert_eq!(&g, &rebuilt, "CSR parts differ from from-scratch rebuild");
+        prop_assert_eq!(&g, &GraphBuilder::rebuild_region(&g_old, &delta).expect("valid delta"));
+        prop_assert_eq!(g.num_vertices(), new_n);
+        for v in 0..new_n as u32 {
+            prop_assert_eq!(g.degree(v), adj[v as usize].len(), "degree of {}", v);
+            prop_assert_eq!(g.neighbors(v), adj[v as usize].as_slice(), "slice of {}", v);
+        }
+        for src in 0..new_n as u32 {
+            prop_assert_eq!(csr_bfs_order(&g, src), legacy_bfs_order(&adj, src), "bfs from {}", src);
+        }
+        // Round-trip through an empty delta is the identity.
+        let before = g.clone();
+        g.apply_delta(&ssg_graph::GraphDelta::new(), &mut scratch).expect("empty delta");
+        prop_assert_eq!(&g, &before);
+    }
+
+    /// Removing every vertex (including the last one) leaves a coherent
+    /// empty graph that can be regrown in place.
+    #[test]
+    fn remove_all_then_regrow(input in arb_edges(), add_v in 1usize..5) {
+        let (n, edges) = input;
+        let mut g = Graph::from_edges(n, &edges).expect("filtered edges are valid");
+        let mut scratch = ssg_graph::DeltaScratch::new();
+        let mut wipe = ssg_graph::GraphDelta::new();
+        wipe.remove_vertices = n;
+        g.apply_delta(&wipe, &mut scratch).expect("wipe");
+        prop_assert_eq!(g.num_vertices(), 0);
+        prop_assert_eq!(g.num_edges(), 0);
+        let mut grow = ssg_graph::GraphDelta::new();
+        grow.add_vertices = add_v;
+        for v in 1..add_v as u32 {
+            grow.add_edge(0, v);
+        }
+        g.apply_delta(&grow, &mut scratch).expect("regrow");
+        prop_assert_eq!(g.num_vertices(), add_v);
+        prop_assert_eq!(g.degree(0), add_v - 1);
+    }
+
     #[test]
     fn induced_subgraph_preserves_adjacency(g in arb_graph(), keep_mask in prop::collection::vec(any::<bool>(), 16)) {
         let keep: Vec<u32> = (0..g.num_vertices() as u32)

@@ -9,7 +9,7 @@
 //! graphs, so t-simpliciality of `v` in the prefix makes this set pairwise
 //! close).
 
-use ssg_graph::traversal::{bfs_distances_bounded_into, UNREACHABLE};
+use ssg_graph::traversal::UNREACHABLE;
 use ssg_graph::Vertex;
 use ssg_intervals::IntervalRepresentation;
 use ssg_tree::{f_t_size, for_each_in_up_neighborhood, RootedTree};
@@ -56,21 +56,41 @@ pub fn interval_clique_witness(rep: &IntervalRepresentation, t: u32) -> CliqueWi
     assert!(!rep.is_empty(), "empty representation has no witness");
     let g = rep.to_graph();
     let n = g.num_vertices();
+    // Truncated BFS per vertex with ball-local distance resets: each walk
+    // touches only its distance-<=t ball, so the sweep is O(n · ball_t)
+    // rather than the O(n²) a full-array reset per source would cost.
     let mut dist = vec![UNREACHABLE; n];
     let mut queue = VecDeque::new();
-    let mut best_v = 0 as Vertex;
+    let mut ball: Vec<Vertex> = Vec::new();
     let mut best: Vec<Vertex> = Vec::new();
     for v in 0..n as Vertex {
-        bfs_distances_bounded_into(&g, v, t, &mut dist, &mut queue);
-        let members: Vec<Vertex> = (0..=v)
-            .filter(|&u| u == v || dist[u as usize] != UNREACHABLE)
-            .collect();
-        if members.len() > best.len() {
-            best = members;
-            best_v = v;
+        ball.clear();
+        queue.clear();
+        dist[v as usize] = 0;
+        queue.push_back(v);
+        while let Some(u) = queue.pop_front() {
+            ball.push(u);
+            let du = dist[u as usize];
+            if du >= t {
+                continue;
+            }
+            for &w in g.neighbors(u) {
+                if dist[w as usize] == UNREACHABLE {
+                    dist[w as usize] = du + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        let prefix = ball.iter().filter(|&&u| u <= v).count();
+        if prefix > best.len() {
+            best.clear();
+            best.extend(ball.iter().copied().filter(|&u| u <= v));
+            best.sort_unstable();
+        }
+        for &u in &ball {
+            dist[u as usize] = UNREACHABLE;
         }
     }
-    let _ = best_v;
     CliqueWitness { vertices: best, t }
 }
 

@@ -28,6 +28,7 @@ pub mod auto;
 pub mod baseline;
 pub mod certificate;
 pub mod exact;
+pub mod incremental;
 pub mod interval;
 pub mod palette;
 pub mod solver;
@@ -36,6 +37,9 @@ pub mod tree;
 pub mod unit_interval;
 pub mod workspace;
 
+pub use incremental::{
+    FallbackReason, IncrementalConfig, IncrementalOutcome, IncrementalSolver, UNCOLORED,
+};
 pub use solver::{InstanceKind, Problem, ProblemInstance, Solver, SolverRegistry};
 pub use spec::{
     all_violations, verify_labeling, Labeling, SeparationError, SeparationVector, Violation,

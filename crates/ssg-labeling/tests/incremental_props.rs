@@ -1,0 +1,305 @@
+//! Property tests for the incremental recoloring layer.
+//!
+//! The contract under test is the span-equality theorem from
+//! `incremental.rs`: for ANY graph delta, `IncrementalSolver` returns a
+//! certificate-valid coloring of the patched graph whose span EQUALS a
+//! fresh full solve — whether the region patch was accepted (then the span
+//! gate pinned it to the certified lower bound) or the full resolve ran.
+//! Exercised across instance classes (general graphs, interval graphs,
+//! tree-shaped growth) and churn rates from empty deltas to
+//! rebuild-everything.
+
+use proptest::prelude::*;
+use ssg_graph::{dirty_region, DeltaScratch, Graph, GraphBuilder, GraphDelta, Vertex};
+use ssg_intervals::IntervalRepresentation;
+use ssg_labeling::certificate::interval_clique_witness;
+use ssg_labeling::exact::{exact_min_span, exact_min_span_with};
+use ssg_labeling::interval::{l1_coloring, l1_coloring_ws};
+use ssg_labeling::{verify_labeling, IncrementalSolver, SeparationVector, Workspace, UNCOLORED};
+use ssg_telemetry::Metrics;
+
+fn arb_sep() -> impl Strategy<Value = SeparationVector> {
+    (0u8..3).prop_map(|k| match k {
+        0 => SeparationVector::all_ones(1),
+        1 => SeparationVector::all_ones(2),
+        _ => SeparationVector::two(2, 1).unwrap(),
+    })
+}
+
+/// A graph on `2..9` vertices from an edge-presence mask.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..9).prop_flat_map(|n| {
+        proptest::collection::vec(any::<bool>(), n * (n - 1) / 2).prop_map(move |mask| {
+            let mut edges = Vec::new();
+            let mut k = 0;
+            for u in 0..n as Vertex {
+                for v in (u + 1)..n as Vertex {
+                    if mask[k] {
+                        edges.push((u, v));
+                    }
+                    k += 1;
+                }
+            }
+            Graph::from_edges(n, &edges).unwrap()
+        })
+    })
+}
+
+/// Raw delta material: trailing removals, appended vertices, edge-removal
+/// mask, and raw add-edge pairs (mapped into range by the consumer).
+type RawDelta = (usize, usize, Vec<bool>, Vec<(usize, usize)>);
+
+fn arb_raw_delta() -> impl Strategy<Value = RawDelta> {
+    (
+        0usize..3,
+        0usize..4,
+        proptest::collection::vec(any::<bool>(), 36),
+        proptest::collection::vec((0usize..64, 0usize..64), 0..6),
+    )
+}
+
+/// Builds a concrete `GraphDelta` for `g` from raw material.
+fn make_delta(g: &Graph, raw: &RawDelta) -> GraphDelta {
+    let n = g.num_vertices();
+    let (rm_v, add_v, ref rm_mask, ref raw_adds) = *raw;
+    let rm_v = rm_v.min(n);
+    let cutoff = (n - rm_v) as Vertex;
+    let mut delta = GraphDelta::new();
+    delta.remove_vertices = rm_v;
+    delta.add_vertices = add_v;
+    // Remove a masked subset of the survivor-survivor edges.
+    let mut k = 0;
+    for (u, v) in g.edges() {
+        if u < cutoff && v < cutoff {
+            if rm_mask[k % rm_mask.len()] {
+                delta.remove_edge(u, v);
+            }
+            k += 1;
+        }
+    }
+    let new_n = cutoff as usize + add_v;
+    if new_n >= 2 {
+        for &(a, b) in raw_adds {
+            let (a, b) = ((a % new_n) as Vertex, (b % new_n) as Vertex);
+            if a != b {
+                delta.add_edge(a, b);
+            }
+        }
+    }
+    delta
+}
+
+/// Runs the incremental layer with `dirty` = the delta's addition closure
+/// and λ*_new as the certified bound, asserting the certificate contract:
+/// valid coloring, span equal to the fresh exact optimum.
+fn assert_patched_optimal(g_new: &Graph, sep: &SeparationVector, prev: &[u32], dirty: &[Vertex]) {
+    let (_, fresh_span) = exact_min_span(g_new, sep);
+    let mut inc = IncrementalSolver::new();
+    let mut ws = Workspace::new();
+    let outcome = inc.resolve_with(
+        g_new,
+        sep,
+        prev,
+        dirty,
+        Some(fresh_span),
+        |_ws, m| {
+            let (lab, _) = exact_min_span_with(g_new, sep, m);
+            lab
+        },
+        &mut ws,
+        &Metrics::disabled(),
+    );
+    verify_labeling(g_new, sep, outcome.labeling.colors()).expect("patched coloring invalid");
+    assert_eq!(
+        outcome.labeling.span(),
+        fresh_span,
+        "span differs from fresh solve"
+    );
+    assert_eq!(outcome.recolored + outcome.frozen, g_new.num_vertices());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// General graphs × arbitrary deltas, exact oracle: the incremental
+    /// outcome is always valid and always matches a fresh exact solve.
+    #[test]
+    fn general_graph_delta_patches_match_full_resolve(
+        g_old in arb_graph(),
+        raw in arb_raw_delta(),
+        sep in arb_sep(),
+    ) {
+        let delta = make_delta(&g_old, &raw);
+        let n_old = g_old.num_vertices();
+        let cutoff = n_old - delta.remove_vertices;
+        let new_n = cutoff + delta.add_vertices;
+        if new_n == 0 {
+            continue;
+        }
+        // Patch the graph both ways; they already agree by the ssg-graph
+        // property suite, so use the in-place path here.
+        let mut g_new = g_old.clone();
+        let mut scratch = DeltaScratch::new();
+        g_new.apply_delta(&delta, &mut scratch).unwrap();
+        prop_assert_eq!(&g_new, &GraphBuilder::rebuild_region(&g_old, &delta).unwrap());
+
+        let (old_lab, _) = exact_min_span(&g_old, &sep);
+        let mut prev: Vec<u32> = old_lab.colors()[..cutoff].to_vec();
+        prev.resize(new_n, UNCOLORED);
+        // The dirty region must cover the addition closure; fresh vertices
+        // are addition seeds themselves.
+        let dirty = dirty_region(&g_new, &delta.addition_seeds(n_old), sep.t());
+        let (_, fresh_span) = exact_min_span(&g_new, &sep);
+        let mut inc = IncrementalSolver::new();
+        let mut ws = Workspace::new();
+        let outcome = inc.resolve_with(
+            &g_new,
+            &sep,
+            &prev,
+            &dirty,
+            // λ*_new is itself the strongest certified lower bound; any
+            // weaker-but-sound witness only shifts patches to fallbacks.
+            Some(fresh_span),
+            |_ws, m| {
+                let (lab, _) = exact_min_span_with(&g_new, &sep, m);
+                lab
+            },
+            &mut ws,
+            &Metrics::disabled(),
+        );
+        verify_labeling(&g_new, &sep, outcome.labeling.colors()).expect("invalid patch");
+        prop_assert_eq!(outcome.labeling.span(), fresh_span);
+        prop_assert_eq!(outcome.recolored + outcome.frozen, new_n);
+        prop_assert_eq!(outcome.dirty, dirty.len());
+
+        // Without a certified bound the layer must still produce the same
+        // span, via the full resolve.
+        let mut inc2 = IncrementalSolver::new();
+        let outcome2 = inc2.resolve_with(
+            &g_new,
+            &sep,
+            &prev,
+            &dirty,
+            None,
+            |_ws, m| {
+                let (lab, _) = exact_min_span_with(&g_new, &sep, m);
+                lab
+            },
+            &mut ws,
+            &Metrics::disabled(),
+        );
+        prop_assert!(outcome2.full_resolve());
+        prop_assert_eq!(outcome2.labeling.span(), fresh_span);
+    }
+
+    /// Interval class under arrival/departure churn, witness-certified
+    /// bound, Figure-1 solver as the full resolve. Interval lefts are laid
+    /// out in input order so the representation numbering stays aligned
+    /// with the delta's stable-survivor-id contract.
+    #[test]
+    fn interval_churn_patches_match_l1_solver(
+        lens_old in proptest::collection::vec(1u32..8, 1..8),
+        lens_new in proptest::collection::vec(1u32..8, 0..4),
+        departures in 0usize..3,
+        t in 1u32..3,
+    ) {
+        let n_old = lens_old.len();
+        let departures = departures.min(n_old);
+        let cutoff = n_old - departures;
+        let arrivals = lens_new.len();
+        if cutoff + arrivals == 0 {
+            continue;
+        }
+        let iv = |i: usize, len: u32| (i as f64, i as f64 + len as f64 + 0.5);
+        let old_ivs: Vec<(f64, f64)> = lens_old
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| iv(i, l))
+            .collect();
+        // Survivors keep their positions; arrivals start strictly to the
+        // right of every old left endpoint, so survivor ids are stable and
+        // arrivals are numbered after them.
+        let new_ivs: Vec<(f64, f64)> = old_ivs[..cutoff]
+            .iter()
+            .copied()
+            .chain(lens_new.iter().enumerate().map(|(i, &l)| iv(n_old + i, l)))
+            .collect();
+        let rep_old = IntervalRepresentation::from_floats(&old_ivs).unwrap();
+        let rep_new = IntervalRepresentation::from_floats(&new_ivs).unwrap();
+        let g_old = rep_old.to_graph();
+        let expected = rep_new.to_graph();
+
+        // Survivor-survivor adjacency is untouched by this churn shape, so
+        // the delta is exactly: trailing departures, appended arrivals, and
+        // every new-graph edge incident to an arrival.
+        let mut delta = GraphDelta::new();
+        delta.remove_vertices = departures;
+        delta.add_vertices = arrivals;
+        for (u, v) in expected.edges() {
+            if u as usize >= cutoff || v as usize >= cutoff {
+                delta.add_edge(u, v);
+            }
+        }
+        let mut g_new = g_old.clone();
+        let mut scratch = DeltaScratch::new();
+        g_new.apply_delta(&delta, &mut scratch).unwrap();
+        prop_assert_eq!(&g_new, &expected);
+
+        let old_out = l1_coloring(&rep_old, t);
+        let mut prev: Vec<u32> = old_out.labeling.colors()[..cutoff].to_vec();
+        prev.resize(cutoff + arrivals, UNCOLORED);
+        let dirty = dirty_region(&g_new, &delta.addition_seeds(n_old), t);
+        // The interval witness is exact: its clique has λ*_new + 1 members.
+        let witness = interval_clique_witness(&rep_new, t);
+        let sep = SeparationVector::all_ones(t);
+        let fresh = l1_coloring(&rep_new, t);
+        prop_assert_eq!(witness.span_lower_bound(), fresh.lambda_star);
+
+        let mut inc = IncrementalSolver::new();
+        let mut ws = Workspace::new();
+        let outcome = inc.resolve_with(
+            &g_new,
+            &sep,
+            &prev,
+            &dirty,
+            Some(witness.span_lower_bound()),
+            |ws, m| l1_coloring_ws(&rep_new, t, ws, m).labeling,
+            &mut ws,
+            &Metrics::disabled(),
+        );
+        verify_labeling(&g_new, &sep, outcome.labeling.colors()).expect("invalid patch");
+        prop_assert_eq!(outcome.labeling.span(), fresh.lambda_star);
+    }
+
+    /// Tree-shaped growth: append leaves one epoch at a time; the patched
+    /// span tracks the exact optimum at every step.
+    #[test]
+    fn tree_leaf_growth_patches_match_exact(
+        parents in proptest::collection::vec(0u16..1000, 1..8),
+        leaves in proptest::collection::vec(0u16..1000, 1..4),
+        sep in arb_sep(),
+    ) {
+        let n = parents.len() + 1;
+        let edges: Vec<(Vertex, Vertex)> = parents
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| ((i + 1) as Vertex, (p as usize % (i + 1)) as Vertex))
+            .collect();
+        let g_old = Graph::from_edges(n, &edges).unwrap();
+        let mut delta = GraphDelta::new();
+        delta.add_vertices = leaves.len();
+        for (i, &p) in leaves.iter().enumerate() {
+            // Each new leaf may hang off any old vertex or earlier leaf.
+            delta.add_edge((n + i) as Vertex, (p as usize % (n + i)) as Vertex);
+        }
+        let mut g_new = g_old.clone();
+        let mut scratch = DeltaScratch::new();
+        g_new.apply_delta(&delta, &mut scratch).unwrap();
+
+        let (old_lab, _) = exact_min_span(&g_old, &sep);
+        let mut prev: Vec<u32> = old_lab.colors().to_vec();
+        prev.resize(n + leaves.len(), UNCOLORED);
+        let dirty = dirty_region(&g_new, &delta.addition_seeds(n), sep.t());
+        assert_patched_optimal(&g_new, &sep, &prev, &dirty);
+    }
+}

@@ -43,9 +43,27 @@ pub struct ChurnReport {
     /// Mean station count per epoch.
     pub mean_stations: f64,
     /// Distribution of per-epoch solve times in nanoseconds (one
-    /// observation per epoch), for tail-latency reporting: `ssg churn`
-    /// prints its p50/p90/p99/max.
+    /// observation per epoch, covering conflict-graph rebuild/patch plus
+    /// the solve), for tail-latency reporting: `ssg churn` prints its
+    /// p50/p90/p99/max.
     pub epoch_solve: HistSnapshot,
+    /// Exact per-epoch solve times in nanoseconds, in epoch order — the
+    /// unbucketed observations behind [`ChurnReport::epoch_solve`], for
+    /// precise median comparisons between policies.
+    pub epoch_solve_ns: Vec<u64>,
+    /// Span of each epoch's assignment, in epoch order.
+    pub epoch_spans: Vec<u32>,
+    /// Stations whose channel was (re)computed in each epoch. A
+    /// from-scratch policy recomputes everything; the incremental path
+    /// only the dirty region.
+    pub epoch_recolored: Vec<usize>,
+    /// Stations whose channel was frozen (carried over unexamined) in each
+    /// epoch. Always zero for from-scratch policies.
+    pub epoch_frozen: Vec<usize>,
+    /// Epochs that ran a from-scratch resolve. Equals `epochs` for the
+    /// from-scratch policies; for the incremental path it counts region
+    /// patches that were rejected or unprovable.
+    pub full_resolves: usize,
 }
 
 /// Parameters of a dynamic corridor simulation.
@@ -99,31 +117,6 @@ impl Default for DynamicsConfig {
 }
 
 impl DynamicsConfig {
-    /// All eight parameters at once — the pre-builder constructor shape.
-    #[deprecated(since = "0.1.0", note = "use DynamicsConfig::default() and the chained setters")]
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        initial: usize,
-        epochs: usize,
-        p_depart: f64,
-        arrivals_max: usize,
-        corridor_len: f64,
-        range_min: f64,
-        range_max: f64,
-        t: u32,
-    ) -> Self {
-        DynamicsConfig {
-            initial,
-            epochs,
-            p_depart,
-            arrivals_max,
-            corridor_len,
-            range_min,
-            range_max,
-            t,
-        }
-    }
-
     /// Sets the epoch-0 station count.
     #[must_use]
     pub fn initial(mut self, initial: usize) -> Self {
@@ -231,11 +224,14 @@ pub fn simulate_corridor_with<R: Rng>(
     let sep = SeparationVector::all_ones(t);
     let mut prev: HashMap<u64, u32> = HashMap::new();
     let mut spans = Vec::with_capacity(epochs);
+    let mut epoch_spans = Vec::with_capacity(epochs);
+    let mut epoch_recolored = Vec::with_capacity(epochs);
     let mut churns = Vec::with_capacity(epochs);
     let mut sizes = Vec::with_capacity(epochs);
     let mut total_retunes = 0usize;
     let mut max_span = 0u32;
     let epoch_hist = Histogram::new();
+    let mut epoch_solve_ns = Vec::with_capacity(epochs);
     for _ in 0..epochs {
         let _epoch_span = metrics.span("netsim.epoch");
         // Departures and arrivals.
@@ -248,19 +244,24 @@ pub fn simulate_corridor_with<R: Rng>(
             fleet.push(new_station(rng));
         }
         sizes.push(fleet.len() as f64);
-        // Recompute the assignment.
-        let net = CorridorNetwork::from_stations(fleet.iter().map(|&(_, s)| s).collect());
+        // Recompute the assignment. The timer covers the conflict-graph
+        // rebuild too — that cost is exactly what the incremental path
+        // amortizes, so excluding it would bias the comparison.
         let solve_start = Instant::now();
+        let net = CorridorNetwork::from_stations(fleet.iter().map(|&(_, s)| s).collect());
         let channels = match policy {
             Policy::OptimalL1 => net.l1_channels_with(t, &mut ws, metrics),
             Policy::Greedy => net.greedy_channels_with(&sep, &mut ws, metrics),
         };
         let solve_ns = u64::try_from(solve_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         epoch_hist.record(solve_ns);
+        epoch_solve_ns.push(solve_ns);
         metrics.observe_ns(Hist::SolverSolve, solve_ns);
         let span = channels.iter().copied().max().unwrap_or(0);
         max_span = max_span.max(span);
         spans.push(span as f64);
+        epoch_spans.push(span);
+        epoch_recolored.push(fleet.len());
         // Churn among survivors.
         let mut current: HashMap<u64, u32> = HashMap::with_capacity(fleet.len());
         for (i, &(id, _)) in fleet.iter().enumerate() {
@@ -291,10 +292,15 @@ pub fn simulate_corridor_with<R: Rng>(
         total_retunes,
         mean_stations: mean(&sizes),
         epoch_solve: epoch_hist.snapshot(),
+        epoch_solve_ns,
+        epoch_spans,
+        epoch_recolored,
+        epoch_frozen: vec![0; epochs],
+        full_resolves: epochs,
     }
 }
 
-fn mean(v: &[f64]) -> f64 {
+pub(crate) fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {
         0.0
     } else {

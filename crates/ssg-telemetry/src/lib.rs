@@ -119,11 +119,27 @@ pub enum Counter {
     /// protocol-level `ERR` / 4xx (malformed grammar, oversized frames,
     /// unsupported verbs) — the wire-format health signal.
     NetProtocolErrors,
+    /// `GraphDelta`s patched into a CSR graph by `Graph::apply_delta`
+    /// (`ssg-graph`) — the incremental counterpart of
+    /// [`Counter::GraphCsrBuilds`].
+    DeltaApplied,
+    /// Incremental solves that succeeded by recoloring only the dirty
+    /// region (`IncrementalSolver` in `ssg-labeling`), leaving every other
+    /// color frozen.
+    RegionRecolors,
+    /// Incremental solves that fell back to a full from-scratch resolve
+    /// (region over threshold, stale witness, or a failed span/validity
+    /// gate).
+    FullResolves,
+    /// Vertices placed in the dirty region across all incremental solves —
+    /// scales with churn size, not instance size, when the incremental
+    /// path is winning.
+    DirtyVertices,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 20] = [
         Counter::PeelSteps,
         Counter::PaletteProbes,
         Counter::BfsNodeVisits,
@@ -140,6 +156,10 @@ impl Counter {
         Counter::NetRequests,
         Counter::NetHttpRequests,
         Counter::NetProtocolErrors,
+        Counter::DeltaApplied,
+        Counter::RegionRecolors,
+        Counter::FullResolves,
+        Counter::DirtyVertices,
     ];
 
     /// Stable snake_case name used in JSON reports.
@@ -165,6 +185,10 @@ impl Counter {
             Counter::NetRequests => "net_requests",
             Counter::NetHttpRequests => "net_http_requests",
             Counter::NetProtocolErrors => "net_protocol_errors",
+            Counter::DeltaApplied => "delta_applied",
+            Counter::RegionRecolors => "region_recolors",
+            Counter::FullResolves => "full_resolves",
+            Counter::DirtyVertices => "dirty_vertices",
         }
     }
 
@@ -186,6 +210,10 @@ impl Counter {
             Counter::NetRequests => 13,
             Counter::NetHttpRequests => 14,
             Counter::NetProtocolErrors => 15,
+            Counter::DeltaApplied => 16,
+            Counter::RegionRecolors => 17,
+            Counter::FullResolves => 18,
+            Counter::DirtyVertices => 19,
         }
     }
 }
@@ -228,8 +256,9 @@ impl Phase {
     }
 }
 
-/// Latency histograms recorded by [`Metrics::observe`] and
-/// [`Metrics::span_hist`]. All values are nanoseconds.
+/// Histograms recorded by [`Metrics::observe`] and [`Metrics::span_hist`].
+/// Latency histograms hold nanoseconds; [`Hist::RegionSize`] holds vertex
+/// counts (see [`Hist::unit_suffix`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Hist {
     /// One solver dispatch (`SolverRegistry::{solve, try_solve}` around
@@ -239,19 +268,38 @@ pub enum Hist {
     QueueWait,
     /// End-to-end engine request latency: submit to reply sent.
     RequestLatency,
+    /// Dirty-region size per incremental solve, in **vertices** (not
+    /// nanoseconds) — distribution of how much of the graph each delta
+    /// actually touched.
+    RegionSize,
 }
 
 impl Hist {
     /// Every histogram, in report order.
-    pub const ALL: [Hist; 3] = [Hist::SolverSolve, Hist::QueueWait, Hist::RequestLatency];
+    pub const ALL: [Hist; 4] = [
+        Hist::SolverSolve,
+        Hist::QueueWait,
+        Hist::RequestLatency,
+        Hist::RegionSize,
+    ];
 
     /// Stable snake_case name used in JSON reports and Prometheus output
-    /// (unit suffix `_ns` is added by the renderers).
+    /// (the [`Hist::unit_suffix`] is added by the renderers).
     pub fn name(self) -> &'static str {
         match self {
             Hist::SolverSolve => "solver_solve",
             Hist::QueueWait => "queue_wait",
             Hist::RequestLatency => "request_latency",
+            Hist::RegionSize => "region_size",
+        }
+    }
+
+    /// Unit suffix renderers append to [`Hist::name`]: `"_ns"` for latency
+    /// histograms, `"_vertices"` for [`Hist::RegionSize`].
+    pub fn unit_suffix(self) -> &'static str {
+        match self {
+            Hist::SolverSolve | Hist::QueueWait | Hist::RequestLatency => "_ns",
+            Hist::RegionSize => "_vertices",
         }
     }
 
@@ -260,6 +308,7 @@ impl Hist {
             Hist::SolverSolve => 0,
             Hist::QueueWait => 1,
             Hist::RequestLatency => 2,
+            Hist::RegionSize => 3,
         }
     }
 }
@@ -580,7 +629,7 @@ impl Snapshot {
         }
         for h in Hist::ALL {
             self.hist(h)
-                .write_prometheus(&mut out, &format!("{prefix}_{}_ns", h.name()));
+                .write_prometheus(&mut out, &format!("{prefix}_{}{}", h.name(), h.unit_suffix()));
         }
         for g in Gauge::ALL {
             let name = g.name();
@@ -659,7 +708,11 @@ mod tests {
                 "net_connections",
                 "net_requests",
                 "net_http_requests",
-                "net_protocol_errors"
+                "net_protocol_errors",
+                "delta_applied",
+                "region_recolors",
+                "full_resolves",
+                "dirty_vertices"
             ]
         );
         assert_eq!(Phase::Run.name(), "run");
@@ -667,7 +720,12 @@ mod tests {
         assert_eq!(Phase::Batch.name(), "batch");
         assert_eq!(Phase::Serve.name(), "serve");
         let hist_names: Vec<&str> = Hist::ALL.iter().map(|h| h.name()).collect();
-        assert_eq!(hist_names, ["solver_solve", "queue_wait", "request_latency"]);
+        assert_eq!(
+            hist_names,
+            ["solver_solve", "queue_wait", "request_latency", "region_size"]
+        );
+        assert_eq!(Hist::SolverSolve.unit_suffix(), "_ns");
+        assert_eq!(Hist::RegionSize.unit_suffix(), "_vertices");
         let gauge_names: Vec<&str> = Gauge::ALL.iter().map(|g| g.name()).collect();
         assert_eq!(gauge_names, ["queue_depth", "in_flight"]);
     }
@@ -717,6 +775,11 @@ mod tests {
         );
         assert!(text.contains("ssg_in_flight 2"), "{text}");
         assert!(text.contains("ssg_in_flight_max 2"), "{text}");
+        assert!(
+            text.contains("# TYPE ssg_region_size_vertices histogram"),
+            "{text}"
+        );
+        assert!(!text.contains("ssg_region_size_ns"), "{text}");
         // Every line is either a comment or `name value`.
         for line in text.lines() {
             assert!(

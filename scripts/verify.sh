@@ -52,6 +52,14 @@ esac
 wait "$SERVE_PID" || { echo "serve exited non-zero" >&2; exit 1; }
 rm -rf "$SMOKE_DIR"
 
+echo "==> incremental churn smoke (delta patching vs from-scratch optimum)"
+CHURN_OUT=$(./target/release/ssg churn 15 11 --incremental)
+case "$CHURN_OUT" in
+    *"spans match from-scratch optimum: yes"*) ;;
+    *) echo "incremental churn smoke failed:" >&2; echo "$CHURN_OUT" >&2; exit 1 ;;
+esac
+./target/release/ssg churn 8 11 --incremental --format json > /dev/null
+
 echo "==> cargo clippy --all-targets (-D warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

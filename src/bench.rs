@@ -19,6 +19,9 @@ use ssg_graph::generators::random_bounded_degree_tree;
 use ssg_intervals::gen::{corridor_unit_intervals, random_connected_intervals};
 use ssg_labeling::solver::{default_registry, Problem};
 use ssg_labeling::{SeparationVector, Workspace};
+use ssg_netsim::{
+    simulate_corridor, simulate_corridor_incremental_with, DynamicsConfig, Policy,
+};
 use ssg_telemetry::json::Json;
 use ssg_telemetry::{Counter, Hist, HistSnapshot, Metrics, Phase, Snapshot};
 use ssg_tree::RootedTree;
@@ -65,17 +68,6 @@ impl Default for BenchConfig {
 }
 
 impl BenchConfig {
-    /// All four parameters at once — the pre-builder constructor shape.
-    #[deprecated(since = "0.1.0", note = "use BenchConfig::default() and the chained setters")]
-    pub fn new(n: usize, reps: usize, seed: u64, repeat: usize) -> Self {
-        BenchConfig {
-            n,
-            reps,
-            seed,
-            repeat,
-        }
-    }
-
     /// Sets the vertex count per workload.
     #[must_use]
     pub fn n(mut self, n: usize) -> Self {
@@ -253,6 +245,59 @@ impl EngineBench {
     }
 }
 
+/// The `ssg bench` incremental-recoloring section: one sparse corridor
+/// churned at 5% per epoch, solved from scratch and via delta patching,
+/// with span equality asserted epoch by epoch, plus a dirty-region scaling
+/// probe at 1% vs 5% churn.
+#[derive(Debug, Clone)]
+pub struct IncrementalBench {
+    /// Stations at epoch 0.
+    pub stations: usize,
+    /// Epochs simulated per run.
+    pub epochs: usize,
+    /// Per-epoch departure probability of the headline comparison.
+    pub churn: f64,
+    /// p50 epoch cost (rebuild + solve) of the from-scratch policy, ns.
+    pub full_epoch_p50_ns: u64,
+    /// p50 epoch cost (delta patch + region solve) incrementally, ns.
+    pub incremental_epoch_p50_ns: u64,
+    /// `full_epoch_p50_ns / incremental_epoch_p50_ns`.
+    pub speedup_p50: f64,
+    /// Whether every epoch's incremental span equaled the from-scratch
+    /// optimal span (the certificate contract; must always be `true`).
+    pub spans_match: bool,
+    /// Sum of per-epoch spans — the deterministic quantity the baseline
+    /// diff pins (same seed => bit-identical).
+    pub span_sum: u64,
+    /// Epochs the incremental run fell back to a full resolve.
+    pub full_resolves: usize,
+    /// Total `dirty_vertices` across a low-churn (1%) run.
+    pub dirty_low_churn: u64,
+    /// Total `dirty_vertices` across the 5% run: scales with churn, not n.
+    pub dirty_high_churn: u64,
+}
+
+impl IncrementalBench {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("stations".into(), Json::U64(self.stations as u64)),
+            ("epochs".into(), Json::U64(self.epochs as u64)),
+            ("churn".into(), Json::F64(self.churn)),
+            ("full_epoch_p50_ns".into(), Json::U64(self.full_epoch_p50_ns)),
+            (
+                "incremental_epoch_p50_ns".into(),
+                Json::U64(self.incremental_epoch_p50_ns),
+            ),
+            ("speedup_p50".into(), Json::F64(self.speedup_p50)),
+            ("spans_match".into(), Json::Bool(self.spans_match)),
+            ("span_sum".into(), Json::U64(self.span_sum)),
+            ("full_resolves".into(), Json::U64(self.full_resolves as u64)),
+            ("dirty_low_churn".into(), Json::U64(self.dirty_low_churn)),
+            ("dirty_high_churn".into(), Json::U64(self.dirty_high_churn)),
+        ])
+    }
+}
+
 /// A full `ssg bench` run: configuration plus one entry per algorithm.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -263,6 +308,9 @@ pub struct BenchReport {
     /// Engine batch-throughput scaling section (`None` for reports
     /// produced before the engine existed).
     pub engine: Option<EngineBench>,
+    /// Incremental-recoloring churn section (`None` for reports produced
+    /// before the incremental path existed).
+    pub incremental: Option<IncrementalBench>,
 }
 
 impl BenchReport {
@@ -310,6 +358,9 @@ impl BenchReport {
         ];
         if let Some(engine) = &self.engine {
             fields.push(("engine".into(), engine.to_json()));
+        }
+        if let Some(incremental) = &self.incremental {
+            fields.push(("incremental".into(), incremental.to_json()));
         }
         Json::Object(fields)
     }
@@ -376,6 +427,27 @@ impl BenchReport {
             ));
             if !engine.spans_match_sequential {
                 out.push_str("WARNING: engine spans diverged from sequential solves\n");
+            }
+        }
+        if let Some(inc) = &self.incremental {
+            out.push_str(&format!(
+                "\nincremental churn: {} stations, {} epochs, {:.0}% departures/epoch\n",
+                inc.stations,
+                inc.epochs,
+                inc.churn * 100.0
+            ));
+            out.push_str(&format!(
+                "epoch solve p50: full {:>9.3} ms  incremental {:>9.3} ms  speedup {:.2}x\n",
+                inc.full_epoch_p50_ns as f64 / 1e6,
+                inc.incremental_epoch_p50_ns as f64 / 1e6,
+                inc.speedup_p50,
+            ));
+            out.push_str(&format!(
+                "full resolves: {}/{} epochs  dirty vertices: {} @1% vs {} @5% churn\n",
+                inc.full_resolves, inc.epochs, inc.dirty_low_churn, inc.dirty_high_churn,
+            ));
+            if !inc.spans_match {
+                out.push_str("WARNING: incremental spans diverged from from-scratch solves\n");
             }
         }
         out
@@ -491,6 +563,28 @@ pub fn diff_against_baseline(report: &BenchReport, baseline: &Json) -> Result<Ba
     for a in &report.algorithms {
         if !base_ids.contains(&a.id) {
             drifts.push(format!("{}: present in this run, absent from baseline", a.id));
+        }
+    }
+    // The incremental churn section is deterministic per seed, so its spans
+    // are pinned too — but only when both sides carry the section, keeping
+    // pre-incremental baselines usable.
+    if let (Some(base_inc), Some(fresh)) = (baseline.get("incremental"), &report.incremental) {
+        checked += 1;
+        for (key, got) in [
+            ("stations", fresh.stations as u64),
+            ("epochs", fresh.epochs as u64),
+            ("span_sum", fresh.span_sum),
+        ] {
+            let want = base_inc
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("baseline incremental section has no '{key}'"))?;
+            if want != got {
+                drifts.push(format!("incremental: {key} {got} != baseline {want}"));
+            }
+        }
+        if !fresh.spans_match {
+            drifts.push("incremental: spans diverged from from-scratch solves".into());
         }
     }
     Ok(BaselineDiff { checked, drifts })
@@ -663,6 +757,94 @@ pub fn run_engine_benchmark(cfg: &BenchConfig) -> EngineBench {
     }
 }
 
+/// Epochs simulated by the incremental-recoloring benchmark.
+const INCREMENTAL_EPOCHS: usize = 12;
+/// Headline per-epoch departure probability (the acceptance-gate 5%).
+const INCREMENTAL_CHURN: f64 = 0.05;
+/// Low-churn probe used to show `DirtyVertices` scales with churn, not n.
+const INCREMENTAL_LOW_CHURN: f64 = 0.01;
+
+/// Exact median of raw nanosecond samples (midpoint average when the
+/// count is even); 0 for an empty slice.
+fn exact_median_ns(samples: &[u64]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2
+    } else {
+        sorted[mid]
+    }
+}
+
+/// The corridor the incremental benchmark churns: sparse (3 length units
+/// per station, hearing radii in 1..2) so distance-2 balls stay local and
+/// the region solver rarely trips its size fallback.
+fn incremental_dynamics(stations: usize, p_depart: f64) -> DynamicsConfig {
+    let arrivals_max = ((stations as f64 * p_depart * 2.0).ceil() as usize).max(1);
+    DynamicsConfig::default()
+        .initial(stations)
+        .epochs(INCREMENTAL_EPOCHS)
+        .p_depart(p_depart)
+        .arrivals_max(arrivals_max)
+        .corridor_len(stations as f64 * 3.0)
+        .range_min(1.0)
+        .range_max(2.0)
+        .t(2)
+}
+
+/// Churns one corridor twice from the same seed — from-scratch
+/// [`Policy::OptimalL1`] vs. the delta-patching incremental path — and
+/// compares per-epoch solve cost and (exactly) per-epoch spans. A second
+/// incremental run at 1% churn probes `DirtyVertices` scaling.
+///
+/// The station count is scaled off `cfg.n` (x20, clamped to 200..=10_000)
+/// so the default config exercises the acceptance-gate n=10,000 corridor
+/// while test configs stay fast.
+fn run_incremental_benchmark(cfg: &BenchConfig) -> IncrementalBench {
+    let stations = (cfg.n * 20).clamp(200, 10_000);
+    let seed = cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(7);
+
+    let full = simulate_corridor(
+        incremental_dynamics(stations, INCREMENTAL_CHURN),
+        Policy::OptimalL1,
+        &mut StdRng::seed_from_u64(seed),
+    );
+    let metrics_high = Metrics::enabled();
+    let inc = simulate_corridor_incremental_with(
+        incremental_dynamics(stations, INCREMENTAL_CHURN),
+        &mut StdRng::seed_from_u64(seed),
+        &metrics_high,
+    );
+    let metrics_low = Metrics::enabled();
+    let _ = simulate_corridor_incremental_with(
+        incremental_dynamics(stations, INCREMENTAL_LOW_CHURN),
+        &mut StdRng::seed_from_u64(seed),
+        &metrics_low,
+    );
+
+    // Exact medians over the raw per-epoch samples: the histogram's
+    // power-of-two buckets are far too coarse for a speedup ratio.
+    let full_p50 = exact_median_ns(&full.epoch_solve_ns);
+    let inc_p50 = exact_median_ns(&inc.epoch_solve_ns);
+    IncrementalBench {
+        stations,
+        epochs: INCREMENTAL_EPOCHS,
+        churn: INCREMENTAL_CHURN,
+        full_epoch_p50_ns: full_p50,
+        incremental_epoch_p50_ns: inc_p50,
+        speedup_p50: full_p50 as f64 / inc_p50.max(1) as f64,
+        spans_match: full.epoch_spans == inc.epoch_spans,
+        span_sum: inc.epoch_spans.iter().map(|&s| u64::from(s)).sum(),
+        full_resolves: inc.full_resolves,
+        dirty_low_churn: metrics_low.snapshot().counter(Counter::DirtyVertices),
+        dirty_high_churn: metrics_high.snapshot().counter(Counter::DirtyVertices),
+    }
+}
+
 /// Runs all five paper algorithms on deterministic workloads derived from
 /// `cfg` and returns the aggregated report.
 ///
@@ -734,6 +916,7 @@ pub fn run_benchmarks(cfg: &BenchConfig) -> BenchReport {
         config: *cfg,
         algorithms,
         engine: Some(run_engine_benchmark(cfg)),
+        incremental: Some(run_incremental_benchmark(cfg)),
     }
 }
 
@@ -790,8 +973,9 @@ mod tests {
         let baseline = Json::parse(&rendered).unwrap();
         let diff = diff_against_baseline(&report, &baseline).unwrap();
         assert!(diff.is_clean(), "{}", diff.render());
-        assert_eq!(diff.checked, 5);
-        assert!(diff.render().contains("5 algorithm rows match"));
+        // 5 algorithm rows + the incremental churn section.
+        assert_eq!(diff.checked, 6);
+        assert!(diff.render().contains("6 algorithm rows match"));
     }
 
     #[test]
@@ -879,9 +1063,78 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_constructors_still_work() {
-        #![allow(deprecated)]
-        assert_eq!(BenchConfig::new(120, 2, 7, 1), small());
+    fn incremental_section_matches_from_scratch_and_scales_with_churn() {
+        let report = run_benchmarks(&small());
+        let inc = report.incremental.as_ref().expect("incremental section");
+        assert_eq!(inc.stations, 2400, "n=120 scales to a 2400-station corridor");
+        assert_eq!(inc.epochs, INCREMENTAL_EPOCHS);
+        assert!(
+            inc.spans_match,
+            "every incremental epoch span must equal the from-scratch optimum"
+        );
+        assert!(inc.span_sum > 0);
+        assert!(inc.full_epoch_p50_ns > 0 && inc.incremental_epoch_p50_ns > 0);
+        assert!(inc.speedup_p50 > 0.0);
+        assert!(inc.full_resolves <= inc.epochs);
+        assert!(
+            inc.dirty_high_churn > inc.dirty_low_churn,
+            "dirty-region work must grow with churn: {} @1% vs {} @5%",
+            inc.dirty_low_churn,
+            inc.dirty_high_churn
+        );
+        // Dirty work tracks churn, not n: even the 5% run touches a small
+        // fraction of the stations*epochs vertex-epochs available.
+        assert!(
+            inc.dirty_high_churn < (inc.stations * inc.epochs) as u64 / 2,
+            "dirty vertices ({}) should be far below n*epochs ({})",
+            inc.dirty_high_churn,
+            inc.stations * inc.epochs
+        );
+        let doc = Json::parse(&report.to_json().render_pretty()).unwrap();
+        let sec = doc.get("incremental").expect("json carries the section");
+        assert_eq!(sec.get("span_sum").and_then(Json::as_u64), Some(inc.span_sum));
+        assert_eq!(sec.get("spans_match"), Some(&Json::Bool(true)));
+        let text = report.to_text();
+        assert!(text.contains("incremental churn"));
+        assert!(!text.contains("WARNING: incremental"));
+    }
+
+    #[test]
+    fn baseline_diff_pins_incremental_span_sum() {
+        let report = run_benchmarks(&small());
+        let baseline = Json::parse(&report.to_json().render_pretty()).unwrap();
+        let diff = diff_against_baseline(&report, &baseline).unwrap();
+        assert!(diff.is_clean(), "{}", diff.render());
+        // 5 algorithm rows + the incremental section.
+        assert_eq!(diff.checked, 6);
+        let tampered = report
+            .to_json()
+            .render_pretty()
+            .replace(
+                &format!("\"span_sum\": {}", report.incremental.as_ref().unwrap().span_sum),
+                "\"span_sum\": 1",
+            );
+        let diff = diff_against_baseline(&report, &Json::parse(&tampered).unwrap()).unwrap();
+        assert!(
+            diff.drifts.iter().any(|d| d.contains("span_sum")),
+            "{}",
+            diff.render()
+        );
+        // Baselines without the section (pre-incremental) still diff clean.
+        let stripped = {
+            let Json::Object(fields) = report.to_json() else {
+                unreachable!()
+            };
+            Json::Object(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "incremental")
+                    .collect(),
+            )
+        };
+        let diff = diff_against_baseline(&report, &stripped).unwrap();
+        assert!(diff.is_clean(), "{}", diff.render());
+        assert_eq!(diff.checked, 5);
     }
 
     #[test]

@@ -18,8 +18,14 @@
 //!                                    # writes its JSON to <path>, and any
 //!                                    # deadline miss or worker panic
 //!                                    # auto-dumps to <file.reqs>.trace.json
-//! ssg churn [epochs] [seed]          # dynamic corridor churn demo with
-//!                                    # per-epoch solve-time percentiles
+//! ssg churn [epochs] [seed] [--incremental] [--format text|json]
+//!                                    # dynamic corridor churn demo with
+//!                                    # per-epoch solve-time percentiles;
+//!                                    # --incremental races delta patching
+//!                                    # against the from-scratch optimum
+//!                                    # and exits 1 if any epoch's span
+//!                                    # diverges; --format json emits an
+//!                                    # ssg-churn/v1 report
 //! ssg metrics [--n N] [--seed S]     # run a standard workload and print
 //!                                    # Prometheus text exposition
 //! ssg bench [--json] [--n N] [--reps R] [--seed S] [--repeat K]
@@ -94,7 +100,8 @@ use strongly_simplicial::labeling::auto::Guarantee;
 use strongly_simplicial::labeling::solver::{default_registry, Problem};
 use strongly_simplicial::labeling::{all_violations, SeparationVector, Workspace};
 use strongly_simplicial::netsim::{
-    simulate_corridor, BackboneNetwork, CorridorNetwork, DynamicsConfig, Policy, VehicularNetwork,
+    simulate_corridor, simulate_corridor_incremental, BackboneNetwork, ChurnReport,
+    CorridorNetwork, DynamicsConfig, Policy, VehicularNetwork,
 };
 use strongly_simplicial::prelude::*;
 use strongly_simplicial::telemetry::json::Json;
@@ -728,37 +735,161 @@ fn cmd_batch(args: &[String]) -> Result<i32, SsgError> {
 // churn / bench
 // ---------------------------------------------------------------------------
 
+/// One policy's run rendered as an `ssg-churn/v1` object: aggregates,
+/// per-epoch spans and recolored/frozen counts, and the epoch-solve
+/// quantile summary.
+fn churn_policy_json(name: &str, rep: &ChurnReport) -> Json {
+    Json::Object(vec![
+        ("policy".into(), Json::Str(name.into())),
+        ("mean_stations".into(), Json::F64(rep.mean_stations)),
+        ("mean_span".into(), Json::F64(rep.mean_span)),
+        ("max_span".into(), Json::U64(u64::from(rep.max_span))),
+        ("mean_churn".into(), Json::F64(rep.mean_churn)),
+        ("total_retunes".into(), Json::U64(rep.total_retunes as u64)),
+        ("full_resolves".into(), Json::U64(rep.full_resolves as u64)),
+        (
+            "epoch_spans".into(),
+            Json::Array(rep.epoch_spans.iter().map(|&s| Json::U64(u64::from(s))).collect()),
+        ),
+        (
+            "epoch_recolored".into(),
+            Json::Array(rep.epoch_recolored.iter().map(|&c| Json::U64(c as u64)).collect()),
+        ),
+        (
+            "epoch_frozen".into(),
+            Json::Array(rep.epoch_frozen.iter().map(|&c| Json::U64(c as u64)).collect()),
+        ),
+        ("epoch_solve".into(), rep.epoch_solve.summary_json()),
+    ])
+}
+
+/// `ssg churn [epochs] [seed] [--incremental] [--format text|json]`.
+///
+/// From-scratch mode reruns `OptimalL1` and `Greedy` every epoch;
+/// `--incremental` instead races the delta-patching path against the
+/// from-scratch optimum on the same seed and checks per-epoch span
+/// equality (exit 1 on divergence — the certificate contract is violated).
+/// `--format json` emits an `ssg-churn/v1` document with per-epoch spans,
+/// recolored counts, and epoch-solve quantiles.
 fn cmd_churn(args: &[String]) -> Result<i32, SsgError> {
-    let epochs: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(50);
-    let seed = parse_seed(args.get(1));
-    let cfg = DynamicsConfig::default()
-        .initial(100)
-        .epochs(epochs)
-        .p_depart(0.08)
-        .arrivals_max(10)
-        .corridor_len(60.0)
-        .range_min(1.0)
-        .range_max(4.0)
-        .t(2);
-    for policy in [Policy::OptimalL1, Policy::Greedy] {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let rep = simulate_corridor(cfg, policy, &mut rng);
-        println!(
-            "{policy:?}: epochs={} mean_stations={:.1} mean_span={:.2} max_span={} mean_churn={:.1}% retunes={}",
-            rep.epochs,
-            rep.mean_stations,
-            rep.mean_span,
-            rep.max_span,
-            rep.mean_churn * 100.0,
-            rep.total_retunes
-        );
-        println!(
-            "  epoch solve: p50={:.1}us p90={:.1}us p99={:.1}us max={:.1}us",
-            rep.epoch_solve.p50() as f64 / 1e3,
-            rep.epoch_solve.p90() as f64 / 1e3,
-            rep.epoch_solve.p99() as f64 / 1e3,
-            rep.epoch_solve.max() as f64 / 1e3,
-        );
+    let mut positional: Vec<&String> = Vec::new();
+    let mut incremental = false;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--incremental" => incremental = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                _ => {
+                    return Err(SsgError::Usage(
+                        "churn: --format needs 'text' or 'json'".into(),
+                    ))
+                }
+            },
+            other if other.starts_with("--") => {
+                return Err(SsgError::Usage(format!(
+                    "churn: unknown flag '{other}' (usage: ssg churn [epochs] [seed] \
+                     [--incremental] [--format text|json])"
+                )));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let epochs: usize = positional.first().and_then(|a| a.parse().ok()).unwrap_or(50);
+    let seed = parse_seed(positional.get(1).copied());
+    // The from-scratch demo uses a dense corridor (big spans, heavy
+    // retuning); the incremental demo spreads the same fleet over a long
+    // sparse corridor so distance-2 dirty regions stay small enough for
+    // the patching path to shine instead of tripping its size fallback.
+    let cfg = if incremental {
+        DynamicsConfig::default()
+            .initial(100)
+            .epochs(epochs)
+            .p_depart(0.04)
+            .arrivals_max(4)
+            .corridor_len(400.0)
+            .range_min(1.0)
+            .range_max(2.0)
+            .t(2)
+    } else {
+        DynamicsConfig::default()
+            .initial(100)
+            .epochs(epochs)
+            .p_depart(0.08)
+            .arrivals_max(10)
+            .corridor_len(60.0)
+            .range_min(1.0)
+            .range_max(4.0)
+            .t(2)
+    };
+
+    let mut runs: Vec<(&str, ChurnReport)> = Vec::new();
+    if incremental {
+        let full = simulate_corridor(cfg, Policy::OptimalL1, &mut StdRng::seed_from_u64(seed));
+        let inc = simulate_corridor_incremental(cfg, &mut StdRng::seed_from_u64(seed));
+        runs.push(("optimal_l1", full));
+        runs.push(("incremental", inc));
+    } else {
+        for (name, policy) in [("optimal_l1", Policy::OptimalL1), ("greedy", Policy::Greedy)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            runs.push((name, simulate_corridor(cfg, policy, &mut rng)));
+        }
+    }
+    let spans_match = !incremental || runs[0].1.epoch_spans == runs[1].1.epoch_spans;
+
+    if json {
+        let doc = Json::Object(vec![
+            ("schema".into(), Json::Str("ssg-churn/v1".into())),
+            ("epochs".into(), Json::U64(epochs as u64)),
+            ("seed".into(), Json::U64(seed)),
+            ("incremental".into(), Json::Bool(incremental)),
+            ("spans_match".into(), Json::Bool(spans_match)),
+            (
+                "policies".into(),
+                Json::Array(runs.iter().map(|(n, r)| churn_policy_json(n, r)).collect()),
+            ),
+        ]);
+        println!("{}", doc.render_pretty());
+    } else {
+        for (name, rep) in &runs {
+            println!(
+                "{name}: epochs={} mean_stations={:.1} mean_span={:.2} max_span={} mean_churn={:.1}% retunes={}",
+                rep.epochs,
+                rep.mean_stations,
+                rep.mean_span,
+                rep.max_span,
+                rep.mean_churn * 100.0,
+                rep.total_retunes
+            );
+            println!(
+                "  epoch solve: p50={:.1}us p90={:.1}us p99={:.1}us max={:.1}us",
+                rep.epoch_solve.p50() as f64 / 1e3,
+                rep.epoch_solve.p90() as f64 / 1e3,
+                rep.epoch_solve.p99() as f64 / 1e3,
+                rep.epoch_solve.max() as f64 / 1e3,
+            );
+            if incremental {
+                println!(
+                    "  recolored={} frozen={} full_resolves={}/{}",
+                    rep.epoch_recolored.iter().sum::<usize>(),
+                    rep.epoch_frozen.iter().sum::<usize>(),
+                    rep.full_resolves,
+                    rep.epochs,
+                );
+            }
+        }
+        if incremental {
+            println!(
+                "spans match from-scratch optimum: {}",
+                if spans_match { "yes" } else { "NO" }
+            );
+        }
+    }
+    if !spans_match {
+        eprintln!("ssg: incremental spans diverged from the from-scratch optimum");
+        return Ok(1);
     }
     Ok(0)
 }

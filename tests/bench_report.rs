@@ -7,7 +7,9 @@
 //!   re-parses the JSON with the minimal parser below, checking that the
 //!   emitted document is valid JSON carrying the advertised fields.
 
-use strongly_simplicial::bench::{run_benchmarks, AlgorithmBench, BenchConfig, BenchReport};
+use strongly_simplicial::bench::{
+    run_benchmarks, AlgorithmBench, BenchConfig, BenchReport, IncrementalBench,
+};
 use strongly_simplicial::telemetry::{Counter, HistSnapshot, Histogram, Metrics, Snapshot};
 
 /// A deterministic solve-time distribution from fixed observations.
@@ -57,6 +59,19 @@ fn synthetic_report() -> BenchReport {
             },
         ],
         engine: None,
+        incremental: Some(IncrementalBench {
+            stations: 240,
+            epochs: 12,
+            churn: 0.05,
+            full_epoch_p50_ns: 8000,
+            incremental_epoch_p50_ns: 1000,
+            speedup_p50: 8.0,
+            spans_match: true,
+            span_sum: 96,
+            full_resolves: 1,
+            dirty_low_churn: 40,
+            dirty_high_churn: 200,
+        }),
     }
 }
 
@@ -180,6 +195,18 @@ fn real_report_round_trips_through_json() {
             Some(original.wall_ns)
         );
     }
+
+    // The incremental churn section rides along too, with its span
+    // equality flag and deterministic span_sum intact.
+    let inc = value.get("incremental").unwrap();
+    let expected = report.incremental.as_ref().unwrap();
+    assert_eq!(
+        inc.get("stations").unwrap().as_u64(),
+        Some(expected.stations as u64)
+    );
+    assert_eq!(inc.get("span_sum").unwrap().as_u64(), Some(expected.span_sum));
+    assert_eq!(inc.get("spans_match"), Some(&Value::Bool(expected.spans_match)));
+    assert!(expected.spans_match, "incremental spans must match from-scratch");
 }
 
 #[test]

@@ -221,8 +221,8 @@ fn churn_prints_both_policies() {
     let out = ssg().args(["churn", "5", "3"]).output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    assert!(text.contains("OptimalL1:"));
-    assert!(text.contains("Greedy:"));
+    assert!(text.contains("optimal_l1:"));
+    assert!(text.contains("greedy:"));
     // Per-epoch solve-time percentiles ride along for each policy.
     assert_eq!(text.matches("epoch solve: p50=").count(), 2, "{text}");
     assert!(text.contains("p99="), "{text}");
