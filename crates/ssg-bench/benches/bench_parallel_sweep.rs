@@ -4,9 +4,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ssg_netsim::{run_grid, run_grid_sequential, BackboneNetwork};
+use ssg_labeling::Workspace;
+use ssg_netsim::{BackboneNetwork, GridBackend, GridRunner};
 
-fn assignment_cell(p: &(usize, u32), seed: u64) -> u32 {
+fn assignment_cell(p: &(usize, u32), seed: u64, _ws: &mut Workspace) -> u32 {
     let (n, t) = *p;
     let mut rng = StdRng::seed_from_u64(seed);
     let net = BackboneNetwork::generate(n, 4, &mut rng);
@@ -22,10 +23,12 @@ fn bench_sweep(c: &mut Criterion) {
         .collect();
     let seeds: Vec<u64> = (0..8).collect();
     group.bench_function("rayon", |b| {
-        b.iter(|| run_grid(&params, &seeds, assignment_cell))
+        let runner = GridRunner::new();
+        b.iter(|| runner.run(&params, &seeds, assignment_cell))
     });
     group.bench_function("sequential", |b| {
-        b.iter(|| run_grid_sequential(&params, &seeds, assignment_cell))
+        let runner = GridRunner::new().backend(GridBackend::Sequential);
+        b.iter(|| runner.run(&params, &seeds, assignment_cell))
     });
     group.finish();
 }

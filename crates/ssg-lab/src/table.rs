@@ -1,0 +1,261 @@
+//! The lab's result table: the deterministic projection of a run's row
+//! log, plus the baseline comparison gate.
+//!
+//! A table keeps only the columns that are pure functions of the spec —
+//! cell id, key, seed, `ok`, `span`, `spans_match`, and the error string —
+//! which is what makes it byte-identical whether the run completed in one
+//! invocation or was interrupted and resumed, and what makes it safe to
+//! commit as a baseline. Wall-clock and histogram fields stay in the row
+//! log only.
+
+use ssg_error::SsgError;
+use ssg_telemetry::json::Json;
+use ssg_telemetry::report::ReportEnvelope;
+
+/// The schema header every lab document (row and table) carries.
+pub const LAB_ENVELOPE: ReportEnvelope = ReportEnvelope::new("ssg-lab/v1");
+
+/// One divergence between a run table and its baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    /// The run's cell id, when the cell exists in this run.
+    pub cell: Option<usize>,
+    /// The canonical key both sides are matched on.
+    pub key: String,
+    /// What diverged, in the workspace's `got != baseline want` style.
+    pub message: String,
+}
+
+fn table_err(what: &str) -> impl Fn(String) -> SsgError + '_ {
+    move |message| SsgError::parse(what.to_string(), message)
+}
+
+fn cell_field_u64(cell: &Json, key: &str, what: &str) -> Result<u64, SsgError> {
+    cell.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| SsgError::parse(what, format!("table cell has no '{key}'")))
+}
+
+fn cell_field_bool(cell: &Json, key: &str, what: &str) -> Result<bool, SsgError> {
+    match cell.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(SsgError::parse(what, format!("table cell has no '{key}'"))),
+    }
+}
+
+/// Builds the deterministic table from completed rows (id order). Rows
+/// are the source of truth: the table re-renders their deterministic
+/// fields verbatim, so any two invocations that completed the same cells
+/// produce identical bytes.
+pub fn build_table(name: &str, fingerprint: &str, rows: &[&Json]) -> Result<Json, SsgError> {
+    let cells = rows
+        .iter()
+        .map(|row| {
+            let what = "lab row";
+            let key = row
+                .get("key")
+                .and_then(Json::as_str)
+                .ok_or_else(|| SsgError::parse(what, "row has no 'key'".to_string()))?;
+            let error = match row.get("error") {
+                Some(Json::Str(s)) => Json::Str(s.clone()),
+                _ => Json::Null,
+            };
+            Ok(Json::Object(vec![
+                ("cell".into(), Json::U64(cell_field_u64(row, "cell", what)?)),
+                ("key".into(), Json::Str(key.to_string())),
+                ("seed".into(), Json::U64(cell_field_u64(row, "seed", what)?)),
+                ("ok".into(), Json::Bool(cell_field_bool(row, "ok", what)?)),
+                ("span".into(), Json::U64(cell_field_u64(row, "span", what)?)),
+                (
+                    "spans_match".into(),
+                    Json::Bool(cell_field_bool(row, "spans_match", what)?),
+                ),
+                ("error".into(), error),
+            ]))
+        })
+        .collect::<Result<Vec<_>, SsgError>>()?;
+    Ok(LAB_ENVELOPE.stamp(vec![
+        ("name".into(), Json::Str(name.to_string())),
+        ("fingerprint".into(), Json::Str(fingerprint.to_string())),
+        ("cells".into(), Json::Array(cells)),
+    ]))
+}
+
+/// Renders a table as aligned text: one row per cell, key first.
+pub fn render_table_text(table: &Json) -> String {
+    let mut out = String::new();
+    let name = table.get("name").and_then(Json::as_str).unwrap_or("?");
+    let fp = table.get("fingerprint").and_then(Json::as_str).unwrap_or("?");
+    let empty = Vec::new();
+    let cells = table.get("cells").and_then(Json::as_array).unwrap_or(&empty);
+    out.push_str(&format!(
+        "lab table `{name}` (fingerprint {fp}, {} cells)\n",
+        cells.len()
+    ));
+    out.push_str(&format!("{:>5}  {:>8}  {:<5}  key\n", "cell", "span", "ok"));
+    for cell in cells {
+        let id = cell.get("cell").and_then(Json::as_u64).unwrap_or(0);
+        let span = cell.get("span").and_then(Json::as_u64).unwrap_or(0);
+        let ok = matches!(cell.get("ok"), Some(Json::Bool(true)));
+        let key = cell.get("key").and_then(Json::as_str).unwrap_or("?");
+        out.push_str(&format!(
+            "{id:>5}  {span:>8}  {:<5}  {key}\n",
+            if ok { "ok" } else { "FAIL" }
+        ));
+        if let Some(Json::Str(err)) = cell.get("error") {
+            out.push_str(&format!("{:>5}  error: {err}\n", ""));
+        }
+    }
+    out
+}
+
+/// Compares a run table against a committed baseline table on the
+/// deterministic columns, keyed by canonical cell key — the lab's version
+/// of the span-drift gate `ssg bench --compare` applies. Any span, `ok`,
+/// or `spans_match` divergence, and any cell present on only one side, is
+/// a drift.
+pub fn compare_tables(table: &Json, baseline: &Json) -> Result<Vec<Drift>, SsgError> {
+    let what = "lab baseline";
+    LAB_ENVELOPE.expect(baseline).map_err(table_err(what))?;
+    LAB_ENVELOPE.expect(table).map_err(table_err("lab table"))?;
+    let run_cells = table
+        .get("cells")
+        .and_then(Json::as_array)
+        .ok_or_else(|| SsgError::parse("lab table", "no 'cells' array".to_string()))?;
+    let base_cells = baseline
+        .get("cells")
+        .and_then(Json::as_array)
+        .ok_or_else(|| SsgError::parse(what, "no 'cells' array".to_string()))?;
+
+    let mut drifts = Vec::new();
+    let mut base_keys: Vec<&str> = Vec::new();
+    for base in base_cells {
+        let key = base
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SsgError::parse(what, "baseline cell has no 'key'".to_string()))?;
+        base_keys.push(key);
+        let Some(run) = run_cells
+            .iter()
+            .find(|c| c.get("key").and_then(Json::as_str) == Some(key))
+        else {
+            drifts.push(Drift {
+                cell: None,
+                key: key.to_string(),
+                message: format!("{key}: present in baseline, absent from this run"),
+            });
+            continue;
+        };
+        let id = cell_field_u64(run, "cell", "lab table")? as usize;
+        let mut push = |message: String| {
+            drifts.push(Drift {
+                cell: Some(id),
+                key: key.to_string(),
+                message,
+            })
+        };
+        let got_span = cell_field_u64(run, "span", "lab table")?;
+        let want_span = cell_field_u64(base, "span", what)?;
+        if got_span != want_span {
+            push(format!("{key}: span {got_span} != baseline {want_span}"));
+        }
+        for field in ["ok", "spans_match"] {
+            let got = cell_field_bool(run, field, "lab table")?;
+            let want = cell_field_bool(base, field, what)?;
+            if got != want {
+                push(format!("{key}: {field} {got} != baseline {want}"));
+            }
+        }
+    }
+    for run in run_cells {
+        if let Some(key) = run.get("key").and_then(Json::as_str) {
+            if !base_keys.contains(&key) {
+                drifts.push(Drift {
+                    cell: run.get("cell").and_then(Json::as_u64).map(|v| v as usize),
+                    key: key.to_string(),
+                    message: format!("{key}: present in this run, absent from baseline"),
+                });
+            }
+        }
+    }
+    Ok(drifts)
+}
+
+/// Renders a drift list the way `ssg bench --compare` renders its gate:
+/// a one-line verdict plus one indented line per drift.
+pub fn render_drifts(checked: usize, drifts: &[Drift]) -> String {
+    if drifts.is_empty() {
+        return format!("baseline compare: clean ({checked} cell(s) checked)\n");
+    }
+    let mut out = format!(
+        "baseline compare: {} drift(s) across {checked} cell(s):\n",
+        drifts.len()
+    );
+    for d in drifts {
+        out.push_str(&format!("  {}\n", d.message));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: u64, key: &str, span: u64, ok: bool) -> Json {
+        LAB_ENVELOPE.stamp(vec![
+            ("fingerprint".into(), Json::Str("f".into())),
+            ("cell".into(), Json::U64(id)),
+            ("key".into(), Json::Str(key.into())),
+            ("seed".into(), Json::U64(id * 7)),
+            ("ok".into(), Json::Bool(ok)),
+            ("span".into(), Json::U64(span)),
+            ("spans_match".into(), Json::Bool(ok)),
+            ("error".into(), Json::Null),
+            ("wall_ns".into(), Json::U64(123)),
+        ])
+    }
+
+    #[test]
+    fn table_keeps_only_deterministic_columns() {
+        let rows = [row(0, "k0", 4, true), row(1, "k1", 9, false)];
+        let refs: Vec<&Json> = rows.iter().collect();
+        let table = build_table("t", "fp", &refs).unwrap();
+        assert_eq!(LAB_ENVELOPE.expect(&table), Ok("ssg-lab/v1"));
+        let cells = table.get("cells").and_then(Json::as_array).unwrap();
+        assert_eq!(cells.len(), 2);
+        // wall_ns must not leak into the table.
+        assert!(cells[0].get("wall_ns").is_none());
+        let text = render_table_text(&table);
+        assert!(text.contains("k0"));
+        assert!(text.contains("FAIL"));
+    }
+
+    #[test]
+    fn compare_flags_span_ok_and_membership_drift() {
+        let fresh = [row(0, "k0", 4, true), row(1, "k1", 9, true)];
+        let refs: Vec<&Json> = fresh.iter().collect();
+        let table = build_table("t", "fp", &refs).unwrap();
+        let base_rows = [row(0, "k0", 5, true), row(1, "k2", 9, true)];
+        let base_refs: Vec<&Json> = base_rows.iter().collect();
+        let baseline = build_table("t", "fp", &base_refs).unwrap();
+        let drifts = compare_tables(&table, &baseline).unwrap();
+        let messages: Vec<&str> = drifts.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(drifts.len(), 3, "{messages:?}");
+        assert!(messages[0].contains("span 4 != baseline 5"));
+        assert!(messages[1].contains("absent from this run"));
+        assert!(messages[2].contains("absent from baseline"));
+        assert_eq!(drifts[0].cell, Some(0));
+        // Identical tables: clean.
+        assert!(compare_tables(&table, &table).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compare_rejects_foreign_schemas() {
+        let rows = [row(0, "k0", 4, true)];
+        let refs: Vec<&Json> = rows.iter().collect();
+        let table = build_table("t", "fp", &refs).unwrap();
+        let foreign = ReportEnvelope::new("ssg-bench/v2").stamp(Vec::new());
+        let err = compare_tables(&table, &foreign).unwrap_err().to_string();
+        assert!(err.contains("expected schema ssg-lab/v1, got ssg-bench/v2"), "{err}");
+    }
+}

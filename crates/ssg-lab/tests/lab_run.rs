@@ -1,0 +1,133 @@
+//! End-to-end lab runs against real run directories: interrupted-run
+//! resumption must reproduce the uninterrupted table byte for byte, the
+//! spec pin must reject foreign specs, and a doctored baseline must trip
+//! the drift gate and leave a flight-recorder dump next to the row.
+
+use ssg_lab::{run_lab, trace_path, LabSpec, ROWS_FILE, SPEC_FILE};
+use ssg_telemetry::json::Json;
+use std::path::PathBuf;
+
+const SPEC: &str = "\
+name = itest
+
+[grid]
+class   = corridor backbone
+n       = 16 24
+solver  = auto
+backend = sequential
+";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ssg-lab-itest-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn interrupted_run_resumes_to_a_byte_identical_table() {
+    let spec = LabSpec::parse(SPEC).unwrap();
+    assert_eq!(spec.cells().len(), 4);
+
+    // Reference: one uninterrupted run.
+    let clean = temp_dir("clean");
+    let full = run_lab(&clean, &spec, None).unwrap();
+    assert_eq!((full.ran, full.skipped), (4, 0));
+    assert!(full.is_clean(), "failed cells: {:?}", full.failed);
+    let reference = full.table.render_pretty();
+
+    // Interrupted run: complete it, then chop the row log down to two
+    // whole rows plus a torn third line — exactly what a kill mid-write
+    // leaves behind.
+    let dir = temp_dir("interrupted");
+    run_lab(&dir, &spec, None).unwrap();
+    let rows_path = dir.join(ROWS_FILE);
+    let text = std::fs::read_to_string(&rows_path).unwrap();
+    let mut kept: Vec<&str> = text.lines().take(2).collect();
+    kept.push(r#"{"schema":"ssg-lab/v1","fingerprint":"torn"#);
+    std::fs::write(&rows_path, kept.join("\n")).unwrap();
+
+    let resumed = run_lab(&dir, &spec, None).unwrap();
+    assert_eq!((resumed.ran, resumed.skipped), (2, 2));
+    assert_eq!(resumed.table.render_pretty(), reference);
+
+    // A second resume is a no-op and the table stays stable.
+    let noop = run_lab(&dir, &spec, None).unwrap();
+    assert_eq!((noop.ran, noop.skipped), (0, 4));
+    assert_eq!(noop.table.render_pretty(), reference);
+
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_directories_are_pinned_to_their_spec() {
+    let dir = temp_dir("pin");
+    let spec = LabSpec::parse(SPEC).unwrap();
+    run_lab(&dir, &spec, None).unwrap();
+    assert!(dir.join(SPEC_FILE).exists());
+
+    let other = LabSpec::parse(&SPEC.replace("n       = 16 24", "n       = 16 32")).unwrap();
+    let err = run_lab(&dir, &other, None).unwrap_err().to_string();
+    assert!(err.contains("pinned to spec"), "{err}");
+
+    // Corruption in the middle of the log (not the tail) must error, not
+    // silently re-run.
+    let rows_path = dir.join(ROWS_FILE);
+    let text = std::fs::read_to_string(&rows_path).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines[0] = "not json at all";
+    std::fs::write(&rows_path, format!("{}\n", lines.join("\n"))).unwrap();
+    let err = run_lab(&dir, &spec, None).unwrap_err().to_string();
+    assert!(err.contains("row 1"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn doctored_baseline_trips_the_gate_and_dumps_a_trace() {
+    let dir = temp_dir("regress");
+    let spec = LabSpec::parse(SPEC).unwrap();
+    let first = run_lab(&dir, &spec, None).unwrap();
+
+    // Doctor cell 0's span in the committed table: the next run must see
+    // a drift on that key and capture its flight recorder.
+    let doctored = first.table.render_pretty().replacen(
+        &format!("\"span\": {}", span_of(&first.table, 0)),
+        "\"span\": 999999",
+        1,
+    );
+    let baseline = Json::parse(&doctored).unwrap();
+    let gated = run_lab(&dir, &spec, Some(&baseline)).unwrap();
+    assert_eq!(gated.ran, 0, "baseline compare must not re-run clean cells");
+    assert_eq!(gated.drifts.len(), 1, "{:?}", gated.drifts);
+    assert!(gated.drifts[0].message.contains("!= baseline 999999"));
+    assert_eq!(gated.drifts[0].cell, Some(0));
+    assert!(!gated.is_clean());
+
+    let dump = trace_path(&dir, 0);
+    assert!(dump.exists(), "missing {}", dump.display());
+    let trace = Json::parse(&std::fs::read_to_string(&dump).unwrap()).unwrap();
+    assert_eq!(
+        trace.get("schema").and_then(Json::as_str),
+        Some("ssg-trace/v1")
+    );
+
+    // A faithful baseline is clean.
+    let clean = run_lab(&dir, &spec, Some(&first.table)).unwrap();
+    assert!(clean.drifts.is_empty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn span_of(table: &Json, cell: u64) -> u64 {
+    table
+        .get("cells")
+        .and_then(Json::as_array)
+        .and_then(|cells| {
+            cells
+                .iter()
+                .find(|c| c.get("cell").and_then(Json::as_u64) == Some(cell))
+        })
+        .and_then(|c| c.get("span").and_then(Json::as_u64))
+        .unwrap()
+}

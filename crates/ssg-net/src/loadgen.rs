@@ -22,6 +22,7 @@ use crate::protocol::{parse_response, LabelSpec, LineEvent, LineReader, Response
 use ssg_error::SsgError;
 use ssg_telemetry::hist::{HistSnapshot, Histogram};
 use ssg_telemetry::json::Json;
+use ssg_telemetry::report::ReportEnvelope;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::TcpStream;
@@ -109,11 +110,13 @@ pub struct LoadReport {
     pub err_kinds: BTreeMap<String, u64>,
 }
 
+/// The envelope stamped on every loadgen report.
+pub const LOAD_ENVELOPE: ReportEnvelope = ReportEnvelope::new("ssg-load/v1");
+
 impl LoadReport {
     /// The `ssg-load/v1` JSON document.
     pub fn to_json(&self) -> Json {
-        Json::Object(vec![
-            ("schema".into(), Json::Str("ssg-load/v1".into())),
+        LOAD_ENVELOPE.stamp(vec![
             ("target_rps".into(), Json::F64(self.target_rps)),
             ("duration_ms".into(), Json::U64(self.duration.as_millis() as u64)),
             ("elapsed_ms".into(), Json::U64(self.elapsed.as_millis() as u64)),

@@ -50,61 +50,212 @@ impl Summary {
     }
 }
 
-/// Runs `f` over every `(param, seed)` pair in parallel with rayon and
-/// returns the results grouped by parameter (in input order, seeds in
-/// order). `f` must be deterministic in its inputs for reproducibility.
+/// Execution backend of a [`GridRunner`].
 ///
-/// ```
-/// use ssg_netsim::run_grid;
-/// let rows = run_grid(&[10u32, 20], &[1, 2, 3], |p, s| *p as u64 + s);
-/// assert_eq!(rows, vec![vec![11, 12, 13], vec![21, 22, 23]]);
-/// ```
-pub fn run_grid<P, R, F>(params: &[P], seeds: &[u64], f: F) -> Vec<Vec<R>>
-where
-    P: Sync,
-    R: Send,
-    F: Fn(&P, u64) -> R + Sync,
-{
-    params
-        .par_iter()
-        .map(|p| seeds.par_iter().map(|&s| f(p, s)).collect())
-        .collect()
+/// One enum replaces what used to be five separate `run_grid*` entry
+/// points: pick where the cells run, the grid semantics stay identical
+/// (results grouped by parameter in input order, seeds in order, each cell
+/// timed under [`Phase::Cell`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridBackend {
+    /// Cells run in order on the calling thread, sharing one warm
+    /// [`Workspace`] for the whole grid. The reference backend every other
+    /// backend must agree with bit-for-bit.
+    Sequential,
+    /// Cells run rayon-parallel, each on an exclusive warm [`Workspace`]
+    /// checked out of a [`WorkspacePool`].
+    Pooled,
+    /// Cells are shipped to a sharded [`Engine`](ssg_engine::Engine) with
+    /// `workers` worker threads (or to an externally supplied engine, see
+    /// [`GridRunner::engine`]), sharing its queues, stealing, backpressure,
+    /// and per-worker warm workspace leases with batch labeling traffic.
+    Engine {
+        /// Worker threads of the internally built engine. Ignored when an
+        /// external engine is attached.
+        workers: usize,
+    },
 }
 
-/// [`run_grid`] with telemetry: each `(param, seed)` cell is timed under
-/// [`Phase::Cell`], so a post-run [`Metrics::snapshot`] reports total cell
-/// wall time, cell count, and (dividing one by the other) grid throughput.
-/// Counter updates are atomic, so the rayon workers share one handle.
-pub fn run_grid_with<P, R, F>(params: &[P], seeds: &[u64], metrics: &Metrics, f: F) -> Vec<Vec<R>>
+impl GridBackend {
+    /// Canonical lowercase rendering (`sequential`, `pooled`, `engine:K`)
+    /// — the token format `ssg lab` specs use for their backend axis.
+    pub fn render(&self) -> String {
+        match self {
+            GridBackend::Sequential => "sequential".into(),
+            GridBackend::Pooled => "pooled".into(),
+            GridBackend::Engine { workers } => format!("engine:{workers}"),
+        }
+    }
+
+    /// Parses the [`render`](Self::render) token format.
+    ///
+    /// ```
+    /// use ssg_netsim::GridBackend;
+    /// assert_eq!(GridBackend::parse("engine:4"), Some(GridBackend::Engine { workers: 4 }));
+    /// assert_eq!(GridBackend::parse("engine:0"), None);
+    /// assert_eq!(GridBackend::parse("pooled"), Some(GridBackend::Pooled));
+    /// ```
+    pub fn parse(token: &str) -> Option<GridBackend> {
+        match token {
+            "sequential" => Some(GridBackend::Sequential),
+            "pooled" => Some(GridBackend::Pooled),
+            _ => {
+                let workers: usize = token.strip_prefix("engine:")?.parse().ok()?;
+                (workers >= 1).then_some(GridBackend::Engine { workers })
+            }
+        }
+    }
+}
+
+/// Unified builder over the experiment-grid execution backends.
+///
+/// ```
+/// use ssg_netsim::{GridBackend, GridRunner};
+/// let rows = GridRunner::new()
+///     .backend(GridBackend::Sequential)
+///     .run(&[10u32, 20], &[1, 2, 3], |p, s, _ws| u64::from(*p) + s);
+/// assert_eq!(rows, vec![vec![11, 12, 13], vec![21, 22, 23]]);
+/// ```
+///
+/// The cell closure always receives a warm [`Workspace`] (ignore it for
+/// workspace-free cells) and must be deterministic in `(param, seed)`; the
+/// engine backend additionally requires `'static` captures because cells
+/// outlive the submitting stack frame, so the unified [`run`] carries the
+/// superset bounds. Attach a [`Metrics`] handle to time every cell under
+/// [`Phase::Cell`], a caller-owned [`WorkspacePool`] to observe warm-reuse
+/// accounting, or a caller-owned [`Engine`](ssg_engine::Engine) to share
+/// shards with live traffic.
+///
+/// [`run`]: GridRunner::run
+#[derive(Clone)]
+pub struct GridRunner<'a> {
+    backend: GridBackend,
+    metrics: Metrics,
+    pool: Option<&'a WorkspacePool>,
+    engine: Option<&'a ssg_engine::Engine>,
+}
+
+impl Default for GridRunner<'_> {
+    fn default() -> Self {
+        GridRunner::new()
+    }
+}
+
+impl<'a> GridRunner<'a> {
+    /// A runner on the default [`GridBackend::Pooled`] backend with
+    /// disabled metrics.
+    pub fn new() -> Self {
+        GridRunner {
+            backend: GridBackend::Pooled,
+            metrics: Metrics::disabled(),
+            pool: None,
+            engine: None,
+        }
+    }
+
+    /// Selects the execution backend.
+    #[must_use]
+    pub fn backend(mut self, backend: GridBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Attaches a metrics handle; every cell is timed under
+    /// [`Phase::Cell`] on it.
+    #[must_use]
+    pub fn metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Uses `pool` for the [`GridBackend::Pooled`] backend instead of an
+    /// internal throwaway pool, so the caller can inspect
+    /// [`WorkspacePool::total_solves`] afterwards.
+    #[must_use]
+    pub fn pool(mut self, pool: &'a WorkspacePool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Ships cells to `engine` (and forces the backend to
+    /// [`GridBackend::Engine`]) instead of building a private engine, so
+    /// sweeps share shards with live batch traffic. The `workers` field of
+    /// the backend is ignored — the attached engine already has its own.
+    #[must_use]
+    pub fn engine(mut self, engine: &'a ssg_engine::Engine) -> Self {
+        self.backend = GridBackend::Engine {
+            workers: engine.workers(),
+        };
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Runs `f` over every `(param, seed)` pair on the configured backend
+    /// and returns the results grouped by parameter (input order, seeds in
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// On the engine backend, panics if a cell's closure panicked on a
+    /// worker (the engine isolates the panic; this harness refuses to
+    /// return a grid with holes) or if the engine is shutting down.
+    pub fn run<P, R, F>(&self, params: &[P], seeds: &[u64], f: F) -> Vec<Vec<R>>
+    where
+        P: Clone + Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn(&P, u64, &mut Workspace) -> R + Send + Sync + 'static,
+    {
+        match self.backend {
+            GridBackend::Sequential => grid_sequential_impl(params, seeds, &self.metrics, f),
+            GridBackend::Pooled => match self.pool {
+                Some(pool) => grid_pooled_impl(params, seeds, pool, &self.metrics, f),
+                None => grid_pooled_impl(params, seeds, &WorkspacePool::new(), &self.metrics, f),
+            },
+            GridBackend::Engine { workers } => match self.engine {
+                Some(engine) => grid_engine_impl(params, seeds, engine, &self.metrics, f),
+                None => {
+                    let engine = ssg_engine::Engine::builder()
+                        .workers(workers)
+                        .metrics(self.metrics.clone())
+                        .build();
+                    let grid = grid_engine_impl(params, seeds, &engine, &self.metrics, f);
+                    engine.shutdown();
+                    grid
+                }
+            },
+        }
+    }
+}
+
+/// [`GridBackend::Sequential`] body: in-order cells on one warm workspace.
+/// Relaxed bounds so the deprecated [`run_grid_sequential`] wrapper can
+/// delegate without `Sync`/`'static` requirements.
+fn grid_sequential_impl<P, R, F>(params: &[P], seeds: &[u64], metrics: &Metrics, f: F) -> Vec<Vec<R>>
 where
-    P: Sync,
-    R: Send,
-    F: Fn(&P, u64) -> R + Sync,
+    F: Fn(&P, u64, &mut Workspace) -> R,
 {
+    let mut ws = Workspace::new();
     params
-        .par_iter()
+        .iter()
         .map(|p| {
             seeds
-                .par_iter()
+                .iter()
                 .map(|&s| {
                     let _cell = metrics.time(Phase::Cell);
-                    f(p, s)
+                    f(p, s, &mut ws)
                 })
                 .collect()
         })
         .collect()
 }
 
-/// [`run_grid_with`] over a [`WorkspacePool`]: each cell additionally
-/// receives an exclusive warm [`Workspace`] checked out of `pool`, so
-/// repeated solves inside the sweep reuse arenas instead of reallocating.
-/// Steady state holds one workspace per concurrently running worker; after
-/// the run, `pool.total_solves() - pool.len()` solves were served warm.
-///
-/// Results are grouped exactly as [`run_grid`] groups them, and `f` must
-/// not depend on *which* pooled workspace it receives (every solver in
-/// `ssg-labeling` resets its scratch per solve, so this holds for free).
-pub fn run_grid_pooled<P, R, F>(
+/// [`GridBackend::Pooled`] body: rayon-parallel cells over a shared
+/// [`WorkspacePool`]. Steady state holds one workspace per concurrently
+/// running worker; after the run, `pool.total_solves() - pool.len()` cells
+/// were served warm. `f` must not depend on *which* pooled workspace it
+/// receives (every solver in `ssg-labeling` resets its scratch per solve,
+/// so this holds for free).
+fn grid_pooled_impl<P, R, F>(
     params: &[P],
     seeds: &[u64],
     pool: &WorkspacePool,
@@ -132,24 +283,12 @@ where
         .collect()
 }
 
-/// [`run_grid_pooled`]'s twin routed through a running
-/// [`Engine`](ssg_engine::Engine): every `(param, seed)` cell is shipped to
-/// the engine's sharded workers via [`Engine::execute`](ssg_engine::Engine::execute),
-/// so sweeps share the engine's queues, stealing, backpressure, and
-/// per-worker warm workspace leases with the batch labeling traffic. Each
-/// cell is timed under [`Phase::Cell`] on `metrics`, exactly like
-/// [`run_grid_with`].
-///
-/// Unlike the rayon variants this requires `'static` captures (cells
-/// outlive the submitting stack frame), so parameters are cloned into
-/// their cells.
-///
-/// # Panics
-///
-/// Panics if a cell's closure panicked on a worker (the engine isolates
-/// the panic; this harness refuses to return a grid with holes) or if the
-/// engine is shutting down.
-pub fn run_grid_engine<P, R, F>(
+/// [`GridBackend::Engine`] body: every `(param, seed)` cell is shipped to
+/// the engine's sharded workers via
+/// [`Engine::execute`](ssg_engine::Engine::execute). Requires `'static`
+/// captures (cells outlive the submitting stack frame), so parameters are
+/// cloned into their cells.
+fn grid_engine_impl<P, R, F>(
     params: &[P],
     seeds: &[u64],
     engine: &ssg_engine::Engine,
@@ -202,16 +341,106 @@ where
         .collect()
 }
 
-/// Sequential twin of [`run_grid`] — used to measure rayon's speedup in
-/// experiment E8 and as a fallback in single-threaded contexts.
+// ---------------------------------------------------------------------------
+// Deprecated pre-GridRunner entry points (thin wrappers)
+// ---------------------------------------------------------------------------
+
+/// Runs `f` over every `(param, seed)` pair in parallel with rayon and
+/// returns the results grouped by parameter (in input order, seeds in
+/// order). `f` must be deterministic in its inputs for reproducibility.
+#[deprecated(
+    since = "0.1.0",
+    note = "use GridRunner::new().run(params, seeds, |p, s, _ws| ...) instead"
+)]
+pub fn run_grid<P, R, F>(params: &[P], seeds: &[u64], f: F) -> Vec<Vec<R>>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, u64) -> R + Sync,
+{
+    grid_pooled_impl(
+        params,
+        seeds,
+        &WorkspacePool::new(),
+        &Metrics::disabled(),
+        |p, s, _ws| f(p, s),
+    )
+}
+
+/// [`run_grid`] with telemetry: each `(param, seed)` cell is timed under
+/// [`Phase::Cell`] on `metrics`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use GridRunner::new().metrics(metrics).run(...) instead"
+)]
+pub fn run_grid_with<P, R, F>(params: &[P], seeds: &[u64], metrics: &Metrics, f: F) -> Vec<Vec<R>>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, u64) -> R + Sync,
+{
+    grid_pooled_impl(params, seeds, &WorkspacePool::new(), metrics, |p, s, _ws| {
+        f(p, s)
+    })
+}
+
+/// [`run_grid_with`] over a caller-owned [`WorkspacePool`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use GridRunner::new().pool(&pool).metrics(metrics).run(...) instead"
+)]
+pub fn run_grid_pooled<P, R, F>(
+    params: &[P],
+    seeds: &[u64],
+    pool: &WorkspacePool,
+    metrics: &Metrics,
+    f: F,
+) -> Vec<Vec<R>>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P, u64, &mut Workspace) -> R + Sync,
+{
+    grid_pooled_impl(params, seeds, pool, metrics, f)
+}
+
+/// Grid cells shipped through a caller-owned running
+/// [`Engine`](ssg_engine::Engine).
+///
+/// # Panics
+///
+/// Panics if a cell's closure panicked on a worker or the engine is
+/// shutting down (see [`GridRunner::run`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use GridRunner::new().engine(&engine).metrics(metrics).run(...) instead"
+)]
+pub fn run_grid_engine<P, R, F>(
+    params: &[P],
+    seeds: &[u64],
+    engine: &ssg_engine::Engine,
+    metrics: &Metrics,
+    f: F,
+) -> Vec<Vec<R>>
+where
+    P: Clone + Send + 'static,
+    R: Send + 'static,
+    F: Fn(&P, u64, &mut Workspace) -> R + Send + Sync + 'static,
+{
+    grid_engine_impl(params, seeds, engine, metrics, f)
+}
+
+/// Sequential twin of [`run_grid`] — one cell at a time on the calling
+/// thread.
+#[deprecated(
+    since = "0.1.0",
+    note = "use GridRunner::new().backend(GridBackend::Sequential).run(...) instead"
+)]
 pub fn run_grid_sequential<P, R, F>(params: &[P], seeds: &[u64], f: F) -> Vec<Vec<R>>
 where
     F: Fn(&P, u64) -> R,
 {
-    params
-        .iter()
-        .map(|p| seeds.iter().map(|&s| f(p, s)).collect())
-        .collect()
+    grid_sequential_impl(params, seeds, &Metrics::disabled(), |p, s, _ws| f(p, s))
 }
 
 /// One row of an experiment table: a parameter label plus named metric
@@ -303,13 +532,52 @@ mod tests {
         assert_eq!(empty.count, 0);
     }
 
+    /// The grid cell every parity test below solves: corridor network of
+    /// `n` transceivers, L(1,1) span via the interval solver.
+    fn corridor_span(&n: &usize, s: u64, ws: &mut Workspace) -> u32 {
+        use crate::scenario::CorridorNetwork;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use ssg_labeling::solver::{default_registry, Problem};
+        use ssg_labeling::SeparationVector;
+
+        let mut rng = StdRng::seed_from_u64(s);
+        let net = CorridorNetwork::generate(n, 1.0, 1.0, 4.0, &mut rng);
+        let sep = SeparationVector::all_ones(2);
+        let lab = default_registry().solve(
+            "interval_l1",
+            &Problem::interval(net.representation(), &sep),
+            ws,
+            &Metrics::disabled(),
+        );
+        let span = lab.span();
+        ws.recycle(lab);
+        span
+    }
+
     #[test]
-    fn grid_matches_sequential() {
+    fn backend_tokens_round_trip() {
+        for backend in [
+            GridBackend::Sequential,
+            GridBackend::Pooled,
+            GridBackend::Engine { workers: 3 },
+        ] {
+            assert_eq!(GridBackend::parse(&backend.render()), Some(backend));
+        }
+        assert_eq!(GridBackend::parse("engine:0"), None);
+        assert_eq!(GridBackend::parse("engine:x"), None);
+        assert_eq!(GridBackend::parse("threads"), None);
+    }
+
+    #[test]
+    fn pooled_backend_matches_sequential() {
         let params = vec![1u64, 2, 3];
         let seeds = vec![10u64, 20];
-        let f = |p: &u64, s: u64| p * 1000 + s;
-        let par = run_grid(&params, &seeds, f);
-        let seq = run_grid_sequential(&params, &seeds, f);
+        let f = |p: &u64, s: u64, _ws: &mut Workspace| p * 1000 + s;
+        let par = GridRunner::new().run(&params, &seeds, f);
+        let seq = GridRunner::new()
+            .backend(GridBackend::Sequential)
+            .run(&params, &seeds, f);
         assert_eq!(par, seq);
         assert_eq!(par[2][1], 3020);
     }
@@ -318,49 +586,40 @@ mod tests {
     fn instrumented_grid_times_every_cell() {
         let params = vec![1u64, 2];
         let seeds = vec![10u64, 20, 30];
-        let f = |p: &u64, s: u64| p * 1000 + s;
+        let f = |p: &u64, s: u64, _ws: &mut Workspace| p * 1000 + s;
         let metrics = Metrics::enabled();
-        let timed = run_grid_with(&params, &seeds, &metrics, f);
-        assert_eq!(timed, run_grid_sequential(&params, &seeds, f));
+        let timed = GridRunner::new()
+            .metrics(metrics.clone())
+            .run(&params, &seeds, f);
+        assert_eq!(
+            timed,
+            GridRunner::new()
+                .backend(GridBackend::Sequential)
+                .run(&params, &seeds, f)
+        );
         let snap = metrics.snapshot();
         assert_eq!(snap.phase_count(Phase::Cell), 6);
-        // Disabled handle: same results, nothing recorded.
+        // Disabled handle (the default): same results, nothing recorded.
         let off = Metrics::disabled();
-        run_grid_with(&params, &seeds, &off, f);
+        GridRunner::new()
+            .metrics(off.clone())
+            .run(&params, &seeds, f);
         assert_eq!(off.snapshot().phase_count(Phase::Cell), 0);
     }
 
     #[test]
-    fn pooled_grid_matches_plain_grid_and_reuses_workspaces() {
-        use crate::scenario::CorridorNetwork;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        use ssg_labeling::solver::{default_registry, Problem};
-        use ssg_labeling::SeparationVector;
-
+    fn pooled_grid_matches_sequential_and_reuses_workspaces() {
         let params = vec![20usize, 35];
         let seeds = vec![7u64, 8, 9];
-        let sep = SeparationVector::all_ones(2);
-        let solve = |&n: &usize, s: u64, ws: &mut Workspace| {
-            let mut rng = StdRng::seed_from_u64(s);
-            let net = CorridorNetwork::generate(n, 1.0, 1.0, 4.0, &mut rng);
-            let rep = net.representation();
-            let lab = default_registry().solve(
-                "interval_l1",
-                &Problem::interval(rep, &sep),
-                ws,
-                &Metrics::disabled(),
-            );
-            let span = lab.span();
-            ws.recycle(lab);
-            span
-        };
         let pool = WorkspacePool::new();
         let metrics = Metrics::enabled();
-        let pooled = run_grid_pooled(&params, &seeds, &pool, &metrics, solve);
-        let plain = run_grid(&params, &seeds, |p, s| {
-            solve(p, s, &mut Workspace::new())
-        });
+        let pooled = GridRunner::new()
+            .pool(&pool)
+            .metrics(metrics.clone())
+            .run(&params, &seeds, corridor_span);
+        let plain = GridRunner::new()
+            .backend(GridBackend::Sequential)
+            .run(&params, &seeds, corridor_span);
         assert_eq!(pooled, plain);
         assert_eq!(metrics.snapshot().phase_count(Phase::Cell), 6);
         // All six cells were served by the pool; the workspaces it retired
@@ -371,39 +630,63 @@ mod tests {
     }
 
     #[test]
-    fn engine_grid_matches_plain_grid() {
-        use crate::scenario::CorridorNetwork;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        use ssg_labeling::solver::{default_registry, Problem};
-        use ssg_labeling::SeparationVector;
-
+    fn engine_backend_matches_sequential() {
         let params = vec![18usize, 28];
         let seeds = vec![3u64, 4, 5];
-        fn solve(&n: &usize, s: u64, ws: &mut Workspace) -> u32 {
-            let mut rng = StdRng::seed_from_u64(s);
-            let net = CorridorNetwork::generate(n, 1.0, 1.0, 4.0, &mut rng);
-            let sep = SeparationVector::all_ones(2);
-            let lab = default_registry().solve(
-                "interval_l1",
-                &Problem::interval(net.representation(), &sep),
-                ws,
-                &Metrics::disabled(),
-            );
-            let span = lab.span();
-            ws.recycle(lab);
-            span
-        }
+        let plain = GridRunner::new()
+            .backend(GridBackend::Sequential)
+            .run(&params, &seeds, corridor_span);
+        // Internally built engine, selected by backend token.
+        let built = GridRunner::new()
+            .backend(GridBackend::Engine { workers: 2 })
+            .run(&params, &seeds, corridor_span);
+        assert_eq!(built, plain);
+        // Caller-owned engine: sweeps share its shards and show up in its
+        // stats.
         let engine = ssg_engine::Engine::builder().workers(2).build();
         let metrics = Metrics::enabled();
-        let via_engine = run_grid_engine(&params, &seeds, &engine, &metrics, solve);
-        let plain = run_grid(&params, &seeds, |p, s| solve(p, s, &mut Workspace::new()));
+        let via_engine = GridRunner::new()
+            .engine(&engine)
+            .metrics(metrics.clone())
+            .run(&params, &seeds, corridor_span);
         assert_eq!(via_engine, plain);
         assert_eq!(metrics.snapshot().phase_count(Phase::Cell), 6);
         // A closure job counts as completed only after it returns, which
         // can lag the result arriving on the channel — drain first.
         engine.drain();
         assert_eq!(engine.stats().completed, 6);
+        engine.shutdown();
+    }
+
+    /// Deprecation test: the five pre-`GridRunner` entry points must keep
+    /// returning grids identical to the builder until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_grid_runner() {
+        let params = vec![1u64, 2, 3];
+        let seeds = vec![10u64, 20];
+        let plain = |p: &u64, s: u64| p * 1000 + s;
+        let with_ws = |p: &u64, s: u64, _ws: &mut Workspace| p * 1000 + s;
+        let reference = GridRunner::new()
+            .backend(GridBackend::Sequential)
+            .run(&params, &seeds, with_ws);
+
+        assert_eq!(run_grid(&params, &seeds, plain), reference);
+        assert_eq!(run_grid_sequential(&params, &seeds, plain), reference);
+        let metrics = Metrics::enabled();
+        assert_eq!(run_grid_with(&params, &seeds, &metrics, plain), reference);
+        assert_eq!(metrics.snapshot().phase_count(Phase::Cell), 6);
+        let pool = WorkspacePool::new();
+        assert_eq!(
+            run_grid_pooled(&params, &seeds, &pool, &Metrics::disabled(), with_ws),
+            reference
+        );
+        assert!(!pool.is_empty());
+        let engine = ssg_engine::Engine::builder().workers(2).build();
+        assert_eq!(
+            run_grid_engine(&params, &seeds, &engine, &Metrics::disabled(), with_ws),
+            reference
+        );
         engine.shutdown();
     }
 

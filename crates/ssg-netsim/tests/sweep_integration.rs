@@ -4,24 +4,27 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ssg_labeling::Workspace;
 use ssg_netsim::{
-    run_grid, run_grid_sequential, to_markdown, write_csv, BackboneNetwork, CorridorNetwork,
-    ExperimentRow, Summary,
+    to_markdown, write_csv, BackboneNetwork, CorridorNetwork, ExperimentRow, GridBackend,
+    GridRunner, Summary,
 };
 
 #[test]
 fn grid_of_real_assignments_parallel_equals_sequential() {
     let params: Vec<(usize, u32)> = vec![(50, 1), (50, 2), (120, 2)];
     let seeds: Vec<u64> = vec![1, 2, 3, 4];
-    let cell = |p: &(usize, u32), seed: u64| {
+    let cell = |p: &(usize, u32), seed: u64, _ws: &mut Workspace| {
         let mut rng = StdRng::seed_from_u64(seed);
         let net = CorridorNetwork::generate(p.0, 1.0, 1.0, 4.0, &mut rng);
         let r = net.assign_l1(p.1);
         assert!(r.verified);
         (r.span, r.lower_bound)
     };
-    let par = run_grid(&params, &seeds, cell);
-    let seq = run_grid_sequential(&params, &seeds, cell);
+    let par = GridRunner::new().run(&params, &seeds, cell);
+    let seq = GridRunner::new()
+        .backend(GridBackend::Sequential)
+        .run(&params, &seeds, cell);
     assert_eq!(par, seq);
     // Optimal algorithm: span equals its lower bound everywhere.
     for row in &par {

@@ -209,6 +209,22 @@ impl HistSnapshot {
         ])
     }
 
+    /// Arbitrary-quantile export: renders `points` (label, quantile in
+    /// `[0, 1]`) as a JSON object in the given order, e.g.
+    /// `[("p50", 0.5), ("p999", 0.999)]`. The `ssg-lab/v1` cell rows use
+    /// this for their latency-quantile columns; [`summary_json`] is the
+    /// fixed-shape convenience wrapper.
+    ///
+    /// [`summary_json`]: Self::summary_json
+    pub fn quantiles_json(&self, points: &[(&str, f64)]) -> Json {
+        Json::Object(
+            points
+                .iter()
+                .map(|&(name, q)| (name.to_string(), Json::U64(self.quantile(q))))
+                .collect(),
+        )
+    }
+
     /// Appends Prometheus text-exposition lines for this histogram under
     /// `name` (cumulative `_bucket{le="..."}` lines over the non-empty
     /// prefix, then `_sum` and `_count`).

@@ -53,9 +53,11 @@
 
 pub mod hist;
 pub mod json;
+pub mod report;
 pub mod trace;
 
 pub use hist::{HistSnapshot, Histogram};
+pub use report::ReportEnvelope;
 pub use trace::{EventKind, FlightRecorder, SpanEvent, SpanGuard, TraceScope};
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,0 +1,137 @@
+//! Shared report envelope: one place that stamps and validates the
+//! `schema` version header every machine-readable report in the workspace
+//! carries (`ssg-bench/v2`, `ssg-churn/v1`, `ssg-load/v1`, `ssg-lab/v1`,
+//! `ssg-trace/v1`, ...).
+//!
+//! Before this module each producer hand-rolled its own
+//! `("schema", Json::Str(...))` first field and each consumer hand-rolled
+//! its own mismatch message. [`ReportEnvelope`] centralizes both, so every
+//! schema error in the workspace reads the same way:
+//! `expected schema X, got Y`.
+//!
+//! ```
+//! use ssg_telemetry::json::Json;
+//! use ssg_telemetry::report::ReportEnvelope;
+//!
+//! const ENVELOPE: ReportEnvelope = ReportEnvelope::new("ssg-demo/v1");
+//! let doc = ENVELOPE.stamp(vec![("ok".into(), Json::Bool(true))]);
+//! assert_eq!(doc.render(), r#"{"schema":"ssg-demo/v1","ok":true}"#);
+//! assert_eq!(ENVELOPE.expect(&doc), Ok("ssg-demo/v1"));
+//! assert!(ENVELOPE
+//!     .expect(&Json::parse(r#"{"schema":"ssg-demo/v2"}"#).unwrap())
+//!     .unwrap_err()
+//!     .contains("expected schema ssg-demo/v1, got ssg-demo/v2"));
+//! ```
+
+use crate::json::Json;
+
+/// A report family's schema version header.
+///
+/// Construct one `const` per report family next to the code that renders
+/// it, stamp outgoing documents with [`stamp`](ReportEnvelope::stamp), and
+/// validate incoming ones with [`expect`](ReportEnvelope::expect) (or
+/// [`expect_one_of`] when older versions stay readable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportEnvelope {
+    /// The schema identifier this envelope stamps, e.g. `"ssg-lab/v1"`.
+    pub schema: &'static str,
+}
+
+impl ReportEnvelope {
+    /// An envelope for one schema identifier.
+    pub const fn new(schema: &'static str) -> Self {
+        ReportEnvelope { schema }
+    }
+
+    /// Builds the report object with the `schema` header as its first
+    /// field, ahead of `fields` (insertion order is what renders).
+    pub fn stamp(&self, fields: Vec<(String, Json)>) -> Json {
+        let mut all = Vec::with_capacity(fields.len() + 1);
+        all.push(("schema".to_string(), Json::Str(self.schema.to_string())));
+        all.extend(fields);
+        Json::Object(all)
+    }
+
+    /// Validates that `doc` carries exactly this envelope's schema header.
+    /// Returns the matched identifier, or the workspace-standard
+    /// `expected schema X, got Y` message.
+    pub fn expect<'a>(&self, doc: &'a Json) -> Result<&'a str, String> {
+        expect_one_of(doc, &[self.schema])
+    }
+}
+
+/// Validates that `doc`'s `schema` header is one of `accepted` (useful
+/// when a reader keeps accepting older versions, e.g. `ssg-bench/v1` and
+/// `ssg-bench/v2`). Returns the matched identifier; the error message is
+/// the workspace-standard `expected schema X, got Y` (with `X` an
+/// `or`-joined list when several versions are accepted, and `Y` naming a
+/// missing or non-string header explicitly).
+pub fn expect_one_of<'a>(doc: &'a Json, accepted: &[&str]) -> Result<&'a str, String> {
+    debug_assert!(!accepted.is_empty(), "a reader must accept some schema");
+    let got = match doc.get("schema") {
+        Some(Json::Str(s)) => s.as_str(),
+        Some(_) => "a non-string 'schema' value",
+        None => "no 'schema' key",
+    };
+    if accepted.contains(&got) {
+        // A match means the header was a string; return the slice out of
+        // `doc` so the result borrows only the document.
+        return Ok(doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .expect("a matched header is a string"));
+    }
+    Err(format!("expected schema {}, got {got}", accepted.join(" or ")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BENCH: ReportEnvelope = ReportEnvelope::new("ssg-bench/v2");
+
+    #[test]
+    fn stamp_puts_schema_first() {
+        let doc = BENCH.stamp(vec![
+            ("n".into(), Json::U64(4)),
+            ("ok".into(), Json::Bool(true)),
+        ]);
+        assert_eq!(doc.render(), r#"{"schema":"ssg-bench/v2","n":4,"ok":true}"#);
+        let empty = BENCH.stamp(Vec::new());
+        assert_eq!(empty.render(), r#"{"schema":"ssg-bench/v2"}"#);
+    }
+
+    #[test]
+    fn expect_round_trips_and_reports_mismatch() {
+        let doc = BENCH.stamp(Vec::new());
+        assert_eq!(BENCH.expect(&doc), Ok("ssg-bench/v2"));
+        let other = ReportEnvelope::new("ssg-churn/v1").stamp(Vec::new());
+        let err = BENCH.expect(&other).unwrap_err();
+        assert_eq!(err, "expected schema ssg-bench/v2, got ssg-churn/v1");
+    }
+
+    #[test]
+    fn expect_one_of_accepts_any_listed_version() {
+        let v1 = ReportEnvelope::new("ssg-bench/v1").stamp(Vec::new());
+        let accepted = ["ssg-bench/v1", "ssg-bench/v2"];
+        assert_eq!(expect_one_of(&v1, &accepted), Ok("ssg-bench/v1"));
+        let v3 = ReportEnvelope::new("ssg-bench/v3").stamp(Vec::new());
+        let err = expect_one_of(&v3, &accepted).unwrap_err();
+        assert_eq!(
+            err,
+            "expected schema ssg-bench/v1 or ssg-bench/v2, got ssg-bench/v3"
+        );
+    }
+
+    #[test]
+    fn missing_or_malformed_headers_are_named() {
+        let err = BENCH.expect(&Json::Object(vec![])).unwrap_err();
+        assert_eq!(err, "expected schema ssg-bench/v2, got no 'schema' key");
+        let bad = Json::Object(vec![("schema".into(), Json::U64(2))]);
+        let err = BENCH.expect(&bad).unwrap_err();
+        assert_eq!(
+            err,
+            "expected schema ssg-bench/v2, got a non-string 'schema' value"
+        );
+    }
+}

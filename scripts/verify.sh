@@ -25,6 +25,26 @@ cargo test -q --release -p ssg-engine --offline
 echo "==> scripts/bench_diff.sh (span drift vs BENCH_labeling.json)"
 sh scripts/bench_diff.sh
 
+echo "==> lab smoke (run -> resume no-op -> report, demo matrix vs baseline)"
+LAB_DIR=$(mktemp -d)
+cat > "$LAB_DIR/smoke.lab" <<'EOF'
+name = smoke
+
+[grid]
+class   = corridor backbone
+n       = 24
+backend = sequential engine:2
+EOF
+./target/release/ssg lab run "$LAB_DIR/smoke.lab" --dir "$LAB_DIR/run" > /dev/null
+RESUME=$(./target/release/ssg lab resume "$LAB_DIR/run")
+case "$RESUME" in
+    *"ran 0 cell"*) ;;
+    *) echo "lab resume was not a no-op:" >&2; echo "$RESUME" >&2; exit 1 ;;
+esac
+./target/release/ssg lab report "$LAB_DIR/run" --format json > /dev/null
+rm -rf "$LAB_DIR"
+sh scripts/bench_diff.sh --lab labs/demo.lab labs/demo.table.json
+
 echo "==> serve/loadgen smoke (ephemeral port, 50 rps x 2s, drain)"
 SMOKE_DIR=$(mktemp -d)
 ./target/release/ssg serve --addr 127.0.0.1:0 --workers 2 \

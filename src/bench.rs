@@ -23,8 +23,17 @@ use ssg_netsim::{
     simulate_corridor, simulate_corridor_incremental_with, DynamicsConfig, Policy,
 };
 use ssg_telemetry::json::Json;
+use ssg_telemetry::report::{expect_one_of, ReportEnvelope};
 use ssg_telemetry::{Counter, Hist, HistSnapshot, Metrics, Phase, Snapshot};
 use ssg_tree::RootedTree;
+
+/// The envelope stamped on every report this harness emits; readers accept
+/// [`ACCEPTED_BASELINES`].
+pub const BENCH_ENVELOPE: ReportEnvelope = ReportEnvelope::new("ssg-bench/v2");
+
+/// Baseline schemas [`diff_against_baseline`] still reads — every quantity
+/// the diff compares exists in both.
+pub const ACCEPTED_BASELINES: [&str; 2] = ["ssg-bench/v1", "ssg-bench/v2"];
 
 /// Configuration of one `ssg bench` run.
 ///
@@ -348,7 +357,6 @@ impl BenchReport {
             ));
         }
         let mut fields = vec![
-            ("schema".into(), Json::Str("ssg-bench/v2".into())),
             ("config".into(), Json::Object(config)),
             (
                 "algorithms".into(),
@@ -362,7 +370,7 @@ impl BenchReport {
         if let Some(incremental) = &self.incremental {
             fields.push(("incremental".into(), incremental.to_json()));
         }
-        Json::Object(fields)
+        BENCH_ENVELOPE.stamp(fields)
     }
 
     /// Renders a human-readable table (the non-`--json` CLI output). With
@@ -504,15 +512,7 @@ impl BaselineDiff {
 /// returns `Ok` with a [`BaselineDiff`] otherwise. Span disagreement on any
 /// algorithm row, or a row present on one side only, is a drift.
 pub fn diff_against_baseline(report: &BenchReport, baseline: &Json) -> Result<BaselineDiff, String> {
-    match baseline.get("schema").and_then(Json::as_str) {
-        Some("ssg-bench/v1" | "ssg-bench/v2") => {}
-        Some(other) => {
-            return Err(format!(
-                "baseline schema is '{other}', expected 'ssg-bench/v1' or 'ssg-bench/v2'"
-            ))
-        }
-        None => return Err("baseline has no 'schema' key".into()),
-    }
+    expect_one_of(baseline, &ACCEPTED_BASELINES)?;
     let cfg = baseline
         .get("config")
         .ok_or_else(|| "baseline has no 'config' section".to_string())?;

@@ -28,16 +28,38 @@
 //!                                    # ssg-churn/v1 report
 //! ssg metrics [--n N] [--seed S]     # run a standard workload and print
 //!                                    # Prometheus text exposition
-//! ssg bench [--json] [--n N] [--reps R] [--seed S] [--repeat K]
-//!           [--compare BASELINE.json]
-//!                                    # run A1-A5 with telemetry; --json
-//!                                    # emits an ssg-bench/v2 report
-//!                                    # (latency histograms included);
-//!                                    # --repeat K>1 adds warm-workspace
-//!                                    # timings next to the cold solves;
-//!                                    # --compare diffs spans against a
-//!                                    # committed v1 or v2 report and
-//!                                    # exits 1 on any drift
+//! ssg bench [--format text|json] [--n N] [--reps R] [--seed S]
+//!           [--repeat K] [--compare BASELINE.json]
+//!                                    # run A1-A5 with telemetry;
+//!                                    # --format json emits an
+//!                                    # ssg-bench/v2 report (latency
+//!                                    # histograms included); --json is a
+//!                                    # deprecated alias for --format
+//!                                    # json; --repeat K>1 adds
+//!                                    # warm-workspace timings next to
+//!                                    # the cold solves; --compare diffs
+//!                                    # spans against a committed v1 or
+//!                                    # v2 report and exits 1 on any
+//!                                    # drift
+//! ssg lab run <spec.lab> --dir DIR [--baseline TABLE.json]
+//!            [--format text|json]
+//!                                    # expand the spec's scenario matrix
+//!                                    # and run every cell not already in
+//!                                    # DIR's row log; one flushed
+//!                                    # ssg-lab/v1 row per cell makes the
+//!                                    # run resumable; --baseline applies
+//!                                    # the span-drift gate (exit 1 on
+//!                                    # drift, flight-recorder dump next
+//!                                    # to each offending row); --format
+//!                                    # json prints the deterministic
+//!                                    # table (the committed baseline
+//!                                    # artifact)
+//! ssg lab resume <dir> [--baseline TABLE.json] [--format text|json]
+//!                                    # continue an interrupted run from
+//!                                    # the spec pinned in <dir>
+//! ssg lab report <dir> [--format text|json]
+//!                                    # rebuild the table from <dir>'s
+//!                                    # rows without executing anything
 //! ssg serve [--addr A] [--workers N] [--queue-cap N]
 //!           [--backpressure block|failfast] [--deadline-ms N]
 //!           [--max-conns N] [--duration SECS] [--trace-dump PATH]
@@ -51,12 +73,13 @@
 //! ssg loadgen [--addr A] [--rps R] [--duration SECS] [--conns C]
 //!             [--workload corridor|platoon|backbone] [--n N] [--seed S]
 //!             [--sep d1[,d2,...]] [--solver NAME] [--deadline-ms N]
-//!             [--timeout-ms N] [--drain] [--json]
+//!             [--timeout-ms N] [--drain] [--format text|json]
 //!                                    # open-loop load against a serve:
 //!                                    # fixed-schedule arrivals (no
 //!                                    # coordinated omission); reports
 //!                                    # achieved RPS + latency tail;
-//!                                    # --json emits ssg-load/v1;
+//!                                    # --format json emits ssg-load/v1
+//!                                    # (--json is a deprecated alias);
 //!                                    # --drain sends SHUTDOWN after
 //! ssg fetch <addr> <path>            # one HTTP GET against a serve,
 //!                                    # body to stdout (exit 1 on
@@ -96,6 +119,9 @@ use std::io::{BufRead, BufReader, Write};
 use std::time::Duration;
 use strongly_simplicial::bench::{diff_against_baseline, run_benchmarks, BenchConfig};
 use strongly_simplicial::engine::{Backpressure, Engine, LabelRequest, LabelResponse};
+use strongly_simplicial::lab::{
+    load_dir_spec, render_drifts, render_table_text, report_dir, run_lab, LabSpec, LabSummary,
+};
 use strongly_simplicial::labeling::auto::Guarantee;
 use strongly_simplicial::labeling::solver::{default_registry, Problem};
 use strongly_simplicial::labeling::{all_violations, SeparationVector, Workspace};
@@ -105,6 +131,7 @@ use strongly_simplicial::netsim::{
 };
 use strongly_simplicial::prelude::*;
 use strongly_simplicial::telemetry::json::Json;
+use strongly_simplicial::telemetry::report::ReportEnvelope;
 use strongly_simplicial::telemetry::{FlightRecorder, Metrics};
 
 fn main() {
@@ -131,11 +158,12 @@ fn run(args: &[String]) -> Result<i32, SsgError> {
         Some("churn") => cmd_churn(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("lab") => cmd_lab(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("fetch") => cmd_fetch(&args[1..]),
         _ => Err(SsgError::Usage(
-            "ssg gen|classify|color|batch|churn|metrics|bench|serve|loadgen|fetch ... (see the README)"
+            "ssg gen|classify|color|batch|churn|metrics|bench|lab|serve|loadgen|fetch ... (see the README)"
                 .into(),
         )),
     }
@@ -160,8 +188,11 @@ fn exit_code(err: &SsgError) -> i32 {
 // Shared flag parsing
 // ---------------------------------------------------------------------------
 
-/// Output format shared by `color` and `batch` (`bench` keeps its
-/// historical `--json` switch).
+/// Output format shared by every subcommand that renders a report:
+/// `color`, `batch`, `churn`, `bench`, `lab`, and `loadgen` all parse
+/// `--format text|json` through [`parse_format`] (`bench` and `loadgen`
+/// additionally accept their historical `--json` switch as a deprecated
+/// alias for `--format json`).
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum OutputFormat {
     Text,
@@ -763,6 +794,9 @@ fn churn_policy_json(name: &str, rep: &ChurnReport) -> Json {
     ])
 }
 
+/// The envelope stamped on `ssg churn --format json` reports.
+const CHURN_ENVELOPE: ReportEnvelope = ReportEnvelope::new("ssg-churn/v1");
+
 /// `ssg churn [epochs] [seed] [--incremental] [--format text|json]`.
 ///
 /// From-scratch mode reruns `OptimalL1` and `Greedy` every epoch;
@@ -774,20 +808,12 @@ fn churn_policy_json(name: &str, rep: &ChurnReport) -> Json {
 fn cmd_churn(args: &[String]) -> Result<i32, SsgError> {
     let mut positional: Vec<&String> = Vec::new();
     let mut incremental = false;
-    let mut json = false;
+    let mut format = OutputFormat::Text;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--incremental" => incremental = true,
-            "--format" => match it.next().map(String::as_str) {
-                Some("text") => json = false,
-                Some("json") => json = true,
-                _ => {
-                    return Err(SsgError::Usage(
-                        "churn: --format needs 'text' or 'json'".into(),
-                    ))
-                }
-            },
+            "--format" => format = parse_format("churn", &mut it)?,
             other if other.starts_with("--") => {
                 return Err(SsgError::Usage(format!(
                     "churn: unknown flag '{other}' (usage: ssg churn [epochs] [seed] \
@@ -839,9 +865,8 @@ fn cmd_churn(args: &[String]) -> Result<i32, SsgError> {
     }
     let spans_match = !incremental || runs[0].1.epoch_spans == runs[1].1.epoch_spans;
 
-    if json {
-        let doc = Json::Object(vec![
-            ("schema".into(), Json::Str("ssg-churn/v1".into())),
+    if format == OutputFormat::Json {
+        let doc = CHURN_ENVELOPE.stamp(vec![
             ("epochs".into(), Json::U64(epochs as u64)),
             ("seed".into(), Json::U64(seed)),
             ("incremental".into(), Json::Bool(incremental)),
@@ -973,12 +998,15 @@ fn cmd_metrics(args: &[String]) -> Result<i32, SsgError> {
 
 fn cmd_bench(args: &[String]) -> Result<i32, SsgError> {
     let mut cfg = BenchConfig::default();
-    let mut json = false;
+    let mut format = OutputFormat::Text;
     let mut compare: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--format" => format = parse_format("bench", &mut it)?,
+            // Deprecated alias for `--format json`, kept for scripts that
+            // predate the unified flag.
+            "--json" => format = OutputFormat::Json,
             "--compare" => {
                 let path = it.next().ok_or_else(|| {
                     SsgError::Usage("bench: --compare needs a baseline JSON path".into())
@@ -1014,13 +1042,13 @@ fn cmd_bench(args: &[String]) -> Result<i32, SsgError> {
             }
             other => {
                 return Err(SsgError::Usage(format!(
-                    "bench: unknown flag '{other}' (usage: ssg bench [--json] [--n N] [--reps R] [--seed S] [--repeat K] [--compare BASELINE.json])"
+                    "bench: unknown flag '{other}' (usage: ssg bench [--format text|json] [--n N] [--reps R] [--seed S] [--repeat K] [--compare BASELINE.json])"
                 )));
             }
         }
     }
     let report = run_benchmarks(&cfg);
-    if json {
+    if format == OutputFormat::Json {
         print!("{}", report.to_json().render_pretty());
     } else {
         print!("{}", report.to_text());
@@ -1035,6 +1063,137 @@ fn cmd_bench(args: &[String]) -> Result<i32, SsgError> {
         if !diff.is_clean() {
             return Ok(1);
         }
+    }
+    Ok(0)
+}
+
+// ---------------------------------------------------------------------------
+// lab
+// ---------------------------------------------------------------------------
+
+const LAB_USAGE: &str = "ssg lab run <spec.lab> --dir DIR [--baseline TABLE.json] \
+                         [--format text|json] | ssg lab resume <dir> [--baseline TABLE.json] \
+                         [--format text|json] | ssg lab report <dir> [--format text|json]";
+
+/// Reads and parses one JSON document (a committed lab baseline table).
+fn read_json_file(path: &str) -> Result<Json, SsgError> {
+    let text = std::fs::read_to_string(path).map_err(|e| SsgError::io(path, &e))?;
+    Json::parse(&text).map_err(|e| SsgError::parse(path, format!("not valid JSON: {e}")))
+}
+
+/// `ssg lab run|resume|report` — the scenario-matrix front end.
+///
+/// `run` expands a spec file into its cell matrix and executes every cell
+/// the run directory's row log does not already cover; `resume` does the
+/// same from the spec pinned inside the directory; `report` rebuilds the
+/// table from the rows without executing anything. All three share one
+/// output path: `--format text` prints the verdict plus the aligned
+/// table, `--format json` prints the deterministic `ssg-lab/v1` table —
+/// the artifact committed as a baseline. With `--baseline` the table is
+/// diffed with the same span-drift discipline as `ssg bench --compare`
+/// (exit 1 on drift, flight-recorder dump next to each offending row).
+fn cmd_lab(args: &[String]) -> Result<i32, SsgError> {
+    let usage = || SsgError::Usage(LAB_USAGE.into());
+    let verb = args.first().map(String::as_str).ok_or_else(usage)?;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut dir: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut format = OutputFormat::Text;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dir" => dir = Some(flag_value("lab", "--dir", &mut it)?.to_string()),
+            "--baseline" => {
+                baseline_path = Some(flag_value("lab", "--baseline", &mut it)?.to_string());
+            }
+            "--format" => format = parse_format("lab", &mut it)?,
+            other if other.starts_with("--") => {
+                return Err(SsgError::Usage(format!(
+                    "lab: unknown flag '{other}' (usage: {LAB_USAGE})"
+                )));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let baseline = baseline_path.as_deref().map(read_json_file).transpose()?;
+
+    let summary = match verb {
+        "run" => {
+            let spec_path = positional
+                .first()
+                .ok_or_else(|| SsgError::Usage("lab run: missing <spec.lab>".into()))?;
+            let dir = dir.ok_or_else(|| SsgError::Usage("lab run: --dir is required".into()))?;
+            let text = std::fs::read_to_string(spec_path.as_str())
+                .map_err(|e| SsgError::io(spec_path.as_str(), &e))?;
+            let spec = LabSpec::parse(&text)?;
+            run_lab(std::path::Path::new(&dir), &spec, baseline.as_ref())?
+        }
+        "resume" => {
+            let dir = positional
+                .first()
+                .ok_or_else(|| SsgError::Usage("lab resume: missing <dir>".into()))?;
+            let dir = std::path::Path::new(dir.as_str());
+            let spec = load_dir_spec(dir)?;
+            run_lab(dir, &spec, baseline.as_ref())?
+        }
+        "report" => {
+            if baseline.is_some() {
+                return Err(SsgError::Usage(
+                    "lab report: --baseline only applies to `lab run` / `lab resume`".into(),
+                ));
+            }
+            let dir = positional
+                .first()
+                .ok_or_else(|| SsgError::Usage("lab report: missing <dir>".into()))?;
+            report_dir(std::path::Path::new(dir.as_str()))?
+        }
+        other => {
+            return Err(SsgError::Usage(format!(
+                "lab: unknown verb '{other}' (usage: {LAB_USAGE})"
+            )));
+        }
+    };
+    print_lab_summary(&summary, format, baseline.is_some())
+}
+
+/// Shared `lab` output path: table to stdout, verdict and gate results to
+/// stderr in JSON mode so stdout stays the pure committable table.
+fn print_lab_summary(
+    summary: &LabSummary,
+    format: OutputFormat,
+    gated: bool,
+) -> Result<i32, SsgError> {
+    let checked = summary
+        .table
+        .get("cells")
+        .and_then(Json::as_array)
+        .map_or(0, |cells| cells.len());
+    match format {
+        OutputFormat::Json => {
+            print!("{}", summary.table.render_pretty());
+            eprintln!("{}", summary.verdict());
+            if gated {
+                eprint!("{}", render_drifts(checked, &summary.drifts));
+            }
+        }
+        OutputFormat::Text => {
+            println!("{}", summary.verdict());
+            print!("{}", render_table_text(&summary.table));
+            if gated {
+                print!("{}", render_drifts(checked, &summary.drifts));
+            }
+        }
+    }
+    if !summary.failed.is_empty() {
+        eprintln!(
+            "ssg: {} lab cell(s) failed: {:?}",
+            summary.failed.len(),
+            summary.failed
+        );
+        return Ok(1);
+    }
+    if !summary.drifts.is_empty() {
+        return Ok(1);
     }
     Ok(0)
 }
@@ -1157,7 +1316,7 @@ fn cmd_serve(args: &[String]) -> Result<i32, SsgError> {
 
 fn cmd_loadgen(args: &[String]) -> Result<i32, SsgError> {
     let mut cfg = LoadgenConfig::default();
-    let mut json = false;
+    let mut format = OutputFormat::Text;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -1211,14 +1370,17 @@ fn cmd_loadgen(args: &[String]) -> Result<i32, SsgError> {
                 cfg.timeout = Duration::from_millis(ms);
             }
             "--drain" => cfg.drain = true,
-            "--json" => json = true,
+            "--format" => format = parse_format("loadgen", &mut it)?,
+            // Deprecated alias for `--format json`, kept for scripts that
+            // predate the unified flag.
+            "--json" => format = OutputFormat::Json,
             other => {
                 return Err(SsgError::Usage(format!("loadgen: unknown flag '{other}'")));
             }
         }
     }
     let report = run_loadgen(&cfg)?;
-    if json {
+    if format == OutputFormat::Json {
         print!("{}", report.to_json().render_pretty());
     } else {
         print!("{}", report.to_text());

@@ -27,6 +27,9 @@
 //!   open-loop `ssg loadgen` load generator (see `PROTOCOL.md`).
 //! * [`netsim`] — synthetic wireless workloads and the rayon-parallel
 //!   experiment harness.
+//! * [`lab`] — the declarative scenario lab behind `ssg lab`: parameter-grid
+//!   specs expanded into deterministic cells, resumable run directories,
+//!   and the committed-baseline regression gate.
 //! * [`telemetry`] — zero-dependency work counters, phase timers, latency
 //!   histograms, tracing spans, the flight recorder, and the hand-rolled
 //!   JSON writer behind `ssg bench --json`.
@@ -55,6 +58,7 @@ pub use ssg_engine as engine;
 pub use ssg_error as error;
 pub use ssg_graph as graph;
 pub use ssg_intervals as intervals;
+pub use ssg_lab as lab;
 pub use ssg_labeling as labeling;
 pub use ssg_net as net;
 pub use ssg_netsim as netsim;

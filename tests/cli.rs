@@ -418,3 +418,142 @@ fn loadgen_and_fetch_fail_cleanly_without_a_server() {
     let out = ssg().args(["fetch", "onlyonearg"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn bench_format_flag_matches_json_alias() {
+    let args = ["--n", "80", "--reps", "1", "--seed", "5"];
+    let via_format = ssg()
+        .args(["bench", "--format", "json"])
+        .args(args)
+        .output()
+        .unwrap();
+    assert!(via_format.status.success());
+    let via_alias = ssg().args(["bench", "--json"]).args(args).output().unwrap();
+    assert!(via_alias.status.success());
+    // The deprecated `--json` alias and `--format json` are the same path;
+    // wall times differ run to run, so compare the deterministic lines.
+    let deterministic = |raw: &[u8]| -> Vec<String> {
+        String::from_utf8(raw.to_vec())
+            .unwrap()
+            .lines()
+            .filter(|l| l.contains("\"schema\"") || l.contains("\"span\""))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(deterministic(&via_format.stdout), deterministic(&via_alias.stdout));
+    assert!(deterministic(&via_format.stdout)
+        .iter()
+        .any(|l| l.contains("ssg-bench/v2")));
+    let out = ssg().args(["bench", "--format", "yaml"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn lab_run_resume_report_round_trip() {
+    let dir = std::env::temp_dir().join(format!("ssg-cli-lab-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("mini.lab");
+    std::fs::write(
+        &spec_path,
+        "name = mini\n\n[grid]\nclass = corridor backbone\nn = 12\n",
+    )
+    .unwrap();
+    let run_dir = dir.join("run");
+
+    let out = ssg()
+        .args(["lab", "run", spec_path.to_str().unwrap(), "--dir"])
+        .arg(&run_dir)
+        .args(["--format", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let table = String::from_utf8(out.stdout).unwrap();
+    assert!(table.contains("\"schema\": \"ssg-lab/v1\""), "{table}");
+    let verdict = String::from_utf8(out.stderr).unwrap();
+    assert!(verdict.contains("lab mini: ran 2 cell(s), skipped 0 (of 2)"), "{verdict}");
+
+    // Resume is a no-op and reproduces the table byte for byte.
+    let out = ssg()
+        .args(["lab", "resume"])
+        .arg(&run_dir)
+        .args(["--format", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), table);
+    let verdict = String::from_utf8(out.stderr).unwrap();
+    assert!(verdict.contains("ran 0 cell(s), skipped 2 (of 2)"), "{verdict}");
+
+    // Report rebuilds the same table without executing anything.
+    let out = ssg().args(["lab", "report"]).arg(&run_dir).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("lab mini: ran 0 cell(s)"), "{text}");
+    assert!(text.contains("class=corridor n=12"), "{text}");
+
+    // A clean self-baseline gate exits 0; a doctored one exits 1 and
+    // leaves a trace dump next to the offending row.
+    let baseline_path = dir.join("baseline.json");
+    std::fs::write(&baseline_path, &table).unwrap();
+    let out = ssg()
+        .args(["lab", "resume"])
+        .arg(&run_dir)
+        .args(["--baseline", baseline_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("baseline compare: clean"), "{text}");
+
+    let doctored = table.replacen("\"span\": ", "\"span\": 4", 1);
+    assert_ne!(doctored, table);
+    std::fs::write(&baseline_path, doctored).unwrap();
+    let out = ssg()
+        .args(["lab", "resume"])
+        .arg(&run_dir)
+        .args(["--baseline", baseline_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("!= baseline"), "{text}");
+    assert!(run_dir.join("cell-0.trace.json").exists());
+
+    // Usage errors: missing --dir, unknown verb, bad format.
+    let out = ssg()
+        .args(["lab", "run", spec_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = ssg().args(["lab", "frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = ssg()
+        .args(["lab", "report"])
+        .arg(&run_dir)
+        .args(["--format", "yaml"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lab_rejects_bad_specs_as_parse_errors() {
+    let dir = std::env::temp_dir().join(format!("ssg-cli-lab-bad-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("bad.lab");
+    std::fs::write(&spec_path, "name = bad\n\n[grid]\nclass = corridor\nn = 12\nfrobnicate = 1\n")
+        .unwrap();
+    let out = ssg()
+        .args(["lab", "run", spec_path.to_str().unwrap(), "--dir"])
+        .arg(dir.join("run"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("frobnicate"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
