@@ -1,0 +1,138 @@
+//! E17 — Palette backends: the reference linked-list `PaletteFamily` vs
+//! the u64-word `BitsetPalette`, plus the dispatch question (two-variant
+//! enum vs `&mut dyn PaletteOps`) that fixed `PaletteBackend`'s shape.
+//!
+//! Three groups:
+//!
+//! * `replay` — a deterministic op trace replayed against each concrete
+//!   backend: the pop/link LIFO churn of the Figure-1 interval loop mixed
+//!   with the §4.2 δ-gap `pop_separated` scans and park/unpark traffic.
+//!   This isolates the palette probe phase that the full-solve numbers in
+//!   `ssg bench`'s palette section dilute with graph walking.
+//! * `dispatch` — the *same* trace through the enum backend, once
+//!   monomorphized (as solvers call it) and once behind `&mut dyn
+//!   PaletteOps`, measuring what vtable indirection would cost on the
+//!   pop-dominated path.
+//! * `solver_a3` — end-to-end warm A3 solves (`unit_interval_l_delta1_delta2`
+//!   on the platoon workload) per backend, the workload the acceptance
+//!   gate and EXPERIMENTS.md E17 quote.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssg_bench::platoon_workload;
+use ssg_labeling::palette::{BitsetPalette, PaletteBackend, PaletteFamily, PaletteOps};
+use ssg_labeling::solver::{default_registry, Problem};
+use ssg_labeling::{PaletteKind, SeparationVector, Workspace};
+use ssg_telemetry::Metrics;
+
+/// Levels in the replayed family (`t = 2`, the A3 shape).
+const TRACE_T: u32 = 2;
+/// Colors in the replayed pool.
+const TRACE_POOL: usize = 256;
+/// Operations per replay.
+const TRACE_OPS: usize = 20_000;
+/// δ1 of the `pop_separated` scans.
+const TRACE_DELTA1: u32 = 5;
+
+/// Replays a fixed op trace and folds the popped colors into a checksum
+/// so the work cannot be optimized away. `?Sized` so the identical code
+/// path runs both monomorphized and behind `&mut dyn PaletteOps`.
+fn replay(p: &mut (impl PaletteOps + ?Sized)) -> u64 {
+    p.reset(TRACE_T, TRACE_POOL);
+    let mut checksum = 0u64;
+    let mut parent = u32::MAX;
+    // Deterministic LCG; cheap enough to vanish next to the palette ops.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    for op in 0..TRACE_OPS {
+        let j = next() % (TRACE_T + 1);
+        match op % 8 {
+            // The hot path: pop some color, re-link it one level over —
+            // the Figure-1 open/close churn.
+            0..=4 => {
+                if let Some(c) = p.pop(j) {
+                    checksum = checksum.wrapping_add(u64::from(c));
+                    p.link((j + 1) % (TRACE_T + 1), c);
+                    parent = c;
+                }
+            }
+            // The §4.2 extraction: most-recent-first scan for a color far
+            // enough from the parent's.
+            5..=6 => {
+                if let Some(c) = p.pop_separated(j, parent, TRACE_DELTA1) {
+                    checksum = checksum.wrapping_add(u64::from(c));
+                    p.link(j, c);
+                }
+            }
+            // Park/unpark traffic: block a color, retarget it, relink it.
+            _ => {
+                if let Some(c) = p.pop(j) {
+                    p.set_parked_level(c, (j + 1) % (TRACE_T + 1));
+                    p.link((j + 1) % (TRACE_T + 1), c);
+                    checksum ^= u64::from(c);
+                }
+            }
+        }
+    }
+    checksum
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E17/replay");
+    group.bench_function("list", |b| {
+        let mut p = PaletteFamily::new(TRACE_T, TRACE_POOL);
+        b.iter(|| replay(&mut p))
+    });
+    group.bench_function("bitset", |b| {
+        let mut p = BitsetPalette::new(TRACE_T, TRACE_POOL);
+        b.iter(|| replay(&mut p))
+    });
+    group.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E17/dispatch");
+    for kind in PaletteKind::ALL {
+        let mut backend = PaletteBackend::with_kind(kind);
+        group.bench_with_input(BenchmarkId::new("enum", kind), &(), |b, ()| {
+            b.iter(|| replay(&mut backend))
+        });
+        let mut backend = PaletteBackend::with_kind(kind);
+        group.bench_with_input(BenchmarkId::new("dyn", kind), &(), |b, ()| {
+            let p: &mut dyn PaletteOps = &mut backend;
+            b.iter(|| replay(p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver_a3(c: &mut Criterion) {
+    let n = 4_000usize;
+    let unit = platoon_workload(n, 4, 0xE17);
+    let d1_d2 = SeparationVector::two(5, 2).unwrap();
+    let problem = Problem::unit_interval(&unit, &d1_d2);
+    let registry = default_registry();
+    let metrics = Metrics::disabled();
+
+    let mut group = c.benchmark_group("E17/solver_a3");
+    group.sample_size(20);
+    for kind in PaletteKind::ALL {
+        group.bench_with_input(BenchmarkId::new("warm", kind), &problem, |b, p| {
+            let mut ws = Workspace::with_palette(kind);
+            let first = registry.solve("unit_interval_l_delta1_delta2", p, &mut ws, &metrics);
+            ws.recycle(first);
+            b.iter(|| {
+                let lab = registry.solve("unit_interval_l_delta1_delta2", p, &mut ws, &metrics);
+                let span = lab.span();
+                ws.recycle(lab);
+                span
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay, bench_dispatch, bench_solver_a3);
+criterion_main!(benches);

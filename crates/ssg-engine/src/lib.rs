@@ -67,7 +67,9 @@ use ssg_error::SsgError;
 use ssg_graph::Graph;
 use ssg_intervals::{IntervalRepresentation, UnitIntervalRepresentation};
 use ssg_labeling::solver::Problem;
-use ssg_labeling::{Labeling, SeparationVector, SolverRegistry, Workspace, WorkspacePool};
+use ssg_labeling::{
+    Labeling, PaletteKind, SeparationVector, SolverRegistry, Workspace, WorkspacePool,
+};
 use ssg_telemetry::{Counter, Gauge, Hist, Metrics, Phase};
 use ssg_tree::RootedTree;
 use std::collections::VecDeque;
@@ -293,6 +295,7 @@ pub struct EngineBuilder {
     backpressure: Backpressure,
     registry: Option<Arc<SolverRegistry>>,
     pool: Option<Arc<WorkspacePool>>,
+    palette: PaletteKind,
     metrics: Metrics,
 }
 
@@ -316,6 +319,7 @@ impl Default for EngineBuilder {
             backpressure: Backpressure::Block,
             registry: None,
             pool: None,
+            palette: PaletteKind::default(),
             metrics: Metrics::disabled(),
         }
     }
@@ -360,6 +364,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Palette backend of the internally built workspace pool (default
+    /// [`PaletteKind::Bitset`]). Ignored when an explicit
+    /// [`pool`](Self::pool) is attached — the pool already fixes the
+    /// palette its workspaces carry.
+    #[must_use]
+    pub fn palette(mut self, palette: PaletteKind) -> Self {
+        self.palette = palette;
+        self
+    }
+
     /// Telemetry handle engine counters and solver counters land on
     /// (default: disabled).
     #[must_use]
@@ -385,7 +399,9 @@ impl EngineBuilder {
             registry: self
                 .registry
                 .unwrap_or_else(|| Arc::new(SolverRegistry::with_paper_algorithms())),
-            pool: self.pool.unwrap_or_default(),
+            pool: self
+                .pool
+                .unwrap_or_else(|| Arc::new(WorkspacePool::with_palette(self.palette))),
             metrics: self.metrics,
             stats: StatCells::default(),
         });
@@ -436,6 +452,11 @@ impl Engine {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Palette backend the engine's workspace pool hands to every worker.
+    pub fn palette_kind(&self) -> PaletteKind {
+        self.inner.pool.palette_kind()
     }
 
     /// The telemetry handle this engine records on — the ingress hook the
@@ -715,7 +736,7 @@ impl Inner {
 
     fn record_panic(&self, ws: &mut Workspace) {
         // The arena may be mid-mutation; a fresh one keeps the lease sound.
-        *ws = Workspace::new();
+        *ws = Workspace::with_palette(ws.palette_kind());
         self.metrics.add(Counter::EnginePanics, 1);
         self.stats.panics.fetch_add(1, Ordering::Relaxed);
     }

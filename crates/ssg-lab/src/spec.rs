@@ -3,8 +3,8 @@
 //! A spec is a line-based text file: a `name = <slug>` header followed by
 //! one or more `[grid]` sections, each declaring axis value lists. The
 //! cross product of every grid's axes — in file order, axes nested
-//! class → n → sep → solver → backend → churn — is the cell list of the
-//! run. Blank lines and `#` comments are skipped.
+//! class → n → sep → solver → backend → churn → palette — is the cell
+//! list of the run. Blank lines and `#` comments are skipped.
 //!
 //! ```text
 //! name = demo
@@ -23,6 +23,7 @@
 //! and every key, which is what makes interrupted runs safely resumable.
 
 use ssg_error::SsgError;
+use ssg_labeling::PaletteKind;
 use ssg_netsim::GridBackend;
 
 /// Hard cap on the number of cells a single spec may expand to.
@@ -98,12 +99,33 @@ pub struct Cell {
     pub backend: String,
     /// `none`, or a per-epoch departure rate in `(0, 1)`.
     pub churn: String,
+    /// Palette backend token (`list` or `bitset`) when the spec declares
+    /// the `palette` axis; `None` for specs that never mention it, so
+    /// their keys, seeds, and fingerprints are byte-identical to the
+    /// pre-axis format.
+    pub palette: Option<String>,
 }
 
 impl Cell {
     /// The canonical key: coordinates in a fixed order, the identity of
-    /// this cell in row logs and baseline tables.
+    /// this cell in row logs and baseline tables. Specs without a
+    /// `palette` axis render exactly the historical six-coordinate key.
     pub fn key(&self) -> String {
+        let mut key = self.instance_key();
+        if let Some(palette) = &self.palette {
+            key.push_str(" palette=");
+            key.push_str(palette);
+        }
+        key
+    }
+
+    /// The key of the *instance* this cell solves — every coordinate
+    /// except the palette backend, which changes the arithmetic of the
+    /// solver's palette probes but never the scenario. Cells that differ
+    /// only in `palette` share this key, and therefore their seed and
+    /// generated scenario, which is what makes a palette axis a span
+    /// equality experiment rather than two unrelated workloads.
+    pub fn instance_key(&self) -> String {
         format!(
             "class={} n={} sep={} solver={} backend={} churn={}",
             self.class.name(),
@@ -115,10 +137,20 @@ impl Cell {
         )
     }
 
-    /// Deterministic seed, derived from the canonical key alone — stable
-    /// under spec reordering, grid splitting, and resumption.
+    /// Deterministic seed, derived from the [`instance_key`](Self::instance_key)
+    /// alone — stable under spec reordering, grid splitting, and
+    /// resumption, and shared across palette backends of one instance.
     pub fn seed(&self) -> u64 {
-        fnv1a64(self.key().as_bytes())
+        fnv1a64(self.instance_key().as_bytes())
+    }
+
+    /// The palette backend this cell runs on ([`PaletteKind::default`]
+    /// when the spec has no `palette` axis).
+    pub fn palette_kind(&self) -> PaletteKind {
+        self.palette
+            .as_deref()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_default()
     }
 
     /// Whether this cell runs the dynamic-churn simulation instead of a
@@ -137,6 +169,7 @@ struct GridAxes {
     solver: Vec<String>,
     backend: Vec<String>,
     churn: Vec<String>,
+    palette: Vec<Option<String>>,
 }
 
 /// A parsed, validated scenario spec.
@@ -228,28 +261,31 @@ impl LabSpec {
                         for solver in &grid.solver {
                             for backend in &grid.backend {
                                 for churn in &grid.churn {
-                                    let cell = Cell {
-                                        id: cells.len(),
-                                        class,
-                                        n,
-                                        sep: sep.clone(),
-                                        solver: solver.clone(),
-                                        backend: backend.clone(),
-                                        churn: churn.clone(),
-                                    };
-                                    if !seen.insert(cell.key()) {
-                                        return Err(perr(
-                                            *at,
-                                            format!("duplicate cell `{}`", cell.key()),
-                                        ));
+                                    for palette in &grid.palette {
+                                        let cell = Cell {
+                                            id: cells.len(),
+                                            class,
+                                            n,
+                                            sep: sep.clone(),
+                                            solver: solver.clone(),
+                                            backend: backend.clone(),
+                                            churn: churn.clone(),
+                                            palette: palette.clone(),
+                                        };
+                                        if !seen.insert(cell.key()) {
+                                            return Err(perr(
+                                                *at,
+                                                format!("duplicate cell `{}`", cell.key()),
+                                            ));
+                                        }
+                                        if cells.len() >= MAX_CELLS {
+                                            return Err(perr(
+                                                *at,
+                                                format!("spec expands past {MAX_CELLS} cells"),
+                                            ));
+                                        }
+                                        cells.push(cell);
                                     }
-                                    if cells.len() >= MAX_CELLS {
-                                        return Err(perr(
-                                            *at,
-                                            format!("spec expands past {MAX_CELLS} cells"),
-                                        ));
-                                    }
-                                    cells.push(cell);
                                 }
                             }
                         }
@@ -298,6 +334,7 @@ struct RawGrid {
     solver: Option<(usize, String)>,
     backend: Option<(usize, String)>,
     churn: Option<(usize, String)>,
+    palette: Option<(usize, String)>,
 }
 
 impl RawGrid {
@@ -309,11 +346,12 @@ impl RawGrid {
             "solver" => &mut self.solver,
             "backend" => &mut self.backend,
             "churn" => &mut self.churn,
+            "palette" => &mut self.palette,
             other => {
                 return Err(perr(
                     lineno,
                     format!(
-                        "unknown key `{other}` (grid keys: class, n, sep, solver, backend, churn)"
+                        "unknown key `{other}` (grid keys: class, n, sep, solver, backend, churn, palette)"
                     ),
                 ))
             }
@@ -417,6 +455,17 @@ impl RawGrid {
             }
         };
 
+        let palette = match self.palette {
+            None => vec![None],
+            Some((line, raw)) => raw
+                .split_whitespace()
+                .map(|t| match t.parse::<PaletteKind>() {
+                    Ok(_) => Ok(Some(t.to_string())),
+                    Err(e) => Err(perr(line, format!("`palette` axis: {e}"))),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+
         // Cross-axis rules. The churn simulation is a sequential corridor
         // dynamics loop at L(1,...,1); a grid that mixes a churn rate into
         // other classes or backends would silently mean something else, so
@@ -448,6 +497,15 @@ impl RawGrid {
                     ),
                 ));
             }
+            // The churn loop owns its workspaces inside the dynamics
+            // simulation; a palette axis there would be dead coordinates
+            // pretending to be an experiment.
+            if palette != [None] {
+                return Err(perr(
+                    churn_line,
+                    "a churn rate cannot combine with a `palette` axis",
+                ));
+            }
         }
         if has_static {
             let known = ssg_labeling::solver::default_registry().names();
@@ -469,6 +527,7 @@ impl RawGrid {
             solver,
             backend,
             churn,
+            palette,
         })
     }
 }
@@ -621,6 +680,44 @@ churn  = 0.05
             "name = x\n[grid]\nclass = corridor\nn = 8\nsep = 2,1\nchurn = 0.1\n",
         );
         assert!(err.contains("all-ones `sep`"), "{err}");
+    }
+
+    #[test]
+    fn palette_axis_expands_but_never_perturbs_seeds() {
+        let with_axis = "name = p\n[grid]\nclass = corridor\nn = 32\npalette = list bitset\n";
+        let spec = LabSpec::parse(with_axis).unwrap();
+        assert_eq!(spec.cells().len(), 2);
+        let (list, bitset) = (&spec.cells()[0], &spec.cells()[1]);
+        assert_eq!(
+            list.key(),
+            "class=corridor n=32 sep=1,1 solver=auto backend=sequential churn=none palette=list"
+        );
+        assert_eq!(list.palette_kind(), PaletteKind::List);
+        assert_eq!(bitset.palette_kind(), PaletteKind::Bitset);
+        // Both palette cells solve the SAME instance: shared instance key,
+        // therefore shared seed, distinct canonical keys.
+        assert_eq!(list.instance_key(), bitset.instance_key());
+        assert_eq!(list.seed(), bitset.seed());
+        assert_ne!(list.key(), bitset.key());
+        // A spec without the axis renders the historical key format and
+        // the seed derived from it — palette never leaks in.
+        let without = LabSpec::parse("name = p\n[grid]\nclass = corridor\nn = 32\n").unwrap();
+        let cell = &without.cells()[0];
+        assert_eq!(cell.palette, None);
+        assert_eq!(cell.palette_kind(), PaletteKind::Bitset);
+        assert_eq!(cell.key(), cell.instance_key());
+        assert_eq!(cell.seed(), fnv1a64(cell.key().as_bytes()));
+        assert_eq!(cell.seed(), list.seed());
+    }
+
+    #[test]
+    fn palette_axis_rejects_bad_tokens_and_churn() {
+        let err = parse_err("name = x\n[grid]\nclass = corridor\nn = 8\npalette = avx512\n");
+        assert!(err.contains("unknown palette backend `avx512`") || err.contains("avx512"), "{err}");
+        let err = parse_err(
+            "name = x\n[grid]\nclass = corridor\nn = 8\nchurn = 0.1\npalette = list bitset\n",
+        );
+        assert!(err.contains("cannot combine with a `palette` axis"), "{err}");
     }
 
     #[test]

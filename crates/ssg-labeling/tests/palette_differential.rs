@@ -1,0 +1,176 @@
+//! Differential property suite for the palette backends.
+//!
+//! The contract under test is the bit-identical-labelings guarantee from
+//! `palette.rs`: for ANY instance, a solver run on a
+//! [`PaletteKind::Bitset`] workspace produces the same coloring — color
+//! for color, probe for probe — as the reference
+//! [`PaletteKind::List`] linked-list backend, because the bitset arenas
+//! replay the list's exact LIFO recency order. Exercised across the five
+//! paper solvers (A1–A5) on their native instance classes, plus the
+//! warm-workspace path: a recycled arena must reproduce the fresh solve
+//! and restart its per-solve probe counters from zero.
+
+use proptest::prelude::*;
+use ssg_graph::{Graph, Vertex};
+use ssg_intervals::{IntervalRepresentation, UnitIntervalRepresentation};
+use ssg_labeling::solver::{default_registry, Problem};
+use ssg_labeling::{PaletteKind, SeparationVector, Workspace};
+use ssg_telemetry::{Counter, Metrics};
+use ssg_tree::RootedTree;
+
+/// One registry solve on a fresh workspace of the given backend,
+/// returning the coloring plus the per-solve palette probe count.
+fn solve_fresh(name: &str, problem: &Problem<'_>, palette: PaletteKind) -> (Vec<u32>, u64) {
+    let metrics = Metrics::enabled();
+    let mut ws = Workspace::with_palette(palette);
+    let lab = default_registry().solve(name, problem, &mut ws, &metrics);
+    let colors = lab.colors().to_vec();
+    (colors, metrics.snapshot().counter(Counter::PaletteProbes))
+}
+
+/// Asserts the two backends agree bit for bit — same colors AND the same
+/// number of palette probes, the strongest observable parity short of
+/// tracing every operation.
+fn assert_backends_agree(name: &str, problem: &Problem<'_>) {
+    let (list_colors, list_probes) = solve_fresh(name, problem, PaletteKind::List);
+    let (bitset_colors, bitset_probes) = solve_fresh(name, problem, PaletteKind::Bitset);
+    assert_eq!(list_colors, bitset_colors, "{name}: colorings diverge");
+    assert_eq!(list_probes, bitset_probes, "{name}: probe counts diverge");
+}
+
+/// Interval representation with integer-spaced lefts and half-open
+/// fractional rights, the same shape the incremental property suite uses.
+fn arb_interval_rep() -> impl Strategy<Value = IntervalRepresentation> {
+    proptest::collection::vec(1u32..10, 1..40).prop_map(|lens| {
+        let ivs: Vec<(f64, f64)> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (i as f64, i as f64 + f64::from(l) + 0.5))
+            .collect();
+        IntervalRepresentation::from_floats(&ivs).expect("valid intervals")
+    })
+}
+
+/// Proper unit-interval representation from strictly increasing centers.
+fn arb_unit_rep() -> impl Strategy<Value = UnitIntervalRepresentation> {
+    proptest::collection::vec(1u32..5, 1..40).prop_map(|gaps| {
+        let mut c = 0.0f64;
+        let centers: Vec<f64> = gaps
+            .iter()
+            .map(|&g| {
+                c += f64::from(g) * 0.3;
+                c
+            })
+            .collect();
+        UnitIntervalRepresentation::from_centers(&centers).expect("proper centers")
+    })
+}
+
+/// Random tree in BFS-canonical form: each vertex hangs off an earlier one.
+fn arb_tree() -> impl Strategy<Value = RootedTree> {
+    proptest::collection::vec(0u16..1000, 0..40).prop_map(|parents| {
+        let n = parents.len() + 1;
+        let edges: Vec<(Vertex, Vertex)> = parents
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| ((i + 1) as Vertex, (p as usize % (i + 1)) as Vertex))
+            .collect();
+        let g = Graph::from_edges(n, &edges).expect("valid tree edges");
+        RootedTree::bfs_canonical(&g, 0).expect("connected tree")
+    })
+}
+
+/// `(d1, d2)` with `d1 >= d2 >= 1`, as `SeparationVector::two` requires.
+fn arb_two_sep() -> impl Strategy<Value = SeparationVector> {
+    (1u32..7, 1u32..7)
+        .prop_map(|(a, b)| SeparationVector::two(a.max(b), a.min(b)).expect("d1 >= d2 >= 1"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A1/A2 on interval graphs: L(1,...,1) and the δ1-approximation.
+    #[test]
+    fn interval_solvers_agree_bit_for_bit(
+        rep in arb_interval_rep(),
+        t in 1u32..4,
+        d1 in 2u32..7,
+    ) {
+        let ones = SeparationVector::all_ones(t);
+        assert_backends_agree("interval_l1", &Problem::interval(&rep, &ones));
+        let d1_sep = SeparationVector::delta1_then_ones(d1, t).expect("d1 >= 1");
+        assert_backends_agree("interval_approx_delta1", &Problem::interval(&rep, &d1_sep));
+    }
+
+    /// A3 on unit-interval graphs: the L(δ1, δ2) solver whose probe loop
+    /// is the bitset backend's headline workload.
+    #[test]
+    fn unit_interval_solver_agrees_bit_for_bit(
+        rep in arb_unit_rep(),
+        sep in arb_two_sep(),
+    ) {
+        assert_backends_agree(
+            "unit_interval_l_delta1_delta2",
+            &Problem::unit_interval(&rep, &sep),
+        );
+    }
+
+    /// A4/A5 on trees: L(1,...,1) and the δ1-approximation.
+    #[test]
+    fn tree_solvers_agree_bit_for_bit(
+        tree in arb_tree(),
+        t in 1u32..4,
+        d1 in 2u32..7,
+    ) {
+        let ones = SeparationVector::all_ones(t);
+        assert_backends_agree("tree_l1", &Problem::tree(&tree, &ones));
+        let d1_sep = SeparationVector::delta1_then_ones(d1, t).expect("d1 >= 1");
+        assert_backends_agree("tree_approx_delta1", &Problem::tree(&tree, &d1_sep));
+    }
+
+    /// Warm-workspace parity on both backends: a second solve on the
+    /// recycled arena reproduces the fresh coloring, and its per-solve
+    /// probe counter restarts from zero (equal to the fresh count) instead
+    /// of accumulating — i.e. `reset` really does return the palette to
+    /// its post-construction state.
+    #[test]
+    fn warm_reset_matches_fresh_on_both_backends(
+        rep in arb_unit_rep(),
+        sep in arb_two_sep(),
+    ) {
+        let problem = Problem::unit_interval(&rep, &sep);
+        for palette in PaletteKind::ALL {
+            let (fresh_colors, fresh_probes) =
+                solve_fresh("unit_interval_l_delta1_delta2", &problem, palette);
+
+            let mut ws = Workspace::with_palette(palette);
+            let first = default_registry().solve(
+                "unit_interval_l_delta1_delta2",
+                &problem,
+                &mut ws,
+                &Metrics::disabled(),
+            );
+            ws.recycle(first);
+            let warm_metrics = Metrics::enabled();
+            let warm = default_registry().solve(
+                "unit_interval_l_delta1_delta2",
+                &problem,
+                &mut ws,
+                &warm_metrics,
+            );
+            prop_assert_eq!(
+                warm.colors(),
+                fresh_colors.as_slice(),
+                "{}: warm solve diverges from fresh",
+                palette
+            );
+            let warm_probes = warm_metrics.snapshot().counter(Counter::PaletteProbes);
+            prop_assert_eq!(
+                warm_probes,
+                fresh_probes,
+                "{}: warm probe counter did not restart",
+                palette
+            );
+        }
+    }
+}

@@ -23,5 +23,3 @@ pub use dynamics::{simulate_corridor, ChurnReport, DynamicsConfig, Policy};
 pub use incremental::{simulate_corridor_incremental, simulate_corridor_incremental_with};
 pub use scenario::{AssignmentReport, BackboneNetwork, CorridorNetwork, Station, VehicularNetwork};
 pub use sweep::{to_markdown, write_csv, ExperimentRow, GridBackend, GridRunner, Summary};
-#[allow(deprecated)]
-pub use sweep::{run_grid, run_grid_engine, run_grid_pooled, run_grid_sequential, run_grid_with};

@@ -4,7 +4,7 @@
 //! itself never had.
 
 use rayon::prelude::*;
-use ssg_labeling::{Workspace, WorkspacePool};
+use ssg_labeling::{PaletteKind, Workspace, WorkspacePool};
 use ssg_telemetry::{Metrics, Phase};
 use std::io::Write;
 
@@ -130,6 +130,7 @@ impl GridBackend {
 #[derive(Clone)]
 pub struct GridRunner<'a> {
     backend: GridBackend,
+    palette: PaletteKind,
     metrics: Metrics,
     pool: Option<&'a WorkspacePool>,
     engine: Option<&'a ssg_engine::Engine>,
@@ -147,6 +148,7 @@ impl<'a> GridRunner<'a> {
     pub fn new() -> Self {
         GridRunner {
             backend: GridBackend::Pooled,
+            palette: PaletteKind::default(),
             metrics: Metrics::disabled(),
             pool: None,
             engine: None,
@@ -157,6 +159,16 @@ impl<'a> GridRunner<'a> {
     #[must_use]
     pub fn backend(mut self, backend: GridBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Selects the palette backend every internally built workspace uses
+    /// (default [`PaletteKind::Bitset`]). Ignored when a caller-owned
+    /// [`pool`](Self::pool) or [`engine`](Self::engine) is attached — those
+    /// carry their own palette choice.
+    #[must_use]
+    pub fn palette(mut self, palette: PaletteKind) -> Self {
+        self.palette = palette;
         self
     }
 
@@ -206,16 +218,25 @@ impl<'a> GridRunner<'a> {
         F: Fn(&P, u64, &mut Workspace) -> R + Send + Sync + 'static,
     {
         match self.backend {
-            GridBackend::Sequential => grid_sequential_impl(params, seeds, &self.metrics, f),
+            GridBackend::Sequential => {
+                grid_sequential_impl(params, seeds, self.palette, &self.metrics, f)
+            }
             GridBackend::Pooled => match self.pool {
                 Some(pool) => grid_pooled_impl(params, seeds, pool, &self.metrics, f),
-                None => grid_pooled_impl(params, seeds, &WorkspacePool::new(), &self.metrics, f),
+                None => grid_pooled_impl(
+                    params,
+                    seeds,
+                    &WorkspacePool::with_palette(self.palette),
+                    &self.metrics,
+                    f,
+                ),
             },
             GridBackend::Engine { workers } => match self.engine {
                 Some(engine) => grid_engine_impl(params, seeds, engine, &self.metrics, f),
                 None => {
                     let engine = ssg_engine::Engine::builder()
                         .workers(workers)
+                        .palette(self.palette)
                         .metrics(self.metrics.clone())
                         .build();
                     let grid = grid_engine_impl(params, seeds, &engine, &self.metrics, f);
@@ -228,13 +249,19 @@ impl<'a> GridRunner<'a> {
 }
 
 /// [`GridBackend::Sequential`] body: in-order cells on one warm workspace.
-/// Relaxed bounds so the deprecated [`run_grid_sequential`] wrapper can
-/// delegate without `Sync`/`'static` requirements.
-fn grid_sequential_impl<P, R, F>(params: &[P], seeds: &[u64], metrics: &Metrics, f: F) -> Vec<Vec<R>>
+/// Bounds stay relaxed (no `Sync`/`'static`) because nothing leaves the
+/// calling thread.
+fn grid_sequential_impl<P, R, F>(
+    params: &[P],
+    seeds: &[u64],
+    palette: PaletteKind,
+    metrics: &Metrics,
+    f: F,
+) -> Vec<Vec<R>>
 where
     F: Fn(&P, u64, &mut Workspace) -> R,
 {
-    let mut ws = Workspace::new();
+    let mut ws = Workspace::with_palette(palette);
     params
         .iter()
         .map(|p| {
@@ -339,108 +366,6 @@ where
                 .collect()
         })
         .collect()
-}
-
-// ---------------------------------------------------------------------------
-// Deprecated pre-GridRunner entry points (thin wrappers)
-// ---------------------------------------------------------------------------
-
-/// Runs `f` over every `(param, seed)` pair in parallel with rayon and
-/// returns the results grouped by parameter (in input order, seeds in
-/// order). `f` must be deterministic in its inputs for reproducibility.
-#[deprecated(
-    since = "0.1.0",
-    note = "use GridRunner::new().run(params, seeds, |p, s, _ws| ...) instead"
-)]
-pub fn run_grid<P, R, F>(params: &[P], seeds: &[u64], f: F) -> Vec<Vec<R>>
-where
-    P: Sync,
-    R: Send,
-    F: Fn(&P, u64) -> R + Sync,
-{
-    grid_pooled_impl(
-        params,
-        seeds,
-        &WorkspacePool::new(),
-        &Metrics::disabled(),
-        |p, s, _ws| f(p, s),
-    )
-}
-
-/// [`run_grid`] with telemetry: each `(param, seed)` cell is timed under
-/// [`Phase::Cell`] on `metrics`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use GridRunner::new().metrics(metrics).run(...) instead"
-)]
-pub fn run_grid_with<P, R, F>(params: &[P], seeds: &[u64], metrics: &Metrics, f: F) -> Vec<Vec<R>>
-where
-    P: Sync,
-    R: Send,
-    F: Fn(&P, u64) -> R + Sync,
-{
-    grid_pooled_impl(params, seeds, &WorkspacePool::new(), metrics, |p, s, _ws| {
-        f(p, s)
-    })
-}
-
-/// [`run_grid_with`] over a caller-owned [`WorkspacePool`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use GridRunner::new().pool(&pool).metrics(metrics).run(...) instead"
-)]
-pub fn run_grid_pooled<P, R, F>(
-    params: &[P],
-    seeds: &[u64],
-    pool: &WorkspacePool,
-    metrics: &Metrics,
-    f: F,
-) -> Vec<Vec<R>>
-where
-    P: Sync,
-    R: Send,
-    F: Fn(&P, u64, &mut Workspace) -> R + Sync,
-{
-    grid_pooled_impl(params, seeds, pool, metrics, f)
-}
-
-/// Grid cells shipped through a caller-owned running
-/// [`Engine`](ssg_engine::Engine).
-///
-/// # Panics
-///
-/// Panics if a cell's closure panicked on a worker or the engine is
-/// shutting down (see [`GridRunner::run`]).
-#[deprecated(
-    since = "0.1.0",
-    note = "use GridRunner::new().engine(&engine).metrics(metrics).run(...) instead"
-)]
-pub fn run_grid_engine<P, R, F>(
-    params: &[P],
-    seeds: &[u64],
-    engine: &ssg_engine::Engine,
-    metrics: &Metrics,
-    f: F,
-) -> Vec<Vec<R>>
-where
-    P: Clone + Send + 'static,
-    R: Send + 'static,
-    F: Fn(&P, u64, &mut Workspace) -> R + Send + Sync + 'static,
-{
-    grid_engine_impl(params, seeds, engine, metrics, f)
-}
-
-/// Sequential twin of [`run_grid`] — one cell at a time on the calling
-/// thread.
-#[deprecated(
-    since = "0.1.0",
-    note = "use GridRunner::new().backend(GridBackend::Sequential).run(...) instead"
-)]
-pub fn run_grid_sequential<P, R, F>(params: &[P], seeds: &[u64], f: F) -> Vec<Vec<R>>
-where
-    F: Fn(&P, u64) -> R,
-{
-    grid_sequential_impl(params, seeds, &Metrics::disabled(), |p, s, _ws| f(p, s))
 }
 
 /// One row of an experiment table: a parameter label plus named metric
@@ -658,36 +583,37 @@ mod tests {
         engine.shutdown();
     }
 
-    /// Deprecation test: the five pre-`GridRunner` entry points must keep
-    /// returning grids identical to the builder until they are removed.
+    /// Palette parity: both palette backends, on every grid backend,
+    /// produce identical span grids (the bitset palette is a drop-in
+    /// replacement for the reference list, probe-for-probe).
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_grid_runner() {
-        let params = vec![1u64, 2, 3];
-        let seeds = vec![10u64, 20];
-        let plain = |p: &u64, s: u64| p * 1000 + s;
-        let with_ws = |p: &u64, s: u64, _ws: &mut Workspace| p * 1000 + s;
+    fn palette_backends_agree_across_grid_backends() {
+        let params = vec![16usize, 30];
+        let seeds = vec![11u64, 12];
         let reference = GridRunner::new()
             .backend(GridBackend::Sequential)
-            .run(&params, &seeds, with_ws);
-
-        assert_eq!(run_grid(&params, &seeds, plain), reference);
-        assert_eq!(run_grid_sequential(&params, &seeds, plain), reference);
-        let metrics = Metrics::enabled();
-        assert_eq!(run_grid_with(&params, &seeds, &metrics, plain), reference);
-        assert_eq!(metrics.snapshot().phase_count(Phase::Cell), 6);
-        let pool = WorkspacePool::new();
-        assert_eq!(
-            run_grid_pooled(&params, &seeds, &pool, &Metrics::disabled(), with_ws),
-            reference
-        );
-        assert!(!pool.is_empty());
-        let engine = ssg_engine::Engine::builder().workers(2).build();
-        assert_eq!(
-            run_grid_engine(&params, &seeds, &engine, &Metrics::disabled(), with_ws),
-            reference
-        );
-        engine.shutdown();
+            .palette(PaletteKind::List)
+            .run(&params, &seeds, corridor_span);
+        for palette in PaletteKind::ALL {
+            for backend in [
+                GridBackend::Sequential,
+                GridBackend::Pooled,
+                GridBackend::Engine { workers: 2 },
+            ] {
+                let grid = GridRunner::new()
+                    .backend(backend)
+                    .palette(palette)
+                    .run(&params, &seeds, corridor_span);
+                assert_eq!(grid, reference, "palette={palette} backend {backend:?}");
+            }
+        }
+        // A caller-owned pool carries its own palette choice.
+        let pool = WorkspacePool::with_palette(PaletteKind::List);
+        let pooled = GridRunner::new()
+            .pool(&pool)
+            .run(&params, &seeds, corridor_span);
+        assert_eq!(pooled, reference);
+        assert_eq!(pool.palette_kind(), PaletteKind::List);
     }
 
     #[test]

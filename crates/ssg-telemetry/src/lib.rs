@@ -137,11 +137,16 @@ pub enum Counter {
     /// scales with churn size, not instance size, when the incremental
     /// path is winning.
     DirtyVertices,
+    /// Palette backend structure words read or written by palette
+    /// operations (linked-list pointer splices vs bitset word updates) —
+    /// the deterministic per-probe *work* behind
+    /// [`Counter::PaletteProbes`], used to compare palette backends.
+    PaletteWordScans,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 21] = [
         Counter::PeelSteps,
         Counter::PaletteProbes,
         Counter::BfsNodeVisits,
@@ -162,6 +167,7 @@ impl Counter {
         Counter::RegionRecolors,
         Counter::FullResolves,
         Counter::DirtyVertices,
+        Counter::PaletteWordScans,
     ];
 
     /// Stable snake_case name used in JSON reports.
@@ -191,6 +197,7 @@ impl Counter {
             Counter::RegionRecolors => "region_recolors",
             Counter::FullResolves => "full_resolves",
             Counter::DirtyVertices => "dirty_vertices",
+            Counter::PaletteWordScans => "palette_word_scans",
         }
     }
 
@@ -216,6 +223,7 @@ impl Counter {
             Counter::RegionRecolors => 17,
             Counter::FullResolves => 18,
             Counter::DirtyVertices => 19,
+            Counter::PaletteWordScans => 20,
         }
     }
 }
@@ -274,15 +282,23 @@ pub enum Hist {
     /// nanoseconds) — distribution of how much of the graph each delta
     /// actually touched.
     RegionSize,
+    /// Palette pop-phase word traffic per solve, in **words** (not
+    /// nanoseconds) — each palette-using solve records the words its
+    /// `pop`/`pop_where`/`pop_separated` extractions touched as one
+    /// sample (the probe-phase slice of [`Counter::PaletteWordScans`]),
+    /// so the distribution separates probe-light from probe-dominated
+    /// solves and is where the list-vs-bitset backend gap shows.
+    PalettePop,
 }
 
 impl Hist {
     /// Every histogram, in report order.
-    pub const ALL: [Hist; 4] = [
+    pub const ALL: [Hist; 5] = [
         Hist::SolverSolve,
         Hist::QueueWait,
         Hist::RequestLatency,
         Hist::RegionSize,
+        Hist::PalettePop,
     ];
 
     /// Stable snake_case name used in JSON reports and Prometheus output
@@ -293,15 +309,18 @@ impl Hist {
             Hist::QueueWait => "queue_wait",
             Hist::RequestLatency => "request_latency",
             Hist::RegionSize => "region_size",
+            Hist::PalettePop => "palette_pop",
         }
     }
 
     /// Unit suffix renderers append to [`Hist::name`]: `"_ns"` for latency
-    /// histograms, `"_vertices"` for [`Hist::RegionSize`].
+    /// histograms, `"_vertices"` for [`Hist::RegionSize`], `"_words"` for
+    /// [`Hist::PalettePop`].
     pub fn unit_suffix(self) -> &'static str {
         match self {
             Hist::SolverSolve | Hist::QueueWait | Hist::RequestLatency => "_ns",
             Hist::RegionSize => "_vertices",
+            Hist::PalettePop => "_words",
         }
     }
 
@@ -311,6 +330,7 @@ impl Hist {
             Hist::QueueWait => 1,
             Hist::RequestLatency => 2,
             Hist::RegionSize => 3,
+            Hist::PalettePop => 4,
         }
     }
 }
@@ -714,7 +734,8 @@ mod tests {
                 "delta_applied",
                 "region_recolors",
                 "full_resolves",
-                "dirty_vertices"
+                "dirty_vertices",
+                "palette_word_scans"
             ]
         );
         assert_eq!(Phase::Run.name(), "run");
@@ -724,10 +745,17 @@ mod tests {
         let hist_names: Vec<&str> = Hist::ALL.iter().map(|h| h.name()).collect();
         assert_eq!(
             hist_names,
-            ["solver_solve", "queue_wait", "request_latency", "region_size"]
+            [
+                "solver_solve",
+                "queue_wait",
+                "request_latency",
+                "region_size",
+                "palette_pop"
+            ]
         );
         assert_eq!(Hist::SolverSolve.unit_suffix(), "_ns");
         assert_eq!(Hist::RegionSize.unit_suffix(), "_vertices");
+        assert_eq!(Hist::PalettePop.unit_suffix(), "_words");
         let gauge_names: Vec<&str> = Gauge::ALL.iter().map(|g| g.name()).collect();
         assert_eq!(gauge_names, ["queue_depth", "in_flight"]);
     }
