@@ -136,6 +136,13 @@ pub struct LabelRequest {
     /// Absolute expiry: requests still queued past this instant are
     /// answered with [`SsgError::DeadlineExceeded`] instead of solved.
     pub deadline: Option<Instant>,
+    /// Wire-propagated trace context `(trace_id, parent_span_id)`: span
+    /// events for this request are tagged with the caller's trace id
+    /// instead of the local request id, and worker spans adopt the
+    /// caller's span as their parent (see
+    /// `Metrics::trace_scope_with_parent`). `None` = locally originated;
+    /// events fall back to the request id as trace id.
+    pub trace: Option<(u64, u64)>,
 }
 
 impl LabelRequest {
@@ -147,6 +154,7 @@ impl LabelRequest {
             sep,
             hint: SolverHint::Auto,
             deadline: None,
+            trace: None,
         }
     }
 
@@ -168,6 +176,21 @@ impl LabelRequest {
     #[must_use]
     pub fn timeout(self, timeout: Duration) -> Self {
         self.deadline(Instant::now() + timeout)
+    }
+
+    /// Adopts a wire-propagated trace context: `trace_id` tags every span
+    /// event this request produces, and `parent_span_id` (0 = none)
+    /// becomes the parent of the worker's spans.
+    #[must_use]
+    pub fn trace(mut self, trace_id: u64, parent_span_id: u64) -> Self {
+        self.trace = Some((trace_id, parent_span_id));
+        self
+    }
+
+    /// The trace id this request's events are tagged with: the propagated
+    /// id when one was supplied, otherwise the request id.
+    pub fn trace_id(&self) -> u64 {
+        self.trace.map_or(self.id, |(t, _)| t)
     }
 }
 
@@ -527,7 +550,7 @@ impl Engine {
         req: LabelRequest,
         tx: &Sender<LabelResponse>,
     ) -> Result<(), SsgError> {
-        let id = req.id;
+        let trace_id = req.trace_id();
         let enqueued_at = self.inner.metrics.is_enabled().then(Instant::now);
         self.inner.push_job(Job::Label {
             seq,
@@ -535,7 +558,7 @@ impl Engine {
             tx: tx.clone(),
             enqueued_at,
         })?;
-        self.inner.metrics.event_for(id, "engine.enqueue");
+        self.inner.metrics.event_for(trace_id, "engine.enqueue");
         self.inner.metrics.add(Counter::EngineRequests, 1);
         self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -646,7 +669,8 @@ impl Inner {
                     }
                     self.metrics.add(Counter::EngineBackpressureWaits, 1);
                     if let Job::Label { req, .. } = &job {
-                        self.metrics.event_for(req.id, "engine.backpressure_wait");
+                        self.metrics
+                            .event_for(req.trace_id(), "engine.backpressure_wait");
                     }
                     self.stats
                         .backpressure_waits
@@ -694,7 +718,7 @@ impl Inner {
                     self.shards[victim].not_full.notify_one();
                     self.metrics.add(Counter::EngineSteals, 1);
                     if let Job::Label { req, .. } = &job {
-                        self.metrics.event_for(req.id, "engine.steal");
+                        self.metrics.event_for(req.trace_id(), "engine.steal");
                     }
                     self.stats.steals.fetch_add(1, Ordering::Relaxed);
                     return Some(job);
@@ -753,7 +777,8 @@ impl Inner {
             let now = Instant::now();
             if now > deadline {
                 self.metrics.add(Counter::EngineDeadlineMisses, 1);
-                self.metrics.incident(id, "engine.deadline_miss");
+                self.metrics
+                    .incident(req.trace_id(), "engine.deadline_miss");
                 self.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
                 return LabelResponse {
                     id,
@@ -779,7 +804,7 @@ impl Inner {
             }),
             Err(payload) => {
                 self.record_panic(ws);
-                self.metrics.incident(id, "engine.panic");
+                self.metrics.incident(req.trace_id(), "engine.panic");
                 Err(SsgError::WorkerPanic(panic_message(payload)))
             }
         };
@@ -794,7 +819,11 @@ impl Inner {
     /// Resolves the request's solver and runs it. Auto-routing mirrors
     /// [`SolverRegistry::auto_coloring`]'s tables, specialized to the
     /// instance shape the request already certifies.
-    fn dispatch(&self, req: &LabelRequest, ws: &mut Workspace) -> Result<(Labeling, String), SsgError> {
+    fn dispatch(
+        &self,
+        req: &LabelRequest,
+        ws: &mut Workspace,
+    ) -> Result<(Labeling, String), SsgError> {
         let sep = &req.sep;
         let m = &self.metrics;
         if let SolverHint::Named(name) = &req.hint {
@@ -821,7 +850,9 @@ impl Inner {
                 } else {
                     return Err(no_auto_route("interval", sep));
                 };
-                let labeling = self.registry.try_solve(name, &Problem::interval(rep, sep), ws, m)?;
+                let labeling =
+                    self.registry
+                        .try_solve(name, &Problem::interval(rep, sep), ws, m)?;
                 Ok((labeling, name.to_string()))
             }
             RequestInstance::UnitInterval(rep) => {
@@ -837,7 +868,8 @@ impl Inner {
                 } else if tail_ones {
                     let problem = Problem::interval(rep.as_interval(), sep);
                     let labeling =
-                        self.registry.try_solve("interval_approx_delta1", &problem, ws, m)?;
+                        self.registry
+                            .try_solve("interval_approx_delta1", &problem, ws, m)?;
                     Ok((labeling, "interval_approx_delta1".to_string()))
                 } else {
                     Err(no_auto_route("unit-interval", sep))
@@ -851,7 +883,9 @@ impl Inner {
                 } else {
                     return Err(no_auto_route("tree", sep));
                 };
-                let labeling = self.registry.try_solve(name, &Problem::tree(t, sep), ws, m)?;
+                let labeling = self
+                    .registry
+                    .try_solve(name, &Problem::tree(t, sep), ws, m)?;
                 Ok((labeling, name.to_string()))
             }
         }
@@ -870,8 +904,14 @@ fn worker_loop(inner: &Inner, me: usize, ws: &mut Workspace) {
     let m = &inner.metrics;
     while let Some(job) = inner.next_job(me) {
         if m.is_enabled() {
-            m.gauge_set(Gauge::QueueDepth, inner.queued.load(Ordering::Relaxed) as u64);
-            m.gauge_set(Gauge::InFlight, inner.in_flight.load(Ordering::Acquire) as u64);
+            m.gauge_set(
+                Gauge::QueueDepth,
+                inner.queued.load(Ordering::Relaxed) as u64,
+            );
+            m.gauge_set(
+                Gauge::InFlight,
+                inner.in_flight.load(Ordering::Acquire) as u64,
+            );
         }
         match job {
             Job::Label {
@@ -880,7 +920,11 @@ fn worker_loop(inner: &Inner, me: usize, ws: &mut Workspace) {
                 tx,
                 enqueued_at,
             } => {
-                let _scope = m.trace_scope(req.id);
+                // Propagated requests join the caller's trace: events tag
+                // the wire trace id and worker spans nest under the
+                // caller's span from the other side of the socket.
+                let (trace_id, parent_span) = req.trace.unwrap_or((req.id, 0));
+                let _scope = m.trace_scope_with_parent(trace_id, parent_span);
                 if let Some(t0) = enqueued_at {
                     m.observe(Hist::QueueWait, t0.elapsed());
                 }
@@ -1052,9 +1096,48 @@ mod tests {
         // One request's full chain: enqueue -> dequeue -> solve span -> reply.
         let rec = m.recorder().unwrap();
         let names: Vec<&str> = rec.events_for(3).iter().map(|e| e.name).collect();
-        for expected in ["engine.enqueue", "engine.dequeue", "engine.solve", "engine.reply"] {
+        for expected in [
+            "engine.enqueue",
+            "engine.dequeue",
+            "engine.solve",
+            "engine.reply",
+        ] {
             assert!(names.contains(&expected), "missing {expected} in {names:?}");
         }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn propagated_trace_context_tags_the_chain_and_adopts_the_wire_parent() {
+        let m = Metrics::with_tracing(4096);
+        let engine = Engine::builder().workers(1).metrics(m.clone()).build();
+        let wire_trace = 0xfeed_face_cafe_beefu64;
+        let wire_parent = 12345u64;
+        let req = LabelRequest::new(1, RequestInstance::Graph(generators::path(8)), sep2())
+            .trace(wire_trace, wire_parent);
+        assert_eq!(req.trace_id(), wire_trace);
+        let responses = engine.run_batch(vec![req]);
+        assert!(responses[0].result.is_ok());
+        let rec = m.recorder().unwrap();
+        // The whole chain is tagged with the wire trace id, not the local
+        // request id.
+        let events = rec.events_for(wire_trace);
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        for expected in [
+            "engine.enqueue",
+            "engine.dequeue",
+            "engine.solve",
+            "engine.reply",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        assert!(
+            rec.events_for(1).is_empty(),
+            "request id lane must stay empty"
+        );
+        // The worker's solve span is parented on the caller's wire span.
+        let solve = events.iter().find(|e| e.name == "engine.solve").unwrap();
+        assert_eq!(solve.parent_id, wire_parent);
         engine.shutdown();
     }
 
@@ -1062,12 +1145,8 @@ mod tests {
     fn deadline_miss_records_an_incident_with_the_request_chain() {
         let m = Metrics::with_tracing(4096);
         let engine = Engine::builder().workers(1).metrics(m.clone()).build();
-        let expired = LabelRequest::new(
-            99,
-            RequestInstance::Graph(generators::path(64)),
-            sep2(),
-        )
-        .deadline(Instant::now() - Duration::from_millis(10));
+        let expired = LabelRequest::new(99, RequestInstance::Graph(generators::path(64)), sep2())
+            .deadline(Instant::now() - Duration::from_millis(10));
         let responses = engine.run_batch(vec![expired]);
         assert!(matches!(
             responses[0].result,
@@ -1079,7 +1158,10 @@ mod tests {
         let names: Vec<&str> = events.iter().map(|e| e.name).collect();
         assert!(names.contains(&"engine.enqueue"), "{names:?}");
         assert!(names.contains(&"engine.deadline_miss"), "{names:?}");
-        let miss = events.iter().find(|e| e.name == "engine.deadline_miss").unwrap();
+        let miss = events
+            .iter()
+            .find(|e| e.name == "engine.deadline_miss")
+            .unwrap();
         assert_eq!(miss.kind, ssg_telemetry::EventKind::Incident);
         // The dump carries the chain in schema form too.
         let dump = rec.to_json().render();
@@ -1102,10 +1184,7 @@ mod tests {
         assert!(matches!(responses[0].result, Err(SsgError::WorkerPanic(_))));
         let rec = m.recorder().unwrap();
         assert_eq!(rec.incident_count(), 1);
-        assert!(rec
-            .events_for(7)
-            .iter()
-            .any(|e| e.name == "engine.panic"));
+        assert!(rec.events_for(7).iter().any(|e| e.name == "engine.panic"));
         engine.shutdown();
     }
 

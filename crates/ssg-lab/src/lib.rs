@@ -36,8 +36,8 @@ pub mod table;
 
 pub use cell::{execute_cell, execute_cell_with_palette, CellOutcome, CHURN_EPOCHS};
 pub use run::{
-    load_dir_spec, report_dir, run_lab, run_lab_with_palette, trace_path, LabSummary, ROWS_FILE,
-    SPEC_FILE,
+    load_dir_spec, profile_path, report_dir, run_lab, run_lab_with_palette, trace_path, LabSummary,
+    ROWS_FILE, SPEC_FILE,
 };
 pub use spec::{fnv1a64, Cell, Class, LabSpec, MAX_CELLS};
 pub use table::{compare_tables, render_drifts, render_table_text, Drift, LAB_ENVELOPE};

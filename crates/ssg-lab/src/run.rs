@@ -12,7 +12,9 @@
 //!   line (the process died mid-write) is discarded and the cell re-run.
 //! * `cell-<id>.trace.json` — an `ssg-trace/v1` flight-recorder dump,
 //!   written next to the row for every failing cell and for every cell
-//!   that regressed against the baseline.
+//!   that regressed against the baseline, paired with a
+//!   `cell-<id>.profile.json` self-time tree (`ssg-profile/v1`) so the
+//!   regression comes pre-attributed to an engine phase.
 
 use crate::cell::{execute_cell_with_palette, CellOutcome};
 use crate::spec::{Cell, LabSpec};
@@ -20,6 +22,7 @@ use crate::table::{build_table, compare_tables, Drift, LAB_ENVELOPE};
 use ssg_error::SsgError;
 use ssg_labeling::PaletteKind;
 use ssg_telemetry::json::Json;
+use ssg_telemetry::{Profile, TraceDump};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -70,11 +73,16 @@ pub fn trace_path(dir: &Path, id: usize) -> PathBuf {
     dir.join(format!("cell-{id}.trace.json"))
 }
 
+/// The self-time-profile path for a cell id.
+pub fn profile_path(dir: &Path, id: usize) -> PathBuf {
+    dir.join(format!("cell-{id}.profile.json"))
+}
+
 /// Reads and parses the spec a run directory is pinned to.
 pub fn load_dir_spec(dir: &Path) -> Result<LabSpec, SsgError> {
     let path = dir.join(SPEC_FILE);
-    let text = std::fs::read_to_string(&path)
-        .map_err(|e| SsgError::io(path.display().to_string(), &e))?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| SsgError::io(path.display().to_string(), &e))?;
     LabSpec::parse(&text)
 }
 
@@ -193,9 +201,18 @@ fn truncate_torn_tail(path: &Path) -> Result<(), SsgError> {
     file.set_len(keep as u64).map_err(io_err(path))
 }
 
+/// Writes the raw trace dump and, when the dump parses as `ssg-trace/v1`,
+/// the derived `ssg-profile/v1` self-time tree next to it — so a failing
+/// or regressing cell ships with its own attribution, no CLI step needed.
 fn write_trace(dir: &Path, id: usize, trace: &Json) -> Result<(), SsgError> {
     let path = trace_path(dir, id);
-    std::fs::write(&path, trace.render_pretty()).map_err(io_err(&path))
+    std::fs::write(&path, trace.render_pretty()).map_err(io_err(&path))?;
+    if let Ok(dump) = TraceDump::from_json(trace) {
+        let path = profile_path(dir, id);
+        let profile = Profile::from_dump(&dump).to_json().render_pretty();
+        std::fs::write(&path, profile).map_err(io_err(&path))?;
+    }
+    Ok(())
 }
 
 /// Runs (or resumes) `spec` in `dir`: pins the spec, skips every cell the
@@ -203,7 +220,11 @@ fn write_trace(dir: &Path, id: usize, trace: &Json) -> Result<(), SsgError> {
 /// each, and builds the deterministic table. With a baseline, applies the
 /// span-drift gate and writes a flight-recorder dump next to every
 /// regressing row; failing cells always dump.
-pub fn run_lab(dir: &Path, spec: &LabSpec, baseline: Option<&Json>) -> Result<LabSummary, SsgError> {
+pub fn run_lab(
+    dir: &Path,
+    spec: &LabSpec,
+    baseline: Option<&Json>,
+) -> Result<LabSummary, SsgError> {
     run_lab_with_palette(dir, spec, baseline, None)
 }
 

@@ -3,7 +3,7 @@
 //! spec pin must reject foreign specs, and a doctored baseline must trip
 //! the drift gate and leave a flight-recorder dump next to the row.
 
-use ssg_lab::{run_lab, trace_path, LabSpec, ROWS_FILE, SPEC_FILE};
+use ssg_lab::{profile_path, run_lab, trace_path, LabSpec, ROWS_FILE, SPEC_FILE};
 use ssg_telemetry::json::Json;
 use std::path::PathBuf;
 
@@ -110,6 +110,15 @@ fn doctored_baseline_trips_the_gate_and_dumps_a_trace() {
     assert_eq!(
         trace.get("schema").and_then(Json::as_str),
         Some("ssg-trace/v1")
+    );
+
+    // The dump comes pre-attributed: a self-time profile sits next to it.
+    let prof = profile_path(&dir, 0);
+    assert!(prof.exists(), "missing {}", prof.display());
+    let profile = Json::parse(&std::fs::read_to_string(&prof).unwrap()).unwrap();
+    assert_eq!(
+        profile.get("schema").and_then(Json::as_str),
+        Some("ssg-profile/v1")
     );
 
     // A faithful baseline is clean.

@@ -21,7 +21,8 @@
 //! line protocol and the CLI exit codes.
 
 use crate::protocol::{
-    parse_request, parse_response, LineEvent, LineReader, Request, Response, PROTOCOL_VERSION,
+    parse_request, parse_response, parse_trace_context, LineEvent, LineReader, Request, Response,
+    PROTOCOL_VERSION,
 };
 use crate::server::{serve_label, Shared};
 use ssg_error::SsgError;
@@ -105,9 +106,10 @@ pub(crate) fn serve_http(
     let method = parts.next().unwrap_or("").to_string();
     let target = parts.next().unwrap_or("").to_string();
 
-    // Headers: we only care about Content-Length, but must consume them
-    // all (bounded) to reach the body.
+    // Headers: we only care about Content-Length and X-Ssg-Trace, but
+    // must consume them all (bounded) to reach the body.
     let mut content_length: usize = 0;
+    let mut header_trace: Option<(u64, u64)> = None;
     let mut header_bytes = 0usize;
     loop {
         match reader.next_line()? {
@@ -129,6 +131,12 @@ pub(crate) fn serve_http(
                 if let Some((name, value)) = line.split_once(':') {
                     if name.eq_ignore_ascii_case("content-length") {
                         content_length = value.trim().parse().unwrap_or(usize::MAX);
+                    } else if name.eq_ignore_ascii_case("x-ssg-trace") {
+                        // Same `<hex64-trace>/<hex64-span>` grammar as the
+                        // line protocol's `trace=` option; a malformed
+                        // header is ignored rather than failing the
+                        // request — trace context is advisory.
+                        header_trace = parse_trace_context(value.trim()).ok();
                     }
                 }
             }
@@ -153,13 +161,9 @@ pub(crate) fn serve_http(
     }
 
     match (method.as_str(), target.as_str()) {
-        ("GET", "/healthz") => write_response(
-            writer,
-            200,
-            "OK",
-            "text/plain; charset=utf-8",
-            "ok\n",
-        ),
+        ("GET", "/healthz") => {
+            write_response(writer, 200, "OK", "text/plain; charset=utf-8", "ok\n")
+        }
         ("GET", "/metrics") => write_response(
             writer,
             200,
@@ -170,10 +174,8 @@ pub(crate) fn serve_http(
         ("POST", "/label") => {
             if content_length > MAX_BODY_BYTES {
                 shared.metrics.add(Counter::NetProtocolErrors, 1);
-                let err = SsgError::parse(
-                    "http body",
-                    format!("body exceeds {MAX_BODY_BYTES} bytes"),
-                );
+                let err =
+                    SsgError::parse("http body", format!("body exceeds {MAX_BODY_BYTES} bytes"));
                 return write_response(
                     writer,
                     413,
@@ -186,7 +188,12 @@ pub(crate) fn serve_http(
             let body = String::from_utf8_lossy(&body);
             let line = body.lines().next().unwrap_or("").trim();
             match parse_request(line) {
-                Ok(Request::Label(spec)) => {
+                Ok(Request::Label(mut spec)) => {
+                    // An inline `trace=` option wins; the header covers
+                    // clients that post a plain LABEL line.
+                    if spec.trace.is_none() {
+                        spec.trace = header_trace;
+                    }
                     let reply = serve_label(&spec, shared);
                     respond_from_wire(writer, reply.trim_end())
                 }
@@ -194,12 +201,24 @@ pub(crate) fn serve_http(
                     shared.metrics.add(Counter::NetProtocolErrors, 1);
                     let err = SsgError::parse("http body", "POST /label takes one LABEL line");
                     let (status, reason) = status_for(&err);
-                    write_response(writer, status, reason, "application/json", &error_body(&err))
+                    write_response(
+                        writer,
+                        status,
+                        reason,
+                        "application/json",
+                        &error_body(&err),
+                    )
                 }
                 Err(err) => {
                     shared.metrics.add(Counter::NetProtocolErrors, 1);
                     let (status, reason) = status_for(&err);
-                    write_response(writer, status, reason, "application/json", &error_body(&err))
+                    write_response(
+                        writer,
+                        status,
+                        reason,
+                        "application/json",
+                        &error_body(&err),
+                    )
                 }
             }
         }
@@ -230,18 +249,30 @@ pub(crate) fn serve_http(
 /// `ssg-reply/v1` JSON document `POST /label` answers with.
 fn respond_from_wire(writer: &mut impl Write, reply_line: &str) -> std::io::Result<()> {
     match parse_response(reply_line) {
-        Ok(Response::Ok { span, colors }) => {
-            let body = Json::Object(vec![
+        Ok(Response::Ok {
+            span,
+            colors,
+            trace,
+        }) => {
+            let mut fields = vec![
                 ("schema".into(), Json::Str("ssg-reply/v1".into())),
                 ("protocol".into(), Json::Str(PROTOCOL_VERSION.into())),
                 ("status".into(), Json::Str("ok".into())),
                 ("span".into(), Json::U64(u64::from(span))),
                 (
                     "labels".into(),
-                    Json::Array(colors.into_iter().map(|c| Json::U64(u64::from(c))).collect()),
+                    Json::Array(
+                        colors
+                            .into_iter()
+                            .map(|c| Json::U64(u64::from(c)))
+                            .collect(),
+                    ),
                 ),
-            ])
-            .render_pretty();
+            ];
+            if let Some(trace_id) = trace {
+                fields.push(("trace".into(), Json::Str(format!("{trace_id:016x}"))));
+            }
+            let body = Json::Object(fields).render_pretty();
             write_response(writer, 200, "OK", "application/json", &body)
         }
         Ok(Response::Err { code, message }) => {
@@ -267,7 +298,13 @@ fn respond_from_wire(writer: &mut impl Write, reply_line: &str) -> std::io::Resu
         }
         Ok(_) | Err(_) => {
             let err = SsgError::WorkerPanic("server produced an unparseable reply".into());
-            write_response(writer, 500, "Internal Server Error", "application/json", &error_body(&err))
+            write_response(
+                writer,
+                500,
+                "Internal Server Error",
+                "application/json",
+                &error_body(&err),
+            )
         }
     }
 }

@@ -23,6 +23,7 @@ use ssg_error::SsgError;
 use ssg_telemetry::hist::{HistSnapshot, Histogram};
 use ssg_telemetry::json::Json;
 use ssg_telemetry::report::ReportEnvelope;
+use ssg_telemetry::{EventKind, Metrics, SpanEvent};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::TcpStream;
@@ -50,6 +51,14 @@ pub struct LoadgenConfig {
     /// Send `SHUTDOWN` to the server after the run (used by the verify.sh
     /// smoke test to tear the server down without signals).
     pub drain: bool,
+    /// Telemetry handle. When it carries a flight recorder
+    /// ([`Metrics::with_tracing`]), every request is sent with a
+    /// wire-propagated `trace=` context (trace id from
+    /// [`loadgen_trace_id`], parent span id minted from the recorder) and
+    /// the reader records one `client.request` span per reply, spanning
+    /// scheduled arrival to reply receipt. Disabled metrics send plain
+    /// untraced requests — byte-identical to the pre-tracing wire format.
+    pub metrics: Metrics,
 }
 
 impl Default for LoadgenConfig {
@@ -66,11 +75,29 @@ impl Default for LoadgenConfig {
                 sep: ssg_labeling::SeparationVector::two(2, 1).expect("2,1 is non-increasing"),
                 solver: None,
                 deadline_ms: None,
+                trace: None,
             },
             timeout: Duration::from_secs(1),
             drain: false,
+            metrics: Metrics::disabled(),
         }
     }
+}
+
+/// The deterministic trace id request `k` of a run seeded with `seed`
+/// carries: a splitmix64 mix of the two, forced nonzero so it never
+/// collides with the recorder's "untraced" lane. Deterministic on purpose —
+/// a test (or an operator reading two dumps) can recompute the id a given
+/// request must appear under in the server's flight recorder.
+pub fn loadgen_trace_id(seed: u64, k: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(k)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    z | 1
 }
 
 /// Aggregated totals shared by all connection threads.
@@ -118,8 +145,14 @@ impl LoadReport {
     pub fn to_json(&self) -> Json {
         LOAD_ENVELOPE.stamp(vec![
             ("target_rps".into(), Json::F64(self.target_rps)),
-            ("duration_ms".into(), Json::U64(self.duration.as_millis() as u64)),
-            ("elapsed_ms".into(), Json::U64(self.elapsed.as_millis() as u64)),
+            (
+                "duration_ms".into(),
+                Json::U64(self.duration.as_millis() as u64),
+            ),
+            (
+                "elapsed_ms".into(),
+                Json::U64(self.elapsed.as_millis() as u64),
+            ),
             ("sent".into(), Json::U64(self.sent)),
             ("ok".into(), Json::U64(self.ok)),
             ("server_errors".into(), Json::U64(self.server_errors)),
@@ -210,11 +243,14 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadReport, SsgError> {
         let reader_stream = stream
             .try_clone()
             .map_err(|e| SsgError::io(cfg.addr.clone(), &e))?;
-        let (sched_tx, sched_rx) = mpsc::channel::<Instant>();
+        // Each schedule entry is (scheduled arrival, trace id, client span
+        // id); both ids are 0 when the run is untraced.
+        let (sched_tx, sched_rx) = mpsc::channel::<(Instant, u64, u64)>();
 
         // Writer: fire this connection's slice of the global schedule.
         let spec = cfg.spec.clone();
         let totals_w = Arc::clone(&totals);
+        let recorder_w = cfg.metrics.recorder().cloned();
         let mut writer = stream;
         handles.push(std::thread::spawn(move || {
             let mut k = c as u64;
@@ -226,10 +262,19 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadReport, SsgError> {
                 }
                 let mut spec_k = spec.clone();
                 spec_k.seed = spec.seed.wrapping_add(k);
+                // Mint the trace context here; the reader owns the span's
+                // lifetime (scheduled arrival -> reply) and records it.
+                let (trace_id, span_id) = match &recorder_w {
+                    Some(rec) => (loadgen_trace_id(spec.seed, k), rec.next_span_id()),
+                    None => (0, 0),
+                };
+                if trace_id != 0 {
+                    spec_k.trace = Some((trace_id, span_id));
+                }
                 let line = format!("{}\n", spec_k.render());
                 // Tell the reader about the arrival before writing, so a
                 // reply can never race its own bookkeeping.
-                if sched_tx.send(due).is_err() {
+                if sched_tx.send((due, trace_id, span_id)).is_err() {
                     break;
                 }
                 if writer.write_all(line.as_bytes()).is_err() || writer.flush().is_err() {
@@ -246,10 +291,11 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadReport, SsgError> {
         let latency_r = Arc::clone(&latency);
         let err_kinds_r = Arc::clone(&err_kinds);
         let budget = cfg.timeout;
+        let recorder_r = cfg.metrics.recorder().cloned();
         handles.push(std::thread::spawn(move || {
             let mut reader = LineReader::new(reader_stream, MAX_LINE_BYTES);
             let mut dead = false;
-            while let Ok(scheduled) = sched_rx.recv() {
+            while let Ok((scheduled, trace_id, span_id)) = sched_rx.recv() {
                 if dead {
                     totals_r.timeouts.fetch_add(1, Ordering::Relaxed);
                     continue;
@@ -259,9 +305,33 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadReport, SsgError> {
                     match reader.next_line() {
                         Ok(LineEvent::Line(line)) => {
                             latency_r.record(scheduled.elapsed().as_nanos() as u64);
+                            // The client-side request span: scheduled
+                            // arrival to reply receipt. Built by hand
+                            // because the start was measured on the writer
+                            // thread and thread-local span guards cannot
+                            // cross that boundary.
+                            if let (Some(rec), true) = (&recorder_r, trace_id != 0) {
+                                rec.record(SpanEvent {
+                                    trace_id,
+                                    span_id,
+                                    parent_id: 0,
+                                    name: "client.request",
+                                    kind: EventKind::Span,
+                                    start_ns: rec.instant_ns(scheduled),
+                                    end_ns: rec.now_ns(),
+                                });
+                            }
                             match parse_response(&line) {
-                                Ok(Response::Ok { .. }) => {
-                                    totals_r.ok.fetch_add(1, Ordering::Relaxed);
+                                Ok(Response::Ok { trace, .. }) => {
+                                    // A traced request must echo its own
+                                    // trace id; anything else means the
+                                    // reply was stitched to the wrong
+                                    // request.
+                                    if trace_id != 0 && trace != Some(trace_id) {
+                                        totals_r.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                    } else {
+                                        totals_r.ok.fetch_add(1, Ordering::Relaxed);
+                                    }
                                 }
                                 Ok(Response::Err { code, .. }) => {
                                     totals_r.server_errors.fetch_add(1, Ordering::Relaxed);

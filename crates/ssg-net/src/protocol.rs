@@ -5,7 +5,7 @@
 //! newline-terminated ASCII lines:
 //!
 //! ```text
-//! LABEL <workload> <n> <seed> <d1[,d2,...]> [solver=NAME] [deadline_ms=N]
+//! LABEL <workload> <n> <seed> <d1[,d2,...]> [solver=NAME] [deadline_ms=N] [trace=TID/SID]
 //! PING
 //! QUIT
 //! SHUTDOWN
@@ -97,6 +97,12 @@ pub struct LabelSpec {
     /// Optional per-request deadline in milliseconds from server receipt
     /// (`deadline_ms=N`).
     pub deadline_ms: Option<u64>,
+    /// Optional wire-propagated trace context
+    /// (`trace=<hex64-trace-id>/<hex64-parent-span-id>`): the server tags
+    /// this request's flight-recorder events with the trace id, nests its
+    /// spans under the parent span, and echoes the trace id on the `OK`
+    /// line.
+    pub trace: Option<(u64, u64)>,
 }
 
 impl LabelSpec {
@@ -118,12 +124,17 @@ impl LabelSpec {
                     .clone(),
             ),
             Workload::Backbone => RequestInstance::Tree(
-                BackboneNetwork::generate(self.n, 4, &mut rng).tree().clone(),
+                BackboneNetwork::generate(self.n, 4, &mut rng)
+                    .tree()
+                    .clone(),
             ),
         };
         let mut req = LabelRequest::new(id, instance, self.sep.clone());
         if let Some(name) = &self.solver {
             req = req.solver(name.clone());
+        }
+        if let Some((trace_id, parent_span)) = self.trace {
+            req = req.trace(trace_id, parent_span);
         }
         req
     }
@@ -144,6 +155,9 @@ impl LabelSpec {
         if let Some(ms) = self.deadline_ms {
             line.push_str(" deadline_ms=");
             line.push_str(&ms.to_string());
+        }
+        if let Some((trace_id, parent_span)) = self.trace {
+            line.push_str(&format!(" trace={trace_id:016x}/{parent_span:016x}"));
         }
         line
     }
@@ -174,8 +188,8 @@ pub enum Request {
 /// Parses `d1[,d2,...]` into a validated separation vector.
 fn parse_seps(spec: &str) -> Result<SeparationVector, SsgError> {
     let deltas: Result<Vec<u32>, _> = spec.split(',').map(str::parse).collect();
-    let deltas = deltas
-        .map_err(|_| SsgError::parse("request", format!("bad separation list `{spec}`")))?;
+    let deltas =
+        deltas.map_err(|_| SsgError::parse("request", format!("bad separation list `{spec}`")))?;
     Ok(SeparationVector::new(deltas)?)
 }
 
@@ -251,6 +265,7 @@ pub fn parse_request(line: &str) -> Result<Request, SsgError> {
                 sep,
                 solver: None,
                 deadline_ms: None,
+                trace: None,
             };
             for opt in fields {
                 if let Some(name) = opt.strip_prefix("solver=") {
@@ -263,6 +278,8 @@ pub fn parse_request(line: &str) -> Result<Request, SsgError> {
                         .parse()
                         .map_err(|_| SsgError::parse("request", "LABEL: bad deadline_ms"))?;
                     spec.deadline_ms = Some(ms);
+                } else if let Some(ctx) = opt.strip_prefix("trace=") {
+                    spec.trace = Some(parse_trace_context(ctx)?);
                 } else {
                     return Err(SsgError::parse(
                         "request",
@@ -279,15 +296,43 @@ pub fn parse_request(line: &str) -> Result<Request, SsgError> {
     }
 }
 
+/// Parses a `<hex64>/<hex64>` trace context (as carried by the `trace=`
+/// LABEL option and the `X-Ssg-Trace` HTTP header) into
+/// `(trace_id, parent_span_id)`. The trace id must be nonzero — 0 is the
+/// recorder's untraced lane.
+pub fn parse_trace_context(ctx: &str) -> Result<(u64, u64), SsgError> {
+    let bad = || {
+        SsgError::parse(
+            "request",
+            format!("bad trace context `{ctx}` (want <hex64-trace>/<hex64-span>)"),
+        )
+    };
+    let (trace, span) = ctx.split_once('/').ok_or_else(bad)?;
+    if trace.is_empty() || span.is_empty() || trace.len() > 16 || span.len() > 16 {
+        return Err(bad());
+    }
+    let trace_id = u64::from_str_radix(trace, 16).map_err(|_| bad())?;
+    let parent_span = u64::from_str_radix(span, 16).map_err(|_| bad())?;
+    if trace_id == 0 {
+        return Err(bad());
+    }
+    Ok((trace_id, parent_span))
+}
+
 /// One parsed response line (the client side of the protocol).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// `OK <span> <labels...>` — the labeling, one channel per vertex.
+    /// `OK <span> <labels...> [trace=TID]` — the labeling, one channel per
+    /// vertex. The `trace=` echo appears **only** when the request carried
+    /// a `trace=` option, so clients that never send trace context never
+    /// see (and never mis-parse) the extra token.
     Ok {
         /// The span (largest channel) of the labeling.
         span: u32,
         /// Channel per vertex, in instance vertex order.
         colors: Vec<u32>,
+        /// Echoed trace id, when the request propagated one.
+        trace: Option<u64>,
     },
     /// `ERR <code> <message>` — a reified failure; `code` is
     /// [`SsgError::kind`].
@@ -304,7 +349,11 @@ pub enum Response {
 }
 
 /// Renders the success line for a solved request (no trailing newline).
-pub fn render_ok(outcome: &LabelOutcome) -> String {
+/// `trace` must be the request's propagated trace id (echoed as a final
+/// `trace=<hex64>` token) or `None` for untraced requests — echoing
+/// unconditionally would break old clients, which parse every post-span
+/// token as a color.
+pub fn render_ok(outcome: &LabelOutcome, trace: Option<u64>) -> String {
     let colors = outcome.labeling.colors();
     let mut line = String::with_capacity(8 + colors.len() * 4);
     line.push_str("OK ");
@@ -312,6 +361,9 @@ pub fn render_ok(outcome: &LabelOutcome) -> String {
     for &c in colors {
         line.push(' ');
         line.push_str(&c.to_string());
+    }
+    if let Some(trace_id) = trace {
+        line.push_str(&format!(" trace={trace_id:016x}"));
     }
     line
 }
@@ -333,7 +385,11 @@ pub fn render_err(err: &SsgError) -> String {
 /// use ssg_net::protocol::{parse_response, Response};
 /// assert_eq!(
 ///     parse_response("OK 4 0 2 4").unwrap(),
-///     Response::Ok { span: 4, colors: vec![0, 2, 4] }
+///     Response::Ok { span: 4, colors: vec![0, 2, 4], trace: None }
+/// );
+/// assert_eq!(
+///     parse_response("OK 4 0 2 4 trace=00000000000000ab").unwrap(),
+///     Response::Ok { span: 4, colors: vec![0, 2, 4], trace: Some(0xab) }
 /// );
 /// assert_eq!(parse_response("PONG").unwrap(), Response::Pong);
 /// match parse_response("ERR queue_full all shard queues full").unwrap() {
@@ -350,10 +406,25 @@ pub fn parse_response(line: &str) -> Result<Response, SsgError> {
                 .ok_or_else(|| SsgError::parse("response", "OK: missing span"))?
                 .parse()
                 .map_err(|_| SsgError::parse("response", "OK: bad span"))?;
-            let colors: Result<Vec<u32>, _> = fields.map(str::parse).collect();
-            let colors =
-                colors.map_err(|_| SsgError::parse("response", "OK: bad label list"))?;
-            Ok(Response::Ok { span, colors })
+            let mut rest: Vec<&str> = fields.collect();
+            // The trace echo is always the final token, so peel it before
+            // treating the remainder as the color list.
+            let trace = match rest.last().and_then(|t| t.strip_prefix("trace=")) {
+                Some(hex) => {
+                    let id = u64::from_str_radix(hex, 16)
+                        .map_err(|_| SsgError::parse("response", "OK: bad trace echo"))?;
+                    rest.pop();
+                    Some(id)
+                }
+                None => None,
+            };
+            let colors: Result<Vec<u32>, _> = rest.iter().map(|t| t.parse()).collect();
+            let colors = colors.map_err(|_| SsgError::parse("response", "OK: bad label list"))?;
+            Ok(Response::Ok {
+                span,
+                colors,
+                trace,
+            })
         }
         Some("ERR") => {
             let code = fields
@@ -547,6 +618,7 @@ mod tests {
             sep: SeparationVector::two(3, 1).unwrap(),
             solver: Some("unit_interval_l_delta1_delta2".into()),
             deadline_ms: Some(500),
+            trace: None,
         };
         let line = spec.render();
         assert_eq!(
@@ -554,6 +626,33 @@ mod tests {
             "LABEL platoon 120 9 3,1 solver=unit_interval_l_delta1_delta2 deadline_ms=500"
         );
         assert_eq!(parse_request(&line).unwrap(), Request::Label(spec));
+    }
+
+    #[test]
+    fn traced_label_line_round_trips() {
+        let spec = LabelSpec {
+            workload: Workload::Corridor,
+            n: 10,
+            seed: 1,
+            sep: SeparationVector::two(2, 1).unwrap(),
+            solver: None,
+            deadline_ms: None,
+            trace: Some((0xfeed_face_cafe_beef, 0x42)),
+        };
+        let line = spec.render();
+        assert_eq!(
+            line,
+            "LABEL corridor 10 1 2,1 trace=feedfacecafebeef/0000000000000042"
+        );
+        assert_eq!(parse_request(&line).unwrap(), Request::Label(spec));
+        // The context lands on the engine request, tagging its whole chain.
+        let spec = match parse_request(&line).unwrap() {
+            Request::Label(s) => s,
+            other => panic!("{other:?}"),
+        };
+        let req = spec.to_request(7);
+        assert_eq!(req.trace, Some((0xfeed_face_cafe_beef, 0x42)));
+        assert_eq!(req.trace_id(), 0xfeed_face_cafe_beef);
     }
 
     #[test]
@@ -570,6 +669,12 @@ mod tests {
             "LABEL corridor 10 1 1,2",
             "LABEL corridor 10 1 2,1 frobnicate=3",
             "LABEL corridor 10 1 2,1 solver=",
+            "LABEL corridor 10 1 2,1 trace=",
+            "LABEL corridor 10 1 2,1 trace=abc",
+            "LABEL corridor 10 1 2,1 trace=xyz/1",
+            "LABEL corridor 10 1 2,1 trace=1/ghi",
+            "LABEL corridor 10 1 2,1 trace=0/1",
+            "LABEL corridor 10 1 2,1 trace=00112233445566778/1",
             "PING extra",
             "label corridor 10 1 1",
             "FROB",
@@ -591,9 +696,20 @@ mod tests {
             parse_response("OK 6 0 3 6 0").unwrap(),
             Response::Ok {
                 span: 6,
-                colors: vec![0, 3, 6, 0]
+                colors: vec![0, 3, 6, 0],
+                trace: None
             }
         );
+        // A trailing trace echo is peeled off, never mistaken for a color.
+        assert_eq!(
+            parse_response("OK 6 0 3 6 0 trace=feedfacecafebeef").unwrap(),
+            Response::Ok {
+                span: 6,
+                colors: vec![0, 3, 6, 0],
+                trace: Some(0xfeed_face_cafe_beef)
+            }
+        );
+        assert!(parse_response("OK 6 0 trace=zz").is_err());
         assert_eq!(parse_response("BYE").unwrap(), Response::Bye);
         let rendered = render_err(&SsgError::QueueFull);
         match parse_response(&rendered).unwrap() {
@@ -633,6 +749,7 @@ mod tests {
             sep: SeparationVector::all_ones(2),
             solver: None,
             deadline_ms: None,
+            trace: None,
         };
         let req = spec.to_request(7);
         assert_eq!(req.id, 7);

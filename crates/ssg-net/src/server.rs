@@ -110,8 +110,7 @@ impl Server {
         addr: A,
         cfg: ServerConfig,
     ) -> Result<Server, SsgError> {
-        let listener =
-            TcpListener::bind(&addr).map_err(|e| SsgError::io(addr.to_string(), &e))?;
+        let listener = TcpListener::bind(&addr).map_err(|e| SsgError::io(addr.to_string(), &e))?;
         let local_addr = listener
             .local_addr()
             .map_err(|e| SsgError::io(addr.to_string(), &e))?;
@@ -255,10 +254,8 @@ fn serve_connection(stream: TcpStream, peer: SocketAddr, shared: &Shared) -> std
             LineEvent::Line(line) => line,
             LineEvent::Overlong => {
                 shared.metrics.add(Counter::NetProtocolErrors, 1);
-                let err = SsgError::parse(
-                    "request",
-                    format!("line exceeds {MAX_LINE_BYTES} bytes"),
-                );
+                let err =
+                    SsgError::parse("request", format!("line exceeds {MAX_LINE_BYTES} bytes"));
                 writer.write_all(format!("{}\n", render_err(&err)).as_bytes())?;
                 writer.flush()?;
                 first = false;
@@ -334,7 +331,12 @@ pub(crate) fn serve_label(spec: &crate::protocol::LabelSpec, shared: &Shared) ->
         Err(e) => Err(e),
     };
     match result {
-        Ok(outcome) => format!("{}\n", render_ok(&outcome)),
+        // Echo the trace id only when the request propagated one: old
+        // clients parse every post-span token as a color.
+        Ok(outcome) => format!(
+            "{}\n",
+            render_ok(&outcome, spec.trace.map(|(trace_id, _)| trace_id))
+        ),
         Err(err) => {
             shared.metrics.add(Counter::NetProtocolErrors, 1);
             format!("{}\n", render_err(&err))

@@ -39,7 +39,12 @@ fn line_protocol_round_trip() {
     for expect_n in [40usize, 25] {
         let reply = read_line(&mut reader);
         match parse_response(&reply).unwrap() {
-            Response::Ok { span, colors } => {
+            Response::Ok {
+                span,
+                colors,
+                trace,
+            } => {
+                assert_eq!(trace, None, "untraced requests get no trace echo: {reply}");
                 assert_eq!(colors.len(), expect_n, "one label per station: {reply}");
                 assert_eq!(
                     span,
@@ -270,11 +275,10 @@ fn graceful_drain_completes_in_flight_requests() {
     assert_eq!(stats.completed, 6);
 
     // New connections are refused once the listener is down.
-    assert!(TcpStream::connect_timeout(
-        &"127.0.0.1:1".parse().unwrap(),
-        Duration::from_millis(1)
-    )
-    .is_err());
+    assert!(
+        TcpStream::connect_timeout(&"127.0.0.1:1".parse().unwrap(), Duration::from_millis(1))
+            .is_err()
+    );
 }
 
 #[test]
@@ -285,6 +289,146 @@ fn shutdown_verb_is_loopback_gated_and_sets_the_flag() {
     writer.write_all(b"SHUTDOWN\n").unwrap();
     assert_eq!(read_line(&mut reader), "BYE");
     assert!(server.shutdown_requested());
+    server.shutdown();
+}
+
+#[test]
+fn traced_label_echoes_the_trace_id_and_tags_the_server_recorder() {
+    let cfg = ServerConfig {
+        metrics: Metrics::with_tracing(4096),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let (mut reader, mut writer) = connect(&server);
+
+    let trace_id = 0x00c0_ffee_0000_0001u64;
+    writer
+        .write_all(
+            format!("LABEL corridor 40 7 2,1 trace={trace_id:016x}/000000000000002a\n").as_bytes(),
+        )
+        .unwrap();
+    let reply = read_line(&mut reader);
+    match parse_response(&reply).unwrap() {
+        Response::Ok { trace, .. } => {
+            assert_eq!(
+                trace,
+                Some(trace_id),
+                "OK line echoes the trace id: {reply}"
+            )
+        }
+        other => panic!("expected OK, got {other:?}"),
+    }
+
+    // The server's whole engine chain landed on the propagated lane, and
+    // the solve span adopted the client's span id as its wire parent.
+    let recorder = server.metrics().recorder().expect("tracing enabled");
+    let events = recorder.events_for(trace_id);
+    let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+    for needle in ["engine.enqueue", "engine.dequeue", "engine.solve"] {
+        assert!(names.contains(&needle), "{needle} missing from {names:?}");
+    }
+    let solve = events.iter().find(|e| e.name == "engine.solve").unwrap();
+    assert_eq!(solve.parent_id, 0x2a, "solve nests under the client span");
+
+    // An untraced request on the same connection stays off that lane.
+    writer.write_all(b"LABEL corridor 40 8 2,1\n").unwrap();
+    assert!(read_line(&mut reader).starts_with("OK "));
+    assert_eq!(recorder.events_for(trace_id).len(), events.len());
+    server.shutdown();
+}
+
+#[test]
+fn loadgen_initiated_traces_stitch_into_one_merged_chrome_trace() {
+    use ssg_net::loadgen::{loadgen_trace_id, run_loadgen, LoadgenConfig};
+    use ssg_telemetry::json::Json;
+    use ssg_telemetry::{export, Metrics, TraceDump};
+
+    let cfg = ServerConfig {
+        metrics: Metrics::with_tracing(8192),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+
+    let client_metrics = Metrics::with_tracing(8192);
+    let lg = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        rps: 200.0,
+        duration: Duration::from_millis(100),
+        conns: 2,
+        metrics: client_metrics.clone(),
+        ..LoadgenConfig::default()
+    };
+    let report = run_loadgen(&lg).expect("loadgen run");
+    assert!(report.ok > 0, "some requests completed: {report:?}");
+    assert_eq!(report.protocol_errors, 0, "every echo matched: {report:?}");
+
+    // The first scheduled request's trace id — recomputed, not captured —
+    // appears verbatim in the server's recorder.
+    let first = loadgen_trace_id(lg.spec.seed, 0);
+    let server_rec = server.metrics().recorder().unwrap();
+    assert!(
+        !server_rec.events_for(first).is_empty(),
+        "loadgen trace id {first:#x} missing from the server dump"
+    );
+    let client_rec = client_metrics.recorder().unwrap();
+    assert!(!client_rec.events_for(first).is_empty());
+
+    // Merge the two dumps: one valid trace-event JSON whose client
+    // request span wraps the server's engine chain for the same trace.
+    let client_dump = TraceDump::from_json(&client_rec.to_json()).unwrap();
+    let server_dump = TraceDump::from_json(&server_rec.to_json()).unwrap();
+    let merged = export::merged_chrome_trace(&client_dump, &server_dump);
+    let rendered = merged.render();
+    let reparsed = Json::parse(&rendered).expect("merged export is valid JSON");
+    let events = match &reparsed {
+        Json::Object(fields) => fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .expect("traceEvents"),
+        other => panic!("{other:?}"),
+    };
+    let Json::Array(events) = events else {
+        panic!("traceEvents is an array")
+    };
+    // For the recomputed trace id: client.request must open before and
+    // close after every server-side engine span of that trace.
+    let of_name = |name: &str, ph: &str| -> Vec<f64> {
+        events
+            .iter()
+            .filter_map(|e| {
+                let Json::Object(f) = e else { return None };
+                let get = |k: &str| f.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+                let is = |k: &str, want: &str| matches!(get(k), Some(Json::Str(s)) if s == want);
+                let traced = match get("args") {
+                    Some(Json::Object(a)) => a.iter().any(|(n, v)| {
+                        n == "trace_id"
+                            && matches!(v, Json::Str(s) if *s == format!("{first:016x}"))
+                    }),
+                    _ => false,
+                };
+                if is("name", name) && is("ph", ph) && traced {
+                    match get("ts") {
+                        Some(Json::F64(ts)) => Some(*ts),
+                        Some(Json::U64(ts)) => Some(*ts as f64),
+                        _ => None,
+                    }
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    let open = of_name("client.request", "B");
+    let close = of_name("client.request", "E");
+    assert_eq!(open.len(), 1, "one client.request B for the first trace");
+    assert_eq!(close.len(), 1);
+    let solve_b = of_name("engine.solve", "B");
+    let solve_e = of_name("engine.solve", "E");
+    assert_eq!(solve_b.len(), 1, "one engine.solve B for the first trace");
+    assert!(open[0] <= solve_b[0], "client span opens before the solve");
+    assert!(close[0] >= solve_e[0], "client span closes after the solve");
+
     server.shutdown();
 }
 

@@ -29,11 +29,8 @@ impl Read for ChunkedReader {
 
 /// A strategy for syntactically valid `LABEL` lines (as `LabelSpec`s).
 fn label_spec_strategy() -> impl Strategy<Value = LabelSpec> {
-    (
-        0usize..3,
-        (1usize..200, 0u64..1000, 1u32..6, 1u32..6),
-    )
-        .prop_map(|(w, (n, seed, d1, d2))| LabelSpec {
+    (0usize..3, (1usize..200, 0u64..1000, 1u32..6, 1u32..6)).prop_map(|(w, (n, seed, d1, d2))| {
+        LabelSpec {
             workload: [Workload::Corridor, Workload::Platoon, Workload::Backbone][w],
             n,
             seed,
@@ -41,7 +38,15 @@ fn label_spec_strategy() -> impl Strategy<Value = LabelSpec> {
                 .expect("constructed non-increasing"),
             solver: None,
             deadline_ms: if seed % 3 == 0 { Some(seed) } else { None },
-        })
+            // Exercise the trace= option on a slice of the lines; the id
+            // must be nonzero to be a valid context.
+            trace: if seed % 5 == 0 {
+                Some((seed | 1, seed.wrapping_mul(3)))
+            } else {
+                None
+            },
+        }
+    })
 }
 
 proptest! {

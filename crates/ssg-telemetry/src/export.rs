@@ -1,0 +1,476 @@
+//! Chrome/Perfetto trace-event export of `ssg-trace/v1` dumps.
+//!
+//! A [`FlightRecorder`](crate::FlightRecorder) dump is machine-honest but
+//! human-hostile: recorder-relative nanoseconds, parent links by span id,
+//! one flat array. This module re-parses a dump ([`TraceDump::from_json`])
+//! and renders it as [Chrome trace-event JSON] — `ph:"B"/"E"` pairs for
+//! spans, `ph:"i"` instants for events and incidents — which Perfetto and
+//! `chrome://tracing` open directly.
+//!
+//! Each dump becomes one *process* (`pid`) in the output, and each trace id
+//! becomes one *thread lane* (`tid`) inside it, so concurrent requests
+//! stack into parallel swimlanes instead of one interleaved mess.
+//!
+//! [`merged_chrome_trace`] stitches a client dump and a server dump into a
+//! single timeline. The two recorders have unrelated epochs, so the server
+//! chain of every shared trace id is shifted to sit centered inside the
+//! client's request span (the client span — scheduled send to reply read —
+//! always wall-clock-encloses the server-side work, so centering preserves
+//! real nesting). Server traces the client never saw keep the median
+//! offset, so background lanes stay roughly aligned too.
+//!
+//! [Chrome trace-event JSON]:
+//!     https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// One event re-parsed from an `ssg-trace/v1` dump — the dynamic twin of
+/// [`SpanEvent`](crate::SpanEvent) (names are owned strings because they
+/// came from JSON, not from static labels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpEvent {
+    /// Request/trace the event belongs to (0 = untraced background work).
+    pub trace_id: u64,
+    /// Span id within the originating recorder (0 for plain events).
+    pub span_id: u64,
+    /// `span_id` of the enclosing span (0 = root).
+    pub parent_id: u64,
+    /// Event label, e.g. `"engine.solve"`.
+    pub name: String,
+    /// `"span"`, `"event"`, or `"incident"`.
+    pub kind: String,
+    /// Start timestamp (recorder-relative nanoseconds).
+    pub start_ns: u64,
+    /// End timestamp; equals `start_ns` for instantaneous kinds.
+    pub end_ns: u64,
+}
+
+impl DumpEvent {
+    /// Whether this is a timed span (vs an instantaneous marker).
+    pub fn is_span(&self) -> bool {
+        self.kind == "span"
+    }
+}
+
+/// A re-parsed `ssg-trace/v1` flight-recorder dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDump {
+    /// Ring capacity of the originating recorder.
+    pub capacity: u64,
+    /// Events the ring evicted before this dump was taken.
+    pub dropped: u64,
+    /// Incidents recorded by the originating recorder.
+    pub incidents: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<DumpEvent>,
+}
+
+impl TraceDump {
+    /// Parses a dump document produced by
+    /// [`FlightRecorder::to_json`](crate::FlightRecorder::to_json),
+    /// validating the `ssg-trace/v1` schema stamp.
+    ///
+    /// ```
+    /// use ssg_telemetry::export::TraceDump;
+    /// use ssg_telemetry::Metrics;
+    ///
+    /// let m = Metrics::with_tracing(16);
+    /// m.event_for(9, "tick");
+    /// let dump = TraceDump::from_json(&m.recorder().unwrap().to_json()).unwrap();
+    /// assert_eq!(dump.events.len(), 1);
+    /// assert_eq!(dump.events[0].trace_id, 9);
+    /// ```
+    pub fn from_json(doc: &Json) -> Result<TraceDump, String> {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some("ssg-trace/v1") => {}
+            Some(other) => return Err(format!("expected schema ssg-trace/v1, got {other}")),
+            None => return Err("missing schema field".into()),
+        }
+        let field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer `{name}`"))
+        };
+        let raw_events = doc
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or("missing `events` array")?;
+        let mut events = Vec::with_capacity(raw_events.len());
+        for (i, ev) in raw_events.iter().enumerate() {
+            let num = |name: &str| {
+                ev.get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("event {i}: missing or non-integer `{name}`"))
+            };
+            let text = |name: &str| {
+                ev.get(name)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("event {i}: missing or non-string `{name}`"))
+            };
+            events.push(DumpEvent {
+                trace_id: num("trace_id")?,
+                span_id: num("span_id")?,
+                parent_id: num("parent_id")?,
+                name: text("name")?,
+                kind: text("kind")?,
+                start_ns: num("start_ns")?,
+                end_ns: num("end_ns")?,
+            });
+        }
+        Ok(TraceDump {
+            capacity: field("capacity")?,
+            dropped: field("dropped")?,
+            incidents: field("incidents")?,
+            events,
+        })
+    }
+
+    /// `(min start, max end)` over all events — the dump's wall-clock
+    /// envelope in recorder-relative nanoseconds (`(0, 0)` when empty).
+    pub fn envelope_ns(&self) -> (u64, u64) {
+        let lo = self.events.iter().map(|e| e.start_ns).min().unwrap_or(0);
+        let hi = self.events.iter().map(|e| e.end_ns).max().unwrap_or(0);
+        (lo, hi)
+    }
+}
+
+/// Chrome trace-event JSON for one or more dumps on a shared timebase.
+/// Each `(label, dump)` pair becomes one process (`pid` = position + 1)
+/// named `label` via `ph:"M"` metadata; trace ids become per-process
+/// thread lanes. Use [`merged_chrome_trace`] when the dumps come from
+/// recorders with unrelated epochs.
+pub fn chrome_trace(dumps: &[(&str, &TraceDump)]) -> Json {
+    let mut out = Vec::new();
+    for (i, (label, dump)) in dumps.iter().enumerate() {
+        let pid = u64::try_from(i).unwrap_or(0) + 1;
+        out.push(Json::Object(vec![
+            ("name".into(), Json::Str("process_name".into())),
+            ("ph".into(), Json::Str("M".into())),
+            ("pid".into(), Json::U64(pid)),
+            ("tid".into(), Json::U64(0)),
+            (
+                "args".into(),
+                Json::Object(vec![("name".into(), Json::Str((*label).into()))]),
+            ),
+        ]));
+        emit_process(&mut out, pid, dump);
+    }
+    Json::Object(vec![
+        ("traceEvents".into(), Json::Array(out)),
+        ("displayTimeUnit".into(), Json::Str("ns".into())),
+    ])
+}
+
+/// [`chrome_trace`] over a client dump and a server dump whose recorders
+/// have unrelated epochs: the server events of every trace id present in
+/// both dumps are shifted so the server chain sits centered inside the
+/// client's span envelope for that trace; server-only traces keep the
+/// median shift. The result is one timeline where a client request span
+/// visually (and numerically) encloses the server-side work it caused.
+pub fn merged_chrome_trace(client: &TraceDump, server: &TraceDump) -> Json {
+    let aligned = align_server_to_client(client, server);
+    chrome_trace(&[("client", client), ("server", &aligned)])
+}
+
+/// The alignment half of [`merged_chrome_trace`], exposed so tests (and
+/// the profile tooling) can inspect the shifted server dump directly.
+pub fn align_server_to_client(client: &TraceDump, server: &TraceDump) -> TraceDump {
+    // Per-trace envelopes on both sides, ignoring the untraced lane 0.
+    let mut client_env: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for e in client.events.iter().filter(|e| e.trace_id != 0) {
+        let env = client_env.entry(e.trace_id).or_insert((u64::MAX, 0));
+        env.0 = env.0.min(e.start_ns);
+        env.1 = env.1.max(e.end_ns);
+    }
+    let mut server_env: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for e in server.events.iter().filter(|e| e.trace_id != 0) {
+        let env = server_env.entry(e.trace_id).or_insert((u64::MAX, 0));
+        env.0 = env.0.min(e.start_ns);
+        env.1 = env.1.max(e.end_ns);
+    }
+    // Midpoint-match every shared trace; remember the offsets.
+    let mut offsets: BTreeMap<u64, i128> = BTreeMap::new();
+    for (trace, &(s_lo, s_hi)) in &server_env {
+        if let Some(&(c_lo, c_hi)) = client_env.get(trace) {
+            let c_mid = i128::from(c_lo) + i128::from(c_hi);
+            let s_mid = i128::from(s_lo) + i128::from(s_hi);
+            offsets.insert(*trace, (c_mid - s_mid) / 2);
+        }
+    }
+    let mut sorted: Vec<i128> = offsets.values().copied().collect();
+    sorted.sort_unstable();
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
+    let shifted =
+        |ns: u64, off: i128| u64::try_from((i128::from(ns) + off).max(0)).unwrap_or(u64::MAX);
+    let mut aligned = server.clone();
+    for e in &mut aligned.events {
+        let off = offsets.get(&e.trace_id).copied().unwrap_or(median);
+        e.start_ns = shifted(e.start_ns, off);
+        e.end_ns = shifted(e.end_ns, off);
+    }
+    aligned
+}
+
+/// Emits one dump as one process: spans as depth-first `B`/`E` pairs (tree
+/// order, so pairs always match and nest even under timestamp ties),
+/// instants as `ph:"i"`.
+fn emit_process(out: &mut Vec<Json>, pid: u64, dump: &TraceDump) {
+    // Stable small thread lanes per trace id, in first-seen order.
+    let mut lanes: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in &dump.events {
+        let next = u64::try_from(lanes.len()).unwrap_or(0) + 1;
+        lanes.entry(e.trace_id).or_insert(next);
+    }
+    for (&trace, &lane) in &lanes {
+        out.push(Json::Object(vec![
+            ("name".into(), Json::Str("thread_name".into())),
+            ("ph".into(), Json::Str("M".into())),
+            ("pid".into(), Json::U64(pid)),
+            ("tid".into(), Json::U64(lane)),
+            (
+                "args".into(),
+                Json::Object(vec![(
+                    "name".into(),
+                    Json::Str(if trace == 0 {
+                        "untraced".into()
+                    } else {
+                        format!("trace {trace:016x}")
+                    }),
+                )]),
+            ),
+        ]));
+    }
+    // Spans, grouped per trace and linked into a tree by parent id; a
+    // parent outside the dump (evicted, or living in the other process)
+    // makes its child a root here.
+    for (&trace, &lane) in &lanes {
+        let spans: Vec<&DumpEvent> = dump
+            .events
+            .iter()
+            .filter(|e| e.trace_id == trace && e.is_span())
+            .collect();
+        let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+        let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut roots = Vec::new();
+        for (i, s) in spans.iter().enumerate() {
+            if s.parent_id != 0 && ids.contains(&s.parent_id) && s.parent_id != s.span_id {
+                children.entry(s.parent_id).or_default().push(i);
+            } else {
+                roots.push(i);
+            }
+        }
+        let by_start = |list: &mut Vec<usize>| {
+            list.sort_by_key(|&i| (spans[i].start_ns, spans[i].span_id));
+        };
+        by_start(&mut roots);
+        for list in children.values_mut() {
+            by_start(list);
+        }
+        // Depth-first emission: B(node), children, E(node).
+        let mut stack: Vec<(usize, bool)> = roots.iter().rev().map(|&i| (i, false)).collect();
+        while let Some((i, closing)) = stack.pop() {
+            let s = spans[i];
+            if closing {
+                out.push(span_event(s, "E", s.end_ns, pid, lane));
+                continue;
+            }
+            out.push(span_event(s, "B", s.start_ns, pid, lane));
+            stack.push((i, true));
+            if let Some(kids) = children.get(&s.span_id) {
+                for &k in kids.iter().rev() {
+                    stack.push((k, false));
+                }
+            }
+        }
+        // Instantaneous events and incidents on the same lane.
+        for e in dump
+            .events
+            .iter()
+            .filter(|e| e.trace_id == trace && !e.is_span())
+        {
+            out.push(Json::Object(vec![
+                ("name".into(), Json::Str(e.name.clone())),
+                ("ph".into(), Json::Str("i".into())),
+                ("ts".into(), ts_us(e.start_ns)),
+                ("pid".into(), Json::U64(pid)),
+                ("tid".into(), Json::U64(lane)),
+                ("s".into(), Json::Str("t".into())),
+                (
+                    "args".into(),
+                    Json::Object(vec![
+                        ("kind".into(), Json::Str(e.kind.clone())),
+                        ("trace_id".into(), Json::Str(format!("{:016x}", e.trace_id))),
+                    ]),
+                ),
+            ]));
+        }
+    }
+}
+
+fn span_event(s: &DumpEvent, ph: &str, ns: u64, pid: u64, tid: u64) -> Json {
+    Json::Object(vec![
+        ("name".into(), Json::Str(s.name.clone())),
+        ("ph".into(), Json::Str(ph.into())),
+        ("ts".into(), ts_us(ns)),
+        ("pid".into(), Json::U64(pid)),
+        ("tid".into(), Json::U64(tid)),
+        (
+            "args".into(),
+            Json::Object(vec![
+                ("trace_id".into(), Json::Str(format!("{:016x}", s.trace_id))),
+                ("span_id".into(), Json::U64(s.span_id)),
+            ]),
+        ),
+    ])
+}
+
+/// Trace-event timestamps are microseconds; fractional micros keep the
+/// recorder's nanosecond resolution.
+fn ts_us(ns: u64) -> Json {
+    Json::F64(ns as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metrics;
+
+    fn ev(
+        trace_id: u64,
+        span_id: u64,
+        parent_id: u64,
+        name: &str,
+        kind: &str,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> DumpEvent {
+        DumpEvent {
+            trace_id,
+            span_id,
+            parent_id,
+            name: name.into(),
+            kind: kind.into(),
+            start_ns,
+            end_ns,
+        }
+    }
+
+    fn dump(events: Vec<DumpEvent>) -> TraceDump {
+        TraceDump {
+            capacity: 64,
+            dropped: 0,
+            incidents: 0,
+            events,
+        }
+    }
+
+    #[test]
+    fn round_trips_a_real_recorder_dump() {
+        let m = Metrics::with_tracing(32);
+        {
+            let _scope = m.trace_scope(11);
+            let _outer = m.span("outer");
+            let _inner = m.span("inner");
+        }
+        m.incident(11, "boom");
+        let parsed = TraceDump::from_json(&m.recorder().unwrap().to_json()).unwrap();
+        assert_eq!(parsed.events.len(), 3);
+        assert_eq!(parsed.incidents, 1);
+        assert!(parsed.events.iter().any(|e| e.kind == "incident"));
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let doc = Json::parse(r#"{"schema":"ssg-bench/v2"}"#).unwrap();
+        assert!(TraceDump::from_json(&doc).is_err());
+        assert!(TraceDump::from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn chrome_spans_emit_matched_nested_pairs() {
+        let d = dump(vec![
+            // Recorded innermost-first, as a real recorder does.
+            ev(7, 2, 1, "inner", "span", 20, 30),
+            ev(7, 1, 0, "outer", "span", 10, 50),
+            ev(7, 0, 0, "mark", "event", 25, 25),
+        ]);
+        let doc = chrome_trace(&[("proc", &d)]);
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let phases: Vec<(&str, &str)> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) != Some("M"))
+            .map(|e| {
+                (
+                    e.get("name").and_then(Json::as_str).unwrap(),
+                    e.get("ph").and_then(Json::as_str).unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            phases,
+            [
+                ("outer", "B"),
+                ("inner", "B"),
+                ("inner", "E"),
+                ("outer", "E"),
+                ("mark", "i"),
+            ]
+        );
+        // B/E counts balance.
+        let b = phases.iter().filter(|(_, p)| *p == "B").count();
+        let e = phases.iter().filter(|(_, p)| *p == "E").count();
+        assert_eq!(b, e);
+    }
+
+    #[test]
+    fn orphaned_parents_become_roots() {
+        // The wire parent (span 99) lives in the client process; in a
+        // server-only export the span must still emit a matched pair.
+        let d = dump(vec![ev(3, 5, 99, "engine.solve", "span", 0, 10)]);
+        let doc = chrome_trace(&[("server", &d)]).render();
+        assert!(doc.contains("\"ph\":\"B\""), "{doc}");
+        assert!(doc.contains("\"ph\":\"E\""), "{doc}");
+    }
+
+    #[test]
+    fn merge_centers_server_chain_inside_client_span() {
+        // Client epoch: request span 100..1100. Server epoch is unrelated:
+        // its chain for the same trace sits at 5000..5400.
+        let client = dump(vec![ev(42, 1, 0, "client.request", "span", 100, 1100)]);
+        let server = dump(vec![
+            ev(42, 0, 0, "engine.enqueue", "event", 5000, 5000),
+            ev(42, 7, 1, "engine.solve", "span", 5100, 5400),
+        ]);
+        let aligned = align_server_to_client(&client, &server);
+        let (lo, hi) = aligned.envelope_ns();
+        assert!(
+            lo >= 100 && hi <= 1100,
+            "server chain ({lo}..{hi}) outside client span"
+        );
+        // Midpoints match.
+        assert_eq!(u128::from(lo) + u128::from(hi), 100 + 1100);
+        // The merged document carries both processes.
+        let doc = merged_chrome_trace(&client, &server).render();
+        assert!(doc.contains("\"client\""), "{doc}");
+        assert!(doc.contains("\"server\""), "{doc}");
+        assert!(doc.contains("engine.solve"), "{doc}");
+    }
+
+    #[test]
+    fn server_only_traces_keep_the_median_offset() {
+        let client = dump(vec![ev(1, 1, 0, "client.request", "span", 1000, 2000)]);
+        let server = dump(vec![
+            ev(1, 2, 1, "engine.solve", "span", 100, 300),
+            // No client counterpart: shifted by the same (median) offset.
+            ev(9, 3, 0, "engine.solve", "span", 100, 300),
+        ]);
+        let aligned = align_server_to_client(&client, &server);
+        let a = aligned.events.iter().find(|e| e.trace_id == 1).unwrap();
+        let b = aligned.events.iter().find(|e| e.trace_id == 9).unwrap();
+        assert_eq!(a.start_ns, b.start_ns);
+        assert_eq!(a.end_ns, b.end_ns);
+    }
+}

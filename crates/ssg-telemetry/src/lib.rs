@@ -25,6 +25,11 @@
 //!   ids ([`Metrics::span`], [`Metrics::trace_scope`]) feeding a bounded
 //!   [`FlightRecorder`] ring ([`Metrics::with_tracing`]) that can be
 //!   dumped as JSON after a deadline miss or panic.
+//! * [`export`] — re-parses `ssg-trace/v1` dumps ([`TraceDump`]) and
+//!   renders them — including a client dump and a server dump merged onto
+//!   one timeline — as Chrome/Perfetto trace-event JSON.
+//! * [`profile`] — folds a dump's spans into a name-keyed self-time call
+//!   tree ([`Profile`]) with per-node totals and exact p50/p99.
 //!
 //! # Example
 //!
@@ -51,12 +56,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod hist;
 pub mod json;
+pub mod profile;
 pub mod report;
 pub mod trace;
 
+pub use export::TraceDump;
 pub use hist::{HistSnapshot, Histogram};
+pub use profile::Profile;
 pub use report::ReportEnvelope;
 pub use trace::{EventKind, FlightRecorder, SpanEvent, SpanGuard, TraceScope};
 
@@ -201,6 +210,33 @@ impl Counter {
         }
     }
 
+    /// One-line Prometheus `# HELP` text.
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::PeelSteps => "Vertices peeled or swept in elimination-order loops.",
+            Counter::PaletteProbes => "Palette entries examined while searching for a channel.",
+            Counter::BfsNodeVisits => "Nodes dequeued across all BFS traversals.",
+            Counter::SearchNodes => "Nodes expanded by exhaustive search.",
+            Counter::WorkspaceReuses => "Solves that reused a warm workspace arena.",
+            Counter::EngineRequests => "Requests completed by engine workers.",
+            Counter::EngineSteals => "Jobs stolen from another worker's shard queue.",
+            Counter::EngineBackpressureWaits => "Submissions that found their shard queue full.",
+            Counter::EngineDeadlineMisses => "Requests dequeued after their deadline passed.",
+            Counter::EnginePanics => "Solver panics isolated by engine workers.",
+            Counter::GraphCsrBuilds => "CSR graphs materialized.",
+            Counter::NeighborScans => "Contiguous neighbor-slice scans.",
+            Counter::NetConnections => "TCP connections accepted by the front door.",
+            Counter::NetRequests => "Line-protocol requests received by the front door.",
+            Counter::NetHttpRequests => "HTTP/1.1 requests served on the front-door port.",
+            Counter::NetProtocolErrors => "Requests answered with a protocol-level error.",
+            Counter::DeltaApplied => "Graph deltas patched into a CSR graph in place.",
+            Counter::RegionRecolors => "Incremental solves that recolored only a dirty region.",
+            Counter::FullResolves => "Incremental solves that fell back to a full resolve.",
+            Counter::DirtyVertices => "Vertices placed in dirty regions by incremental solves.",
+            Counter::PaletteWordScans => "Palette structure words read or written.",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             Counter::PeelSteps => 0,
@@ -253,6 +289,17 @@ impl Phase {
             Phase::Cell => "cell",
             Phase::Batch => "batch",
             Phase::Serve => "serve",
+        }
+    }
+
+    /// One-line Prometheus `# HELP` text (phase timers render as a
+    /// `_ns_total`/`_count_total` pair sharing this description).
+    pub fn help(self) -> &'static str {
+        match self {
+            Phase::Run => "End-to-end algorithm runs.",
+            Phase::Cell => "Parameter-sweep grid cells.",
+            Phase::Batch => "Engine batches, submit to last response.",
+            Phase::Serve => "Network requests, read to reply.",
         }
     }
 
@@ -324,6 +371,17 @@ impl Hist {
         }
     }
 
+    /// One-line Prometheus `# HELP` text.
+    pub fn help(self) -> &'static str {
+        match self {
+            Hist::SolverSolve => "Solver dispatch latency in nanoseconds.",
+            Hist::QueueWait => "Engine queue wait in nanoseconds, submit to dequeue.",
+            Hist::RequestLatency => "End-to-end engine request latency in nanoseconds.",
+            Hist::RegionSize => "Dirty-region size per incremental solve, in vertices.",
+            Hist::PalettePop => "Palette pop-phase word traffic per solve, in words.",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             Hist::SolverSolve => 0,
@@ -357,6 +415,15 @@ impl Gauge {
         }
     }
 
+    /// One-line Prometheus `# HELP` text (the `_max` companion series
+    /// shares it, suffixed as a maximum).
+    pub fn help(self) -> &'static str {
+        match self {
+            Gauge::QueueDepth => "Jobs sitting in engine shard queues.",
+            Gauge::InFlight => "Requests admitted but not yet answered.",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             Gauge::QueueDepth => 0,
@@ -370,14 +437,29 @@ const NUM_PHASES: usize = Phase::ALL.len();
 const NUM_HISTS: usize = Hist::ALL.len();
 const NUM_GAUGES: usize = Gauge::ALL.len();
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inner {
+    created: Instant,
     counters: [AtomicU64; NUM_COUNTERS],
     phase_ns: [AtomicU64; NUM_PHASES],
     phase_count: [AtomicU64; NUM_PHASES],
     hists: [Histogram; NUM_HISTS],
     gauge_last: [AtomicU64; NUM_GAUGES],
     gauge_max: [AtomicU64; NUM_GAUGES],
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            created: Instant::now(),
+            counters: Default::default(),
+            phase_ns: Default::default(),
+            phase_count: Default::default(),
+            hists: Default::default(),
+            gauge_last: Default::default(),
+            gauge_max: Default::default(),
+        }
+    }
 }
 
 /// A cheap, cloneable, thread-safe telemetry handle.
@@ -497,13 +579,13 @@ impl Metrics {
     pub fn snapshot(&self) -> Snapshot {
         let mut snap = Snapshot::default();
         if let Some(inner) = &self.inner {
+            snap.uptime_ms = u64::try_from(inner.created.elapsed().as_millis()).unwrap_or(u64::MAX);
             for c in Counter::ALL {
                 snap.counters[c.index()] = inner.counters[c.index()].load(Ordering::Relaxed);
             }
             for p in Phase::ALL {
                 snap.phase_ns[p.index()] = inner.phase_ns[p.index()].load(Ordering::Relaxed);
-                snap.phase_count[p.index()] =
-                    inner.phase_count[p.index()].load(Ordering::Relaxed);
+                snap.phase_count[p.index()] = inner.phase_count[p.index()].load(Ordering::Relaxed);
             }
             for h in Hist::ALL {
                 snap.hists[h.index()] = inner.hists[h.index()].snapshot();
@@ -553,12 +635,19 @@ pub struct Snapshot {
     hists: [HistSnapshot; NUM_HISTS],
     gauge_last: [u64; NUM_GAUGES],
     gauge_max: [u64; NUM_GAUGES],
+    uptime_ms: u64,
 }
 
 impl Snapshot {
     /// Total recorded for `counter`.
     pub fn counter(&self, counter: Counter) -> u64 {
         self.counters[counter.index()]
+    }
+
+    /// Milliseconds since the owning [`Metrics`] handle was created (0 on
+    /// a disabled handle) — the source of the `ssg_uptime_seconds` gauge.
+    pub fn uptime_ms(&self) -> u64 {
+        self.uptime_ms
     }
 
     /// Total nanoseconds recorded for `phase`.
@@ -629,19 +718,32 @@ impl Snapshot {
     /// every metric name prefixed by `prefix` (e.g. `"ssg"`): counters as
     /// `_total` counters, phases as `_ns_total`/`_count_total` pairs,
     /// histograms as cumulative `le`-bucketed histograms in nanoseconds,
-    /// and gauges as current/`_max` gauge pairs.
+    /// gauges as current/`_max` gauge pairs, and the handle's uptime as a
+    /// fractional `_uptime_seconds` gauge. Every series carries `# HELP`
+    /// and `# TYPE` comments.
     pub fn to_prometheus(&self, prefix: &str) -> String {
         use std::fmt::Write;
         let mut out = String::new();
         for c in Counter::ALL {
             let name = c.name();
+            let _ = writeln!(out, "# HELP {prefix}_{name}_total {}", c.help());
             let _ = writeln!(out, "# TYPE {prefix}_{name}_total counter");
             let _ = writeln!(out, "{prefix}_{name}_total {}", self.counter(c));
         }
         for p in Phase::ALL {
             let name = p.name();
+            let _ = writeln!(
+                out,
+                "# HELP {prefix}_phase_{name}_ns_total {} Total nanoseconds.",
+                p.help()
+            );
             let _ = writeln!(out, "# TYPE {prefix}_phase_{name}_ns_total counter");
             let _ = writeln!(out, "{prefix}_phase_{name}_ns_total {}", self.phase_ns(p));
+            let _ = writeln!(
+                out,
+                "# HELP {prefix}_phase_{name}_count_total {} Occurrences.",
+                p.help()
+            );
             let _ = writeln!(out, "# TYPE {prefix}_phase_{name}_count_total counter");
             let _ = writeln!(
                 out,
@@ -650,16 +752,33 @@ impl Snapshot {
             );
         }
         for h in Hist::ALL {
-            self.hist(h)
-                .write_prometheus(&mut out, &format!("{prefix}_{}{}", h.name(), h.unit_suffix()));
+            let full = format!("{prefix}_{}{}", h.name(), h.unit_suffix());
+            let _ = writeln!(out, "# HELP {full} {}", h.help());
+            self.hist(h).write_prometheus(&mut out, &full);
         }
         for g in Gauge::ALL {
             let name = g.name();
+            let _ = writeln!(out, "# HELP {prefix}_{name} {}", g.help());
             let _ = writeln!(out, "# TYPE {prefix}_{name} gauge");
             let _ = writeln!(out, "{prefix}_{name} {}", self.gauge(g));
+            let _ = writeln!(
+                out,
+                "# HELP {prefix}_{name}_max {} Maximum sampled.",
+                g.help()
+            );
             let _ = writeln!(out, "# TYPE {prefix}_{name}_max gauge");
             let _ = writeln!(out, "{prefix}_{name}_max {}", self.gauge_max(g));
         }
+        let _ = writeln!(
+            out,
+            "# HELP {prefix}_uptime_seconds Seconds since this telemetry handle was created."
+        );
+        let _ = writeln!(out, "# TYPE {prefix}_uptime_seconds gauge");
+        let _ = writeln!(
+            out,
+            "{prefix}_uptime_seconds {:.3}",
+            self.uptime_ms as f64 / 1000.0
+        );
         out
     }
 }
@@ -817,5 +936,53 @@ mod tests {
                 "malformed exposition line: {line}"
             );
         }
+        // Every series carries a HELP line, and the uptime gauge rides
+        // along with fractional seconds.
+        for c in Counter::ALL {
+            let needle = format!("# HELP ssg_{}_total ", c.name());
+            assert!(text.contains(&needle), "missing `{needle}`");
+        }
+        for p in Phase::ALL {
+            assert!(text.contains(&format!("# HELP ssg_phase_{}_ns_total ", p.name())));
+            assert!(text.contains(&format!("# HELP ssg_phase_{}_count_total ", p.name())));
+        }
+        for h in Hist::ALL {
+            let needle = format!("# HELP ssg_{}{} ", h.name(), h.unit_suffix());
+            assert!(text.contains(&needle), "missing `{needle}`");
+        }
+        for g in Gauge::ALL {
+            assert!(text.contains(&format!("# HELP ssg_{} ", g.name())));
+            assert!(text.contains(&format!("# HELP ssg_{}_max ", g.name())));
+        }
+        assert!(text.contains("# TYPE ssg_uptime_seconds gauge"), "{text}");
+        let uptime_line = text
+            .lines()
+            .find(|l| l.starts_with("ssg_uptime_seconds "))
+            .expect("uptime sample line");
+        let value: f64 = uptime_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .expect("uptime is numeric");
+        assert!(value >= 0.0);
+        // A HELP line immediately precedes every TYPE line.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if line.starts_with("# TYPE ") {
+                assert!(
+                    i > 0 && lines[i - 1].starts_with("# HELP "),
+                    "TYPE without preceding HELP: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uptime_is_zero_when_disabled_and_grows_when_enabled() {
+        assert_eq!(Metrics::disabled().snapshot().uptime_ms(), 0);
+        let m = Metrics::enabled();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(m.snapshot().uptime_ms() >= 5);
     }
 }

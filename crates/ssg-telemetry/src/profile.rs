@@ -1,0 +1,399 @@
+//! Self-time profile trees over `ssg-trace/v1` dumps.
+//!
+//! A flight-recorder dump answers "what happened to request X"; a profile
+//! answers "where does the time go overall". This module folds every span
+//! in a [`TraceDump`] into a name-keyed call tree: spans are first linked
+//! into per-trace trees by their parent ids, then merged by label path, so
+//! `engine.solve` called under two different traces lands in one node with
+//! `count = 2`. Each node carries total time, *self* time (total minus the
+//! time spent in child spans — the flame-graph quantity), and exact
+//! p50/p99 over its span durations (exact, not log2-bucketed: profiling is
+//! offline, so the histogram trade-off buys nothing here).
+//!
+//! Self time is conservative by construction: within one trace, spans
+//! nest, so the self times of a subtree sum back to the root span's
+//! duration and never exceed the dump's wall-clock envelope.
+//!
+//! ```
+//! use ssg_telemetry::export::TraceDump;
+//! use ssg_telemetry::profile::Profile;
+//! use ssg_telemetry::Metrics;
+//!
+//! let m = Metrics::with_tracing(64);
+//! {
+//!     let _scope = m.trace_scope(1);
+//!     let _req = m.span("request");
+//!     let _solve = m.span("solve");
+//! }
+//! let dump = TraceDump::from_json(&m.recorder().unwrap().to_json()).unwrap();
+//! let profile = Profile::from_dump(&dump);
+//! assert_eq!(profile.roots.len(), 1);
+//! assert_eq!(profile.roots[0].name, "request");
+//! assert_eq!(profile.roots[0].children[0].name, "solve");
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::export::{DumpEvent, TraceDump};
+use crate::json::Json;
+use crate::report::ReportEnvelope;
+
+/// Envelope for `ssg profile` reports.
+pub const PROFILE_ENVELOPE: ReportEnvelope = ReportEnvelope::new("ssg-profile/v1");
+
+/// One node of the aggregated call tree: every span that ran under the
+/// same label path, merged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileNode {
+    /// Span label, e.g. `"engine.solve"`.
+    pub name: String,
+    /// How many spans merged into this node.
+    pub count: u64,
+    /// Sum of span durations (nanoseconds).
+    pub total_ns: u64,
+    /// Total minus time spent in child spans — the flame-graph quantity.
+    pub self_ns: u64,
+    /// Exact median span duration.
+    pub p50_ns: u64,
+    /// Exact 99th-percentile span duration.
+    pub p99_ns: u64,
+    /// Child nodes, hottest (largest `total_ns`) first.
+    pub children: Vec<ProfileNode>,
+}
+
+/// Aggregation state while the tree is being built.
+#[derive(Debug, Default)]
+struct Agg {
+    total_ns: u64,
+    self_ns: u64,
+    durations: Vec<u64>,
+    children: BTreeMap<String, Agg>,
+}
+
+/// The aggregated profile of one dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Spans folded into the tree.
+    pub spans: u64,
+    /// Distinct trace ids those spans belonged to.
+    pub traces: u64,
+    /// Wall-clock envelope of the whole dump (max end − min start over
+    /// *all* events), nanoseconds.
+    pub wall_ns: u64,
+    /// Root nodes, hottest first.
+    pub roots: Vec<ProfileNode>,
+}
+
+impl Profile {
+    /// Builds the profile tree from a parsed dump.
+    pub fn from_dump(dump: &TraceDump) -> Profile {
+        let spans: Vec<&DumpEvent> = dump.events.iter().filter(|e| e.is_span()).collect();
+        let trace_ids: BTreeSet<u64> = spans.iter().map(|s| s.trace_id).collect();
+        let mut root_agg = Agg::default();
+        for &trace in &trace_ids {
+            fold_trace(
+                &mut root_agg,
+                &spans
+                    .iter()
+                    .copied()
+                    .filter(|s| s.trace_id == trace)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let (lo, hi) = dump.envelope_ns();
+        Profile {
+            spans: u64::try_from(spans.len()).unwrap_or(u64::MAX),
+            traces: u64::try_from(trace_ids.len()).unwrap_or(u64::MAX),
+            wall_ns: hi.saturating_sub(lo),
+            roots: finish(root_agg.children),
+        }
+    }
+
+    /// The profile as an `ssg-profile/v1` report document.
+    pub fn to_json(&self) -> Json {
+        PROFILE_ENVELOPE.stamp(vec![
+            ("spans".into(), Json::U64(self.spans)),
+            ("traces".into(), Json::U64(self.traces)),
+            ("wall_ns".into(), Json::U64(self.wall_ns)),
+            (
+                "roots".into(),
+                Json::Array(self.roots.iter().map(node_json).collect()),
+            ),
+        ])
+    }
+
+    /// Human-readable tree, hottest branches first.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "profile: {} span(s) over {} trace(s), wall envelope {}",
+            self.spans,
+            self.traces,
+            fmt_ns(self.wall_ns)
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:<10} {:>6}  {:<10} {:<10} name",
+            "total", "self", "count", "p50", "p99"
+        );
+        for root in &self.roots {
+            write_node(&mut out, root, 0);
+        }
+        out
+    }
+}
+
+/// Folds one trace's spans (linked by parent id) into the aggregate tree.
+/// A parent id missing from the trace (evicted, or a wire parent recorded
+/// by another process) makes its child a root.
+fn fold_trace(root: &mut Agg, spans: &[&DumpEvent]) {
+    let ids: BTreeSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut roots = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent_id != 0 && ids.contains(&s.parent_id) && s.parent_id != s.span_id {
+            children.entry(s.parent_id).or_default().push(i);
+        } else {
+            roots.push(i);
+        }
+    }
+    let mut stack: Vec<(usize, Vec<String>)> = Vec::new();
+    for &i in &roots {
+        stack.push((i, Vec::new()));
+    }
+    while let Some((i, path)) = stack.pop() {
+        let s = spans[i];
+        let dur = s.end_ns.saturating_sub(s.start_ns);
+        let kid_total: u64 = children
+            .get(&s.span_id)
+            .map(|kids| {
+                kids.iter()
+                    .map(|&k| spans[k].end_ns.saturating_sub(spans[k].start_ns))
+                    .sum()
+            })
+            .unwrap_or(0);
+        let mut node = &mut *root;
+        for seg in &path {
+            node = node.children.entry(seg.clone()).or_default();
+        }
+        let node = node.children.entry(s.name.clone()).or_default();
+        node.total_ns += dur;
+        node.self_ns += dur.saturating_sub(kid_total);
+        node.durations.push(dur);
+        if let Some(kids) = children.get(&s.span_id) {
+            let mut child_path = path.clone();
+            child_path.push(s.name.clone());
+            for &k in kids {
+                stack.push((k, child_path.clone()));
+            }
+        }
+    }
+}
+
+/// Turns aggregation state into finished nodes, hottest first.
+fn finish(aggs: BTreeMap<String, Agg>) -> Vec<ProfileNode> {
+    let mut nodes: Vec<ProfileNode> = aggs
+        .into_iter()
+        .map(|(name, mut agg)| {
+            agg.durations.sort_unstable();
+            ProfileNode {
+                name,
+                count: u64::try_from(agg.durations.len()).unwrap_or(u64::MAX),
+                total_ns: agg.total_ns,
+                self_ns: agg.self_ns,
+                p50_ns: quantile(&agg.durations, 0.50),
+                p99_ns: quantile(&agg.durations, 0.99),
+                children: finish(agg.children),
+            }
+        })
+        .collect();
+    nodes.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    nodes
+}
+
+/// Exact quantile over sorted durations (nearest-rank on the upper side,
+/// so it never understates).
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn node_json(node: &ProfileNode) -> Json {
+    Json::Object(vec![
+        ("name".into(), Json::Str(node.name.clone())),
+        ("count".into(), Json::U64(node.count)),
+        ("total_ns".into(), Json::U64(node.total_ns)),
+        ("self_ns".into(), Json::U64(node.self_ns)),
+        ("p50_ns".into(), Json::U64(node.p50_ns)),
+        ("p99_ns".into(), Json::U64(node.p99_ns)),
+        (
+            "children".into(),
+            Json::Array(node.children.iter().map(node_json).collect()),
+        ),
+    ])
+}
+
+fn write_node(out: &mut String, node: &ProfileNode, depth: usize) {
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "{:<10} {:<10} {:>6}  {:<10} {:<10} {}{}",
+        fmt_ns(node.total_ns),
+        fmt_ns(node.self_ns),
+        node.count,
+        fmt_ns(node.p50_ns),
+        fmt_ns(node.p99_ns),
+        "  ".repeat(depth),
+        node.name
+    );
+    for child in &node.children {
+        write_node(out, child, depth + 1);
+    }
+}
+
+/// Compact duration rendering: `850ns`, `4.2µs`, `1.3ms`, `2.1s`.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.1}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, id: u64, parent: u64, name: &str, start: u64, end: u64) -> DumpEvent {
+        DumpEvent {
+            trace_id: trace,
+            span_id: id,
+            parent_id: parent,
+            name: name.into(),
+            kind: "span".into(),
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    fn dump(events: Vec<DumpEvent>) -> TraceDump {
+        TraceDump {
+            capacity: 64,
+            dropped: 0,
+            incidents: 0,
+            events,
+        }
+    }
+
+    #[test]
+    fn tree_shape_is_pinned_on_a_hand_built_sequence() {
+        // Two traces with the same shape: request{ solve{ palette } },
+        // plus a second solve call directly under one request.
+        let d = dump(vec![
+            span(1, 3, 2, "palette", 20, 40),
+            span(1, 2, 1, "solve", 10, 60),
+            span(1, 1, 0, "request", 0, 100),
+            span(2, 6, 5, "palette", 220, 230),
+            span(2, 5, 4, "solve", 210, 260),
+            span(2, 7, 4, "solve", 270, 290),
+            span(2, 4, 0, "request", 200, 300),
+        ]);
+        let p = Profile::from_dump(&d);
+        assert_eq!(p.spans, 7);
+        assert_eq!(p.traces, 2);
+        assert_eq!(p.roots.len(), 1);
+        let request = &p.roots[0];
+        assert_eq!(request.name, "request");
+        assert_eq!(request.count, 2);
+        assert_eq!(request.total_ns, 100 + 100);
+        // Self = (100 - 50) + (100 - (50 + 20)).
+        assert_eq!(request.self_ns, 50 + 30);
+        assert_eq!(request.children.len(), 1);
+        let solve = &request.children[0];
+        assert_eq!(solve.name, "solve");
+        assert_eq!(solve.count, 3);
+        assert_eq!(solve.total_ns, 50 + 50 + 20);
+        assert_eq!(solve.self_ns, (50 - 20) + (50 - 10) + 20);
+        let palette = &solve.children[0];
+        assert_eq!(palette.name, "palette");
+        assert_eq!(palette.count, 2);
+        assert_eq!(palette.total_ns, 30);
+        assert_eq!(palette.self_ns, 30);
+        assert!(palette.children.is_empty());
+        // Exact quantiles over [20, 50, 50].
+        assert_eq!(solve.p50_ns, 50);
+        assert_eq!(solve.p99_ns, 50);
+    }
+
+    #[test]
+    fn self_times_sum_to_the_roots_and_fit_the_wall_envelope() {
+        let d = dump(vec![
+            span(1, 3, 2, "palette", 20, 40),
+            span(1, 2, 1, "solve", 10, 60),
+            span(1, 1, 0, "request", 0, 100),
+        ]);
+        let p = Profile::from_dump(&d);
+        fn sum_self(nodes: &[ProfileNode]) -> u64 {
+            nodes
+                .iter()
+                .map(|n| n.self_ns + sum_self(&n.children))
+                .sum()
+        }
+        let total_self = sum_self(&p.roots);
+        let root_total: u64 = p.roots.iter().map(|r| r.total_ns).sum();
+        // Conservation: self times sum exactly back to the root spans, and
+        // a sequential trace's root span fits the dump envelope.
+        assert_eq!(total_self, root_total);
+        assert!(root_total <= p.wall_ns);
+        assert_eq!(p.wall_ns, 100);
+    }
+
+    #[test]
+    fn orphaned_wire_parents_profile_as_roots() {
+        // A server-side dump: the parent span id came off the wire and was
+        // recorded by the client, so it is absent here.
+        let d = dump(vec![
+            span(5, 10, 999, "engine.solve", 0, 80),
+            span(5, 11, 10, "palette", 10, 30),
+        ]);
+        let p = Profile::from_dump(&d);
+        assert_eq!(p.roots.len(), 1);
+        assert_eq!(p.roots[0].name, "engine.solve");
+        assert_eq!(p.roots[0].self_ns, 60);
+        assert_eq!(p.roots[0].children[0].name, "palette");
+    }
+
+    #[test]
+    fn report_has_the_envelope_and_renders_text() {
+        let d = dump(vec![span(1, 1, 0, "request", 0, 1_500_000)]);
+        let p = Profile::from_dump(&d);
+        let doc = p.to_json();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("ssg-profile/v1")
+        );
+        assert_eq!(doc.get("wall_ns").and_then(Json::as_u64), Some(1_500_000));
+        assert!(PROFILE_ENVELOPE.expect(&doc).is_ok());
+        let text = p.to_text();
+        assert!(text.contains("request"), "{text}");
+        assert!(text.contains("1.5ms"), "{text}");
+    }
+
+    #[test]
+    fn empty_dump_profiles_to_nothing() {
+        let p = Profile::from_dump(&dump(Vec::new()));
+        assert_eq!(p.spans, 0);
+        assert_eq!(p.wall_ns, 0);
+        assert!(p.roots.is_empty());
+        assert!(p.to_text().contains("0 span(s)"));
+    }
+}

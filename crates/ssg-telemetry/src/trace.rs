@@ -133,6 +133,14 @@ impl FlightRecorder {
         u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 
+    /// An externally captured [`Instant`] converted into this recorder's
+    /// timestamp base (saturating to 0 for instants before the recorder
+    /// was created). Lets a thread record a span whose start was measured
+    /// on another thread, e.g. the loadgen's scheduled send time.
+    pub fn instant_ns(&self, t: Instant) -> u64 {
+        u64::try_from(t.saturating_duration_since(self.epoch).as_nanos()).unwrap_or(u64::MAX)
+    }
+
     /// Allocates a fresh span id (never 0).
     pub fn next_span_id(&self) -> u64 {
         self.next_span_id.fetch_add(1, Ordering::Relaxed)
@@ -165,10 +173,7 @@ impl FlightRecorder {
 
     /// How many events have been evicted from the ring so far.
     pub fn dropped(&self) -> u64 {
-        self.ring
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .dropped
+        self.ring.lock().unwrap_or_else(|p| p.into_inner()).dropped
     }
 
     /// How many [`EventKind::Incident`] events have been recorded.
@@ -291,13 +296,50 @@ impl Metrics {
     /// Inert on a handle without a recorder.
     pub fn trace_scope(&self, trace_id: u64) -> TraceScope {
         if self.recorder.is_none() {
-            return TraceScope { prev: 0, active: false };
+            return TraceScope {
+                prev: 0,
+                active: false,
+                pushed: false,
+            };
         }
         let prev = TRACE.with(|t| {
             let mut t = t.borrow_mut();
             std::mem::replace(&mut t.trace_id, trace_id)
         });
-        TraceScope { prev, active: true }
+        TraceScope {
+            prev,
+            active: true,
+            pushed: false,
+        }
+    }
+
+    /// Like [`Metrics::trace_scope`], but also adopts `parent_span_id` as
+    /// the enclosing span for everything opened inside the scope — the
+    /// cross-process joint: a server worker passes the client's span id
+    /// from the wire and its local spans nest under the client's request
+    /// span in a merged trace. A `parent_span_id` of 0 degrades to a plain
+    /// [`Metrics::trace_scope`].
+    pub fn trace_scope_with_parent(&self, trace_id: u64, parent_span_id: u64) -> TraceScope {
+        if self.recorder.is_none() {
+            return TraceScope {
+                prev: 0,
+                active: false,
+                pushed: false,
+            };
+        }
+        let (prev, pushed) = TRACE.with(|t| {
+            let mut t = t.borrow_mut();
+            let prev = std::mem::replace(&mut t.trace_id, trace_id);
+            if parent_span_id != 0 {
+                t.stack.push(parent_span_id);
+            }
+            (prev, parent_span_id != 0)
+        });
+        TraceScope {
+            prev,
+            active: true,
+            pushed,
+        }
     }
 
     /// Records an instantaneous event under the thread's current trace id.
@@ -392,13 +434,18 @@ impl Drop for SpanGuard<'_> {
 pub struct TraceScope {
     prev: u64,
     active: bool,
+    pushed: bool,
 }
 
 impl Drop for TraceScope {
     fn drop(&mut self) {
         if self.active {
             TRACE.with(|t| {
-                t.borrow_mut().trace_id = self.prev;
+                let mut t = t.borrow_mut();
+                t.trace_id = self.prev;
+                if self.pushed {
+                    t.stack.pop();
+                }
             });
         }
     }
@@ -493,6 +540,48 @@ mod tests {
         }
         assert!(on.recorder().is_none());
         assert_eq!(on.snapshot().hist(Hist::SolverSolve).count(), 1);
+    }
+
+    #[test]
+    fn trace_scope_with_parent_adopts_the_wire_parent() {
+        let m = Metrics::with_tracing(16);
+        {
+            let _scope = m.trace_scope_with_parent(0xfeed, 77);
+            let _s = m.span("server.work");
+        }
+        let rec = m.recorder().unwrap();
+        let events = rec.events_for(0xfeed);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].parent_id, 77, "span adopts the wire parent");
+        // The adopted parent is popped on scope drop: a later span on this
+        // thread is a root again.
+        {
+            let _s = m.span("after");
+        }
+        let after = rec.events_for(0);
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].parent_id, 0);
+
+        // Parent 0 degrades to a plain trace scope.
+        {
+            let _scope = m.trace_scope_with_parent(5, 0);
+            let _s = m.span("plain");
+        }
+        assert_eq!(rec.events_for(5)[0].parent_id, 0);
+    }
+
+    #[test]
+    fn instant_ns_translates_foreign_instants() {
+        let m = Metrics::with_tracing(4);
+        let rec = m.recorder().unwrap();
+        let t = Instant::now();
+        let ns = rec.instant_ns(t);
+        assert!(ns <= rec.now_ns());
+        // An instant before the recorder's epoch saturates to 0 rather
+        // than panicking or wrapping.
+        if let Some(early) = t.checked_sub(std::time::Duration::from_secs(3600)) {
+            assert_eq!(rec.instant_ns(early), 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! `FlightRecorder` under contention: the ring's accounting must stay
+//! exact when many threads hammer it at once, because the dump header
+//! (`dropped`, `incidents`) is what tells an operator how much history a
+//! trace artifact is missing.
+
+use ssg_telemetry::{EventKind, Metrics};
+use std::sync::Arc;
+use std::sync::Barrier;
+
+#[test]
+fn dropped_accounting_is_exact_under_concurrent_writers() {
+    const WRITERS: usize = 8;
+    const PER_WRITER: usize = 500;
+    const CAPACITY: usize = 64;
+
+    let m = Metrics::with_tracing(CAPACITY);
+    let barrier = Arc::new(Barrier::new(WRITERS));
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let m = m.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..PER_WRITER {
+                    // Alternate spans and events so both record paths race.
+                    if i % 2 == 0 {
+                        let _scope = m.trace_scope(w as u64 + 1);
+                        let _span = m.span("contend.span");
+                    } else {
+                        m.event_for(w as u64 + 1, "contend.event");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let rec = m.recorder().unwrap();
+    let total = (WRITERS * PER_WRITER) as u64;
+    let retained = rec.events().len() as u64;
+    assert_eq!(retained, CAPACITY as u64, "ring fills to capacity");
+    assert_eq!(
+        rec.dropped() + retained,
+        total,
+        "every recorded event is either retained or counted as dropped"
+    );
+}
+
+#[test]
+fn events_for_never_returns_foreign_trace_events() {
+    const WRITERS: usize = 6;
+    const PER_WRITER: usize = 300;
+
+    // Capacity below the total volume, so eviction races the filtering.
+    let m = Metrics::with_tracing(256);
+    let barrier = Arc::new(Barrier::new(WRITERS + 1));
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let m = m.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let trace = w as u64 + 1;
+                for _ in 0..PER_WRITER {
+                    m.event_for(trace, "tick");
+                }
+            })
+        })
+        .collect();
+    // A reader polls mid-flight: even on a moving ring, a filtered view
+    // must never leak another trace's events.
+    let reader = {
+        let m = m.clone();
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            barrier.wait();
+            for _ in 0..200 {
+                let rec = m.recorder().unwrap();
+                for e in rec.events_for(3) {
+                    assert_eq!(e.trace_id, 3, "foreign event leaked into trace 3");
+                }
+            }
+        })
+    };
+    for h in writers {
+        h.join().unwrap();
+    }
+    reader.join().unwrap();
+
+    let rec = m.recorder().unwrap();
+    for trace in 1..=WRITERS as u64 {
+        for e in rec.events_for(trace) {
+            assert_eq!(e.trace_id, trace);
+        }
+    }
+}
+
+#[test]
+fn incident_tally_survives_eviction() {
+    const CAPACITY: usize = 4;
+    const INCIDENTS: usize = 100;
+
+    let m = Metrics::with_tracing(CAPACITY);
+    for i in 0..INCIDENTS {
+        m.incident(i as u64, "contend.incident");
+        m.event_for(i as u64, "filler"); // push incidents out of the ring
+    }
+    let rec = m.recorder().unwrap();
+    assert_eq!(
+        rec.incident_count(),
+        INCIDENTS as u64,
+        "the tally is an atomic counter, not a ring scan"
+    );
+    assert!(rec.events().len() <= CAPACITY);
+    // The dump header carries the surviving tally even though almost every
+    // incident event itself was evicted.
+    let dump = rec.to_json().render();
+    assert!(dump.contains("\"incidents\":100"), "{dump}");
+    let retained_incidents = rec
+        .events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Incident)
+        .count();
+    assert!(retained_incidents < INCIDENTS, "eviction actually happened");
+}
+
+#[test]
+fn concurrent_incidents_count_exactly() {
+    const WRITERS: usize = 8;
+    const PER_WRITER: usize = 250;
+
+    let m = Metrics::with_tracing(16);
+    let barrier = Arc::new(Barrier::new(WRITERS));
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let m = m.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for _ in 0..PER_WRITER {
+                    m.incident(w as u64, "race");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        m.recorder().unwrap().incident_count(),
+        (WRITERS * PER_WRITER) as u64
+    );
+}

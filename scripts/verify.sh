@@ -70,6 +70,27 @@ case "$METRICS" in
     *ssg_net_requests_total*) ;;
     *) echo "/metrics missing ssg_net_requests_total" >&2; exit 1 ;;
 esac
+echo "==> trace round trip (traced fetch -> chrome export -> check, profile)"
+TRACE_ID=c0ffee
+./target/release/ssg fetch "$ADDR" /label --post 'LABEL corridor 24 5 2,1' \
+    --trace-id "$TRACE_ID" --trace-dump "$SMOKE_DIR/fetch.json" \
+    --trace-export "$SMOKE_DIR/fetch.trace.json" > "$SMOKE_DIR/reply.json"
+case "$(cat "$SMOKE_DIR/reply.json")" in
+    *'"trace": "0000000000c0ffee"'*) ;;
+    *) echo "traced reply missing trace echo:" >&2
+       cat "$SMOKE_DIR/reply.json" >&2; exit 1 ;;
+esac
+./target/release/ssg trace check "$SMOKE_DIR/fetch.trace.json" \
+    --expect-trace "$TRACE_ID"
+./target/release/ssg trace export "$SMOKE_DIR/fetch.json" \
+    -o "$SMOKE_DIR/fetch2.trace.json"
+./target/release/ssg trace check "$SMOKE_DIR/fetch2.trace.json" \
+    --expect-trace "$TRACE_ID"
+PROFILE=$(./target/release/ssg profile "$SMOKE_DIR/fetch.json")
+case "$PROFILE" in
+    *client.request*) ;;
+    *) echo "profile missing client.request:" >&2; echo "$PROFILE" >&2; exit 1 ;;
+esac
 ./target/release/ssg loadgen --addr "$ADDR" --rps 10 --duration 1 --n 16 --drain \
     > /dev/null
 wait "$SERVE_PID" || { echo "serve exited non-zero" >&2; exit 1; }

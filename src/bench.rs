@@ -19,9 +19,7 @@ use ssg_graph::generators::random_bounded_degree_tree;
 use ssg_intervals::gen::{corridor_unit_intervals, random_connected_intervals};
 use ssg_labeling::solver::{default_registry, Problem};
 use ssg_labeling::{PaletteKind, SeparationVector, Workspace};
-use ssg_netsim::{
-    simulate_corridor, simulate_corridor_incremental_with, DynamicsConfig, Policy,
-};
+use ssg_netsim::{simulate_corridor, simulate_corridor_incremental_with, DynamicsConfig, Policy};
 use ssg_telemetry::json::Json;
 use ssg_telemetry::report::{expect_one_of, ReportEnvelope};
 use ssg_telemetry::{Counter, Hist, HistSnapshot, Metrics, Phase, Snapshot};
@@ -306,7 +304,10 @@ impl IncrementalBench {
             ("stations".into(), Json::U64(self.stations as u64)),
             ("epochs".into(), Json::U64(self.epochs as u64)),
             ("churn".into(), Json::F64(self.churn)),
-            ("full_epoch_p50_ns".into(), Json::U64(self.full_epoch_p50_ns)),
+            (
+                "full_epoch_p50_ns".into(),
+                Json::U64(self.full_epoch_p50_ns),
+            ),
             (
                 "incremental_epoch_p50_ns".into(),
                 Json::U64(self.incremental_epoch_p50_ns),
@@ -391,10 +392,7 @@ impl PaletteBench {
                                 ("cold_wall_ns".into(), Json::U64(r.cold_wall_ns)),
                                 ("warm_wall_ns".into(), Json::U64(r.warm_wall_ns)),
                                 ("palette_probes".into(), Json::U64(r.palette_probes)),
-                                (
-                                    "palette_word_scans".into(),
-                                    Json::U64(r.palette_word_scans),
-                                ),
+                                ("palette_word_scans".into(), Json::U64(r.palette_word_scans)),
                                 (
                                     "palette_pop_word_scans".into(),
                                     Json::U64(r.palette_pop_word_scans),
@@ -495,7 +493,7 @@ impl BenchReport {
         BENCH_ENVELOPE.stamp(fields)
     }
 
-    /// Renders a human-readable table (the non-`--json` CLI output). With
+    /// Renders a human-readable table (the non-JSON CLI output). With
     /// `repeat > 1` a `best warm` column compares the warm-workspace path
     /// against the cold solve.
     pub fn to_text(&self) -> String {
@@ -581,7 +579,10 @@ impl BenchReport {
             }
         }
         if let Some(pal) = &self.palette {
-            out.push_str(&format!("\npalette backends: {} (n={})\n", pal.workload, pal.n));
+            out.push_str(&format!(
+                "\npalette backends: {} (n={})\n",
+                pal.workload, pal.n
+            ));
             out.push_str(
                 "backend  span  cold          warm          probes      word scans      pop scans\n",
             );
@@ -658,7 +659,10 @@ impl BaselineDiff {
 /// missing sections, or a config mismatch that makes spans incomparable);
 /// returns `Ok` with a [`BaselineDiff`] otherwise. Span disagreement on any
 /// algorithm row, or a row present on one side only, is a drift.
-pub fn diff_against_baseline(report: &BenchReport, baseline: &Json) -> Result<BaselineDiff, String> {
+pub fn diff_against_baseline(
+    report: &BenchReport,
+    baseline: &Json,
+) -> Result<BaselineDiff, String> {
     expect_one_of(baseline, &ACCEPTED_BASELINES)?;
     let cfg = baseline
         .get("config")
@@ -709,7 +713,10 @@ pub fn diff_against_baseline(report: &BenchReport, baseline: &Json) -> Result<Ba
     }
     for a in &report.algorithms {
         if !base_ids.contains(&a.id) {
-            drifts.push(format!("{}: present in this run, absent from baseline", a.id));
+            drifts.push(format!(
+                "{}: present in this run, absent from baseline",
+                a.id
+            ));
         }
     }
     // The incremental churn section is deterministic per seed, so its spans
@@ -1055,8 +1062,10 @@ pub fn run_palette_benchmark(cfg: &BenchConfig) -> PaletteBench {
             let mut pop_hist = HistSnapshot::default();
             for _ in 0..cfg.reps.max(1) {
                 let mut ws = Workspace::with_palette(palette);
-                let (cold_span, cold) = timed_solve("unit_interval_l_delta1_delta2", &problem, &mut ws);
-                let (warm_span, warm) = timed_solve("unit_interval_l_delta1_delta2", &problem, &mut ws);
+                let (cold_span, cold) =
+                    timed_solve("unit_interval_l_delta1_delta2", &problem, &mut ws);
+                let (warm_span, warm) =
+                    timed_solve("unit_interval_l_delta1_delta2", &problem, &mut ws);
                 debug_assert_eq!(cold_span, warm_span, "warm solves must be bit-identical");
                 span = cold_span;
                 cold_wall = cold_wall.min(cold.phase_ns(Phase::Run));
@@ -1263,7 +1272,10 @@ mod tests {
     fn report_json_has_v2_schema_and_histograms() {
         let report = run_benchmarks(&small());
         let doc = Json::parse(&report.to_json().render_pretty()).unwrap();
-        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("ssg-bench/v2"));
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("ssg-bench/v2")
+        );
         let hists = doc.get("histograms").expect("v2 has a histograms section");
         let solver = hists.get("solver_solve").expect("per-algorithm summaries");
         for id in ["A1", "A2", "A3", "A4", "A5"] {
@@ -1322,7 +1334,10 @@ mod tests {
     fn incremental_section_matches_from_scratch_and_scales_with_churn() {
         let report = run_benchmarks(&small());
         let inc = report.incremental.as_ref().expect("incremental section");
-        assert_eq!(inc.stations, 2400, "n=120 scales to a 2400-station corridor");
+        assert_eq!(
+            inc.stations, 2400,
+            "n=120 scales to a 2400-station corridor"
+        );
         assert_eq!(inc.epochs, INCREMENTAL_EPOCHS);
         assert!(
             inc.spans_match,
@@ -1348,7 +1363,10 @@ mod tests {
         );
         let doc = Json::parse(&report.to_json().render_pretty()).unwrap();
         let sec = doc.get("incremental").expect("json carries the section");
-        assert_eq!(sec.get("span_sum").and_then(Json::as_u64), Some(inc.span_sum));
+        assert_eq!(
+            sec.get("span_sum").and_then(Json::as_u64),
+            Some(inc.span_sum)
+        );
         assert_eq!(sec.get("spans_match"), Some(&Json::Bool(true)));
         let text = report.to_text();
         assert!(text.contains("incremental churn"));
@@ -1363,13 +1381,13 @@ mod tests {
         assert!(diff.is_clean(), "{}", diff.render());
         // 5 algorithm rows + the incremental and palette sections.
         assert_eq!(diff.checked, 7);
-        let tampered = report
-            .to_json()
-            .render_pretty()
-            .replace(
-                &format!("\"span_sum\": {}", report.incremental.as_ref().unwrap().span_sum),
-                "\"span_sum\": 1",
-            );
+        let tampered = report.to_json().render_pretty().replace(
+            &format!(
+                "\"span_sum\": {}",
+                report.incremental.as_ref().unwrap().span_sum
+            ),
+            "\"span_sum\": 1",
+        );
         let diff = diff_against_baseline(&report, &Json::parse(&tampered).unwrap()).unwrap();
         assert!(
             diff.drifts.iter().any(|d| d.contains("span_sum")),
@@ -1467,7 +1485,11 @@ mod tests {
             assert_eq!(a.counters.counter(Counter::WorkspaceReuses), 0, "{}", a.id);
             assert_eq!(warm.counter(Counter::WorkspaceReuses), 1, "{}", a.id);
             // Warm solves redo exactly the cold solve's work.
-            for c in [Counter::PeelSteps, Counter::PaletteProbes, Counter::BfsNodeVisits] {
+            for c in [
+                Counter::PeelSteps,
+                Counter::PaletteProbes,
+                Counter::BfsNodeVisits,
+            ] {
                 assert_eq!(
                     warm.counter(c),
                     a.counters.counter(c),

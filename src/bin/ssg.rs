@@ -14,12 +14,14 @@
 //!                                    # stderr
 //! ssg batch <file.reqs> [--workers N] [--queue-cap N] [--fail-fast]
 //!           [--palette list|bitset] [--format text|json] [--trace]
-//!           [--trace-dump <path>]
+//!           [--trace-dump <path>] [--trace-export <path>]
 //!                                    # run a request file through the
 //!                                    # sharded batch engine; batch always
 //!                                    # records a flight recorder: --trace
 //!                                    # prints its span log, --trace-dump
-//!                                    # writes its JSON to <path>, and any
+//!                                    # writes its JSON to <path>,
+//!                                    # --trace-export writes a Chrome/
+//!                                    # Perfetto trace-event JSON, and any
 //!                                    # deadline miss or worker panic
 //!                                    # auto-dumps to <file.reqs>.trace.json
 //! ssg churn [epochs] [seed] [--incremental] [--format text|json]
@@ -42,9 +44,7 @@
 //!                                    # everything else;
 //!                                    # --format json emits an
 //!                                    # ssg-bench/v2 report (latency
-//!                                    # histograms included); --json is a
-//!                                    # deprecated alias for --format
-//!                                    # json; --repeat K>1 adds
+//!                                    # histograms included); --repeat K>1 adds
 //!                                    # warm-workspace timings next to
 //!                                    # the cold solves; --compare diffs
 //!                                    # spans against a committed v1 or
@@ -86,16 +86,44 @@
 //!             [--workload corridor|platoon|backbone] [--n N] [--seed S]
 //!             [--sep d1[,d2,...]] [--solver NAME] [--deadline-ms N]
 //!             [--timeout-ms N] [--drain] [--format text|json]
+//!             [--trace-export <path>] [--trace-dump <path>]
 //!                                    # open-loop load against a serve:
 //!                                    # fixed-schedule arrivals (no
 //!                                    # coordinated omission); reports
 //!                                    # achieved RPS + latency tail;
-//!                                    # --format json emits ssg-load/v1
-//!                                    # (--json is a deprecated alias);
-//!                                    # --drain sends SHUTDOWN after
-//! ssg fetch <addr> <path>            # one HTTP GET against a serve,
+//!                                    # --format json emits ssg-load/v1;
+//!                                    # --drain sends SHUTDOWN after;
+//!                                    # --trace-export propagates a trace
+//!                                    # context on every request and
+//!                                    # writes the client-side span dump
+//!                                    # as Chrome trace-event JSON
+//! ssg fetch <addr> <path> [--post BODY] [--trace-id HEX]
+//!           [--trace-dump <path>] [--trace-export <path>]
+//!                                    # one HTTP request against a serve,
 //!                                    # body to stdout (exit 1 on
-//!                                    # non-200) — curl for scripts
+//!                                    # non-200) — curl for scripts;
+//!                                    # --post sends BODY to <path>;
+//!                                    # --trace-id propagates the given
+//!                                    # trace id via X-Ssg-Trace and
+//!                                    # records a client.request span,
+//!                                    # dumped raw (--trace-dump) or as
+//!                                    # trace-event JSON (--trace-export)
+//! ssg trace export <dump.json> [--merge <dump2.json>] [-o <path>]
+//!                                    # convert an ssg-trace/v1 dump to
+//!                                    # Chrome/Perfetto trace-event JSON;
+//!                                    # --merge aligns a second (server)
+//!                                    # dump onto the first (client) dump's
+//!                                    # timebase, one process lane each
+//! ssg trace check <trace.json> [--expect-trace HEX]
+//!                                    # validate a trace-event JSON file:
+//!                                    # matched B/E pairs per lane; with
+//!                                    # --expect-trace, the given trace id
+//!                                    # must appear on some span
+//! ssg profile <dump.json> [--format text|json]
+//!                                    # fold an ssg-trace/v1 dump into a
+//!                                    # self-time call tree (total/self
+//!                                    # time, count, p50/p99 per node);
+//!                                    # --format json emits ssg-profile/v1
 //! ```
 //!
 //! Graph files: first line `n m`, then `m` lines `u v` (0-based).
@@ -145,7 +173,7 @@ use strongly_simplicial::netsim::{
 use strongly_simplicial::prelude::*;
 use strongly_simplicial::telemetry::json::Json;
 use strongly_simplicial::telemetry::report::ReportEnvelope;
-use strongly_simplicial::telemetry::{FlightRecorder, Metrics};
+use strongly_simplicial::telemetry::{export, FlightRecorder, Metrics, Profile, TraceDump};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -175,8 +203,10 @@ fn run(args: &[String]) -> Result<i32, SsgError> {
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("fetch") => cmd_fetch(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         _ => Err(SsgError::Usage(
-            "ssg gen|classify|color|batch|churn|metrics|bench|lab|serve|loadgen|fetch ... (see the README)"
+            "ssg gen|classify|color|batch|churn|metrics|bench|lab|serve|loadgen|fetch|trace|profile ... (see the README)"
                 .into(),
         )),
     }
@@ -202,10 +232,8 @@ fn exit_code(err: &SsgError) -> i32 {
 // ---------------------------------------------------------------------------
 
 /// Output format shared by every subcommand that renders a report:
-/// `color`, `batch`, `churn`, `bench`, `lab`, and `loadgen` all parse
-/// `--format text|json` through [`parse_format`] (`bench` and `loadgen`
-/// additionally accept their historical `--json` switch as a deprecated
-/// alias for `--format json`).
+/// `color`, `batch`, `churn`, `bench`, `lab`, `loadgen`, and `profile`
+/// all parse `--format text|json` through [`parse_format`].
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum OutputFormat {
     Text,
@@ -375,7 +403,9 @@ fn read_graph(path: &str) -> Result<Graph, SsgError> {
             format!("expected {m} edges, found {}", builder.edge_records()),
         ));
     }
-    builder.build().map_err(|e| SsgError::parse(path, e.to_string()))
+    builder
+        .build()
+        .map_err(|e| SsgError::parse(path, e.to_string()))
 }
 
 fn cmd_classify(args: &[String]) -> Result<i32, SsgError> {
@@ -646,7 +676,8 @@ fn cmd_batch(args: &[String]) -> Result<i32, SsgError> {
     let path = args.first().ok_or_else(|| {
         SsgError::Usage(
             "ssg batch <file.reqs> [--workers N] [--queue-cap N] [--fail-fast] \
-             [--palette list|bitset] [--format text|json] [--trace] [--trace-dump <path>]"
+             [--palette list|bitset] [--format text|json] [--trace] [--trace-dump <path>] \
+             [--trace-export <path>]"
                 .into(),
         )
     })?;
@@ -656,6 +687,7 @@ fn cmd_batch(args: &[String]) -> Result<i32, SsgError> {
     let mut format = OutputFormat::Text;
     let mut trace = false;
     let mut trace_dump: Option<String> = None;
+    let mut trace_export: Option<String> = None;
     let mut palette = PaletteKind::default();
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -680,6 +712,9 @@ fn cmd_batch(args: &[String]) -> Result<i32, SsgError> {
             "--trace" => trace = true,
             "--trace-dump" => {
                 trace_dump = Some(flag_value("batch", "--trace-dump", &mut it)?.to_string());
+            }
+            "--trace-export" => {
+                trace_export = Some(flag_value("batch", "--trace-export", &mut it)?.to_string());
             }
             other => {
                 return Err(SsgError::Usage(format!("batch: unknown flag '{other}'")));
@@ -753,10 +788,7 @@ fn cmd_batch(args: &[String]) -> Result<i32, SsgError> {
                             "backpressure_waits".into(),
                             Json::U64(stats.backpressure_waits),
                         ),
-                        (
-                            "deadline_misses".into(),
-                            Json::U64(stats.deadline_misses),
-                        ),
+                        ("deadline_misses".into(), Json::U64(stats.deadline_misses)),
                         ("panics".into(), Json::U64(stats.panics)),
                     ]),
                 ),
@@ -786,6 +818,17 @@ fn cmd_batch(args: &[String]) -> Result<i32, SsgError> {
                 incidents
             );
         }
+        if let Some(export_path) = &trace_export {
+            let dump = TraceDump::from_json(&recorder.to_json())
+                .map_err(|e| SsgError::parse(export_path.as_str(), e))?;
+            let doc = export::chrome_trace(&[("batch", &dump)]);
+            std::fs::write(export_path, doc.render_pretty())
+                .map_err(|e| SsgError::io(export_path.as_str(), &e))?;
+            eprintln!(
+                "trace: wrote trace-event export ({} event(s)) to {export_path}",
+                dump.events.len()
+            );
+        }
     }
 
     // Per-request failures are values; the process exit code reports the
@@ -811,15 +854,30 @@ fn churn_policy_json(name: &str, rep: &ChurnReport) -> Json {
         ("full_resolves".into(), Json::U64(rep.full_resolves as u64)),
         (
             "epoch_spans".into(),
-            Json::Array(rep.epoch_spans.iter().map(|&s| Json::U64(u64::from(s))).collect()),
+            Json::Array(
+                rep.epoch_spans
+                    .iter()
+                    .map(|&s| Json::U64(u64::from(s)))
+                    .collect(),
+            ),
         ),
         (
             "epoch_recolored".into(),
-            Json::Array(rep.epoch_recolored.iter().map(|&c| Json::U64(c as u64)).collect()),
+            Json::Array(
+                rep.epoch_recolored
+                    .iter()
+                    .map(|&c| Json::U64(c as u64))
+                    .collect(),
+            ),
         ),
         (
             "epoch_frozen".into(),
-            Json::Array(rep.epoch_frozen.iter().map(|&c| Json::U64(c as u64)).collect()),
+            Json::Array(
+                rep.epoch_frozen
+                    .iter()
+                    .map(|&c| Json::U64(c as u64))
+                    .collect(),
+            ),
         ),
         ("epoch_solve".into(), rep.epoch_solve.summary_json()),
     ])
@@ -854,7 +912,10 @@ fn cmd_churn(args: &[String]) -> Result<i32, SsgError> {
             _ => positional.push(arg),
         }
     }
-    let epochs: usize = positional.first().and_then(|a| a.parse().ok()).unwrap_or(50);
+    let epochs: usize = positional
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50);
     let seed = parse_seed(positional.get(1).copied());
     // The from-scratch demo uses a dense corridor (big spans, heavy
     // retuning); the incremental demo spreads the same fleet over a long
@@ -889,7 +950,10 @@ fn cmd_churn(args: &[String]) -> Result<i32, SsgError> {
         runs.push(("optimal_l1", full));
         runs.push(("incremental", inc));
     } else {
-        for (name, policy) in [("optimal_l1", Policy::OptimalL1), ("greedy", Policy::Greedy)] {
+        for (name, policy) in [
+            ("optimal_l1", Policy::OptimalL1),
+            ("greedy", Policy::Greedy),
+        ] {
             let mut rng = StdRng::seed_from_u64(seed);
             runs.push((name, simulate_corridor(cfg, policy, &mut rng)));
         }
@@ -986,7 +1050,10 @@ fn cmd_metrics(args: &[String]) -> Result<i32, SsgError> {
     let registry = default_registry();
     let mut ws = Workspace::new();
     let problems = [
-        ("interval_l1", Problem::interval(corridor.representation(), &ones)),
+        (
+            "interval_l1",
+            Problem::interval(corridor.representation(), &ones),
+        ),
         (
             "interval_approx_delta1",
             Problem::interval(corridor.representation(), &d1_one),
@@ -996,7 +1063,10 @@ fn cmd_metrics(args: &[String]) -> Result<i32, SsgError> {
             Problem::unit_interval(platoon.representation(), &d1_d2),
         ),
         ("tree_l1", Problem::tree(backbone.tree(), &ones)),
-        ("tree_approx_delta1", Problem::tree(backbone.tree(), &d1_one)),
+        (
+            "tree_approx_delta1",
+            Problem::tree(backbone.tree(), &d1_one),
+        ),
     ];
     for (name, problem) in &problems {
         let lab = registry.solve(name, problem, &mut ws, &metrics);
@@ -1035,9 +1105,6 @@ fn cmd_bench(args: &[String]) -> Result<i32, SsgError> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--format" => format = parse_format("bench", &mut it)?,
-            // Deprecated alias for `--format json`, kept for scripts that
-            // predate the unified flag.
-            "--json" => format = OutputFormat::Json,
             "--compare" => {
                 let path = it.next().ok_or_else(|| {
                     SsgError::Usage("bench: --compare needs a baseline JSON path".into())
@@ -1054,7 +1121,9 @@ fn cmd_bench(args: &[String]) -> Result<i32, SsgError> {
             "--reps" => {
                 let r: usize = parse_flag("bench", "--reps", &mut it)?;
                 if r < 1 {
-                    return Err(SsgError::Usage("bench: --reps needs an integer >= 1".into()));
+                    return Err(SsgError::Usage(
+                        "bench: --reps needs an integer >= 1".into(),
+                    ));
                 }
                 cfg = cfg.reps(r);
             }
@@ -1089,8 +1158,8 @@ fn cmd_bench(args: &[String]) -> Result<i32, SsgError> {
         let text = std::fs::read_to_string(&path).map_err(|e| SsgError::io(&path, &e))?;
         let baseline = Json::parse(&text)
             .map_err(|e| SsgError::parse(&path, format!("not valid JSON: {e}")))?;
-        let diff = diff_against_baseline(&report, &baseline)
-            .map_err(|e| SsgError::parse(&path, e))?;
+        let diff =
+            diff_against_baseline(&report, &baseline).map_err(|e| SsgError::parse(&path, e))?;
         print!("{}", diff.render());
         if !diff.is_clean() {
             return Ok(1);
@@ -1165,7 +1234,12 @@ fn cmd_lab(args: &[String]) -> Result<i32, SsgError> {
             let text = std::fs::read_to_string(spec_path.as_str())
                 .map_err(|e| SsgError::io(spec_path.as_str(), &e))?;
             let spec = LabSpec::parse(&text)?;
-            run_lab_with_palette(std::path::Path::new(&dir), &spec, baseline.as_ref(), palette)?
+            run_lab_with_palette(
+                std::path::Path::new(&dir),
+                &spec,
+                baseline.as_ref(),
+                palette,
+            )?
         }
         "resume" => {
             let dir = positional
@@ -1296,7 +1370,9 @@ fn cmd_serve(args: &[String]) -> Result<i32, SsgError> {
             "--duration" => {
                 let secs: f64 = parse_flag("serve", "--duration", &mut it)?;
                 if !(secs.is_finite() && secs > 0.0) {
-                    return Err(SsgError::Usage("serve: --duration needs > 0 seconds".into()));
+                    return Err(SsgError::Usage(
+                        "serve: --duration needs > 0 seconds".into(),
+                    ));
                 }
                 duration = Some(Duration::from_secs_f64(secs));
             }
@@ -1321,6 +1397,7 @@ fn cmd_serve(args: &[String]) -> Result<i32, SsgError> {
         .flush()
         .map_err(|e| SsgError::io("stdout", &e))?;
 
+    let explicit_dump = trace_dump.is_some();
     let dump_path = trace_dump.unwrap_or_else(|| "ssg-serve.trace.json".to_string());
     let started = std::time::Instant::now();
     let mut dumped: u64 = 0;
@@ -1351,6 +1428,19 @@ fn cmd_serve(args: &[String]) -> Result<i32, SsgError> {
         }
     }
     let stats = server.shutdown();
+    // An explicit --trace-dump always writes a final post-drain dump (the
+    // batch semantics), so a traced session yields a server-side file to
+    // merge with client exports even when nothing went wrong.
+    if explicit_dump {
+        if let Some(recorder) = metrics.recorder() {
+            std::fs::write(&dump_path, recorder.to_json().render_pretty())
+                .map_err(|e| SsgError::io(&dump_path, &e))?;
+            eprintln!(
+                "ssg-serve: wrote flight-recorder dump ({} event(s)) to {dump_path}",
+                recorder.events().len()
+            );
+        }
+    }
     println!(
         "ssg-serve: drained; submitted={} completed={} deadline_misses={} panics={}",
         stats.submitted, stats.completed, stats.deadline_misses, stats.panics
@@ -1361,6 +1451,8 @@ fn cmd_serve(args: &[String]) -> Result<i32, SsgError> {
 fn cmd_loadgen(args: &[String]) -> Result<i32, SsgError> {
     let mut cfg = LoadgenConfig::default();
     let mut format = OutputFormat::Text;
+    let mut trace_export: Option<String> = None;
+    let mut trace_dump: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -1384,8 +1476,8 @@ fn cmd_loadgen(args: &[String]) -> Result<i32, SsgError> {
             }
             "--workload" => {
                 let token = flag_value("loadgen", "--workload", &mut it)?;
-                cfg.spec.workload = strongly_simplicial::net::Workload::parse(token)
-                    .ok_or_else(|| {
+                cfg.spec.workload =
+                    strongly_simplicial::net::Workload::parse(token).ok_or_else(|| {
                         SsgError::Usage(format!(
                             "loadgen: unknown workload `{token}` (corridor|platoon|backbone)"
                         ))
@@ -1415,15 +1507,41 @@ fn cmd_loadgen(args: &[String]) -> Result<i32, SsgError> {
             }
             "--drain" => cfg.drain = true,
             "--format" => format = parse_format("loadgen", &mut it)?,
-            // Deprecated alias for `--format json`, kept for scripts that
-            // predate the unified flag.
-            "--json" => format = OutputFormat::Json,
+            "--trace-export" => {
+                trace_export = Some(flag_value("loadgen", "--trace-export", &mut it)?.to_string());
+            }
+            "--trace-dump" => {
+                trace_dump = Some(flag_value("loadgen", "--trace-dump", &mut it)?.to_string());
+            }
             other => {
                 return Err(SsgError::Usage(format!("loadgen: unknown flag '{other}'")));
             }
         }
     }
+    // Either trace flag turns on the client-side recorder, which also
+    // makes every request carry a wire-propagated trace context.
+    if trace_export.is_some() || trace_dump.is_some() {
+        cfg.metrics = Metrics::with_tracing(SERVE_RECORDER_CAPACITY);
+    }
     let report = run_loadgen(&cfg)?;
+    if let Some(recorder) = cfg.metrics.recorder() {
+        if let Some(path) = &trace_dump {
+            std::fs::write(path, recorder.to_json().render_pretty())
+                .map_err(|e| SsgError::io(path.as_str(), &e))?;
+            eprintln!("trace: wrote flight-recorder dump to {path}");
+        }
+        if let Some(path) = &trace_export {
+            let dump = TraceDump::from_json(&recorder.to_json())
+                .map_err(|e| SsgError::parse(path.as_str(), e))?;
+            let doc = export::chrome_trace(&[("client", &dump)]);
+            std::fs::write(path, doc.render_pretty())
+                .map_err(|e| SsgError::io(path.as_str(), &e))?;
+            eprintln!(
+                "trace: wrote trace-event export ({} event(s)) to {path}",
+                dump.events.len()
+            );
+        }
+    }
     if format == OutputFormat::Json {
         print!("{}", report.to_json().render_pretty());
     } else {
@@ -1431,33 +1549,110 @@ fn cmd_loadgen(args: &[String]) -> Result<i32, SsgError> {
     }
     // A run that couldn't speak the protocol, or never completed anything,
     // failed even if the report printed.
-    Ok(if report.protocol_errors > 0 || (report.ok + report.server_errors) == 0 {
-        1
-    } else {
-        0
-    })
+    Ok(
+        if report.protocol_errors > 0 || (report.ok + report.server_errors) == 0 {
+            1
+        } else {
+            0
+        },
+    )
 }
 
-/// `ssg fetch <addr> <path>` — one `HTTP GET` against a front door, body
-/// to stdout. The hermetic substitute for `curl` in scripts/verify.sh.
+/// `ssg fetch <addr> <path> [--post BODY] [--trace-id HEX] [--trace-dump
+/// <path>] [--trace-export <path>]` — one HTTP request against a front
+/// door, body to stdout. The hermetic substitute for `curl` in
+/// scripts/verify.sh. `--trace-id` propagates the given trace id to the
+/// server via `X-Ssg-Trace` and records a local `client.request` span
+/// around the exchange; `--trace-dump` writes that recorder's raw
+/// `ssg-trace/v1` JSON and `--trace-export` its Chrome trace-event form.
 fn cmd_fetch(args: &[String]) -> Result<i32, SsgError> {
-    let usage = || SsgError::Usage("ssg fetch <addr> <path>".into());
+    let usage = || {
+        SsgError::Usage(
+            "ssg fetch <addr> <path> [--post BODY] [--trace-id HEX] \
+             [--trace-dump <path>] [--trace-export <path>]"
+                .into(),
+        )
+    };
     let (addr, path) = match (args.first(), args.get(1)) {
-        (Some(a), Some(p)) if args.len() == 2 => (a.as_str(), p.as_str()),
+        (Some(a), Some(p)) if !p.starts_with("--") => (a.as_str(), p.as_str()),
         _ => return Err(usage()),
     };
-    let mut stream =
-        std::net::TcpStream::connect(addr).map_err(|e| SsgError::io(addr, &e))?;
+    let mut post: Option<String> = None;
+    let mut trace_id: Option<u64> = None;
+    let mut trace_dump: Option<String> = None;
+    let mut trace_export: Option<String> = None;
+    let mut it = args[2..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--post" => post = Some(flag_value("fetch", "--post", &mut it)?.to_string()),
+            "--trace-id" => {
+                let raw = flag_value("fetch", "--trace-id", &mut it)?;
+                let id = u64::from_str_radix(raw, 16)
+                    .map_err(|_| SsgError::Usage(format!("fetch: bad --trace-id `{raw}`")))?;
+                if id == 0 {
+                    return Err(SsgError::Usage("fetch: --trace-id must be nonzero".into()));
+                }
+                trace_id = Some(id);
+            }
+            "--trace-dump" => {
+                trace_dump = Some(flag_value("fetch", "--trace-dump", &mut it)?.to_string());
+            }
+            "--trace-export" => {
+                trace_export = Some(flag_value("fetch", "--trace-export", &mut it)?.to_string());
+            }
+            _ => return Err(usage()),
+        }
+    }
+
+    // A traced fetch records its one client.request span locally, so the
+    // dump can later be merged with (or checked against) the server's.
+    let recorder = trace_id.map(|_| FlightRecorder::new(64));
+    let span_id = recorder.as_ref().map_or(0, FlightRecorder::next_span_id);
+    let trace_header = trace_id
+        .map(|tid| format!("X-Ssg-Trace: {tid:016x}/{span_id:016x}\r\n"))
+        .unwrap_or_default();
+    let request = match &post {
+        Some(body) => format!(
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\n{trace_header}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+        None => {
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\n{trace_header}Connection: close\r\n\r\n")
+        }
+    };
+
+    let start = std::time::Instant::now();
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| SsgError::io(addr, &e))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(5)))
         .map_err(|e| SsgError::io(addr, &e))?;
     stream
-        .write_all(
-            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
-        )
+        .write_all(request.as_bytes())
         .map_err(|e| SsgError::io(addr, &e))?;
     let mut raw = Vec::new();
     std::io::Read::read_to_end(&mut stream, &mut raw).map_err(|e| SsgError::io(addr, &e))?;
+    if let (Some(rec), Some(tid)) = (&recorder, trace_id) {
+        rec.record(strongly_simplicial::telemetry::SpanEvent {
+            trace_id: tid,
+            span_id,
+            parent_id: 0,
+            name: "client.request",
+            kind: strongly_simplicial::telemetry::EventKind::Span,
+            start_ns: rec.instant_ns(start),
+            end_ns: rec.now_ns(),
+        });
+        if let Some(dump_path) = &trace_dump {
+            std::fs::write(dump_path, rec.to_json().render_pretty())
+                .map_err(|e| SsgError::io(dump_path.as_str(), &e))?;
+        }
+        if let Some(export_path) = &trace_export {
+            let dump = TraceDump::from_json(&rec.to_json())
+                .map_err(|e| SsgError::parse(export_path.as_str(), e))?;
+            let doc = export::chrome_trace(&[("client", &dump)]);
+            std::fs::write(export_path, doc.render_pretty())
+                .map_err(|e| SsgError::io(export_path.as_str(), &e))?;
+        }
+    }
     let text = String::from_utf8_lossy(&raw);
     let (head, body) = text
         .split_once("\r\n\r\n")
@@ -1475,4 +1670,192 @@ fn cmd_fetch(args: &[String]) -> Result<i32, SsgError> {
         eprintln!("fetch: {addr}{path} answered {status_line}");
         Ok(1)
     }
+}
+
+// ---------------------------------------------------------------------------
+// trace / profile
+// ---------------------------------------------------------------------------
+
+const TRACE_USAGE: &str = "ssg trace export <dump.json> [--merge <dump2.json>] [-o <path>] | \
+                           ssg trace check <trace.json> [--expect-trace HEX]";
+
+/// Reads and re-parses one `ssg-trace/v1` flight-recorder dump file.
+fn read_trace_dump(path: &str) -> Result<TraceDump, SsgError> {
+    let doc = read_json_file(path)?;
+    TraceDump::from_json(&doc).map_err(|e| SsgError::parse(path, e))
+}
+
+/// `ssg trace export|check` — trace-event tooling over recorder dumps.
+fn cmd_trace(args: &[String]) -> Result<i32, SsgError> {
+    let usage = || SsgError::Usage(TRACE_USAGE.into());
+    match args.first().map(String::as_str) {
+        Some("export") => {
+            let mut positional: Vec<&String> = Vec::new();
+            let mut merge: Option<String> = None;
+            let mut out: Option<String> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--merge" => {
+                        merge = Some(flag_value("trace export", "--merge", &mut it)?.to_string());
+                    }
+                    "-o" => out = Some(flag_value("trace export", "-o", &mut it)?.to_string()),
+                    other if other.starts_with('-') => return Err(usage()),
+                    _ => positional.push(arg),
+                }
+            }
+            let dump_path = positional.first().ok_or_else(usage)?;
+            if positional.len() > 1 {
+                return Err(usage());
+            }
+            let dump = read_trace_dump(dump_path)?;
+            let doc = match &merge {
+                // The first dump is the client timebase; the merged dump is
+                // shifted onto it.
+                Some(server_path) => {
+                    let server = read_trace_dump(server_path)?;
+                    export::merged_chrome_trace(&dump, &server)
+                }
+                None => export::chrome_trace(&[("dump", &dump)]),
+            };
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, doc.render_pretty())
+                        .map_err(|e| SsgError::io(&path, &e))?;
+                    eprintln!("trace: wrote trace-event export to {path}");
+                }
+                None => print!("{}", doc.render_pretty()),
+            }
+            Ok(0)
+        }
+        Some("check") => {
+            let mut positional: Vec<&String> = Vec::new();
+            let mut expect: Option<String> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--expect-trace" => {
+                        let raw = flag_value("trace check", "--expect-trace", &mut it)?;
+                        let id = u64::from_str_radix(raw, 16).map_err(|_| {
+                            SsgError::Usage(format!("trace check: bad --expect-trace `{raw}`"))
+                        })?;
+                        expect = Some(format!("{id:016x}"));
+                    }
+                    other if other.starts_with('-') => return Err(usage()),
+                    _ => positional.push(arg),
+                }
+            }
+            let path = positional.first().ok_or_else(usage)?;
+            if positional.len() > 1 {
+                return Err(usage());
+            }
+            check_trace_events(path, expect.as_deref())
+        }
+        _ => Err(usage()),
+    }
+}
+
+/// The `ssg trace check` gate: every `B` on a (pid, tid) lane must be
+/// closed by a matching same-name `E` in stack order, and (optionally) the
+/// expected trace id must tag at least one span. Prints a one-line verdict;
+/// exit 1 on any violation.
+fn check_trace_events(path: &str, expect_trace: Option<&str>) -> Result<i32, SsgError> {
+    let doc = read_json_file(path)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or_else(|| SsgError::parse(path, "missing traceEvents array"))?;
+    let mut stacks: std::collections::BTreeMap<(u64, u64), Vec<String>> =
+        std::collections::BTreeMap::new();
+    let mut spans = 0usize;
+    let mut expect_seen = expect_trace.is_none();
+    for (i, e) in events.iter().enumerate() {
+        let field_str = |k: &str| e.get(k).and_then(Json::as_str).map(str::to_string);
+        let ph = field_str("ph")
+            .ok_or_else(|| SsgError::parse(path, format!("event {i}: missing ph")))?;
+        if ph == "M" {
+            continue;
+        }
+        let name = field_str("name")
+            .ok_or_else(|| SsgError::parse(path, format!("event {i}: missing name")))?;
+        let lane = (
+            e.get("pid").and_then(Json::as_u64).unwrap_or(0),
+            e.get("tid").and_then(Json::as_u64).unwrap_or(0),
+        );
+        if let Some(want) = expect_trace {
+            let tagged = matches!(
+                e.get("args").and_then(|a| a.get("trace_id")).and_then(Json::as_str),
+                Some(got) if got == want
+            );
+            if tagged && ph == "B" {
+                expect_seen = true;
+            }
+        }
+        match ph.as_str() {
+            "B" => {
+                spans += 1;
+                stacks.entry(lane).or_default().push(name);
+            }
+            "E" => match stacks.entry(lane).or_default().pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    eprintln!("trace check: {path}: E `{name}` closes B `{open}` (event {i})");
+                    return Ok(1);
+                }
+                None => {
+                    eprintln!("trace check: {path}: E `{name}` with no open B (event {i})");
+                    return Ok(1);
+                }
+            },
+            "i" => {}
+            other => {
+                eprintln!("trace check: {path}: unexpected phase `{other}` (event {i})");
+                return Ok(1);
+            }
+        }
+    }
+    for ((pid, tid), stack) in &stacks {
+        if let Some(open) = stack.last() {
+            eprintln!("trace check: {path}: unclosed B `{open}` on lane {pid}/{tid}");
+            return Ok(1);
+        }
+    }
+    if !expect_seen {
+        eprintln!(
+            "trace check: {path}: expected trace id {} not found on any span",
+            expect_trace.unwrap_or("?")
+        );
+        return Ok(1);
+    }
+    println!(
+        "trace check: {path}: {} span pair(s) matched{}",
+        spans,
+        expect_trace.map_or(String::new(), |t| format!(", trace {t} present"))
+    );
+    Ok(0)
+}
+
+/// `ssg profile <dump.json> [--format text|json]` — fold a flight-recorder
+/// dump into the `ssg-profile/v1` self-time call tree.
+fn cmd_profile(args: &[String]) -> Result<i32, SsgError> {
+    let usage = || SsgError::Usage("ssg profile <dump.json> [--format text|json]".into());
+    let path = args.first().ok_or_else(usage)?;
+    if path.starts_with("--") {
+        return Err(usage());
+    }
+    let mut format = OutputFormat::Text;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => format = parse_format("profile", &mut it)?,
+            _ => return Err(usage()),
+        }
+    }
+    let dump = read_trace_dump(path)?;
+    let profile = Profile::from_dump(&dump);
+    match format {
+        OutputFormat::Text => print!("{}", profile.to_text()),
+        OutputFormat::Json => print!("{}", profile.to_json().render_pretty()),
+    }
+    Ok(0)
 }

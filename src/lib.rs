@@ -32,7 +32,9 @@
 //!   and the committed-baseline regression gate.
 //! * [`telemetry`] — zero-dependency work counters, phase timers, latency
 //!   histograms, tracing spans, the flight recorder, and the hand-rolled
-//!   JSON writer behind `ssg bench --json`.
+//!   JSON writer behind `ssg bench --format json`, plus the Chrome
+//!   trace-event exporter and self-time profiler behind `ssg trace` and
+//!   `ssg profile`.
 //! * [`bench`](mod@bench) — the `ssg bench` harness producing
 //!   `ssg-bench/v2` reports over the five paper algorithms.
 //!

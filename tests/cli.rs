@@ -109,7 +109,9 @@ fn bench_emits_text_and_json_reports() {
     }
 
     let out = ssg()
-        .args(["bench", "--json", "--n", "80", "--reps", "1", "--seed", "5"])
+        .args([
+            "bench", "--format", "json", "--n", "80", "--reps", "1", "--seed", "5",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -118,7 +120,12 @@ fn bench_emits_text_and_json_reports() {
     assert!(json.contains("\"schema\": \"ssg-bench/v2\""), "{json}");
     assert!(json.contains("\"palette_probes\""), "{json}");
     assert!(json.contains("\"histograms\""), "{json}");
-    for section in ["\"solver_solve\"", "\"queue_wait\"", "\"request_latency\"", "\"p99\""] {
+    for section in [
+        "\"solver_solve\"",
+        "\"queue_wait\"",
+        "\"request_latency\"",
+        "\"p99\"",
+    ] {
         assert!(json.contains(section), "missing {section} in {json}");
     }
 
@@ -199,7 +206,10 @@ fn batch_maps_per_request_errors_to_exit_codes() {
     // An unknown solver is reported per-request and exits 3.
     let reqs = dir.join("badsolver.reqs");
     std::fs::write(&reqs, "corridor 10 1 1 solver=nope\n").unwrap();
-    let out = ssg().args(["batch", reqs.to_str().unwrap()]).output().unwrap();
+    let out = ssg()
+        .args(["batch", reqs.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(3));
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("kind=unknown_solver"), "{text}");
@@ -210,9 +220,15 @@ fn batch_maps_per_request_errors_to_exit_codes() {
     assert_eq!(out.status.code(), Some(1));
     let reqs = dir.join("malformed.reqs");
     std::fs::write(&reqs, "corridor ten 1 1\n").unwrap();
-    let out = ssg().args(["batch", reqs.to_str().unwrap()]).output().unwrap();
+    let out = ssg()
+        .args(["batch", reqs.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
-    let out = ssg().args(["batch", "x.reqs", "--frobnicate"]).output().unwrap();
+    let out = ssg()
+        .args(["batch", "x.reqs", "--frobnicate"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
 
@@ -230,7 +246,10 @@ fn churn_prints_both_policies() {
 
 #[test]
 fn metrics_prints_prometheus_exposition() {
-    let out = ssg().args(["metrics", "--n", "64", "--seed", "3"]).output().unwrap();
+    let out = ssg()
+        .args(["metrics", "--n", "64", "--seed", "3"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     for needle in [
@@ -250,7 +269,10 @@ fn metrics_prints_prometheus_exposition() {
 
 #[test]
 fn color_trace_prints_span_log_to_stderr() {
-    let out = ssg().args(["gen", "platoon", "20", "3", "8"]).output().unwrap();
+    let out = ssg()
+        .args(["gen", "platoon", "20", "3", "8"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let dir = std::env::temp_dir().join("ssg-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
@@ -291,7 +313,12 @@ fn batch_trace_dump_writes_flight_recorder_json() {
     assert_eq!(out.status.code(), Some(0));
     let text = std::fs::read_to_string(&dump).expect("--trace-dump writes the file");
     assert!(text.contains("\"schema\": \"ssg-trace/v1\""), "{text}");
-    for name in ["engine.enqueue", "engine.dequeue", "engine.solve", "engine.reply"] {
+    for name in [
+        "engine.enqueue",
+        "engine.dequeue",
+        "engine.solve",
+        "engine.reply",
+    ] {
         assert!(text.contains(name), "missing {name} in dump");
     }
 }
@@ -360,12 +387,66 @@ fn serve_loadgen_fetch_session() {
     assert_eq!(out.status.code(), Some(0));
     assert_eq!(String::from_utf8(out.stdout).unwrap(), "ok\n");
 
+    // A traced POST /label: the JSON reply echoes the propagated trace id
+    // and the exported client dump passes `trace check` under that id.
+    let trace_export = dir.join("fetch.trace.json");
+    let _ = std::fs::remove_file(&trace_export);
+    let out = ssg()
+        .args([
+            "fetch",
+            &addr,
+            "/label",
+            "--post",
+            "LABEL corridor 24 5 2,1",
+            "--trace-id",
+            "c0ffee",
+            "--trace-export",
+            trace_export.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = String::from_utf8(out.stdout).unwrap();
+    assert!(body.contains("\"trace\": \"0000000000c0ffee\""), "{body}");
+    let out = ssg()
+        .args([
+            "trace",
+            "check",
+            trace_export.to_str().unwrap(),
+            "--expect-trace",
+            "c0ffee",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
     // A short open-loop run; a 0ms deadline on every request forces
     // deadline misses, which must auto-dump the serve flight recorder.
     let out = ssg()
         .args([
-            "loadgen", "--addr", &addr, "--rps", "40", "--duration", "1",
-            "--n", "32", "--deadline-ms", "0", "--json",
+            "loadgen",
+            "--addr",
+            &addr,
+            "--rps",
+            "40",
+            "--duration",
+            "1",
+            "--n",
+            "32",
+            "--deadline-ms",
+            "0",
+            "--format",
+            "json",
         ])
         .output()
         .unwrap();
@@ -377,12 +458,25 @@ fn serve_loadgen_fetch_session() {
     // percentiles from real sockets.
     let out = ssg()
         .args([
-            "loadgen", "--addr", &addr, "--rps", "40", "--duration", "1",
-            "--n", "32", "--drain",
+            "loadgen",
+            "--addr",
+            &addr,
+            "--rps",
+            "40",
+            "--duration",
+            "1",
+            "--n",
+            "32",
+            "--drain",
         ])
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("protocol-err 0"), "{text}");
     assert!(text.contains("p99"), "{text}");
@@ -404,11 +498,22 @@ fn serve_loadgen_fetch_session() {
 fn loadgen_and_fetch_fail_cleanly_without_a_server() {
     // A connection refused is an I/O error: exit 1, no panic, no hang.
     let out = ssg()
-        .args(["loadgen", "--addr", "127.0.0.1:1", "--rps", "10", "--duration", "1"])
+        .args([
+            "loadgen",
+            "--addr",
+            "127.0.0.1:1",
+            "--rps",
+            "10",
+            "--duration",
+            "1",
+        ])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1));
-    let out = ssg().args(["fetch", "127.0.0.1:1", "/healthz"]).output().unwrap();
+    let out = ssg()
+        .args(["fetch", "127.0.0.1:1", "/healthz"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     // Bad flags are usage errors (exit 2).
     let out = ssg().args(["serve", "--frobnicate"]).output().unwrap();
@@ -420,32 +525,139 @@ fn loadgen_and_fetch_fail_cleanly_without_a_server() {
 }
 
 #[test]
-fn bench_format_flag_matches_json_alias() {
-    let args = ["--n", "80", "--reps", "1", "--seed", "5"];
-    let via_format = ssg()
-        .args(["bench", "--format", "json"])
-        .args(args)
-        .output()
-        .unwrap();
-    assert!(via_format.status.success());
-    let via_alias = ssg().args(["bench", "--json"]).args(args).output().unwrap();
-    assert!(via_alias.status.success());
-    // The deprecated `--json` alias and `--format json` are the same path;
-    // wall times differ run to run, so compare the deterministic lines.
-    let deterministic = |raw: &[u8]| -> Vec<String> {
-        String::from_utf8(raw.to_vec())
-            .unwrap()
-            .lines()
-            .filter(|l| l.contains("\"schema\"") || l.contains("\"span\""))
-            .map(str::to_string)
-            .collect()
-    };
-    assert_eq!(deterministic(&via_format.stdout), deterministic(&via_alias.stdout));
-    assert!(deterministic(&via_format.stdout)
-        .iter()
-        .any(|l| l.contains("ssg-bench/v2")));
+fn bench_json_alias_is_gone() {
+    // The historical `--json` switch was removed after a deprecation
+    // cycle; `--format json` is the only spelling and the old flag is a
+    // plain usage error on every former alias site.
+    let out = ssg().args(["bench", "--json"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown flag '--json'"), "{err}");
+    let out = ssg().args(["loadgen", "--json"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
     let out = ssg().args(["bench", "--format", "yaml"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn trace_export_check_and_profile_round_trip() {
+    // batch --trace-dump gives us a real ssg-trace/v1 dump to tool over.
+    let dir = std::env::temp_dir().join("ssg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let reqs = dir.join("tracetool.reqs");
+    std::fs::write(&reqs, "corridor 30 1 1\nbackbone 25 2 1,1\n").unwrap();
+    let dump = dir.join("tracetool.dump.json");
+    let export = dir.join("tracetool.trace.json");
+    let _ = std::fs::remove_file(&dump);
+    let _ = std::fs::remove_file(&export);
+
+    let out = ssg()
+        .args([
+            "batch",
+            reqs.to_str().unwrap(),
+            "--trace-dump",
+            dump.to_str().unwrap(),
+            "--trace-export",
+            export.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --trace-export wrote a trace-event document that `trace check`
+    // accepts, and the untraced-request lane uses the request id (1) as
+    // its trace id.
+    let text = std::fs::read_to_string(&export).unwrap();
+    assert!(text.contains("\"traceEvents\""), "{text}");
+    assert!(text.contains("\"ph\": \"B\""), "{text}");
+    let out = ssg()
+        .args([
+            "trace",
+            "check",
+            export.to_str().unwrap(),
+            "--expect-trace",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // `trace export` over the raw dump matches the inline export route.
+    let exported2 = dir.join("tracetool2.trace.json");
+    let out = ssg()
+        .args([
+            "trace",
+            "export",
+            dump.to_str().unwrap(),
+            "-o",
+            exported2.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let out = ssg()
+        .args(["trace", "check", exported2.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    // An expected trace id that never ran exits 1.
+    let out = ssg()
+        .args([
+            "trace",
+            "check",
+            export.to_str().unwrap(),
+            "--expect-trace",
+            "deadbeef",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // The profile tree over the same dump: text names the engine chain,
+    // json carries the envelope.
+    let out = ssg()
+        .args(["profile", dump.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("engine.solve"), "{text}");
+    assert!(text.contains("self"), "{text}");
+    let out = ssg()
+        .args(["profile", dump.to_str().unwrap(), "--format", "json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"schema\": \"ssg-profile/v1\""), "{json}");
+    assert!(json.contains("\"self_ns\""), "{json}");
+
+    // Usage and parse errors: missing operands exit 2, a non-dump file
+    // exits 2 via the parse path.
+    let out = ssg().args(["trace", "frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = ssg().args(["profile"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = ssg()
+        .args(["profile", export.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a trace-event file is not a dump"
+    );
 }
 
 #[test]
@@ -467,11 +679,18 @@ fn lab_run_resume_report_round_trip() {
         .args(["--format", "json"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let table = String::from_utf8(out.stdout).unwrap();
     assert!(table.contains("\"schema\": \"ssg-lab/v1\""), "{table}");
     let verdict = String::from_utf8(out.stderr).unwrap();
-    assert!(verdict.contains("lab mini: ran 2 cell(s), skipped 0 (of 2)"), "{verdict}");
+    assert!(
+        verdict.contains("lab mini: ran 2 cell(s), skipped 0 (of 2)"),
+        "{verdict}"
+    );
 
     // Resume is a no-op and reproduces the table byte for byte.
     let out = ssg()
@@ -483,10 +702,17 @@ fn lab_run_resume_report_round_trip() {
     assert!(out.status.success());
     assert_eq!(String::from_utf8(out.stdout).unwrap(), table);
     let verdict = String::from_utf8(out.stderr).unwrap();
-    assert!(verdict.contains("ran 0 cell(s), skipped 2 (of 2)"), "{verdict}");
+    assert!(
+        verdict.contains("ran 0 cell(s), skipped 2 (of 2)"),
+        "{verdict}"
+    );
 
     // Report rebuilds the same table without executing anything.
-    let out = ssg().args(["lab", "report"]).arg(&run_dir).output().unwrap();
+    let out = ssg()
+        .args(["lab", "report"])
+        .arg(&run_dir)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("lab mini: ran 0 cell(s)"), "{text}");
@@ -502,7 +728,11 @@ fn lab_run_resume_report_round_trip() {
         .args(["--baseline", baseline_path.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("baseline compare: clean"), "{text}");
 
@@ -545,8 +775,11 @@ fn lab_rejects_bad_specs_as_parse_errors() {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let spec_path = dir.join("bad.lab");
-    std::fs::write(&spec_path, "name = bad\n\n[grid]\nclass = corridor\nn = 12\nfrobnicate = 1\n")
-        .unwrap();
+    std::fs::write(
+        &spec_path,
+        "name = bad\n\n[grid]\nclass = corridor\nn = 12\nfrobnicate = 1\n",
+    )
+    .unwrap();
     let out = ssg()
         .args(["lab", "run", spec_path.to_str().unwrap(), "--dir"])
         .arg(dir.join("run"))
